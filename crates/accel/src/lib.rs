@@ -1,0 +1,56 @@
+//! # kaas-accel — calibrated accelerator device models
+//!
+//! Simulated GPU, FPGA, TPU, QPU, and CPU devices for the KaaS
+//! (Middleware '23) reproduction. Each model translates a
+//! device-independent [`WorkUnits`] profile into virtual time through
+//! throughput, bandwidth, and initialization constants calibrated against
+//! the numbers the paper reports (each constant's doc comment cites its
+//! source figure/section).
+//!
+//! The compute fabric of spatially shared devices is a demand-weighted
+//! processor-sharing queue ([`SharedProcessor`]); copies ride serialized
+//! [`TransferEngine`]s; energy is integrated per device from
+//! utilization-weighted busy time ([`PowerProfile`]).
+//!
+//! ```
+//! use kaas_accel::{GpuDevice, GpuProfile, DeviceId, WorkUnits};
+//! use kaas_simtime::Simulation;
+//!
+//! let mut sim = Simulation::new();
+//! let timings = sim.block_on(async {
+//!     let gpu = GpuDevice::new(DeviceId(0), GpuProfile::p100());
+//!     gpu.create_context().await;
+//!     // 500×500 matrix multiplication, warm context.
+//!     let n = 500u64;
+//!     let work = WorkUnits::new(2.0 * (n as f64).powi(3))
+//!         .with_bytes(2 * n * n * 8, n * n * 8)
+//!         .with_efficiency(0.4);
+//!     gpu.execute(&work, 0.25, false).await
+//! });
+//! assert!(timings.kernel_time().as_secs_f64() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cpu;
+mod device;
+mod fpga;
+mod gpu;
+mod power;
+mod ps;
+mod qpu;
+mod tpu;
+mod work;
+mod xfer;
+
+pub use cpu::{CpuDevice, CpuProfile};
+pub use device::{Device, DeviceClass, DeviceId};
+pub use fpga::{FpgaDevice, FpgaProfile, FpgaTimings};
+pub use gpu::{GpuDevice, GpuProfile, GpuTimings};
+pub use power::PowerProfile;
+pub use ps::SharedProcessor;
+pub use qpu::{QpuDevice, QpuKind, QpuProfile};
+pub use tpu::{TpuDevice, TpuProfile};
+pub use work::{CircuitCost, WorkUnits};
+pub use xfer::TransferEngine;

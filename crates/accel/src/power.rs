@@ -1,0 +1,100 @@
+//! Power modelling: per-device idle/active draw and energy accounting
+//! (the paper's Fig. 10 reports FLOPS/W measured via RAPL and GPU power
+//! counters; we integrate the same quantities analytically).
+
+use std::time::Duration;
+
+/// Idle and active power draw of a device in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerProfile {
+    /// Draw while powered but idle.
+    pub idle_w: f64,
+    /// Draw while fully busy.
+    pub active_w: f64,
+}
+
+impl PowerProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_w < idle_w` or either is negative.
+    pub fn new(idle_w: f64, active_w: f64) -> Self {
+        assert!(idle_w >= 0.0 && active_w >= idle_w, "invalid power profile");
+        PowerProfile { idle_w, active_w }
+    }
+
+    /// Nvidia Tesla P100 (250 W TDP).
+    pub fn gpu_p100() -> Self {
+        PowerProfile::new(30.0, 250.0)
+    }
+
+    /// Nvidia Tesla V100 SXM2 (300 W TDP).
+    pub fn gpu_v100() -> Self {
+        PowerProfile::new(35.0, 300.0)
+    }
+
+    /// Dual-socket Xeon server package power (RAPL view).
+    pub fn cpu_dual_xeon() -> Self {
+        PowerProfile::new(60.0, 270.0)
+    }
+
+    /// Alveo U250 data-center FPGA.
+    pub fn fpga_u250() -> Self {
+        PowerProfile::new(25.0, 110.0)
+    }
+
+    /// Single TPU v3 chip.
+    pub fn tpu_v3_chip() -> Self {
+        PowerProfile::new(35.0, 200.0)
+    }
+
+    /// Energy in joules for a window of `total` during which the device
+    /// was busy for `busy_seconds`.
+    ///
+    /// `busy_seconds` is clamped to the window length.
+    pub fn energy_joules(&self, total: Duration, busy_seconds: f64) -> f64 {
+        let total_s = total.as_secs_f64();
+        let busy = busy_seconds.clamp(0.0, total_s);
+        self.idle_w * total_s + (self.active_w - self.idle_w) * busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_only_window() {
+        let p = PowerProfile::new(10.0, 100.0);
+        let e = p.energy_joules(Duration::from_secs(5), 0.0);
+        assert!((e - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_busy_window() {
+        let p = PowerProfile::new(10.0, 100.0);
+        let e = p.energy_joules(Duration::from_secs(5), 5.0);
+        assert!((e - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_is_clamped_to_window() {
+        let p = PowerProfile::new(10.0, 100.0);
+        let e = p.energy_joules(Duration::from_secs(1), 10.0);
+        assert!((e - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_window_interpolates() {
+        let p = PowerProfile::new(0.0, 100.0);
+        let e = p.energy_joules(Duration::from_secs(10), 2.5);
+        assert!((e - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid power")]
+    fn active_below_idle_rejected() {
+        let _ = PowerProfile::new(100.0, 10.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! [`WorkUnits`]: a device-independent description of what a kernel
+//! invocation costs, produced by kernel implementations and consumed by
+//! device models.
+
+/// Cost of executing a quantum circuit (consumed by
+/// [`crate::QpuDevice`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitCost {
+    /// Number of qubits the circuit addresses.
+    pub qubits: u32,
+    /// Total gate count after transpilation.
+    pub gates: u64,
+    /// Shots (samples) requested.
+    pub shots: u64,
+}
+
+/// A device-independent work profile for one kernel invocation.
+///
+/// Kernels (in `kaas-kernels`) compute a `WorkUnits` for a given input;
+/// device models translate it into virtual time through their throughput
+/// and bandwidth parameters.
+///
+/// # Examples
+///
+/// ```
+/// use kaas_accel::WorkUnits;
+///
+/// // A 500×500 matrix multiplication: 2·N³ FLOPs, two input matrices,
+/// // one output, all f64.
+/// let n = 500u64;
+/// let w = WorkUnits::new(2.0 * (n as f64).powi(3))
+///     .with_bytes(2 * n * n * 8, n * n * 8);
+/// assert_eq!(w.bytes_in, 4_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkUnits {
+    /// Floating-point operations on the device.
+    pub flops: f64,
+    /// Bytes copied host → device before the kernel runs.
+    pub bytes_in: u64,
+    /// Bytes copied device → host after the kernel runs.
+    pub bytes_out: u64,
+    /// Fraction of the device's baseline throughput this kernel sustains.
+    /// Memory-bound or branchy kernels sit well below 1.0; kernels that
+    /// exploit specialized units the baseline rate does not count (GPU
+    /// tensor cores, TPU systolic arrays in low precision) may exceed 1.0
+    /// (up to 8.0).
+    pub efficiency: f64,
+    /// FPGA pipeline cycles (for FPGA-class kernels).
+    pub fpga_cycles: f64,
+    /// Quantum circuit cost (for QPU-class kernels).
+    pub circuit: Option<CircuitCost>,
+    /// Device memory working set in bytes.
+    pub device_mem: u64,
+    /// Efficiency override when an accelerator-class kernel runs on a
+    /// CPU instead (the GPU/CPU speed ratio is kernel-specific: a
+    /// cuBLAS-backed matmul gains far more from the GPU than a branchy
+    /// fitness function).
+    pub cpu_efficiency: Option<f64>,
+}
+
+impl WorkUnits {
+    /// Creates a compute-only profile of `flops` at full efficiency.
+    pub fn new(flops: f64) -> Self {
+        assert!(flops >= 0.0 && flops.is_finite(), "invalid flops: {flops}");
+        WorkUnits {
+            flops,
+            bytes_in: 0,
+            bytes_out: 0,
+            efficiency: 1.0,
+            fpga_cycles: 0.0,
+            circuit: None,
+            device_mem: 0,
+            cpu_efficiency: None,
+        }
+    }
+
+    /// Sets host↔device transfer volumes.
+    pub fn with_bytes(mut self, bytes_in: u64, bytes_out: u64) -> Self {
+        self.bytes_in = bytes_in;
+        self.bytes_out = bytes_out;
+        self
+    }
+
+    /// Sets the sustained-efficiency fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `efficiency` is in `(0, 8]` (values above 1 model
+    /// specialized-unit speedups such as tensor cores).
+    pub fn with_efficiency(mut self, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 8.0,
+            "efficiency must be in (0, 8], got {efficiency}"
+        );
+        self.efficiency = efficiency;
+        self
+    }
+
+    /// Sets the FPGA pipeline cycle count.
+    pub fn with_fpga_cycles(mut self, cycles: f64) -> Self {
+        self.fpga_cycles = cycles;
+        self
+    }
+
+    /// Sets the quantum circuit cost.
+    pub fn with_circuit(mut self, circuit: CircuitCost) -> Self {
+        self.circuit = Some(circuit);
+        self
+    }
+
+    /// Sets the device-memory working set.
+    pub fn with_device_mem(mut self, bytes: u64) -> Self {
+        self.device_mem = bytes;
+        self
+    }
+
+    /// Sets the CPU-execution efficiency override.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `efficiency` is in `(0, 8]`.
+    pub fn with_cpu_efficiency(mut self, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 8.0,
+            "cpu efficiency must be in (0, 8], got {efficiency}"
+        );
+        self.cpu_efficiency = Some(efficiency);
+        self
+    }
+
+    /// Total bytes moved across the host↔device boundary.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+}
+
+impl Default for WorkUnits {
+    fn default() -> Self {
+        WorkUnits::new(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let w = WorkUnits::new(1e9)
+            .with_bytes(100, 50)
+            .with_efficiency(0.5)
+            .with_device_mem(4096);
+        assert_eq!(w.flops, 1e9);
+        assert_eq!(w.total_bytes(), 150);
+        assert_eq!(w.efficiency, 0.5);
+        assert_eq!(w.device_mem, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn zero_efficiency_rejected() {
+        let _ = WorkUnits::new(1.0).with_efficiency(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid flops")]
+    fn negative_flops_rejected() {
+        let _ = WorkUnits::new(-1.0);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let w = WorkUnits::default();
+        assert_eq!(w.flops, 0.0);
+        assert_eq!(w.total_bytes(), 0);
+        assert_eq!(w.efficiency, 1.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the device models' conservation laws.
+
+use proptest::prelude::*;
+use std::time::Duration;
+
+use kaas_accel::{PowerProfile, SharedProcessor, TransferEngine};
+use kaas_simtime::{now, spawn, Simulation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Processor sharing conserves work: the makespan of any batch of
+    /// full-demand jobs equals total work / capacity.
+    #[test]
+    fn ps_conserves_work(
+        jobs in prop::collection::vec(1.0f64..500.0, 1..20),
+        capacity in 10.0f64..1000.0,
+    ) {
+        let total: f64 = jobs.iter().sum();
+        let mut sim = Simulation::new();
+        let end = sim.block_on(async move {
+            let ps = SharedProcessor::new(capacity);
+            let mut handles = Vec::new();
+            for w in jobs {
+                let ps = ps.clone();
+                handles.push(spawn(async move { ps.execute(w).await }));
+            }
+            for h in handles {
+                h.await;
+            }
+            now()
+        });
+        let expected = total / capacity;
+        prop_assert!(
+            (end.as_secs_f64() - expected).abs() < 1e-6 + expected * 1e-9,
+            "makespan {} vs expected {expected}",
+            end.as_secs_f64()
+        );
+    }
+
+    /// No job finishes before its isolated lower bound (work/capacity) or
+    /// after the whole batch's serial time.
+    #[test]
+    fn ps_completion_bounds(
+        jobs in prop::collection::vec(1.0f64..200.0, 1..12),
+        capacity in 10.0f64..500.0,
+    ) {
+        let total: f64 = jobs.iter().sum();
+        let mut sim = Simulation::new();
+        let durations = sim.block_on(async move {
+            let ps = SharedProcessor::new(capacity);
+            let mut handles = Vec::new();
+            for w in jobs.clone() {
+                let ps = ps.clone();
+                handles.push(spawn(async move { (w, ps.execute(w).await) }));
+            }
+            let mut out = Vec::new();
+            for h in handles {
+                out.push(h.await);
+            }
+            out
+        });
+        for (w, d) in durations {
+            let lower = w / capacity;
+            let upper = total / capacity;
+            let d = d.as_secs_f64();
+            prop_assert!(d >= lower - 1e-9, "{d} < isolated bound {lower}");
+            prop_assert!(d <= upper + 1e-6, "{d} > serial bound {upper}");
+        }
+    }
+
+    /// Busy seconds never exceed elapsed time and equal total work /
+    /// capacity for full-demand jobs.
+    #[test]
+    fn ps_busy_accounting(
+        jobs in prop::collection::vec(1.0f64..100.0, 1..10),
+        capacity in 10.0f64..200.0,
+    ) {
+        let total: f64 = jobs.iter().sum();
+        let mut sim = Simulation::new();
+        let (busy, end) = sim.block_on(async move {
+            let ps = SharedProcessor::new(capacity);
+            let mut handles = Vec::new();
+            for w in jobs {
+                let ps = ps.clone();
+                handles.push(spawn(async move { ps.execute(w).await }));
+            }
+            for h in handles {
+                h.await;
+            }
+            (ps.busy_seconds(), now())
+        });
+        prop_assert!(busy <= end.as_secs_f64() + 1e-9);
+        prop_assert!((busy - total / capacity).abs() < 1e-6);
+    }
+
+    /// Transfer engines serialize: total time equals the sum of the
+    /// individual transfer times.
+    #[test]
+    fn transfers_serialize_exactly(
+        sizes in prop::collection::vec(1u64..10_000_000, 1..12),
+        bw in 1.0e6f64..1.0e9,
+    ) {
+        let expected: f64 = sizes.iter().map(|&b| b as f64 / bw).sum();
+        let mut sim = Simulation::new();
+        let end = sim.block_on(async move {
+            let eng = TransferEngine::new(bw);
+            let mut handles = Vec::new();
+            for b in sizes {
+                let eng = eng.clone();
+                handles.push(spawn(async move {
+                    eng.transfer(b, Duration::ZERO).await;
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            now()
+        });
+        prop_assert!((end.as_secs_f64() - expected).abs() < 1e-6 + expected * 1e-9);
+    }
+
+    /// Energy is monotone in busy time and bounded by idle/active rails.
+    #[test]
+    fn energy_bounds(
+        idle in 0.0f64..100.0,
+        dynamic in 0.0f64..400.0,
+        window_s in 0.1f64..100.0,
+        busy_a in 0.0f64..100.0,
+        busy_b in 0.0f64..100.0,
+    ) {
+        let p = PowerProfile::new(idle, idle + dynamic);
+        let window = Duration::from_secs_f64(window_s);
+        let (lo, hi) = if busy_a <= busy_b { (busy_a, busy_b) } else { (busy_b, busy_a) };
+        let e_lo = p.energy_joules(window, lo);
+        let e_hi = p.energy_joules(window, hi);
+        prop_assert!(e_lo <= e_hi + 1e-9);
+        let floor = idle * window_s;
+        let ceil = (idle + dynamic) * window_s;
+        prop_assert!(e_lo >= floor - 1e-6 * (1.0 + floor.abs()));
+        prop_assert!(e_hi <= ceil + 1e-6 * (1.0 + ceil.abs()));
+    }
+}

@@ -1,0 +1,10 @@
+//! Runs the design-choice ablations (scheduler, fusion, transport,
+//! idle reaping).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for fig in kaas_bench::ablation::run(quick) {
+        fig.print();
+        println!();
+    }
+}

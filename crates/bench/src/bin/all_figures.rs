@@ -1,0 +1,28 @@
+//! Regenerates every figure of the KaaS paper in one run. Pass
+//! `--quick` for reduced sweeps.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let runs: Vec<(&str, fn(bool) -> Vec<kaas_bench::common::Figure>)> = vec![
+        ("fig02", kaas_bench::fig02::run),
+        ("fig06", kaas_bench::fig06::run),
+        ("fig07", kaas_bench::fig07::run),
+        ("fig08", kaas_bench::fig08::run),
+        ("fig09", kaas_bench::fig09::run),
+        ("fig10", kaas_bench::fig10::run),
+        ("fig11", kaas_bench::fig11::run),
+        ("fig12", kaas_bench::fig12::run),
+        ("fig13", kaas_bench::fig13::run),
+        ("fig14", kaas_bench::fig14::run),
+        ("fig15", kaas_bench::fig15::run),
+        ("fig16", kaas_bench::fig16::run),
+        ("fig17", kaas_bench::fig17::run),
+    ];
+    for (name, run) in runs {
+        eprintln!("== running {name} ==");
+        for fig in run(quick) {
+            fig.print();
+            println!();
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 02 of the KaaS paper. Pass `--quick` for a
+//! reduced sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for fig in kaas_bench::fig02::run(quick) {
+        fig.print();
+        println!();
+    }
+}

@@ -1,0 +1,10 @@
+//! Replays a synthetic diurnal serverless trace through KaaS and prints
+//! latency/cold-start/energy statistics for keep-warm vs reaping.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for fig in kaas_bench::trace_replay::run(quick) {
+        fig.print();
+        println!();
+    }
+}

@@ -1,0 +1,242 @@
+//! Figure 2: the motivating example — the Fig. 1 image workflow
+//! (preprocessing → bitmap conversion → ML inference) executed CPU-only
+//! vs. with naive accelerator use, with a per-component breakdown.
+//!
+//! Testbed per the paper: two 10-core Xeon E5-2650 v3, an Alveo U250,
+//! and an A100 80 GB. Naively using the accelerators (fresh runtimes and
+//! contexts per task) makes the workflow *slower* than CPU-only: "copying
+//! data and running the kernel accounts for only 75.9 % (FPGA) and 1.7 %
+//! (GPU) task completion time".
+
+use kaas_accel::{CpuDevice, CpuProfile, Device, DeviceId, FpgaDevice, FpgaProfile, GpuDevice, GpuProfile};
+use kaas_core::baseline::{run_cpu_only, run_time_sharing};
+use kaas_kernels::{BitmapConversion, Kernel, Preprocess, ResNet50, Value};
+use kaas_simtime::Simulation;
+
+use crate::common::{Figure, Series};
+
+/// One breakdown component of the stacked bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Pipeline stage ("Preprocess", "Bitmap", "Inference").
+    pub stage: &'static str,
+    /// Component label (e.g. "FPGA Init", "Kernel Run").
+    pub label: &'static str,
+    /// Seconds spent.
+    pub seconds: f64,
+}
+
+/// The motivating 4K frame (pixels of the Fig. 1 input image).
+const FRAME_PIXELS: u64 = 3840 * 2160;
+
+fn testbed() -> (CpuDevice, Device, Device) {
+    let cpu = CpuDevice::new(DeviceId(0), CpuProfile::xeon_e5_2650v3_dual());
+    let fpga: Device = FpgaDevice::new(DeviceId(1), FpgaProfile::alveo_u250()).into();
+    let gpu: Device = GpuDevice::new(DeviceId(2), GpuProfile::a100()).into();
+    (cpu, fpga, gpu)
+}
+
+/// Runs the three-stage workflow CPU-only; returns per-stage components.
+pub fn cpu_only_breakdown() -> Vec<Component> {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let (cpu, _, _) = testbed();
+        let mut out = Vec::new();
+        for (stage, kernel, input) in stages() {
+            let r = run_cpu_only(&cpu, kernel.as_ref(), &input).await.expect("valid");
+            out.push(Component {
+                stage,
+                label: "App. Init",
+                seconds: (r.total - r.kernel_time).as_secs_f64(),
+            });
+            out.push(Component {
+                stage,
+                label: "Kernel Run",
+                seconds: r.kernel_time.as_secs_f64(),
+            });
+        }
+        out
+    })
+}
+
+fn stages() -> Vec<(&'static str, std::rc::Rc<dyn Kernel>, Value)> {
+    vec![
+        (
+            "Preprocess",
+            std::rc::Rc::new(Preprocess::new()) as std::rc::Rc<dyn Kernel>,
+            Value::U64(FRAME_PIXELS),
+        ),
+        (
+            "Bitmap",
+            std::rc::Rc::new(BitmapConversion::default()),
+            // The bitmap task converts a short burst of frames, so the
+            // pipeline (copy + kernel) dominates its stage as in the
+            // paper ("75.9% ... task completion time").
+            Value::U64(4 * FRAME_PIXELS),
+        ),
+        (
+            "Inference",
+            std::rc::Rc::new(ResNet50::new()),
+            Value::U64(1),
+        ),
+    ]
+}
+
+/// Runs the workflow with naive accelerator use; returns components.
+pub fn accelerator_breakdown() -> Vec<Component> {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let (cpu, fpga, gpu) = testbed();
+        let host = *cpu.profile();
+        let mut out = Vec::new();
+
+        // Stage 1: preprocessing stays on the CPU.
+        let stages_list = stages();
+        let (_, preprocess, pre_in) = &stages_list[0];
+        let r = run_cpu_only(&cpu, preprocess.as_ref(), pre_in).await.expect("valid");
+        out.push(Component {
+            stage: "Preprocess",
+            label: "App. Init",
+            seconds: (r.total - r.kernel_time).as_secs_f64(),
+        });
+        out.push(Component {
+            stage: "Preprocess",
+            label: "Kernel Run",
+            seconds: r.kernel_time.as_secs_f64(),
+        });
+
+        // Stage 2: bitmap conversion on the FPGA (fresh PYNQ runtime).
+        let (_, bitmap, bm_in) = &stages_list[1];
+        let r = run_time_sharing(&fpga, bitmap.as_ref(), bm_in, &host)
+            .await
+            .expect("valid");
+        out.push(Component {
+            stage: "Bitmap",
+            label: "FPGA Init",
+            seconds: (r.total - r.kernel_time).as_secs_f64(),
+        });
+        out.push(Component {
+            stage: "Bitmap",
+            label: "Kernel Run",
+            seconds: r.kernel_time.as_secs_f64(),
+        });
+
+        // Stage 3: inference on the GPU (fresh CUDA context).
+        let (_, resnet, inf_in) = &stages_list[2];
+        let r = run_time_sharing(&gpu, resnet.as_ref(), inf_in, &host)
+            .await
+            .expect("valid");
+        out.push(Component {
+            stage: "Inference",
+            label: "GPU Init",
+            seconds: (r.total - r.kernel_time - r.device_init).as_secs_f64(),
+        });
+        out.push(Component {
+            stage: "Inference",
+            label: "CUDA Init",
+            seconds: r.device_init.as_secs_f64(),
+        });
+        out.push(Component {
+            stage: "Inference",
+            label: "Kernel Run",
+            seconds: r.kernel_time.as_secs_f64(),
+        });
+        out
+    })
+}
+
+/// Reproduces Figure 2 (stacked-bar data as series of components).
+pub fn run(_quick: bool) -> Vec<Figure> {
+    let mut fig = Figure::new(
+        "fig02",
+        "Motivating workflow: CPU-only vs naive accelerator use",
+        "component index",
+        "time (s)",
+    );
+    let cpu = cpu_only_breakdown();
+    let accel = accelerator_breakdown();
+    let mut s_cpu = Series::new("CPU-only");
+    for (i, c) in cpu.iter().enumerate() {
+        s_cpu.push(i as f64, c.seconds);
+    }
+    let mut s_accel = Series::new("Accelerator");
+    for (i, c) in accel.iter().enumerate() {
+        s_accel.push(i as f64, c.seconds);
+    }
+    let cpu_total: f64 = cpu.iter().map(|c| c.seconds).sum();
+    let accel_total: f64 = accel.iter().map(|c| c.seconds).sum();
+    let gpu_stage: f64 = accel
+        .iter()
+        .filter(|c| c.stage == "Inference")
+        .map(|c| c.seconds)
+        .sum();
+    let gpu_kernel: f64 = accel
+        .iter()
+        .filter(|c| c.stage == "Inference" && c.label == "Kernel Run")
+        .map(|c| c.seconds)
+        .sum();
+    fig.note(format!(
+        "CPU-only total {cpu_total:.2}s vs accelerator total {accel_total:.2}s \
+         (paper: accelerators are slower end-to-end)"
+    ));
+    fig.note(format!(
+        "GPU kernel is {:.1}% of its stage (paper: 1.7%)",
+        100.0 * gpu_kernel / gpu_stage
+    ));
+    for c in accel {
+        fig.note(format!("accel {} / {}: {:.3}s", c.stage, c.label, c.seconds));
+    }
+    fig.series = vec![s_cpu, s_accel];
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_accelerator_use_is_slower_than_cpu_only() {
+        let cpu: f64 = cpu_only_breakdown().iter().map(|c| c.seconds).sum();
+        let accel: f64 = accelerator_breakdown().iter().map(|c| c.seconds).sum();
+        assert!(
+            accel > cpu,
+            "naive accelerator use ({accel:.2}s) must lose to CPU-only ({cpu:.2}s)"
+        );
+    }
+
+    #[test]
+    fn gpu_kernel_fraction_is_tiny() {
+        let accel = accelerator_breakdown();
+        let stage: f64 = accel
+            .iter()
+            .filter(|c| c.stage == "Inference")
+            .map(|c| c.seconds)
+            .sum();
+        let kernel: f64 = accel
+            .iter()
+            .filter(|c| c.stage == "Inference" && c.label == "Kernel Run")
+            .map(|c| c.seconds)
+            .sum();
+        let frac = kernel / stage;
+        // Paper: 1.7 % of GPU task completion is copy+kernel.
+        assert!(frac < 0.1, "GPU kernel fraction {frac} (paper: 0.017)");
+    }
+
+    #[test]
+    fn fpga_kernel_fraction_is_dominant_but_not_all() {
+        let accel = accelerator_breakdown();
+        let stage: f64 = accel
+            .iter()
+            .filter(|c| c.stage == "Bitmap")
+            .map(|c| c.seconds)
+            .sum();
+        let kernel: f64 = accel
+            .iter()
+            .filter(|c| c.stage == "Bitmap" && c.label == "Kernel Run")
+            .map(|c| c.seconds)
+            .sum();
+        let frac = kernel / stage;
+        // Paper: 75.9 % of FPGA task completion is copy+kernel.
+        assert!((0.2..0.9).contains(&frac), "FPGA kernel fraction {frac}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Figure 6: cold & warm starts over 20 iterations, small (500²) and
+//! large (10 000²) matrix multiplications, KaaS vs. exclusive GPU use.
+
+use std::rc::Rc;
+
+use kaas_core::baseline::run_time_sharing;
+use kaas_kernels::{MatMul, Value};
+use kaas_simtime::{now, sleep, Simulation};
+
+use crate::common::{
+    deploy, experiment_server_config, host_cpu_profile, p100_cluster, reduction_pct, Figure,
+    Series,
+};
+
+/// Matrix-multiplication descriptor payload: two n×n input matrices.
+pub fn mm_input(n: u64) -> Value {
+    Value::sized(2 * 8 * n * n, Value::U64(n))
+}
+
+fn run_one(n: u64, iterations: usize) -> Figure {
+    let suffix = if n <= 1000 { "a" } else { "b" };
+    let mut sim = Simulation::new();
+    let (excl, kaas) = sim.block_on(async move {
+        let host = host_cpu_profile();
+        // Exclusive model on its own (fresh) cluster, always GPU 0.
+        let excl_cluster = p100_cluster();
+        let gpu0 = excl_cluster[0].clone();
+        let mm = MatMul::new();
+        let mut excl = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            let r = run_time_sharing(&gpu0, &mm, &Value::U64(n), &host)
+                .await
+                .expect("valid input");
+            excl.push(r.total.as_secs_f64());
+        }
+        // KaaS on a fresh deployment; the first invocation is cold.
+        let dep = deploy(
+            p100_cluster(),
+            vec![Rc::new(MatMul::new())],
+            experiment_server_config(),
+        );
+        let mut client = dep.local_client().await;
+        let mut kaas = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            let t0 = now();
+            // Each task launches a thin client program (§5: total task
+            // completion time includes launching the client).
+            sleep(host.python_launch).await;
+            client
+                .invoke_oob("matmul", mm_input(n))
+                .await
+                .expect("invocation succeeds");
+            kaas.push((now() - t0).as_secs_f64());
+        }
+        (excl, kaas)
+    });
+
+    let mut fig = Figure::new(
+        if n <= 1000 { "fig06a" } else { "fig06b" },
+        format!("Task completion over {iterations} iterations, {n}×{n} matrices"),
+        "iteration",
+        "task completion time (s)",
+    );
+    let mut s_excl = Series::new("Exclusive");
+    let mut s_kaas = Series::new("KaaS");
+    for (i, v) in excl.iter().enumerate() {
+        s_excl.push((i + 1) as f64, *v);
+    }
+    for (i, v) in kaas.iter().enumerate() {
+        s_kaas.push((i + 1) as f64, *v);
+    }
+    let excl_mean = excl.iter().sum::<f64>() / excl.len() as f64;
+    let cold = kaas[0];
+    let warm = kaas[1..].iter().sum::<f64>() / (kaas.len() - 1) as f64;
+    fig.note(format!(
+        "fig06{suffix}: exclusive mean {excl_mean:.3}s | KaaS cold {cold:.3}s \
+         ({:.1}% shorter; paper: {}%) | KaaS warm {warm:.3}s ({:.1}% faster; paper: {}%) \
+         | cold-start share of cold total {:.1}% (paper: {}%)",
+        reduction_pct(excl_mean, cold),
+        if n <= 1000 { "54.6" } else { "36.9" },
+        reduction_pct(excl_mean, warm),
+        if n <= 1000 { "94.1" } else { "46.4" },
+        100.0 * (cold - warm) / cold,
+        if n <= 1000 { "87.1" } else { "15.5" },
+    ));
+    fig.series = vec![s_excl, s_kaas];
+    fig
+}
+
+/// Reproduces Figures 6a and 6b.
+pub fn run(quick: bool) -> Vec<Figure> {
+    let iterations = if quick { 6 } else { 20 };
+    vec![run_one(500, iterations), run_one(10_000, iterations)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_start_then_stable_warm() {
+        let figs = run(true);
+        for fig in &figs {
+            let kaas = fig.series("KaaS").expect("series");
+            let cold = kaas.first_y();
+            let warm: Vec<f64> = kaas.points[1..].iter().map(|&(_, y)| y).collect();
+            // Cold is visibly slower than every warm iteration: the
+            // spawn + context-creation penalty sits on top of it.
+            for w in &warm {
+                assert!(cold > *w + 0.3, "{}: cold={cold}, warm={w}", fig.id);
+                assert!(cold < *w + 1.0, "{}: cold={cold}, warm={w}", fig.id);
+            }
+            // Warm iterations are stable (deterministic pipeline).
+            let spread = warm.iter().cloned().fold(f64::MIN, f64::max)
+                - warm.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(spread < 0.05, "{}: warm spread {spread}", fig.id);
+        }
+    }
+
+    #[test]
+    fn exclusive_is_flat_and_slower_than_warm_kaas() {
+        let figs = run(true);
+        for fig in &figs {
+            let excl = fig.series("Exclusive").expect("series");
+            let kaas = fig.series("KaaS").expect("series");
+            // Exclusive pays full init every iteration: flat line.
+            let spread = excl.points.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max)
+                - excl.points.iter().map(|&(_, y)| y).fold(f64::MAX, f64::min);
+            assert!(spread < 0.1, "{}: exclusive spread {spread}", fig.id);
+            assert!(excl.last_y() > kaas.last_y(), "{}", fig.id);
+        }
+    }
+
+    #[test]
+    fn small_task_warm_speedup_matches_paper_band() {
+        let figs = run(true);
+        let fig = &figs[0];
+        let excl = fig.series("Exclusive").unwrap().last_y();
+        let warm = fig.series("KaaS").unwrap().last_y();
+        let speedup = reduction_pct(excl, warm);
+        // Paper: 94.1 % faster warm starts for small tasks. Accept a
+        // generous band — the shape (order-of-magnitude gain) is what
+        // must hold.
+        assert!(speedup > 80.0, "warm reduction {speedup}%");
+    }
+}

@@ -1,0 +1,154 @@
+//! Figure 7: warm-start overhead vs. computation across task sizes.
+//! "While the overhead reduction is significant in small tasks, e.g.,
+//! from 689 ms to 123 ms with 500×500 matrices, the overhead for both
+//! tested models are equal for the largest tested task (matrix
+//! dimensions 20 000 × 20 000)."
+
+use std::rc::Rc;
+
+use kaas_core::baseline::run_time_sharing;
+use kaas_kernels::{MatMul, Value};
+use kaas_simtime::{now, sleep, Simulation};
+
+use crate::common::{
+    deploy, experiment_server_config, host_cpu_profile, p100_cluster, Figure, Series,
+};
+use crate::fig06::mm_input;
+
+/// One measurement: total task time and kernel (copy+compute) time.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    total: f64,
+    kernel: f64,
+}
+
+fn measure(n: u64) -> (Sample, Sample) {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let host = host_cpu_profile();
+        let cluster = p100_cluster();
+        let gpu0 = cluster[0].clone();
+        let mm = MatMul::new();
+        let r = run_time_sharing(&gpu0, &mm, &Value::U64(n), &host)
+            .await
+            .expect("valid input");
+        let excl = Sample {
+            total: r.total.as_secs_f64(),
+            // Fig. 7's "Computation" window opens at the first CUDA API
+            // call, so it includes lazy context initialization.
+            kernel: r.computation().as_secs_f64(),
+        };
+
+        let dep = deploy(
+            p100_cluster(),
+            vec![Rc::new(MatMul::new())],
+            experiment_server_config(),
+        );
+        dep.server.prewarm("matmul", 1).await.expect("prewarm");
+        let mut client = dep.local_client().await;
+        // One warm-up (the paper discards cold starts in this figure).
+        client.invoke_oob("matmul", mm_input(n)).await.expect("warm-up");
+        let t0 = now();
+        sleep(host.python_launch).await;
+        let inv = client.invoke_oob("matmul", mm_input(n)).await.expect("warm");
+        let kaas = Sample {
+            total: (now() - t0).as_secs_f64(),
+            kernel: inv.report.kernel_time().as_secs_f64(),
+        };
+        (excl, kaas)
+    })
+}
+
+/// Reproduces Figure 7.
+pub fn run(quick: bool) -> Vec<Figure> {
+    let sizes: &[u64] = if quick {
+        &[500, 2_000, 10_000, 20_000]
+    } else {
+        &[500, 1_000, 2_000, 4_000, 7_000, 10_000, 14_000, 17_000, 20_000]
+    };
+    let mut fig = Figure::new(
+        "fig07",
+        "Warm-start overhead vs computation by task granularity",
+        "task granularity (matrix elements)",
+        "time (s)",
+    );
+    let mut excl_overhead = Series::new("Exclusive overhead");
+    let mut excl_compute = Series::new("Exclusive computation");
+    let mut kaas_overhead = Series::new("KaaS overhead");
+    let mut kaas_compute = Series::new("KaaS computation");
+    for &n in sizes {
+        let (excl, kaas) = measure(n);
+        let elements = (n * n) as f64;
+        excl_overhead.push(elements, excl.total - excl.kernel);
+        excl_compute.push(elements, excl.kernel);
+        kaas_overhead.push(elements, kaas.total - kaas.kernel);
+        kaas_compute.push(elements, kaas.kernel);
+    }
+    let small_excl = excl_overhead.first_y();
+    let small_kaas = kaas_overhead.first_y();
+    let large_excl = excl_overhead.last_y();
+    let large_kaas = kaas_overhead.last_y();
+    fig.note(format!(
+        "overhead at 500²: exclusive {:.0} ms vs KaaS {:.0} ms (paper: 689 ms vs 123 ms)",
+        small_excl * 1e3,
+        small_kaas * 1e3
+    ));
+    fig.note(format!(
+        "overhead at 20 000²: exclusive {:.0} ms vs KaaS {:.0} ms (paper: roughly equal)",
+        large_excl * 1e3,
+        large_kaas * 1e3
+    ));
+    fig.series = vec![excl_overhead, excl_compute, kaas_overhead, kaas_compute];
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_task_overhead_gap_is_large() {
+        let figs = run(true);
+        let fig = &figs[0];
+        let excl = fig.series("Exclusive overhead").unwrap().first_y();
+        let kaas = fig.series("KaaS overhead").unwrap().first_y();
+        // Paper: 689 ms vs 123 ms — a >4× gap at 500².
+        assert!(excl / kaas > 4.0, "excl={excl}, kaas={kaas}");
+        // And the absolute values land near the paper's.
+        assert!((0.5..1.0).contains(&excl), "excl={excl}");
+        assert!((0.08..0.2).contains(&kaas), "kaas={kaas}");
+    }
+
+    #[test]
+    fn overheads_converge_at_20000() {
+        let figs = run(true);
+        let fig = &figs[0];
+        let excl = fig.series("Exclusive overhead").unwrap().last_y();
+        let kaas = fig.series("KaaS overhead").unwrap().last_y();
+        let ratio = kaas / excl;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "overheads should converge at 20 000²: excl={excl}, kaas={kaas}"
+        );
+    }
+
+    #[test]
+    fn kaas_overhead_grows_with_data_movement() {
+        let figs = run(true);
+        let fig = &figs[0];
+        let s = fig.series("KaaS overhead").unwrap();
+        assert!(
+            s.last_y() > s.first_y() * 2.0,
+            "KaaS overhead must grow with payload size: {:?}",
+            s.points
+        );
+    }
+
+    #[test]
+    fn computation_grows_cubically() {
+        let figs = run(true);
+        let fig = &figs[0];
+        let s = fig.series("KaaS computation").unwrap();
+        assert!(s.last_y() > s.first_y() * 100.0);
+    }
+}

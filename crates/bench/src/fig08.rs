@@ -1,0 +1,61 @@
+//! Figure 8: accelerator throughput by level of sharing (eight
+//! concurrent matrix multiplications on four P100s).
+
+use crate::common::{Figure, Series};
+use crate::sharing::{run_model, sweep_sizes, Model, CONCURRENCY};
+
+/// Reproduces Figure 8.
+pub fn run(quick: bool) -> Vec<Figure> {
+    let mut fig = Figure::new(
+        "fig08",
+        "Throughput by level of sharing (8 concurrent tasks, 4 GPUs)",
+        "task granularity (matrix elements)",
+        "throughput (GFLOPs/sec)",
+    );
+    for model in Model::all() {
+        let mut series = Series::new(model.label());
+        for &n in &sweep_sizes(quick) {
+            let stats = run_model(model, n, CONCURRENCY);
+            series.push((n * n) as f64, stats.throughput() / 1e9);
+        }
+        fig.series.push(series);
+    }
+    let kaas_small = fig.series("KaaS").unwrap().first_y();
+    let mps_small = fig.series("Space Sharing").unwrap().first_y();
+    let kaas_large = fig.series("KaaS").unwrap().last_y();
+    let mps_large = fig.series("Space Sharing").unwrap().last_y();
+    fig.note(format!(
+        "small tasks: KaaS {kaas_small:.2} vs MPS {mps_small:.2} GFLOPs/s \
+         (paper: large KaaS advantage at small sizes)"
+    ));
+    fig.note(format!(
+        "large tasks: KaaS {kaas_large:.0} vs MPS {mps_large:.0} GFLOPs/s \
+         (paper: convergence — the prototype is built on MPS)"
+    ));
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let figs = run(true);
+        let fig = &figs[0];
+        let kaas = fig.series("KaaS").unwrap();
+        let mps = fig.series("Space Sharing").unwrap();
+        let time = fig.series("Time Sharing").unwrap();
+        // KaaS wins at small sizes.
+        assert!(kaas.first_y() > mps.first_y() * 2.0);
+        // KaaS and MPS converge at large sizes.
+        let ratio = kaas.last_y() / mps.last_y();
+        assert!((0.8..1.6).contains(&ratio), "ratio={ratio}");
+        // Time sharing stays lowest at large sizes.
+        assert!(time.last_y() < kaas.last_y());
+        // Throughput grows with task size for every model.
+        for s in &fig.series {
+            assert!(s.last_y() > s.first_y(), "{} did not grow", s.label);
+        }
+    }
+}

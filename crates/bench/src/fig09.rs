@@ -1,0 +1,75 @@
+//! Figure 9: per-task kernel-time slowdown of eight concurrent
+//! executions relative to an isolated KaaS execution.
+
+use crate::common::{Figure, Series};
+use crate::sharing::{isolated_kaas_kernel_time, run_model, sweep_sizes, Model, CONCURRENCY};
+
+/// Reproduces Figure 9.
+pub fn run(quick: bool) -> Vec<Figure> {
+    let mut fig = Figure::new(
+        "fig09",
+        "Kernel-time slowdown vs isolated KaaS execution (8 concurrent tasks)",
+        "task granularity (matrix elements)",
+        "slowdown (×)",
+    );
+    let sizes = sweep_sizes(quick);
+    let isolated: Vec<f64> = sizes.iter().map(|&n| isolated_kaas_kernel_time(n)).collect();
+    for model in Model::all() {
+        let mut series = Series::new(model.label());
+        for (i, &n) in sizes.iter().enumerate() {
+            let stats = run_model(model, n, CONCURRENCY);
+            series.push((n * n) as f64, stats.mean_kernel_time() / isolated[i]);
+        }
+        fig.series.push(series);
+    }
+    fig.note(
+        "paper: baselines incur large small-task slowdowns (fresh-context copies); \
+         KaaS ≈ 1 at small sizes; KaaS and MPS converge at large sizes where \
+         exclusive use has the best per-task kernel time"
+            .to_owned(),
+    );
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaas_has_no_small_task_slowdown() {
+        let figs = run(true);
+        let kaas = figs[0].series("KaaS").unwrap();
+        assert!(
+            (0.95..1.4).contains(&kaas.first_y()),
+            "small KaaS slowdown {}",
+            kaas.first_y()
+        );
+    }
+
+    #[test]
+    fn baselines_slow_down_small_tasks() {
+        let figs = run(true);
+        let fig = &figs[0];
+        for label in ["Time Sharing", "Space Sharing"] {
+            let s = fig.series(label).unwrap();
+            assert!(
+                s.first_y() > 1.5,
+                "{label} small-task slowdown {} should exceed 1.5 (fresh-context copies)",
+                s.first_y()
+            );
+        }
+    }
+
+    #[test]
+    fn exclusive_kernel_time_is_best_at_large_sizes() {
+        let figs = run(true);
+        let fig = &figs[0];
+        let time = fig.series("Time Sharing").unwrap().last_y();
+        let kaas = fig.series("KaaS").unwrap().last_y();
+        let mps = fig.series("Space Sharing").unwrap().last_y();
+        // No contention in exclusive mode: kernel time ≈ isolated.
+        assert!(time < kaas, "time={time}, kaas={kaas}");
+        // KaaS ≈ MPS at large sizes.
+        assert!((kaas / mps - 1.0).abs() < 0.35, "kaas={kaas}, mps={mps}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Figure 11: transparent remote invocation with the genetic-algorithm
+//! kernel (§5.3). Four scenarios: remote client over 1 Gbps, local
+//! client in-band, local client out-of-band, and local CPU execution.
+//!
+//! The GA is iterative — ten generations, each a separate kernel
+//! invocation with the population shipped both ways — which is what makes
+//! the network cost visible (≈0.5–0.8 s at N = 4096 in the paper).
+
+use std::rc::Rc;
+
+use kaas_core::{InvokeError, KaasClient};
+use kaas_kernels::{GaGeneration, MatMul, Value, GENERATIONS};
+use kaas_simtime::{now, sleep, Simulation};
+
+use crate::common::{
+    deploy, experiment_server_config, host_cpu, host_cpu_profile, p100_cluster, Figure, Series,
+};
+
+/// The four evaluated scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Client on another host, serialized in-band transfer over 1 Gbps.
+    Remote,
+    /// Client on the GPU host, serialized in-band transfer.
+    LocalInBand,
+    /// Client on the GPU host, shared-memory out-of-band transfer.
+    LocalOutOfBand,
+    /// The whole GA runs on the client's CPU.
+    Cpu,
+}
+
+impl Scenario {
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Remote => "Remote",
+            Scenario::LocalInBand => "Local (in-band)",
+            Scenario::LocalOutOfBand => "Local (out-of-band)",
+            Scenario::Cpu => "CPU",
+        }
+    }
+
+    /// All scenarios in legend order.
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::LocalInBand,
+            Scenario::LocalOutOfBand,
+            Scenario::Remote,
+            Scenario::Cpu,
+        ]
+    }
+}
+
+/// Runs the full ten-generation GA through a client, shipping the
+/// population each generation.
+async fn ga_task(client: &mut KaasClient, n: u64, oob: bool) -> Result<(), InvokeError> {
+    let mut population = Value::U64(n);
+    for _ in 0..GENERATIONS {
+        let inv = if oob {
+            client.invoke_oob("ga", population).await?
+        } else {
+            client.invoke("ga", population).await?
+        };
+        population = inv.output;
+    }
+    Ok(())
+}
+
+/// Total task completion time for one scenario at population size `n`.
+pub fn run_scenario(scenario: Scenario, n: u64) -> f64 {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let host = host_cpu_profile();
+        match scenario {
+            Scenario::Cpu => {
+                // Ten generations on the client CPU, one program.
+                let cpu = host_cpu(8);
+                let t0 = now();
+                sleep(cpu.profile().python_launch).await;
+                sleep(cpu.profile().runtime_import).await;
+                let ga = GaGeneration::default();
+                let mut population = Value::U64(n);
+                for _ in 0..GENERATIONS {
+                    let work = kaas_kernels::Kernel::work(&ga, &population).expect("valid");
+                    cpu.run(&work).await;
+                    population = kaas_kernels::Kernel::execute(&ga, &population).expect("valid");
+                }
+                (now() - t0).as_secs_f64()
+            }
+            _ => {
+                let dep = deploy(
+                    p100_cluster(),
+                    vec![Rc::new(GaGeneration::default()) as Rc<dyn kaas_kernels::Kernel>,
+                         Rc::new(MatMul::new())],
+                    experiment_server_config(),
+                );
+                dep.server.prewarm("ga", 1).await.expect("prewarm");
+                let mut client = match scenario {
+                    Scenario::Remote => dep.remote_client().await,
+                    _ => dep.local_client().await,
+                };
+                let t0 = now();
+                sleep(host.python_launch).await;
+                let oob = scenario == Scenario::LocalOutOfBand;
+                ga_task(&mut client, n, oob).await.expect("ga runs");
+                (now() - t0).as_secs_f64()
+            }
+        }
+    })
+}
+
+/// Reproduces Figure 11.
+pub fn run(quick: bool) -> Vec<Figure> {
+    let sizes: &[u64] = if quick {
+        &[32, 512, 4096]
+    } else {
+        &[32, 64, 128, 256, 512, 1024, 2048, 4096]
+    };
+    let mut fig = Figure::new(
+        "fig11",
+        "Remote vs local GA invocation (10 generations)",
+        "task granularity (population size N)",
+        "task completion time (s)",
+    );
+    for scenario in Scenario::all() {
+        let mut series = Series::new(scenario.label());
+        for &n in sizes {
+            series.push(n as f64, run_scenario(scenario, n));
+        }
+        fig.series.push(series);
+    }
+    let remote = fig.series("Remote").unwrap().last_y();
+    let local = fig.series("Local (in-band)").unwrap().last_y();
+    let cpu = fig.series("CPU").unwrap().last_y();
+    fig.note(format!(
+        "remote adds {:.0} ms over local in-band at N=4096 (paper: 490–832 ms)",
+        (remote - local) * 1e3
+    ));
+    fig.note(format!(
+        "CPU is {:.1}× slower than remote at N=4096 (paper: ≈5×)",
+        cpu / remote
+    ));
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_overhead_in_paper_band() {
+        let remote = run_scenario(Scenario::Remote, 4096);
+        let local = run_scenario(Scenario::LocalInBand, 4096);
+        let delta = remote - local;
+        assert!(
+            (0.3..1.0).contains(&delta),
+            "remote delta {delta}s (paper: 0.49–0.83 s)"
+        );
+    }
+
+    #[test]
+    fn in_band_and_out_of_band_are_indistinguishable() {
+        let inband = run_scenario(Scenario::LocalInBand, 2048);
+        let oob = run_scenario(Scenario::LocalOutOfBand, 2048);
+        let rel = (inband - oob).abs() / oob;
+        assert!(rel < 0.05, "in-band {inband}s vs oob {oob}s ({rel:.3} rel)");
+    }
+
+    #[test]
+    fn cpu_is_much_slower_than_remote_gpu_at_large_n() {
+        let cpu = run_scenario(Scenario::Cpu, 4096);
+        let remote = run_scenario(Scenario::Remote, 4096);
+        let ratio = cpu / remote;
+        assert!(
+            (2.5..8.0).contains(&ratio),
+            "CPU/remote ratio {ratio} (paper: ≈5×)"
+        );
+    }
+
+    #[test]
+    fn small_tasks_have_similar_times_everywhere() {
+        // Paper: "admittedly similar in run time for smaller tasks" —
+        // both sub-second, nothing like the large-N gap.
+        let cpu = run_scenario(Scenario::Cpu, 32);
+        let remote = run_scenario(Scenario::Remote, 32);
+        assert!(cpu < 1.0, "cpu={cpu}");
+        assert!(remote < 1.0, "remote={remote}");
+        let large_gap = run_scenario(Scenario::Cpu, 4096) / run_scenario(Scenario::Remote, 4096);
+        assert!(cpu / remote < large_gap, "small gap must be below large gap");
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 15: FPGA kernels (histogram and bitmap conversion) on the
+//! Alveo U250, baseline vs. KaaS (§5.6.2).
+
+use std::rc::Rc;
+
+use kaas_core::baseline::run_time_sharing;
+use kaas_kernels::{
+    BitmapConversion, Histogram, Kernel, Value, BITMAP_HEIGHT, BITMAP_WIDTH, HISTOGRAM_LEN,
+};
+use kaas_simtime::{now, sleep, Simulation};
+
+use crate::common::{
+    deploy, experiment_server_config, fpga_testbed, host_cpu_profile, reduction_pct, Figure,
+    Series,
+};
+
+fn kernel_for(name: &'static str) -> Rc<dyn Kernel> {
+    match name {
+        "histogram" => Rc::new(Histogram::new()),
+        _ => Rc::new(BitmapConversion::default()),
+    }
+}
+
+fn input_for(name: &str) -> Value {
+    match name {
+        "histogram" => Value::sized(HISTOGRAM_LEN * 4, Value::U64(HISTOGRAM_LEN)),
+        _ => {
+            let pixels = (BITMAP_WIDTH * BITMAP_HEIGHT) as u64;
+            Value::sized(pixels * 3, Value::U64(pixels))
+        }
+    }
+}
+
+/// Baseline task time: standalone PYNQ program per execution.
+pub fn baseline_time(name: &'static str) -> f64 {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let fpga = fpga_testbed().remove(0);
+        let r = run_time_sharing(
+            &fpga,
+            kernel_for(name).as_ref(),
+            &input_for(name),
+            &host_cpu_profile(),
+        )
+        .await
+        .expect("valid input");
+        r.total.as_secs_f64()
+    })
+}
+
+/// KaaS task time: warm runner keeps PYNQ/PyLog initialized.
+pub fn kaas_time(name: &'static str) -> f64 {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let dep = deploy(
+            fpga_testbed(),
+            vec![kernel_for(name)],
+            experiment_server_config(),
+        );
+        dep.server.prewarm(name, 1).await.expect("prewarm");
+        let mut client = dep.local_client().await;
+        client.invoke_oob(name, input_for(name)).await.expect("warm-up");
+        let t0 = now();
+        sleep(host_cpu_profile().python_launch).await;
+        client
+            .invoke_oob(name, input_for(name))
+            .await
+            .expect("invocation succeeds");
+        (now() - t0).as_secs_f64()
+    })
+}
+
+/// Reproduces Figure 15.
+pub fn run(_quick: bool) -> Vec<Figure> {
+    let mut fig = Figure::new(
+        "fig15",
+        "FPGA kernel task completion, baseline vs KaaS",
+        "kernel (0 = Histogram, 1 = Bitmap Conversion)",
+        "task completion time (s)",
+    );
+    let mut base = Series::new("Baseline");
+    let mut kaas = Series::new("KaaS");
+    for (i, name) in ["histogram", "bitmap"].iter().enumerate() {
+        base.push(i as f64, baseline_time(name));
+        kaas.push(i as f64, kaas_time(name));
+    }
+    fig.note(format!(
+        "histogram reduction {:.1}% (paper: 68.5%); bitmap reduction {:.1}% (paper: 74.9%)",
+        reduction_pct(base.y_at(0.0).unwrap(), kaas.y_at(0.0).unwrap()),
+        reduction_pct(base.y_at(1.0).unwrap(), kaas.y_at(1.0).unwrap()),
+    ));
+    fig.note(
+        "PyLog-generated kernels remain far from hand-tuned RTL \
+         (80–100 ms reference on this card)"
+            .to_owned(),
+    );
+    fig.series = vec![base, kaas];
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_reduction_matches_paper() {
+        let b = baseline_time("histogram");
+        let k = kaas_time("histogram");
+        let red = reduction_pct(b, k);
+        assert!(
+            (55.0..80.0).contains(&red),
+            "histogram reduction {red}% (paper: 68.5%)"
+        );
+        // Baseline absolute scale ≈ 1.3–1.5 s on the paper's card.
+        assert!((1.1..1.7).contains(&b), "baseline {b}s");
+    }
+
+    #[test]
+    fn bitmap_reduction_matches_paper() {
+        let b = baseline_time("bitmap");
+        let k = kaas_time("bitmap");
+        let red = reduction_pct(b, k);
+        assert!(
+            (60.0..85.0).contains(&red),
+            "bitmap reduction {red}% (paper: 74.9%)"
+        );
+    }
+
+    #[test]
+    fn kaas_kernel_is_still_pylog_slow() {
+        // KaaS removes initialization, not PyLog's inefficiency: the warm
+        // task still takes hundreds of ms (hand-tuned RTL: 80–100 ms).
+        let k = kaas_time("histogram");
+        assert!(k > 0.15, "warm histogram {k}s should stay PyLog-slow");
+    }
+}

@@ -1,0 +1,219 @@
+//! Figure 16: TPU conv2d under exclusive, shared, and KaaS use — four
+//! parallel kernel instances on a v3-8 board (§5.6.3).
+
+use std::rc::Rc;
+
+use kaas_core::baseline::{run_space_sharing, run_time_sharing};
+use kaas_core::{RunnerConfig, Scheduler, ServerConfig};
+use kaas_kernels::{Conv2d, Value};
+use kaas_simtime::{now, sleep, spawn, Simulation};
+
+use crate::common::{
+    deploy, experiment_server_config, host_cpu_profile, reduction_pct, tpu_testbed, Figure,
+    Series,
+};
+
+/// Parallel kernel instances, per the paper.
+pub const INSTANCES: usize = 4;
+
+/// TPU usage model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpuModel {
+    /// Each execution blocks (and uses) the whole board.
+    Exclusive,
+    /// Each instance pins one chip; libraries import in parallel.
+    Shared,
+    /// Warm per-chip task runners.
+    Kaas,
+}
+
+impl TpuModel {
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TpuModel::Exclusive => "Exclusive",
+            TpuModel::Shared => "Shared",
+            TpuModel::Kaas => "KaaS",
+        }
+    }
+
+    /// All models in legend order.
+    pub fn all() -> [TpuModel; 3] {
+        [TpuModel::Exclusive, TpuModel::Shared, TpuModel::Kaas]
+    }
+}
+
+/// Mean (TPU time, total task time) over the four parallel instances.
+pub fn run_model(model: TpuModel, n: u64) -> (f64, f64) {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let host = host_cpu_profile();
+        let mut results: Vec<(f64, f64)> = Vec::with_capacity(INSTANCES);
+        match model {
+            TpuModel::Exclusive | TpuModel::Shared => {
+                let tpu = tpu_testbed().remove(0);
+                let mut handles = Vec::new();
+                for _ in 0..INSTANCES {
+                    let tpu = tpu.clone();
+                    handles.push(spawn(async move {
+                        let conv = Conv2d::new();
+                        let r = if model == TpuModel::Exclusive {
+                            run_time_sharing(&tpu, &conv, &Value::U64(n), &host).await
+                        } else {
+                            run_space_sharing(&tpu, &conv, &Value::U64(n), &host).await
+                        }
+                        .expect("valid input");
+                        (r.kernel_time.as_secs_f64(), r.total.as_secs_f64())
+                    }));
+                }
+                for h in handles {
+                    results.push(h.await);
+                }
+            }
+            TpuModel::Kaas => {
+                let config = ServerConfig {
+                    scheduler: Scheduler::RoundRobin,
+                    runner: RunnerConfig {
+                        max_inflight: 1,
+                        ..RunnerConfig::default()
+                    },
+                    ..experiment_server_config()
+                };
+                let dep = deploy(tpu_testbed(), vec![Rc::new(Conv2d::new())], config);
+                dep.server.prewarm("conv2d", INSTANCES).await.expect("prewarm");
+                let mut handles = Vec::new();
+                for _ in 0..INSTANCES {
+                    let mut client = dep.local_client().await;
+                    handles.push(spawn(async move {
+                        let t0 = now();
+                        sleep(host_cpu_profile().python_launch).await;
+                        let inv = client
+                            .invoke_oob("conv2d", Value::U64(n))
+                            .await
+                            .expect("invocation succeeds");
+                        (
+                            inv.report.kernel_time().as_secs_f64(),
+                            (now() - t0).as_secs_f64(),
+                        )
+                    }));
+                }
+                for h in handles {
+                    results.push(h.await);
+                }
+            }
+        }
+        let k = results.iter().map(|r| r.0).sum::<f64>() / results.len() as f64;
+        let t = results.iter().map(|r| r.1).sum::<f64>() / results.len() as f64;
+        (k, t)
+    })
+}
+
+/// The sweep of matrix dimensions.
+pub fn sweep(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![1000, 4096, 7000]
+    } else {
+        vec![1000, 2000, 3000, 4096, 5000, 6000, 7000]
+    }
+}
+
+/// Reproduces Figures 16a (TPU time) and 16b (task completion).
+pub fn run(quick: bool) -> Vec<Figure> {
+    let sizes = sweep(quick);
+    let mut fig_a = Figure::new(
+        "fig16a",
+        "TPU time of four parallel conv2d instances",
+        "task granularity (N)",
+        "TPU time (s)",
+    );
+    let mut fig_b = Figure::new(
+        "fig16b",
+        "Task completion of four parallel conv2d instances",
+        "task granularity (N)",
+        "task completion time (s)",
+    );
+    for model in TpuModel::all() {
+        let mut sa = Series::new(model.label());
+        let mut sb = Series::new(model.label());
+        for &n in &sizes {
+            let (k, t) = run_model(model, n);
+            sa.push(n as f64, k);
+            sb.push(n as f64, t);
+        }
+        fig_a.series.push(sa);
+        fig_b.series.push(sb);
+    }
+    let ex_k = fig_a.series("Exclusive").unwrap().first_y();
+    let ka_k = fig_a.series("KaaS").unwrap().first_y();
+    fig_a.note(format!(
+        "KaaS cuts TPU time by {:.1}% at N=1000 (paper: 81.3–99.6% across sizes)",
+        reduction_pct(ex_k, ka_k)
+    ));
+    let ex_t = fig_b.series("Exclusive").unwrap().last_y();
+    let ka_t = fig_b.series("KaaS").unwrap().last_y();
+    fig_b.note(format!(
+        "KaaS cuts task completion by {:.1}% at N=7000 (paper: 95.9–98.6%)",
+        reduction_pct(ex_t, ka_t)
+    ));
+    vec![fig_a, fig_b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaas_tpu_time_reduction_in_paper_band() {
+        for n in [1000, 7000] {
+            let (ex, _) = run_model(TpuModel::Exclusive, n);
+            let (ka, _) = run_model(TpuModel::Kaas, n);
+            let red = reduction_pct(ex, ka);
+            assert!(
+                (60.0..99.9).contains(&red),
+                "TPU-time reduction {red}% at N={n} (paper: 81.3–99.6%)"
+            );
+        }
+    }
+
+    #[test]
+    fn kaas_task_completion_reduction_in_paper_band() {
+        let (_, ex) = run_model(TpuModel::Exclusive, 4096);
+        let (_, ka) = run_model(TpuModel::Kaas, 4096);
+        let red = reduction_pct(ex, ka);
+        assert!(
+            (90.0..99.5).contains(&red),
+            "task reduction {red}% (paper: 95.9–98.6%)"
+        );
+    }
+
+    #[test]
+    fn exclusive_kernel_beats_shared_kernel() {
+        // Whole-board execution is faster per kernel than one chip.
+        let (ex, _) = run_model(TpuModel::Exclusive, 4096);
+        let (sh, _) = run_model(TpuModel::Shared, 4096);
+        // Both pay XLA compile; exclusive computes 4× faster.
+        assert!(ex < sh, "exclusive {ex} !< shared {sh}");
+    }
+
+    #[test]
+    fn exclusive_total_time_is_worst() {
+        // Serialized TensorFlow imports dominate the exclusive totals.
+        let (_, ex) = run_model(TpuModel::Exclusive, 2000);
+        let (_, sh) = run_model(TpuModel::Shared, 2000);
+        let (_, ka) = run_model(TpuModel::Kaas, 2000);
+        assert!(ex > sh, "exclusive {ex} !> shared {sh}");
+        assert!(sh > ka, "shared {sh} !> kaas {ka}");
+    }
+
+    #[test]
+    fn tpu_time_is_non_monotone_in_n() {
+        // The TensorFlow algorithm-selection effect (Fig. 16a).
+        let ks: Vec<f64> = [1000u64, 2000, 3000, 4096, 5000]
+            .iter()
+            .map(|&n| run_model(TpuModel::Kaas, n).0)
+            .collect();
+        let inc = ks.windows(2).all(|w| w[1] >= w[0]);
+        let dec = ks.windows(2).all(|w| w[1] <= w[0]);
+        assert!(!inc && !dec, "TPU time should be non-monotone: {ks:?}");
+    }
+}

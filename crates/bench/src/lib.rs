@@ -1,0 +1,26 @@
+//! # kaas-bench — the figure-reproduction harness
+//!
+//! One module per figure of the KaaS paper's evaluation (§5). Each
+//! exposes `run(quick) -> Vec<Figure>`; the matching binary prints the
+//! series as commented CSV. `quick` trims sweeps for CI; binaries run
+//! the full parameter grids.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod common;
+pub mod fig02;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod sharing;
+pub mod trace_replay;

@@ -1,0 +1,229 @@
+//! Shared scenario for Figures 8–10: eight concurrent matrix
+//! multiplications on the four-GPU testbed under time sharing, space
+//! sharing, and KaaS.
+
+use std::rc::Rc;
+
+use kaas_core::baseline::{run_space_sharing, run_time_sharing};
+use kaas_core::{RunnerConfig, ServerConfig};
+use kaas_kernels::{MatMul, Value};
+use kaas_simtime::{now, sleep, spawn, Simulation};
+
+use crate::common::{deploy, experiment_server_config, host_cpu_profile, p100_cluster};
+use crate::fig06::mm_input;
+
+/// The three accelerator delivery models compared in §5.1–§5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Exclusive device use, queueing whole programs (Fig. 4a).
+    TimeSharing,
+    /// MPS-style concurrent processes (Fig. 4b).
+    SpaceSharing,
+    /// Shared warm runtimes (Fig. 4c).
+    Kaas,
+}
+
+impl Model {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Model::TimeSharing => "Time Sharing",
+            Model::SpaceSharing => "Space Sharing",
+            Model::Kaas => "KaaS",
+        }
+    }
+
+    /// All three models in legend order.
+    pub fn all() -> [Model; 3] {
+        [Model::TimeSharing, Model::SpaceSharing, Model::Kaas]
+    }
+}
+
+/// Concurrency of the sweep: "we increase request concurrency to eight,
+/// which yields two concurrent computations per GPU installed".
+pub const CONCURRENCY: usize = 8;
+
+/// Result of one (model, n) run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Wall-clock makespan of all tasks (s).
+    pub makespan: f64,
+    /// Per-task kernel (copy+compute) times (s).
+    pub kernel_times: Vec<f64>,
+    /// Per-task total completion times (s).
+    pub totals: Vec<f64>,
+    /// Total matrix-multiplication FLOPs across tasks.
+    pub flops: f64,
+    /// GPU + host energy over the makespan (J).
+    pub energy_joules: f64,
+}
+
+impl RunStats {
+    /// Aggregate throughput in FLOP/s.
+    pub fn throughput(&self) -> f64 {
+        self.flops / self.makespan
+    }
+
+    /// Mean per-task kernel time.
+    pub fn mean_kernel_time(&self) -> f64 {
+        self.kernel_times.iter().sum::<f64>() / self.kernel_times.len() as f64
+    }
+
+    /// Energy efficiency in FLOPS/W (= FLOPs per joule).
+    pub fn flops_per_watt(&self) -> f64 {
+        self.flops / self.energy_joules
+    }
+}
+
+/// Runs `tasks` concurrent n×n matrix multiplications under `model`.
+pub fn run_model(model: Model, n: u64, tasks: usize) -> RunStats {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let host = host_cpu_profile();
+        let devices = p100_cluster();
+        let mut kernel_times = Vec::with_capacity(tasks);
+        let mut totals = Vec::with_capacity(tasks);
+        let start;
+
+        match model {
+            Model::TimeSharing | Model::SpaceSharing => {
+                start = now();
+                let mut handles = Vec::new();
+                for i in 0..tasks {
+                    let gpu = devices[i % devices.len()].clone();
+                    handles.push(spawn(async move {
+                        let mm = MatMul::new();
+                        let r = if model == Model::TimeSharing {
+                            run_time_sharing(&gpu, &mm, &Value::U64(n), &host).await
+                        } else {
+                            run_space_sharing(&gpu, &mm, &Value::U64(n), &host).await
+                        }
+                        .expect("valid input");
+                        (r.kernel_time.as_secs_f64(), r.total.as_secs_f64())
+                    }));
+                }
+                for h in handles {
+                    let (k, t) = h.await;
+                    kernel_times.push(k);
+                    totals.push(t);
+                }
+            }
+            Model::Kaas => {
+                let config = ServerConfig {
+                    runner: RunnerConfig {
+                        // Two concurrent computations per GPU.
+                        max_inflight: 2,
+                        ..RunnerConfig::default()
+                    },
+                    ..experiment_server_config()
+                };
+                let dep = deploy(
+                    devices.clone(),
+                    vec![Rc::new(MatMul::new())],
+                    config,
+                );
+                dep.server
+                    .prewarm("matmul", devices.len())
+                    .await
+                    .expect("prewarm");
+                start = now();
+                let mut handles = Vec::new();
+                for _ in 0..tasks {
+                    let mut client = dep.local_client().await;
+                    let host = host;
+                    handles.push(spawn(async move {
+                        let t0 = now();
+                        sleep(host.python_launch).await;
+                        let inv = client
+                            .invoke_oob("matmul", mm_input(n))
+                            .await
+                            .expect("invocation succeeds");
+                        (
+                            inv.report.kernel_time().as_secs_f64(),
+                            (now() - t0).as_secs_f64(),
+                        )
+                    }));
+                }
+                for h in handles {
+                    let (k, t) = h.await;
+                    kernel_times.push(k);
+                    totals.push(t);
+                }
+            }
+        }
+
+        let makespan = (now() - start).as_secs_f64();
+        // GPU energy over the run window plus host-side package energy
+        // for the overhead work (launch/import/serialize time ≈ host
+        // busy time).
+        let window = now() - start;
+        let gpu_energy: f64 = devices
+            .iter()
+            .map(|d| d.as_gpu().energy_joules(window))
+            .sum();
+        let host_busy: f64 = totals.iter().sum::<f64>() - kernel_times.iter().sum::<f64>();
+        let host_energy = host.power.energy_joules(window, host_busy);
+        RunStats {
+            makespan,
+            kernel_times,
+            totals,
+            flops: tasks as f64 * 2.0 * (n as f64).powi(3),
+            energy_joules: gpu_energy + host_energy,
+        }
+    })
+}
+
+/// Kernel time of a single isolated KaaS execution at size `n` (the
+/// Fig. 9 slowdown reference).
+pub fn isolated_kaas_kernel_time(n: u64) -> f64 {
+    let stats = run_model(Model::Kaas, n, 1);
+    stats.kernel_times[0]
+}
+
+/// The paper's sweep of square input sizes (250 k – 324 M elements).
+pub fn sweep_sizes(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![500, 5_000, 13_000]
+    } else {
+        vec![500, 1_000, 2_000, 5_000, 9_000, 13_000, 18_000]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaas_beats_baselines_for_small_tasks() {
+        let kaas = run_model(Model::Kaas, 500, CONCURRENCY);
+        let space = run_model(Model::SpaceSharing, 500, CONCURRENCY);
+        let time = run_model(Model::TimeSharing, 500, CONCURRENCY);
+        assert!(kaas.throughput() > space.throughput() * 2.0);
+        assert!(space.throughput() >= time.throughput() * 0.8);
+    }
+
+    #[test]
+    fn kaas_and_space_sharing_converge_for_large_tasks() {
+        let kaas = run_model(Model::Kaas, 13_000, CONCURRENCY);
+        let space = run_model(Model::SpaceSharing, 13_000, CONCURRENCY);
+        let ratio = kaas.throughput() / space.throughput();
+        assert!(
+            (0.8..1.6).contains(&ratio),
+            "KaaS/MPS throughput ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn time_sharing_has_lowest_large_task_throughput() {
+        let kaas = run_model(Model::Kaas, 13_000, CONCURRENCY);
+        let time = run_model(Model::TimeSharing, 13_000, CONCURRENCY);
+        assert!(kaas.throughput() > time.throughput());
+    }
+
+    #[test]
+    fn isolated_kernel_time_is_fastest() {
+        let isolated = isolated_kaas_kernel_time(5_000);
+        let shared = run_model(Model::Kaas, 5_000, CONCURRENCY).mean_kernel_time();
+        assert!(shared >= isolated * 0.99, "shared={shared}, isolated={isolated}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Serverless trace replay: drives a KaaS deployment with a synthetic
+//! diurnal invocation trace ("Serverless in the Wild"-style load, which
+//! the paper's §6 scheduling discussion points toward) and reports
+//! latency percentiles, cold-start rate, runner footprint, and energy.
+//!
+//! The trace is a non-homogeneous Poisson process: per-kernel base rates
+//! modulated by a day/night curve, drawn from seeded RNG streams so every
+//! replay is reproducible.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use kaas_core::{percentile, ServerConfig};
+use kaas_kernels::{Kernel, MatMul, MonteCarlo, SoftDtw, Value};
+use kaas_net::SharedMemory;
+use kaas_simtime::rng::stream_rng;
+use kaas_simtime::{now, sleep, spawn, Simulation};
+use rand::Rng;
+
+use crate::common::{deploy, experiment_server_config, p100_cluster, Figure, Series};
+use crate::fig06::mm_input;
+
+/// One invocation of the synthetic trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Arrival offset from trace start (seconds).
+    pub at: f64,
+    /// Kernel to invoke.
+    pub kernel: &'static str,
+    /// Granularity parameter.
+    pub n: u64,
+}
+
+/// Workload mix of the synthetic trace (kernel, base rate in
+/// invocations/second at peak, granularity).
+const MIX: [(&str, f64, u64); 3] = [
+    ("mci", 0.8, 65_536),
+    ("matmul", 0.4, 2_000),
+    ("dtw", 0.2, 512),
+];
+
+/// Diurnal modulation in `[0.05, 1]`: a compressed day with `period`
+/// seconds per "24 h".
+fn diurnal(t: f64, period: f64) -> f64 {
+    let phase = (t / period) * std::f64::consts::TAU;
+    0.525 + 0.475 * phase.sin()
+}
+
+/// Generates a deterministic diurnal Poisson trace of `duration_s`.
+pub fn synthesize_trace(duration_s: f64, period_s: f64, seed: u64) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    for (stream, &(kernel, base_rate, n)) in MIX.iter().enumerate() {
+        let mut rng = stream_rng(seed, stream as u64);
+        let mut t = 0.0;
+        loop {
+            // Thinning method for a non-homogeneous Poisson process.
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            t += -u.ln() / base_rate;
+            if t >= duration_s {
+                break;
+            }
+            let accept: f64 = rng.gen();
+            if accept <= diurnal(t, period_s) {
+                events.push(TraceEvent { at: t, kernel, n });
+            }
+        }
+    }
+    events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+    events
+}
+
+/// Replay statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayStats {
+    /// Invocations issued.
+    pub invocations: usize,
+    /// Client-observed latency percentiles (seconds): p50, p95, p99.
+    pub p50: f64,
+    /// 95th percentile latency.
+    pub p95: f64,
+    /// 99th percentile latency.
+    pub p99: f64,
+    /// Fraction of invocations that cold-started.
+    pub cold_start_rate: f64,
+    /// Runners reaped by the idle timeout.
+    pub reaped: usize,
+    /// GPU energy over the replay window (J).
+    pub energy_joules: f64,
+}
+
+/// Replays `events` through a four-GPU KaaS deployment.
+pub fn replay(events: &[TraceEvent], idle_timeout: Option<Duration>) -> ReplayStats {
+    let events = events.to_vec();
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let config = ServerConfig {
+            idle_timeout,
+            ..experiment_server_config()
+        };
+        let kernels: Vec<Rc<dyn Kernel>> = vec![
+            Rc::new(MonteCarlo::default()),
+            Rc::new(MatMul::new()),
+            Rc::new(SoftDtw::default()),
+        ];
+        let dep = deploy(p100_cluster(), kernels, config);
+        let shm: SharedMemory = dep.shm.clone();
+        let _ = &shm;
+        let start = now();
+        let mut handles = Vec::with_capacity(events.len());
+        for ev in events {
+            let mut client = dep.local_client().await;
+            handles.push(spawn(async move {
+                let offset = Duration::from_secs_f64(ev.at);
+                sleep(offset.saturating_sub(Duration::ZERO)).await;
+                let input = match ev.kernel {
+                    "matmul" => mm_input(ev.n),
+                    "dtw" => Value::sized(200 * 10 * 8 * ev.n, Value::U64(ev.n)),
+                    _ => Value::U64(ev.n),
+                };
+                let inv = client
+                    .invoke_oob(ev.kernel, input)
+                    .await
+                    .expect("trace invocation succeeds");
+                (inv.latency.as_secs_f64(), inv.report.cold_start)
+            }));
+        }
+        let mut latencies = Vec::with_capacity(handles.len());
+        let mut cold = 0usize;
+        for h in handles {
+            let (lat, was_cold) = h.await;
+            latencies.push(lat);
+            cold += usize::from(was_cold);
+        }
+        let window = now() - start;
+        let energy: f64 = dep
+            .server
+            .devices()
+            .iter()
+            .map(|d| d.as_gpu().energy_joules(window))
+            .sum();
+        ReplayStats {
+            invocations: latencies.len(),
+            p50: percentile(&latencies, 0.50),
+            p95: percentile(&latencies, 0.95),
+            p99: percentile(&latencies, 0.99),
+            cold_start_rate: cold as f64 / latencies.len().max(1) as f64,
+            reaped: dep.server.reaped(),
+            energy_joules: energy,
+        }
+    })
+}
+
+/// Runs the trace-replay study: keep-warm vs aggressive reaping.
+pub fn run(quick: bool) -> Vec<Figure> {
+    let duration = if quick { 600.0 } else { 3_600.0 };
+    let trace = synthesize_trace(duration, duration / 2.0, 0x7AC3);
+    let mut fig = Figure::new(
+        "trace",
+        "Diurnal trace replay: keep-warm vs idle reaping",
+        "variant (0 = keep-warm, 1 = reap-60s)",
+        "latency percentile (s)",
+    );
+    let mut p50 = Series::new("p50");
+    let mut p95 = Series::new("p95");
+    let mut p99 = Series::new("p99");
+    for (i, (label, timeout)) in [
+        ("keep-warm", None),
+        ("reap-60s", Some(Duration::from_secs(60))),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let stats = replay(&trace, timeout);
+        p50.push(i as f64, stats.p50);
+        p95.push(i as f64, stats.p95);
+        p99.push(i as f64, stats.p99);
+        fig.note(format!(
+            "{label}: {} invocations | p50 {:.3}s p95 {:.3}s p99 {:.3}s | \
+             cold-start rate {:.1}% | {} reaped | {:.0} J",
+            stats.invocations,
+            stats.p50,
+            stats.p95,
+            stats.p99,
+            stats.cold_start_rate * 100.0,
+            stats.reaped,
+            stats.energy_joules
+        ));
+    }
+    fig.series = vec![p50, p95, p99];
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_ordered() {
+        let a = synthesize_trace(300.0, 150.0, 9);
+        let b = synthesize_trace(300.0, 150.0, 9);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(!a.is_empty());
+        // All three kernels appear.
+        for (kernel, _, _) in MIX {
+            assert!(a.iter().any(|e| e.kernel == kernel), "{kernel} missing");
+        }
+    }
+
+    #[test]
+    fn diurnal_modulation_shapes_the_trace() {
+        let trace = synthesize_trace(1_000.0, 1_000.0, 4);
+        // First half of the sine period is "day": it must hold clearly
+        // more arrivals than the "night" half.
+        let day = trace.iter().filter(|e| e.at < 500.0).count();
+        let night = trace.len() - day;
+        assert!(day > night * 2, "day={day}, night={night}");
+    }
+
+    #[test]
+    fn replay_reports_consistent_statistics() {
+        let trace = synthesize_trace(240.0, 120.0, 11);
+        let stats = replay(&trace, None);
+        assert_eq!(stats.invocations, trace.len());
+        assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99);
+        assert!(stats.cold_start_rate > 0.0 && stats.cold_start_rate <= 1.0);
+        assert_eq!(stats.reaped, 0);
+        assert!(stats.energy_joules > 0.0);
+    }
+
+    #[test]
+    fn reaping_raises_cold_start_rate_on_diurnal_load() {
+        let trace = synthesize_trace(600.0, 300.0, 21);
+        let warm = replay(&trace, None);
+        let reaped = replay(&trace, Some(Duration::from_secs(30)));
+        assert!(reaped.reaped > 0, "night valley must trigger reaps");
+        assert!(
+            reaped.cold_start_rate > warm.cold_start_rate,
+            "reaping {:.3} !> keep-warm {:.3}",
+            reaped.cold_start_rate,
+            warm.cold_start_rate
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! [`KaasClient`]: the thin client API (§4.1). A KaaS client carries no
+//! accelerator libraries — it serializes inputs (in-band) or drops them
+//! into shared memory (out-of-band) and speaks the request/response
+//! protocol over the network.
+
+use std::time::Duration;
+
+use kaas_kernels::Value;
+use kaas_net::{Connection, LinkProfile, NetError, Network, SerializationProfile, SharedMemory};
+use kaas_simtime::{now, sleep};
+
+use crate::metrics::InvocationReport;
+use crate::protocol::{DataRef, InvokeError, Request, Response};
+
+/// Result of a successful invocation, as observed by the client.
+#[derive(Debug)]
+pub struct Invocation {
+    /// Kernel output.
+    pub output: Value,
+    /// Server-side timing breakdown.
+    pub report: InvocationReport,
+    /// Client-observed latency (request serialization to response
+    /// deserialization).
+    pub latency: Duration,
+}
+
+/// A connected KaaS client.
+pub struct KaasClient {
+    conn: Connection<Request, Response>,
+    serialization: SerializationProfile,
+    shm: Option<SharedMemory>,
+    tenant: Option<String>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for KaasClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KaasClient")
+            .field("next_id", &self.next_id)
+            .field("out_of_band", &self.shm.is_some())
+            .finish()
+    }
+}
+
+impl KaasClient {
+    /// Connects to a KaaS server over a link with `profile` timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] when nothing listens at `addr`.
+    pub async fn connect(
+        net: &Network<Request, Response>,
+        addr: &str,
+        profile: LinkProfile,
+    ) -> Result<KaasClient, NetError> {
+        let conn = net.connect(addr, profile).await?;
+        Ok(KaasClient {
+            conn,
+            serialization: SerializationProfile::python_pickle(),
+            shm: None,
+            tenant: None,
+            next_id: 0,
+        })
+    }
+
+    /// Uses `shm` for out-of-band transfer (same-host deployments only).
+    pub fn with_shared_memory(mut self, shm: SharedMemory) -> Self {
+        self.shm = Some(shm);
+        self
+    }
+
+    /// Overrides the serializer model.
+    pub fn with_serialization(mut self, serialization: SerializationProfile) -> Self {
+        self.serialization = serialization;
+        self
+    }
+
+    /// Tags every request with a tenant identity (enables per-tenant
+    /// fairness quotas on the server).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Invokes `kernel` with `input` sent **in-band** (serialized onto
+    /// the connection — "faster for small data", §4.1).
+    ///
+    /// # Errors
+    ///
+    /// Any [`InvokeError`] the server reports, or
+    /// [`InvokeError::Disconnected`].
+    pub async fn invoke(&mut self, kernel: &str, input: Value) -> Result<Invocation, InvokeError> {
+        let start = now();
+        sleep(self.serialization.time(input.wire_bytes())).await;
+        let data = DataRef::InBand(input);
+        let resp = self.roundtrip(kernel, data).await?;
+        let output = match resp.result? {
+            DataRef::InBand(v) => {
+                sleep(self.serialization.time(v.wire_bytes())).await;
+                v
+            }
+            DataRef::OutOfBand(h) => self
+                .shm
+                .as_ref()
+                .ok_or(InvokeError::BadHandle)?
+                .take(h)
+                .await
+                .ok_or(InvokeError::BadHandle)?,
+        };
+        Ok(Invocation {
+            output,
+            report: resp.report.ok_or(InvokeError::Disconnected)?,
+            latency: now() - start,
+        })
+    }
+
+    /// Invokes `kernel` with `input` passed **out-of-band** through
+    /// shared memory (only a small handle crosses the connection —
+    /// "transferring larger data without copying over the network",
+    /// §4.1).
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::BadHandle`] if no shared-memory region was attached
+    /// via [`KaasClient::with_shared_memory`]; otherwise as
+    /// [`KaasClient::invoke`].
+    pub async fn invoke_oob(
+        &mut self,
+        kernel: &str,
+        input: Value,
+    ) -> Result<Invocation, InvokeError> {
+        let start = now();
+        let shm = self.shm.as_ref().ok_or(InvokeError::BadHandle)?.clone();
+        let bytes = input.wire_bytes();
+        let handle = shm.put(input, bytes).await;
+        let resp = self.roundtrip(kernel, DataRef::OutOfBand(handle)).await?;
+        let output = match resp.result? {
+            DataRef::OutOfBand(h) => shm.take(h).await.ok_or(InvokeError::BadHandle)?,
+            DataRef::InBand(v) => {
+                sleep(self.serialization.time(v.wire_bytes())).await;
+                v
+            }
+        };
+        Ok(Invocation {
+            output,
+            report: resp.report.ok_or(InvokeError::Disconnected)?,
+            latency: now() - start,
+        })
+    }
+
+    async fn roundtrip(&mut self, kernel: &str, data: DataRef) -> Result<Response, InvokeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request {
+            id,
+            kernel: kernel.to_owned(),
+            data,
+            tenant: self.tenant.clone(),
+        };
+        let bytes = req.wire_bytes();
+        self.conn
+            .send(req, bytes)
+            .await
+            .map_err(|_| InvokeError::Disconnected)?;
+        loop {
+            let frame = self.conn.recv().await.ok_or(InvokeError::Disconnected)?;
+            if frame.body.id == id {
+                return Ok(frame.body);
+            }
+            // A response to an older (abandoned) request: drop it.
+        }
+    }
+}

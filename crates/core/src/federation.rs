@@ -1,0 +1,190 @@
+//! Federated deployments (§1: "workflows ... that can be dynamically
+//! composed and deployed on heterogeneous infrastructure" across
+//! "increasingly federated and distributed cluster deployments").
+//!
+//! A [`FederatedClient`] connects to several KaaS sites, discovers which
+//! kernels each serves, and routes every invocation to a serving site —
+//! transparently to the application, exactly like a single-site client.
+//! Workflows may hop sites between steps; intermediate data travels
+//! through the client (the data-shipping architecture §6 discusses).
+
+use std::collections::HashMap;
+
+use kaas_kernels::Value;
+use kaas_net::{LinkProfile, NetError, SharedMemory};
+
+use crate::client::{Invocation, KaasClient};
+use crate::protocol::InvokeError;
+use crate::server::DISCOVERY_KERNEL;
+use crate::workflow::{Workflow, WorkflowRun};
+use crate::KaasNetwork;
+
+/// Where and how to reach one KaaS site.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// Listener address of the site's server.
+    pub addr: String,
+    /// Link timing from this client to the site.
+    pub link: LinkProfile,
+    /// Shared memory for out-of-band transfer (same-host sites only).
+    pub shm: Option<SharedMemory>,
+}
+
+impl SiteSpec {
+    /// A remote site over the paper's 1 Gbps LAN.
+    pub fn remote(addr: impl Into<String>) -> Self {
+        SiteSpec {
+            addr: addr.into(),
+            link: LinkProfile::lan_1gbps(),
+            shm: None,
+        }
+    }
+
+    /// A same-host site with shared-memory transfer.
+    pub fn local(addr: impl Into<String>, shm: SharedMemory) -> Self {
+        SiteSpec {
+            addr: addr.into(),
+            link: LinkProfile::loopback(),
+            shm: Some(shm),
+        }
+    }
+}
+
+struct Site {
+    spec: SiteSpec,
+    client: KaasClient,
+    kernels: Vec<String>,
+}
+
+/// A client spanning multiple KaaS sites with kernel-based routing.
+pub struct FederatedClient {
+    sites: Vec<Site>,
+    routes: HashMap<String, usize>,
+}
+
+impl std::fmt::Debug for FederatedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederatedClient")
+            .field("sites", &self.sites.len())
+            .field("kernels", &self.routes.len())
+            .finish()
+    }
+}
+
+impl FederatedClient {
+    /// Connects to every site and discovers its kernel registry.
+    ///
+    /// Kernels served by several sites route to the earliest-listed one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first connection failure ([`NetError`]).
+    pub async fn connect(
+        net: &KaasNetwork,
+        specs: Vec<SiteSpec>,
+    ) -> Result<FederatedClient, NetError> {
+        let mut sites = Vec::with_capacity(specs.len());
+        let mut routes = HashMap::new();
+        for (index, spec) in specs.into_iter().enumerate() {
+            let mut client = KaasClient::connect(net, &spec.addr, spec.link).await?;
+            if let Some(shm) = &spec.shm {
+                client = client.with_shared_memory(shm.clone());
+            }
+            let kernels = discover(&mut client).await;
+            for k in &kernels {
+                routes.entry(k.clone()).or_insert(index);
+            }
+            sites.push(Site {
+                spec,
+                client,
+                kernels,
+            });
+        }
+        Ok(FederatedClient { sites, routes })
+    }
+
+    /// Number of connected sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Every kernel reachable through this client, sorted.
+    pub fn kernels(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.routes.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The site index a kernel routes to.
+    pub fn route(&self, kernel: &str) -> Option<usize> {
+        self.routes.get(kernel).copied()
+    }
+
+    /// Invokes `kernel` on whichever site serves it, using out-of-band
+    /// transfer where the site is local and in-band otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::UnknownKernel`] if no site serves the kernel;
+    /// otherwise whatever the serving site reports.
+    pub async fn invoke(&mut self, kernel: &str, input: Value) -> Result<Invocation, InvokeError> {
+        let index = self
+            .route(kernel)
+            .ok_or_else(|| InvokeError::UnknownKernel(kernel.to_owned()))?;
+        let site = &mut self.sites[index];
+        if site.spec.shm.is_some() {
+            site.client.invoke_oob(kernel, input).await
+        } else {
+            site.client.invoke(kernel, input).await
+        }
+    }
+
+    /// Executes a workflow whose steps may live on different sites; each
+    /// step's output ships through this client to the next step's site.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast with the first failing step's [`InvokeError`].
+    pub async fn run_workflow(
+        &mut self,
+        workflow: &Workflow,
+        input: Value,
+    ) -> Result<WorkflowRun, InvokeError> {
+        let start = kaas_simtime::now();
+        let mut current = input;
+        let mut reports = Vec::with_capacity(workflow.len());
+        for step in workflow.steps() {
+            let inv = self.invoke(step, current).await?;
+            current = inv.output;
+            reports.push(inv.report);
+        }
+        Ok(WorkflowRun {
+            output: current,
+            reports,
+            latency: kaas_simtime::now() - start,
+        })
+    }
+
+    /// Kernels served by one site (as discovered at connect time).
+    pub fn site_kernels(&self, index: usize) -> &[String] {
+        &self.sites[index].kernels
+    }
+}
+
+/// Queries a site's kernel list through the reserved discovery endpoint.
+async fn discover(client: &mut KaasClient) -> Vec<String> {
+    match client.invoke(DISCOVERY_KERNEL, Value::Unit).await {
+        Ok(inv) => match inv.output.payload() {
+            Value::List(items) => items
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Text(name) => Some(name.clone()),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    }
+}
+

@@ -1,0 +1,261 @@
+//! Kernel fusion (§6 "Data Movement"): "the possibility of kernel
+//! fusion, where two adjacent kernels targeting the same accelerator are
+//! combined to minimize data movement, could also be explored".
+//!
+//! A [`FusedKernel`] is itself a [`Kernel`]: it chains same-device-class
+//! stages, keeping every intermediate result in device memory — the
+//! fused work profile carries only the first stage's input volume and
+//! the last stage's output volume across the host↔device boundary.
+
+use std::rc::Rc;
+
+use kaas_accel::{DeviceClass, WorkUnits};
+use kaas_kernels::{Kernel, KernelError, Value};
+
+/// Errors from [`fuse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionError {
+    /// Fusion needs at least one stage.
+    Empty,
+    /// Stages target different device classes.
+    MixedClasses(String),
+}
+
+impl std::fmt::Display for FusionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusionError::Empty => write!(f, "cannot fuse zero kernels"),
+            FusionError::MixedClasses(msg) => {
+                write!(f, "fused kernels must share a device class: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// A chain of same-class kernels executing as one invocation.
+///
+/// # Examples
+///
+/// ```
+/// use std::rc::Rc;
+/// use kaas_core::fuse;
+/// use kaas_kernels::{GaGeneration, Kernel, Value};
+///
+/// // Two GA generations per invocation: the intermediate population
+/// // never leaves the GPU.
+/// let fused = fuse(
+///     "ga x2",
+///     vec![
+///         Rc::new(GaGeneration::seeded(1)) as Rc<dyn Kernel>,
+///         Rc::new(GaGeneration::seeded(2)),
+///     ],
+/// )
+/// .unwrap();
+/// let single = GaGeneration::seeded(1);
+/// let w1 = single.work(&Value::U64(256)).unwrap();
+/// let w2 = fused.work(&Value::U64(256)).unwrap();
+/// assert!(w2.flops > w1.flops * 1.9);
+/// // ...but the boundary traffic did not double:
+/// assert_eq!(w2.bytes_in, w1.bytes_in);
+/// ```
+pub struct FusedKernel {
+    name: String,
+    class: DeviceClass,
+    stages: Vec<Rc<dyn Kernel>>,
+}
+
+impl std::fmt::Debug for FusedKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FusedKernel")
+            .field("name", &self.name)
+            .field("stages", &self.stages.len())
+            .finish()
+    }
+}
+
+/// Fuses `stages` into a single kernel named `name`.
+///
+/// # Errors
+///
+/// [`FusionError::Empty`] without stages; [`FusionError::MixedClasses`]
+/// if the stages target different device classes (cross-device chains
+/// must stay separate kernels — that is what workflows are for).
+pub fn fuse(
+    name: impl Into<String>,
+    stages: Vec<Rc<dyn Kernel>>,
+) -> Result<FusedKernel, FusionError> {
+    let first = stages.first().ok_or(FusionError::Empty)?;
+    let class = first.device_class();
+    for s in &stages {
+        if s.device_class() != class {
+            return Err(FusionError::MixedClasses(format!(
+                "'{}' targets {} but '{}' targets {}",
+                first.name(),
+                class,
+                s.name(),
+                s.device_class()
+            )));
+        }
+    }
+    Ok(FusedKernel {
+        name: name.into(),
+        class,
+        stages,
+    })
+}
+
+impl FusedKernel {
+    /// The fused stages.
+    pub fn stages(&self) -> &[Rc<dyn Kernel>] {
+        &self.stages
+    }
+}
+
+impl Kernel for FusedKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        self.class
+    }
+
+    fn demand(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.demand())
+            .fold(0.0, f64::max)
+            .max(1e-3)
+    }
+
+    fn work(&self, input: &Value) -> Result<WorkUnits, KernelError> {
+        // Walk the chain to obtain each stage's input (the previous
+        // stage's real output); only the boundary volumes cross PCIe.
+        let mut current = input.clone();
+        let mut flops = 0.0;
+        let mut denom = 0.0; // Σ flops_i / eff_i, for the harmonic blend.
+        let mut cycles = 0.0;
+        let mut bytes_in = 0;
+        let mut bytes_out = 0;
+        let mut device_mem = 0u64;
+        for (i, stage) in self.stages.iter().enumerate() {
+            let w = stage.work(&current)?;
+            flops += w.flops;
+            denom += w.flops / w.efficiency;
+            cycles += w.fpga_cycles;
+            device_mem = device_mem.max(w.device_mem);
+            if i == 0 {
+                bytes_in = w.bytes_in;
+            }
+            bytes_out = w.bytes_out;
+            if i + 1 < self.stages.len() {
+                current = stage.execute(&current)?;
+            }
+        }
+        let efficiency = if denom > 0.0 { (flops / denom).clamp(1e-6, 8.0) } else { 1.0 };
+        Ok(WorkUnits::new(flops)
+            .with_bytes(bytes_in, bytes_out)
+            .with_efficiency(efficiency)
+            .with_fpga_cycles(cycles)
+            .with_device_mem(device_mem))
+    }
+
+    fn execute(&self, input: &Value) -> Result<Value, KernelError> {
+        let mut current = input.clone();
+        for stage in &self.stages {
+            current = stage.execute(&current)?;
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaas_kernels::{BitmapConversion, GaGeneration, Histogram, MatMul, Preprocess};
+
+    fn rc<K: Kernel + 'static>(k: K) -> Rc<dyn Kernel> {
+        Rc::new(k)
+    }
+
+    #[test]
+    fn empty_fusion_rejected() {
+        assert_eq!(fuse("f", vec![]).unwrap_err(), FusionError::Empty);
+    }
+
+    #[test]
+    fn mixed_classes_rejected() {
+        let err = fuse("f", vec![rc(MatMul::new()), rc(Histogram::new())]).unwrap_err();
+        assert!(matches!(err, FusionError::MixedClasses(_)));
+    }
+
+    #[test]
+    fn fused_ga_saves_boundary_traffic() {
+        let single = GaGeneration::seeded(7);
+        let fused = fuse(
+            "ga-x3",
+            vec![
+                rc(GaGeneration::seeded(7)),
+                rc(GaGeneration::seeded(8)),
+                rc(GaGeneration::seeded(9)),
+            ],
+        )
+        .unwrap();
+        let w1 = single.work(&Value::U64(512)).unwrap();
+        let w3 = fused.work(&Value::U64(512)).unwrap();
+        assert!((w3.flops / w1.flops - 3.0).abs() < 1e-9);
+        // Boundary traffic is one population each way — not three.
+        assert_eq!(w3.bytes_in, w1.bytes_in);
+        assert_eq!(w3.bytes_out, w1.bytes_out);
+    }
+
+    #[test]
+    fn fused_execution_equals_sequential() {
+        let fused = fuse(
+            "ga-x2",
+            vec![rc(GaGeneration::seeded(3)), rc(GaGeneration::seeded(4))],
+        )
+        .unwrap();
+        let out_fused = fused.execute(&Value::U64(64)).unwrap();
+        let a = GaGeneration::seeded(3);
+        let b = GaGeneration::seeded(4);
+        let mid = a.execute(&Value::U64(64)).unwrap();
+        let out_seq = b.execute(&mid).unwrap();
+        assert_eq!(out_fused, out_seq);
+    }
+
+    #[test]
+    fn cpu_chain_fuses_too() {
+        // Two CPU-class preprocessing stages.
+        let fused = fuse("prep-x2", vec![rc(Preprocess::new()), rc(Preprocess::new())]).unwrap();
+        assert_eq!(fused.device_class(), DeviceClass::Cpu);
+        let out = fused.execute(&Value::U64(640 * 480)).unwrap();
+        assert!(matches!(out, Value::Image { width: 224, .. }));
+    }
+
+    #[test]
+    fn fpga_cycles_accumulate() {
+        let fused = fuse(
+            "hist+bitmap? no — hist+hist",
+            vec![rc(Histogram::new()), rc(BitmapConversion::default())],
+        );
+        // Histogram outputs F64s which bitmap rejects — fusing them is
+        // allowed (same class) but execution surfaces the shape error.
+        let fused = fused.unwrap();
+        assert!(fused.execute(&Value::U64(1000)).is_err());
+    }
+
+    #[test]
+    fn efficiency_blends_harmonically() {
+        let fused = fuse(
+            "ga-x2",
+            vec![rc(GaGeneration::seeded(1)), rc(GaGeneration::seeded(2))],
+        )
+        .unwrap();
+        let w = fused.work(&Value::U64(128)).unwrap();
+        let base = GaGeneration::seeded(1).work(&Value::U64(128)).unwrap();
+        assert!((w.efficiency - base.efficiency).abs() < 1e-9);
+    }
+}

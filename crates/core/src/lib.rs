@@ -1,0 +1,56 @@
+//! # kaas-core — the Kernel-as-a-Service runtime
+//!
+//! The paper's primary contribution (§3–§4): a serverless programming
+//! model for heterogeneous hardware accelerators.
+//!
+//! * Developers [`register`](KernelRegistry::register) kernels.
+//! * A [`KaasServer`] wraps them in [`TaskRunner`]s on a shared pool of
+//!   devices, cold-starting runners on demand and keeping them warm.
+//! * Applications [`invoke`](KaasClient::invoke) kernels over the network
+//!   with in-band or out-of-band data transfer.
+//! * [`baseline`] provides the time-sharing / space-sharing / CPU-only
+//!   delivery models the paper compares against.
+//!
+//! ```
+//! use kaas_core::{baseline, KernelRegistry};
+//! use kaas_kernels::{MatMul, Value};
+//! use kaas_accel::{CpuDevice, CpuProfile, DeviceId};
+//! use kaas_simtime::Simulation;
+//!
+//! let mut sim = Simulation::new();
+//! let report = sim.block_on(async {
+//!     let cpu = CpuDevice::new(DeviceId(0), CpuProfile::xeon_e5_2698v4_dual());
+//!     baseline::run_cpu_only(&cpu, &MatMul::new(), &Value::U64(512))
+//!         .await
+//!         .unwrap()
+//! });
+//! assert!(report.total > report.kernel_time);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+mod client;
+mod federation;
+mod fusion;
+mod metrics;
+mod protocol;
+mod registry;
+mod runner;
+mod server;
+mod workflow;
+
+pub use baseline::{run_cpu_only, run_space_sharing, run_time_sharing, BaselineReport};
+pub use client::{Invocation, KaasClient};
+pub use federation::{FederatedClient, SiteSpec};
+pub use fusion::{fuse, FusedKernel, FusionError};
+pub use metrics::{mean_ci95, percentile, InvocationReport, MeanCi, MetricsSink, RunnerId};
+pub use protocol::{DataRef, InvokeError, Request, Response, FRAME_BYTES};
+pub use registry::{KernelRegistry, RegistryError};
+pub use runner::{RunnerConfig, RunnerTimings, TaskRunner};
+pub use server::{KaasServer, Scheduler, ServerConfig, DISCOVERY_KERNEL};
+pub use workflow::{TransferMode, Workflow, WorkflowRun};
+
+/// The network type used between KaaS clients and servers.
+pub type KaasNetwork = kaas_net::Network<Request, Response>;

@@ -1,0 +1,163 @@
+//! The client ↔ KaaS-server wire protocol (§4.1 of the paper): TCP
+//! request/response with in-band (serialized) or out-of-band
+//! (shared-memory) data transfer.
+
+use kaas_kernels::Value;
+use kaas_net::{ShmHandle, HANDLE_WIRE_BYTES};
+
+use crate::metrics::InvocationReport;
+
+/// How a payload travels between client and kernel.
+#[derive(Debug)]
+pub enum DataRef {
+    /// Serialized onto the connection.
+    InBand(Value),
+    /// A pointer into a host shared-memory region.
+    OutOfBand(ShmHandle<Value>),
+}
+
+impl DataRef {
+    /// On-wire size of this reference (payload bytes in-band, a fixed
+    /// small handle out-of-band — the entire point of §4.1's out-of-band
+    /// mode).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            DataRef::InBand(v) => v.wire_bytes(),
+            DataRef::OutOfBand(_) => HANDLE_WIRE_BYTES,
+        }
+    }
+
+    /// Logical payload size (regardless of transfer mode).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            DataRef::InBand(v) => v.wire_bytes(),
+            DataRef::OutOfBand(h) => h.bytes(),
+        }
+    }
+}
+
+/// Fixed protocol framing overhead per message.
+pub const FRAME_BYTES: u64 = 128;
+
+/// A kernel invocation request.
+#[derive(Debug)]
+pub struct Request {
+    /// Client-chosen correlation id.
+    pub id: u64,
+    /// Registered kernel name.
+    pub kernel: String,
+    /// Input payload.
+    pub data: DataRef,
+    /// Tenant identity for fairness accounting (§3.1: "fairness, data
+    /// isolation, scheduling, and service-level agreements").
+    pub tenant: Option<String>,
+}
+
+impl Request {
+    /// Total on-wire size.
+    pub fn wire_bytes(&self) -> u64 {
+        FRAME_BYTES + self.kernel.len() as u64 + self.data.wire_bytes()
+    }
+}
+
+/// Invocation failures reported to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvokeError {
+    /// No kernel with the requested name is registered.
+    UnknownKernel(String),
+    /// The kernel rejected its input.
+    BadInput(String),
+    /// No device of the kernel's class exists in this deployment.
+    NoDevice(String),
+    /// The runner serving the request died.
+    RunnerFailed(String),
+    /// The server connection closed before a response arrived.
+    Disconnected,
+    /// An out-of-band handle did not resolve.
+    BadHandle,
+}
+
+impl std::fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvokeError::UnknownKernel(k) => write!(f, "unknown kernel '{k}'"),
+            InvokeError::BadInput(m) => write!(f, "bad input: {m}"),
+            InvokeError::NoDevice(c) => write!(f, "no {c} device available"),
+            InvokeError::RunnerFailed(m) => write!(f, "task runner failed: {m}"),
+            InvokeError::Disconnected => write!(f, "server disconnected"),
+            InvokeError::BadHandle => write!(f, "shared-memory handle did not resolve"),
+        }
+    }
+}
+
+impl std::error::Error for InvokeError {}
+
+/// A kernel invocation response.
+#[derive(Debug)]
+pub struct Response {
+    /// Correlation id copied from the request.
+    pub id: u64,
+    /// Output payload or failure.
+    pub result: Result<DataRef, InvokeError>,
+    /// Timing breakdown (present even for failures where possible).
+    pub report: Option<InvocationReport>,
+}
+
+impl Response {
+    /// Total on-wire size.
+    pub fn wire_bytes(&self) -> u64 {
+        FRAME_BYTES
+            + match &self.result {
+                Ok(d) => d.wire_bytes(),
+                Err(_) => 64,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_band_wire_size_includes_payload() {
+        let req = Request {
+            id: 1,
+            kernel: "matmul".into(),
+            data: DataRef::InBand(Value::F64s(vec![0.0; 1000])),
+            tenant: None,
+        };
+        assert!(req.wire_bytes() > 8000);
+    }
+
+    #[test]
+    fn out_of_band_wire_size_is_tiny() {
+        // A handle's wire size is constant regardless of payload size.
+        assert_eq!(
+            DataRef::OutOfBand(dummy_handle()).wire_bytes(),
+            HANDLE_WIRE_BYTES
+        );
+    }
+
+    fn dummy_handle() -> ShmHandle<Value> {
+        // Build a handle through the public API.
+        let mut sim = kaas_simtime::Simulation::new();
+        sim.block_on(async {
+            kaas_net::SharedMemory::host()
+                .put(Value::U64(1), 1_000_000)
+                .await
+        })
+    }
+
+    #[test]
+    fn payload_bytes_reports_logical_size() {
+        let h = dummy_handle();
+        assert_eq!(DataRef::OutOfBand(h).payload_bytes(), 1_000_000);
+        assert_eq!(DataRef::InBand(Value::U64(1)).payload_bytes(), 16);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(InvokeError::UnknownKernel("x".into()).to_string().contains('x'));
+        assert!(InvokeError::Disconnected.to_string().contains("disconnected"));
+    }
+}

@@ -1,0 +1,138 @@
+//! [`KernelRegistry`]: where developers register kernels (step ① of the
+//! paper's Fig. 3 workflow).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use kaas_kernels::Kernel;
+
+/// Registration errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A kernel with this name is already registered.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::DuplicateName(n) => write!(f, "kernel '{n}' already registered"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A name-indexed collection of registered kernels, shared between the
+/// server and its task runners.
+///
+/// # Examples
+///
+/// ```
+/// use kaas_core::KernelRegistry;
+/// use kaas_kernels::MatMul;
+///
+/// let registry = KernelRegistry::new();
+/// registry.register(MatMul::new()).unwrap();
+/// assert!(registry.lookup("matmul").is_some());
+/// assert_eq!(registry.names(), vec!["matmul".to_owned()]);
+/// ```
+#[derive(Clone, Default)]
+pub struct KernelRegistry {
+    kernels: Rc<RefCell<BTreeMap<String, Rc<dyn Kernel>>>>,
+}
+
+impl std::fmt::Debug for KernelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelRegistry")
+            .field("kernels", &self.names())
+            .finish()
+    }
+}
+
+impl KernelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a kernel under its [`Kernel::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::DuplicateName`] if the name is taken.
+    pub fn register<K: Kernel + 'static>(&self, kernel: K) -> Result<(), RegistryError> {
+        self.register_rc(Rc::new(kernel))
+    }
+
+    /// Registers an already-shared kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::DuplicateName`] if the name is taken.
+    pub fn register_rc(&self, kernel: Rc<dyn Kernel>) -> Result<(), RegistryError> {
+        let name = kernel.name().to_owned();
+        let mut map = self.kernels.borrow_mut();
+        if map.contains_key(&name) {
+            return Err(RegistryError::DuplicateName(name));
+        }
+        map.insert(name, kernel);
+        Ok(())
+    }
+
+    /// Looks a kernel up by name.
+    pub fn lookup(&self, name: &str) -> Option<Rc<dyn Kernel>> {
+        self.kernels.borrow().get(name).cloned()
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.kernels.borrow().keys().cloned().collect()
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.borrow().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaas_kernels::{MatMul, MonteCarlo};
+
+    #[test]
+    fn register_and_lookup() {
+        let r = KernelRegistry::new();
+        r.register(MatMul::new()).unwrap();
+        r.register(MonteCarlo::default()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.lookup("matmul").is_some());
+        assert!(r.lookup("mci").is_some());
+        assert!(r.lookup("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let r = KernelRegistry::new();
+        r.register(MatMul::new()).unwrap();
+        assert_eq!(
+            r.register(MatMul::new()),
+            Err(RegistryError::DuplicateName("matmul".into()))
+        );
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let r = KernelRegistry::new();
+        let r2 = r.clone();
+        r.register(MatMul::new()).unwrap();
+        assert!(r2.lookup("matmul").is_some());
+    }
+}

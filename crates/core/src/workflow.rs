@@ -1,0 +1,167 @@
+//! Workflow composition (§3.4: "we map the concept of workflows to the
+//! composition of heterogeneous kernels"): a declarative chain of
+//! registered kernels, executed step by step through a client, each
+//! step's output feeding the next step's input.
+
+use std::time::Duration;
+
+use kaas_kernels::Value;
+use kaas_simtime::now;
+
+use crate::client::KaasClient;
+use crate::metrics::InvocationReport;
+use crate::protocol::InvokeError;
+
+/// How a workflow step ships its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransferMode {
+    /// Shared-memory out-of-band transfer (same-host clients).
+    #[default]
+    OutOfBand,
+    /// Serialized in-band transfer.
+    InBand,
+}
+
+/// A declarative chain of kernel invocations.
+///
+/// # Examples
+///
+/// ```
+/// use kaas_core::Workflow;
+///
+/// let wf = Workflow::new("image-pipeline")
+///     .step("preprocess")
+///     .step("bitmap")
+///     .step("resnet50");
+/// assert_eq!(wf.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workflow {
+    name: String,
+    steps: Vec<String>,
+    mode: TransferMode,
+}
+
+impl Workflow {
+    /// Creates an empty workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workflow {
+            name: name.into(),
+            steps: Vec::new(),
+            mode: TransferMode::default(),
+        }
+    }
+
+    /// Appends a kernel invocation step.
+    #[must_use]
+    pub fn step(mut self, kernel: impl Into<String>) -> Self {
+        self.steps.push(kernel.into());
+        self
+    }
+
+    /// Sets the data-transfer mode for every step.
+    #[must_use]
+    pub fn with_transfer(mut self, mode: TransferMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Workflow name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernel names, in order.
+    pub fn steps(&self) -> &[String] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the workflow has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Result of executing a [`Workflow`].
+#[derive(Debug)]
+pub struct WorkflowRun {
+    /// Output of the final step.
+    pub output: Value,
+    /// Per-step server reports, in step order.
+    pub reports: Vec<InvocationReport>,
+    /// Client-observed end-to-end latency.
+    pub latency: Duration,
+}
+
+impl WorkflowRun {
+    /// Total device-side kernel time across steps.
+    pub fn kernel_time(&self) -> Duration {
+        self.reports.iter().map(InvocationReport::kernel_time).sum()
+    }
+
+    /// Number of cold starts the run triggered.
+    pub fn cold_starts(&self) -> usize {
+        self.reports.iter().filter(|r| r.cold_start).count()
+    }
+}
+
+impl KaasClient {
+    /// Executes `workflow` step by step, threading each output into the
+    /// next step's input.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast with the first step's [`InvokeError`]; prior steps'
+    /// effects (and reports) are discarded with the run.
+    pub async fn run_workflow(
+        &mut self,
+        workflow: &Workflow,
+        input: Value,
+    ) -> Result<WorkflowRun, InvokeError> {
+        let start = now();
+        let mut current = input;
+        let mut reports = Vec::with_capacity(workflow.len());
+        for step in workflow.steps() {
+            let inv = match workflow.mode {
+                TransferMode::OutOfBand => self.invoke_oob(step, current).await?,
+                TransferMode::InBand => self.invoke(step, current).await?,
+            };
+            current = inv.output;
+            reports.push(inv.report);
+        }
+        Ok(WorkflowRun {
+            output: current,
+            reports,
+            latency: now() - start,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_steps() {
+        let wf = Workflow::new("w").step("a").step("b");
+        assert_eq!(wf.name(), "w");
+        assert_eq!(wf.steps(), ["a".to_owned(), "b".to_owned()]);
+        assert!(!wf.is_empty());
+        assert_eq!(
+            wf.with_transfer(TransferMode::InBand).mode,
+            TransferMode::InBand
+        );
+    }
+
+    #[test]
+    fn empty_workflow_reports_empty() {
+        let wf = Workflow::new("w");
+        assert!(wf.is_empty());
+        assert_eq!(wf.len(), 0);
+    }
+}

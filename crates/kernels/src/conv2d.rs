@@ -1,0 +1,210 @@
+//! 2-D convolution (the paper's §5.6.3 TPU kernel, `tf.nn.conv2d`).
+//!
+//! The paper observes that "the TPU execution time does not scale
+//! proportionally with the input data size … we attribute it to internal
+//! optimizations that TensorFlow makes in choosing a convolution
+//! implementation based on the input parameters". We model that
+//! algorithm-selection effect explicitly: the effective efficiency
+//! depends non-monotonically on `N` through a deterministic chooser.
+
+use kaas_accel::{DeviceClass, WorkUnits};
+
+use crate::kernel::{require_n, Kernel, KernelError};
+use crate::value::Value;
+
+/// Deep-convolution shape matching a seconds-scale TPU workload:
+/// 64→64 channels with a 7×7 filter.
+const CHANNELS: f64 = 64.0;
+const FILTER: usize = 7;
+/// Real-execution cap on the spatial dimension.
+const EXEC_CAP: usize = 96;
+
+/// Which implementation the framework would select for a given size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvAlgorithm {
+    /// Naive sliding window.
+    Direct,
+    /// Winograd minimal filtering (fast but shape-picky).
+    Winograd,
+    /// FFT-based convolution.
+    Fft,
+    /// im2col + matrix multiply.
+    Im2col,
+}
+
+impl ConvAlgorithm {
+    /// The deterministic TensorFlow-style chooser: picks by tile
+    /// divisibility, which makes efficiency non-monotone in `n`.
+    pub fn select(n: u64) -> ConvAlgorithm {
+        // Multiples of 1024 map perfectly onto the systolic array tiles.
+        if n % 1024 == 0 {
+            ConvAlgorithm::Winograd
+        } else if n % 1000 == 0 && (n / 1000) % 2 == 1 {
+            // Odd thousands: padded direct convolution.
+            ConvAlgorithm::Direct
+        } else if n > 4096 {
+            ConvAlgorithm::Fft
+        } else {
+            ConvAlgorithm::Im2col
+        }
+    }
+
+    /// Sustained fraction of peak on the TPU's systolic array.
+    pub fn efficiency(self) -> f64 {
+        match self {
+            ConvAlgorithm::Winograd => 0.85,
+            ConvAlgorithm::Fft => 0.55,
+            ConvAlgorithm::Im2col => 0.45,
+            ConvAlgorithm::Direct => 0.22,
+        }
+    }
+}
+
+/// Computes a real single-channel 2-D convolution (valid padding).
+pub fn conv2d_direct(input: &[f64], n: usize, filter: &[f64], k: usize) -> Vec<f64> {
+    assert_eq!(input.len(), n * n, "input shape mismatch");
+    assert_eq!(filter.len(), k * k, "filter shape mismatch");
+    assert!(k <= n, "filter larger than input");
+    let out_n = n - k + 1;
+    let mut out = vec![0.0; out_n * out_n];
+    for oy in 0..out_n {
+        for ox in 0..out_n {
+            let mut acc = 0.0;
+            for fy in 0..k {
+                for fx in 0..k {
+                    acc += input[(oy + fy) * n + (ox + fx)] * filter[fy * k + fx];
+                }
+            }
+            out[oy * out_n + ox] = acc;
+        }
+    }
+    out
+}
+
+/// The TPU conv2d kernel: a 64→64-channel 7×7 convolution over an `N×N`
+/// feature map.
+///
+/// Input: `Value::U64(n)`. Output: `Value::F64` (checksum of a real
+/// reduced single-channel instance).
+#[derive(Debug, Clone, Default)]
+pub struct Conv2d;
+
+impl Conv2d {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        Conv2d
+    }
+}
+
+impl Kernel for Conv2d {
+    fn name(&self) -> &str {
+        "conv2d"
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Tpu
+    }
+
+    fn work(&self, input: &Value) -> Result<WorkUnits, KernelError> {
+        let n = require_n("conv2d", input)?;
+        if n < FILTER as u64 {
+            return Err(KernelError::BadInput(format!(
+                "conv2d needs N ≥ {FILTER}, got {n}"
+            )));
+        }
+        let algo = ConvAlgorithm::select(n);
+        let nf = n as f64;
+        let flops = nf * nf * (FILTER * FILTER) as f64 * CHANNELS * CHANNELS * 2.0;
+        Ok(WorkUnits::new(flops)
+            // Host↔device traffic is the single-channel fp32 feature map
+            // (the deep channels live on-device).
+            .with_bytes(n * n * 4, n * n * 4)
+            .with_efficiency(algo.efficiency()))
+    }
+
+    fn execute(&self, input: &Value) -> Result<Value, KernelError> {
+        let n = require_n("conv2d", input)?;
+        if n < FILTER as u64 {
+            return Err(KernelError::BadInput(format!(
+                "conv2d needs N ≥ {FILTER}, got {n}"
+            )));
+        }
+        let n_real = (n as usize).min(EXEC_CAP);
+        // Deterministic input and box filter.
+        let input: Vec<f64> = (0..n_real * n_real)
+            .map(|i| ((i % 97) as f64) / 97.0)
+            .collect();
+        let filter = vec![1.0 / (FILTER * FILTER) as f64; FILTER * FILTER];
+        let out = conv2d_direct(&input, n_real, &filter, FILTER);
+        Ok(Value::F64(out.iter().sum()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_filter_preserves_interior() {
+        let n = 5;
+        let input: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+        let mut filter = vec![0.0; 9];
+        filter[4] = 1.0; // centre tap
+        let out = conv2d_direct(&input, n, &filter, 3);
+        // Output (3×3) equals the interior of the input.
+        assert_eq!(out[0], input[1 * n + 1]);
+        assert_eq!(out[8], input[3 * n + 3]);
+    }
+
+    #[test]
+    fn box_filter_averages() {
+        let input = vec![1.0; 16];
+        let filter = vec![1.0 / 9.0; 9];
+        let out = conv2d_direct(&input, 4, &filter, 3);
+        for v in out {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn algorithm_selection_is_non_monotone() {
+        // Efficiency as a function of N must not be monotone — the
+        // Fig. 16a "TensorFlow implementation choice" effect.
+        let effs: Vec<f64> = (1..=7)
+            .map(|k| ConvAlgorithm::select(k * 1000).efficiency())
+            .collect();
+        let increasing = effs.windows(2).all(|w| w[1] >= w[0]);
+        let decreasing = effs.windows(2).all(|w| w[1] <= w[0]);
+        assert!(!increasing && !decreasing, "effs={effs:?}");
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        for n in [1000u64, 2048, 3000, 5000, 7000] {
+            assert_eq!(ConvAlgorithm::select(n), ConvAlgorithm::select(n));
+        }
+    }
+
+    #[test]
+    fn work_has_tpu_scale_flops() {
+        let k = Conv2d::new();
+        let w = k.work(&Value::U64(7000)).unwrap();
+        assert!(w.flops > 1e13, "flops={}", w.flops);
+    }
+
+    #[test]
+    fn kernel_executes_reduced_instance() {
+        let k = Conv2d::new();
+        match k.execute(&Value::U64(4096)).unwrap() {
+            Value::F64(checksum) => assert!(checksum.is_finite() && checksum > 0.0),
+            other => panic!("expected F64, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_small_input_rejected() {
+        let k = Conv2d::new();
+        assert!(k.work(&Value::U64(3)).is_err());
+        assert!(k.execute(&Value::U64(3)).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Soft dynamic time warping (the paper's §5.6.1 DTW kernel, implemented
+//! as soft-DTW after Cuturi & Blondel 2017).
+
+use kaas_accel::{DeviceClass, WorkUnits};
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::kernel::{Kernel, KernelError};
+use crate::value::Value;
+
+/// The paper batches 200 groups of ten sequences per task.
+const BATCHES: u64 = 200;
+const SEQS_PER_BATCH: u64 = 10;
+/// Longest sequence `execute` computes for real in descriptor mode.
+const EXEC_CAP: usize = 256;
+
+/// Numerically stable soft-minimum with smoothing `gamma`.
+fn soft_min(a: f64, b: f64, c: f64, gamma: f64) -> f64 {
+    if gamma <= 0.0 {
+        return a.min(b).min(c);
+    }
+    let m = a.min(b).min(c);
+    let sum = (-(a - m) / gamma).exp() + (-(b - m) / gamma).exp() + (-(c - m) / gamma).exp();
+    m - gamma * sum.ln()
+}
+
+/// Computes the soft-DTW discrepancy between two sequences.
+///
+/// With `gamma == 0` this reduces to classic DTW.
+///
+/// # Panics
+///
+/// Panics if either sequence is empty.
+pub fn soft_dtw(a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "sequences must be non-empty");
+    let (n, m) = (a.len(), b.len());
+    let inf = f64::INFINITY;
+    // One rolling row of the DP table, with a virtual border of +inf.
+    let mut prev = vec![inf; m + 1];
+    let mut curr = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr[0] = inf;
+        for j in 1..=m {
+            let cost = (a[i - 1] - b[j - 1]).powi(2);
+            curr[j] = cost + soft_min(prev[j - 1], prev[j], curr[j - 1], gamma);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// The DTW kernel: 200 batches of ten random sequences of length `N`
+/// scored against a per-batch query (2 000 soft-DTW evaluations).
+///
+/// Input modes:
+///
+/// * `Value::U64(n)` — descriptor mode (sequence length `n`); `execute`
+///   scores one representative batch at `min(n, 256)` and returns the
+///   mean discrepancy.
+/// * `Value::List([a, b])` of two `F64s` — one real soft-DTW evaluation.
+#[derive(Debug, Clone)]
+pub struct SoftDtw {
+    gamma: f64,
+}
+
+impl Default for SoftDtw {
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+impl SoftDtw {
+    /// Creates the kernel with smoothing `gamma`.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma >= 0.0, "gamma must be non-negative");
+        SoftDtw { gamma }
+    }
+}
+
+impl Kernel for SoftDtw {
+    fn name(&self) -> &str {
+        "dtw"
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Gpu
+    }
+
+    fn demand(&self) -> f64 {
+        0.2
+    }
+
+    fn work(&self, input: &Value) -> Result<WorkUnits, KernelError> {
+        match input {
+            Value::U64(n) => {
+                let n = *n as f64;
+                // 9 FLOPs per DP cell (cost + 3 exp-class soft-min ops).
+                let flops = BATCHES as f64 * SEQS_PER_BATCH as f64 * n * n * 9.0;
+                Ok(WorkUnits::new(flops)
+                    // Sequences in, one score per (batch, sequence) out.
+                    .with_bytes(BATCHES * SEQS_PER_BATCH * (n as u64) * 8, BATCHES * SEQS_PER_BATCH * 8)
+                    // Wavefront dependences keep GPU efficiency low.
+                    .with_efficiency(0.0047))
+            }
+            Value::List(items) if items.len() == 2 => {
+                let a = items[0]
+                    .as_f64s()
+                    .ok_or_else(|| KernelError::BadInput("dtw expects F64s".into()))?;
+                let b = items[1]
+                    .as_f64s()
+                    .ok_or_else(|| KernelError::BadInput("dtw expects F64s".into()))?;
+                Ok(WorkUnits::new((a.len() * b.len()) as f64 * 9.0)
+                    .with_bytes(8 * (a.len() + b.len()) as u64, 8)
+                    .with_efficiency(0.0047))
+            }
+            other => Err(KernelError::BadInput(format!(
+                "dtw expects U64(n) or List([a, b]), got {other:?}"
+            ))),
+        }
+    }
+
+    fn execute(&self, input: &Value) -> Result<Value, KernelError> {
+        match input {
+            Value::U64(n) => {
+                let len = (*n as usize).clamp(2, EXEC_CAP);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(7 ^ *n);
+                let query: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let mut total = 0.0;
+                for _ in 0..SEQS_PER_BATCH {
+                    let seq: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    total += soft_dtw(&query, &seq, self.gamma);
+                }
+                Ok(Value::F64(total / SEQS_PER_BATCH as f64))
+            }
+            Value::List(items) if items.len() == 2 => {
+                let a = items[0]
+                    .as_f64s()
+                    .ok_or_else(|| KernelError::BadInput("dtw expects F64s".into()))?;
+                let b = items[1]
+                    .as_f64s()
+                    .ok_or_else(|| KernelError::BadInput("dtw expects F64s".into()))?;
+                if a.is_empty() || b.is_empty() {
+                    return Err(KernelError::BadInput("dtw sequences must be non-empty".into()));
+                }
+                Ok(Value::F64(soft_dtw(a, b, self.gamma)))
+            }
+            other => Err(KernelError::BadInput(format!(
+                "dtw expects U64(n) or List([a, b]), got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::require_n;
+
+    #[test]
+    fn identical_sequences_have_zero_hard_dtw() {
+        let a = vec![0.0, 1.0, 2.0, 1.0];
+        assert_eq!(soft_dtw(&a, &a, 0.0), 0.0);
+    }
+
+    #[test]
+    fn hard_dtw_matches_hand_computed() {
+        // a=[0,1], b=[0,1,1]: perfect warp, distance 0.
+        assert_eq!(soft_dtw(&[0.0, 1.0], &[0.0, 1.0, 1.0], 0.0), 0.0);
+        // a=[0], b=[2]: single cell (0-2)² = 4.
+        assert_eq!(soft_dtw(&[0.0], &[2.0], 0.0), 4.0);
+    }
+
+    #[test]
+    fn soft_dtw_lower_bounds_hard_dtw() {
+        // soft-min ≤ min, so soft-DTW ≤ DTW for γ > 0.
+        let a = vec![0.0, 0.5, 1.3, -0.4, 0.9];
+        let b = vec![0.1, 0.4, 1.0, -0.2];
+        assert!(soft_dtw(&a, &b, 1.0) <= soft_dtw(&a, &b, 0.0) + 1e-12);
+    }
+
+    #[test]
+    fn gamma_zero_limit_is_continuous() {
+        let a = vec![0.3, 1.1, 0.2];
+        let b = vec![0.2, 1.0, 0.4];
+        let hard = soft_dtw(&a, &b, 0.0);
+        let soft = soft_dtw(&a, &b, 1e-6);
+        assert!((hard - soft).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dtw_is_symmetric() {
+        let a = vec![0.0, 1.0, 0.5, 0.2];
+        let b = vec![0.3, 0.8, 0.1];
+        assert!((soft_dtw(&a, &b, 0.5) - soft_dtw(&b, &a, 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_work_scales_quadratically() {
+        let k = SoftDtw::default();
+        let w1 = k.work(&Value::U64(100)).unwrap().flops;
+        let w2 = k.work(&Value::U64(200)).unwrap().flops;
+        assert!((w2 / w1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_executes_both_modes() {
+        let k = SoftDtw::default();
+        let by_n = k.execute(&Value::U64(64)).unwrap();
+        assert!(matches!(by_n, Value::F64(v) if v.is_finite()));
+        let pair = Value::List(vec![
+            Value::F64s(vec![0.0, 1.0]),
+            Value::F64s(vec![0.0, 1.0]),
+        ]);
+        let direct = k.execute(&pair).unwrap();
+        assert!(matches!(direct, Value::F64(v) if v <= 1e-9));
+        let _ = require_n("dtw", &Value::U64(1)).unwrap();
+    }
+
+    #[test]
+    fn empty_sequence_rejected() {
+        let k = SoftDtw::default();
+        let pair = Value::List(vec![Value::F64s(vec![]), Value::F64s(vec![1.0])]);
+        assert!(k.execute(&pair).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Image preprocessing (the Fig. 1 workflow's CPU task): decode-style
+//! normalization plus box-filter downsampling to the 224×224 inference
+//! resolution. Fully real.
+
+use kaas_accel::{DeviceClass, WorkUnits};
+
+use crate::kernel::{Kernel, KernelError};
+use crate::value::Value;
+
+/// Target edge length after preprocessing.
+pub const TARGET: usize = 224;
+
+/// Downsamples a `channels`-interleaved image to `target×target` with box
+/// averaging.
+pub fn box_resize(
+    pixels: &[u8],
+    width: usize,
+    height: usize,
+    channels: usize,
+    target: usize,
+) -> Vec<u8> {
+    assert_eq!(pixels.len(), width * height * channels, "shape mismatch");
+    assert!(target >= 1 && width >= 1 && height >= 1);
+    let mut out = vec![0u8; target * target * channels];
+    for ty in 0..target {
+        let y0 = ty * height / target;
+        let y1 = (((ty + 1) * height).div_ceil(target)).min(height).max(y0 + 1);
+        for tx in 0..target {
+            let x0 = tx * width / target;
+            let x1 = (((tx + 1) * width).div_ceil(target)).min(width).max(x0 + 1);
+            for c in 0..channels {
+                let mut acc = 0u64;
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        acc += pixels[(y * width + x) * channels + c] as u64;
+                    }
+                }
+                let count = ((y1 - y0) * (x1 - x0)) as u64;
+                out[(ty * target + tx) * channels + c] = (acc / count) as u8;
+            }
+        }
+    }
+    out
+}
+
+/// CPU image-preprocessing kernel: resize to 224² (keeping channels).
+///
+/// Input: a `Value::Image` or `Value::U64(pixels)` (synthetic frame).
+/// Output: `Value::Image` at 224×224.
+#[derive(Debug, Clone, Default)]
+pub struct Preprocess;
+
+impl Preprocess {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        Preprocess
+    }
+}
+
+impl Kernel for Preprocess {
+    fn name(&self) -> &str {
+        "preprocess"
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Cpu
+    }
+
+    fn work(&self, input: &Value) -> Result<WorkUnits, KernelError> {
+        let (pixels, channels) = match input {
+            Value::U64(p) => (*p, 3u64),
+            Value::Image {
+                width,
+                height,
+                channels,
+                ..
+            } => ((width * height) as u64, *channels as u64),
+            other => {
+                return Err(KernelError::BadInput(format!(
+                    "preprocess expects Image or U64(pixels), got {other:?}"
+                )))
+            }
+        };
+        // Decode-class per-pixel cost plus the resize accumulation.
+        Ok(WorkUnits::new(pixels as f64 * 40.0)
+            .with_bytes(pixels * channels, (TARGET * TARGET) as u64 * channels)
+            .with_efficiency(0.35))
+    }
+
+    fn execute(&self, input: &Value) -> Result<Value, KernelError> {
+        let (pixels, width, height, channels) = match input {
+            Value::U64(p) => {
+                let p = (*p as usize).clamp(1, 1 << 21);
+                let w = ((p as f64).sqrt() as usize).max(1);
+                let h = (p / w).max(1);
+                let pix: Vec<u8> = (0..w * h * 3)
+                    .map(|i| ((i * 37) % 251) as u8)
+                    .collect();
+                (pix, w, h, 3)
+            }
+            Value::Image {
+                pixels,
+                width,
+                height,
+                channels,
+            } => (pixels.clone(), *width, *height, *channels),
+            other => {
+                return Err(KernelError::BadInput(format!(
+                    "preprocess expects Image or U64(pixels), got {other:?}"
+                )))
+            }
+        };
+        let out = box_resize(&pixels, width, height, channels, TARGET);
+        Ok(Value::image(out, TARGET, TARGET, channels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resize_of_uniform_image_is_uniform() {
+        let img = vec![100u8; 448 * 448 * 3];
+        let out = box_resize(&img, 448, 448, 3, TARGET);
+        assert_eq!(out.len(), TARGET * TARGET * 3);
+        assert!(out.iter().all(|&p| p == 100));
+    }
+
+    #[test]
+    fn resize_preserves_gradient_direction() {
+        // A left-to-right ramp must stay increasing after downsampling.
+        let w = 512;
+        let img: Vec<u8> = (0..w * w)
+            .map(|i| ((i % w) * 255 / w) as u8)
+            .collect();
+        let out = box_resize(&img, w, w, 1, 64);
+        let row = &out[0..64];
+        assert!(row.windows(2).all(|p| p[1] >= p[0]));
+    }
+
+    #[test]
+    fn upscaling_small_inputs_works() {
+        let img = vec![7u8; 4 * 4];
+        let out = box_resize(&img, 4, 4, 1, 8);
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().all(|&p| p == 7));
+    }
+
+    #[test]
+    fn kernel_produces_target_resolution() {
+        let k = Preprocess::new();
+        let out = k.execute(&Value::U64(1920 * 1080)).unwrap();
+        if let Value::Image { width, height, .. } = out {
+            assert_eq!((width, height), (TARGET, TARGET));
+        } else {
+            panic!("expected Image");
+        }
+    }
+
+    #[test]
+    fn work_counts_input_pixels() {
+        let k = Preprocess::new();
+        let w = k.work(&Value::U64(1_000_000)).unwrap();
+        assert_eq!(w.flops, 4.0e7);
+        assert_eq!(w.bytes_in, 3_000_000);
+    }
+}

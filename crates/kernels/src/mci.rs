@@ -1,0 +1,133 @@
+//! Monte-Carlo integration (the paper's §5.6.1 MCI kernel): estimates
+//! `∫₁¹⁰ 1/x dx = ln 10` with `N` samples. Fully real.
+
+use std::cell::RefCell;
+
+use kaas_accel::{DeviceClass, WorkUnits};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kernel::{require_n, Kernel, KernelError};
+use crate::value::Value;
+
+/// Sample cap for the real computation (timing always uses the declared
+/// sample count; beyond the cap the estimate is already tight).
+const EXEC_CAP: u64 = 1_000_000;
+
+/// Monte-Carlo estimator of `∫₁¹⁰ dx/x` with `N` samples.
+///
+/// Input: `Value::U64(n)` (sample count). Output: `Value::F64` estimate.
+///
+/// # Examples
+///
+/// ```
+/// use kaas_kernels::{Kernel, MonteCarlo, Value};
+///
+/// let k = MonteCarlo::seeded(7);
+/// let est = match k.execute(&Value::U64(200_000)).unwrap() {
+///     Value::F64(v) => v,
+///     _ => unreachable!(),
+/// };
+/// assert!((est - 10f64.ln()).abs() < 0.05);
+/// ```
+#[derive(Debug)]
+pub struct MonteCarlo {
+    rng: RefCell<StdRng>,
+}
+
+impl Default for MonteCarlo {
+    fn default() -> Self {
+        Self::seeded(0x4D43) // "MC"
+    }
+}
+
+impl MonteCarlo {
+    /// Creates the kernel with a deterministic RNG seed.
+    pub fn seeded(seed: u64) -> Self {
+        MonteCarlo {
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+/// Direct sampling estimate of the integral with the given RNG.
+pub fn estimate_integral<R: Rng>(samples: u64, rng: &mut R) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let width = 9.0; // x ∈ [1, 10]
+    let mut acc = 0.0;
+    for _ in 0..samples {
+        let x: f64 = 1.0 + rng.gen::<f64>() * width;
+        acc += 1.0 / x;
+    }
+    acc / samples as f64 * width
+}
+
+impl Kernel for MonteCarlo {
+    fn name(&self) -> &str {
+        "mci"
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Gpu
+    }
+
+    fn demand(&self) -> f64 {
+        0.15
+    }
+
+    fn work(&self, input: &Value) -> Result<WorkUnits, KernelError> {
+        let n = require_n("mci", input)?;
+        // RNG + reciprocal + reduction per sample.
+        Ok(WorkUnits::new(n as f64 * 25.0)
+            .with_bytes(64, 16)
+            .with_efficiency(0.12))
+    }
+
+    fn execute(&self, input: &Value) -> Result<Value, KernelError> {
+        let n = require_n("mci", input)?;
+        if n == 0 {
+            return Err(KernelError::BadInput("mci needs at least one sample".into()));
+        }
+        let mut rng = self.rng.borrow_mut();
+        Ok(Value::F64(estimate_integral(n.min(EXEC_CAP), &mut *rng)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_converges_to_ln10() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = estimate_integral(500_000, &mut rng);
+        assert!((est - 10f64.ln()).abs() < 0.01, "est={est}");
+    }
+
+    #[test]
+    fn more_samples_reduce_error() {
+        let err = |n: u64| {
+            let mut worst: f64 = 0.0;
+            for seed in 0..5 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                worst = worst.max((estimate_integral(n, &mut rng) - 10f64.ln()).abs());
+            }
+            worst
+        };
+        assert!(err(100_000) < err(100));
+    }
+
+    #[test]
+    fn kernel_rejects_zero_samples() {
+        let k = MonteCarlo::default();
+        assert!(k.execute(&Value::U64(0)).is_err());
+    }
+
+    #[test]
+    fn work_is_linear_and_tiny_on_wire() {
+        let k = MonteCarlo::default();
+        let w = k.work(&Value::U64(65_536)).unwrap();
+        assert_eq!(w.flops, 65_536.0 * 25.0);
+        assert!(w.total_bytes() < 128, "MCI moves almost no data");
+    }
+}

@@ -1,0 +1,232 @@
+//! Quantum-computing kernels: the §5.6.1 GPU state-vector simulation
+//! workload (QC) and the §5.6.4 VQE estimator primitive (QPU).
+
+use std::cell::RefCell;
+
+use kaas_accel::{CircuitCost, DeviceClass, WorkUnits};
+use kaas_quantum::{
+    estimate, transpile, Circuit, EstimatorMode, Hamiltonian, TwoLocalAnsatz,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::kernel::{require_n, Kernel, KernelError};
+use crate::value::Value;
+
+/// Declared simulation width for the QC workload's timing (the paper
+/// simulates circuits "of N CX gates" on the GPU AerSimulator).
+const DECLARED_QUBITS: u32 = 20;
+/// Width/size caps for the real execution.
+const EXEC_QUBITS: usize = 10;
+const EXEC_GATE_CAP: u64 = 2_000;
+
+/// GPU state-vector simulation of a circuit of `N` CX gates (§5.6.1 QC).
+///
+/// Input: `Value::U64(n_gates)`. Output: `Value::F64` (state norm of a
+/// real reduced-width simulation — always ≈ 1, a checksum that the
+/// simulation actually ran).
+#[derive(Debug, Clone, Default)]
+pub struct QcSimulation;
+
+impl QcSimulation {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        QcSimulation
+    }
+}
+
+impl Kernel for QcSimulation {
+    fn name(&self) -> &str {
+        "qc"
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Gpu
+    }
+
+    fn demand(&self) -> f64 {
+        0.4
+    }
+
+    fn work(&self, input: &Value) -> Result<WorkUnits, KernelError> {
+        let gates = require_n("qc", input)?;
+        // Each gate streams the full 2^q state with a handful of complex
+        // fused multiply-adds per amplitude.
+        let amps = 2f64.powi(DECLARED_QUBITS as i32);
+        Ok(WorkUnits::new(gates as f64 * amps * 8.0)
+            .with_bytes(1024 + gates * 16, 16 * amps as u64)
+            .with_efficiency(0.035))
+    }
+
+    fn execute(&self, input: &Value) -> Result<Value, KernelError> {
+        let gates = require_n("qc", input)?;
+        if gates == 0 {
+            return Err(KernelError::BadInput("qc needs at least one gate".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(0x51C ^ gates);
+        let qc = Circuit::random_cx(EXEC_QUBITS, gates.min(EXEC_GATE_CAP) as usize, &mut rng);
+        Ok(Value::F64(qc.statevector().norm()))
+    }
+}
+
+/// The VQE estimator primitive (§5.6.4): evaluates the H₂ Hamiltonian
+/// energy of the two-local ansatz at the supplied parameters. The
+/// expectation is computed for real by `kaas-quantum`; the QPU device
+/// model charges session/transpile/queue/shot time around it.
+///
+/// Input: `Value::F64s(params)`. Output: `Value::F64` (energy).
+#[derive(Debug)]
+pub struct VqeEstimator {
+    ansatz: TwoLocalAnsatz,
+    hamiltonian: Hamiltonian,
+    shots: u64,
+    mode: EstimatorMode,
+    rng: RefCell<StdRng>,
+}
+
+impl Default for VqeEstimator {
+    fn default() -> Self {
+        Self::h2(1024)
+    }
+}
+
+impl VqeEstimator {
+    /// The standard H₂/STO-3G estimator with the given shot budget
+    /// (0 shots = exact expectation).
+    pub fn h2(shots: u64) -> Self {
+        VqeEstimator {
+            ansatz: TwoLocalAnsatz::new(2, 1),
+            hamiltonian: Hamiltonian::h2_sto3g(),
+            shots,
+            mode: if shots == 0 {
+                EstimatorMode::Exact
+            } else {
+                EstimatorMode::Shots(shots)
+            },
+            rng: RefCell::new(StdRng::seed_from_u64(0xE57)),
+        }
+    }
+
+    /// The ansatz bound by this estimator.
+    pub fn ansatz(&self) -> TwoLocalAnsatz {
+        self.ansatz
+    }
+
+    /// Transpiled circuit cost for the QPU device model.
+    pub fn circuit_cost(&self) -> CircuitCost {
+        let params = vec![0.0; self.ansatz.parameter_count()];
+        let qc = self.ansatz.bind(&params);
+        let (_, stats) = transpile(&qc);
+        CircuitCost {
+            qubits: self.ansatz.qubits as u32,
+            gates: stats.gates_after as u64,
+            shots: self.shots.max(1),
+        }
+    }
+}
+
+impl Kernel for VqeEstimator {
+    fn name(&self) -> &str {
+        "vqe-estimator"
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Qpu
+    }
+
+    fn work(&self, input: &Value) -> Result<WorkUnits, KernelError> {
+        let params = input
+            .as_f64s()
+            .ok_or_else(|| KernelError::BadInput("estimator expects F64s(params)".into()))?;
+        if params.len() != self.ansatz.parameter_count() {
+            return Err(KernelError::BadInput(format!(
+                "expected {} parameters, got {}",
+                self.ansatz.parameter_count(),
+                params.len()
+            )));
+        }
+        Ok(WorkUnits::new(0.0)
+            .with_bytes(8 * params.len() as u64 + 64, 64)
+            .with_circuit(self.circuit_cost()))
+    }
+
+    fn execute(&self, input: &Value) -> Result<Value, KernelError> {
+        let params = input
+            .as_f64s()
+            .ok_or_else(|| KernelError::BadInput("estimator expects F64s(params)".into()))?;
+        if params.len() != self.ansatz.parameter_count() {
+            return Err(KernelError::BadInput(format!(
+                "expected {} parameters, got {}",
+                self.ansatz.parameter_count(),
+                params.len()
+            )));
+        }
+        let qc = self.ansatz.bind(params);
+        let mut rng = self.rng.borrow_mut();
+        Ok(Value::F64(estimate(
+            &qc,
+            &self.hamiltonian,
+            self.mode,
+            &mut *rng,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qc_norm_is_one() {
+        let k = QcSimulation::new();
+        match k.execute(&Value::U64(500)).unwrap() {
+            Value::F64(norm) => assert!((norm - 1.0).abs() < 1e-9),
+            other => panic!("expected F64, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qc_work_scales_with_gates() {
+        let k = QcSimulation::new();
+        let w1 = k.work(&Value::U64(1_000)).unwrap().flops;
+        let w2 = k.work(&Value::U64(65_000)).unwrap().flops;
+        assert!((w2 / w1 - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimator_matches_exact_expectation() {
+        let k = VqeEstimator::h2(0);
+        let params = vec![0.2, -0.4, 0.8, 0.3];
+        let out = match k.execute(&Value::F64s(params.clone())).unwrap() {
+            Value::F64(e) => e,
+            other => panic!("expected F64, got {other:?}"),
+        };
+        let qc = TwoLocalAnsatz::new(2, 1).bind(&params);
+        let exact = Hamiltonian::h2_sto3g().expectation(&qc.statevector());
+        assert!((out - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_reports_circuit_cost() {
+        let k = VqeEstimator::h2(4096);
+        let cost = k.circuit_cost();
+        assert_eq!(cost.qubits, 2);
+        assert!(cost.gates >= 1);
+        assert_eq!(cost.shots, 4096);
+        let w = k.work(&Value::F64s(vec![0.0; 4])).unwrap();
+        assert!(w.circuit.is_some());
+    }
+
+    #[test]
+    fn estimator_rejects_wrong_arity() {
+        let k = VqeEstimator::h2(0);
+        assert!(k.execute(&Value::F64s(vec![0.0; 3])).is_err());
+        assert!(k.execute(&Value::Unit).is_err());
+    }
+
+    #[test]
+    fn kernel_classes() {
+        assert_eq!(QcSimulation::new().device_class(), DeviceClass::Gpu);
+        assert_eq!(VqeEstimator::default().device_class(), DeviceClass::Qpu);
+    }
+}

@@ -1,0 +1,195 @@
+//! [`Value`]: the dynamic payload type exchanged between clients, the
+//! KaaS server, and kernels (the prototype passes Python objects; we pass
+//! a small algebraic data type with known wire sizes).
+
+/// A dynamically typed kernel input/output value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// No payload.
+    Unit,
+    /// An unsigned scalar (task-granularity parameters `N`).
+    U64(u64),
+    /// A float scalar.
+    F64(f64),
+    /// A float vector.
+    F64s(Vec<f64>),
+    /// A byte buffer.
+    Bytes(Vec<u8>),
+    /// A dense row-major matrix.
+    Matrix {
+        /// Row-major data of length `rows * cols`.
+        data: Vec<f64>,
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// An 8-bit grayscale or packed image.
+    Image {
+        /// Pixel bytes (row-major, `channels` interleaved).
+        pixels: Vec<u8>,
+        /// Width in pixels.
+        width: usize,
+        /// Height in pixels.
+        height: usize,
+        /// Channels per pixel (1 = grayscale, 3 = RGB).
+        channels: usize,
+    },
+    /// A short text (kernel names, labels).
+    Text(String),
+    /// An ordered collection.
+    List(Vec<Value>),
+    /// A transport envelope: a (small) body with an overridden wire
+    /// size. Lets experiments ship gigabyte-scale payloads — charged at
+    /// full size by every transfer model — without allocating them.
+    Sized {
+        /// Declared wire size in bytes.
+        bytes: u64,
+        /// The actual (small) content.
+        body: Box<Value>,
+    },
+}
+
+impl Value {
+    /// Builds a matrix value, validating dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn matrix(data: Vec<f64>, rows: usize, cols: usize) -> Value {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        Value::Matrix { data, rows, cols }
+    }
+
+    /// Builds an image value, validating dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pixel buffer does not match the dimensions.
+    pub fn image(pixels: Vec<u8>, width: usize, height: usize, channels: usize) -> Value {
+        assert_eq!(
+            pixels.len(),
+            width * height * channels,
+            "image shape mismatch"
+        );
+        Value::Image {
+            pixels,
+            width,
+            height,
+            channels,
+        }
+    }
+
+    /// Logical wire size in bytes when sent in-band (used for
+    /// serialization and transmission costs).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Value::Unit => 8,
+            Value::U64(_) | Value::F64(_) => 16,
+            Value::F64s(v) => 16 + 8 * v.len() as u64,
+            Value::Bytes(b) => 16 + b.len() as u64,
+            Value::Matrix { data, .. } => 32 + 8 * data.len() as u64,
+            Value::Image { pixels, .. } => 32 + pixels.len() as u64,
+            Value::Text(s) => 16 + s.len() as u64,
+            Value::List(items) => 16 + items.iter().map(Value::wire_bytes).sum::<u64>(),
+            Value::Sized { bytes, .. } => *bytes,
+        }
+    }
+
+    /// Wraps `body` in a transport envelope of `bytes` declared size.
+    pub fn sized(bytes: u64, body: Value) -> Value {
+        Value::Sized {
+            bytes,
+            body: Box::new(body),
+        }
+    }
+
+    /// The content of a [`Value::Sized`] envelope (recursively), or the
+    /// value itself.
+    pub fn payload(&self) -> &Value {
+        match self {
+            Value::Sized { body, .. } => body.payload(),
+            other => other,
+        }
+    }
+
+    /// The scalar `N` if this is a `U64` (the common task-granularity
+    /// parameter).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The float vector if this is an `F64s`.
+    pub fn as_f64s(&self) -> Option<&[f64]> {
+        match self {
+            Value::F64s(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::U64(n)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::F64(x)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Value {
+        Value::F64s(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_scale_with_content() {
+        assert_eq!(Value::U64(5).wire_bytes(), 16);
+        assert_eq!(Value::F64s(vec![0.0; 100]).wire_bytes(), 816);
+        let m = Value::matrix(vec![0.0; 6], 2, 3);
+        assert_eq!(m.wire_bytes(), 32 + 48);
+    }
+
+    #[test]
+    fn list_bytes_are_recursive() {
+        let l = Value::List(vec![Value::U64(1), Value::U64(2)]);
+        assert_eq!(l.wire_bytes(), 16 + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn bad_matrix_shape_panics() {
+        let _ = Value::matrix(vec![0.0; 5], 2, 3);
+    }
+
+    #[test]
+    fn sized_overrides_wire_bytes_and_unwraps() {
+        let v = Value::sized(1_000_000, Value::U64(7));
+        assert_eq!(v.wire_bytes(), 1_000_000);
+        assert_eq!(v.payload(), &Value::U64(7));
+        // Nested envelopes unwrap fully.
+        let nested = Value::sized(5, Value::sized(3, Value::F64(1.0)));
+        assert_eq!(nested.payload(), &Value::F64(1.0));
+        // Non-envelopes are themselves.
+        assert_eq!(Value::U64(1).payload(), &Value::U64(1));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3u64).as_u64(), Some(3));
+        assert_eq!(Value::from(2.5f64), Value::F64(2.5));
+        assert!(Value::from(vec![1.0]).as_f64s().is_some());
+        assert_eq!(Value::Unit.as_u64(), None);
+    }
+}

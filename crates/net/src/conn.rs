@@ -1,0 +1,330 @@
+//! Bidirectional connections, listeners, and a tiny in-simulation
+//! "network" with named endpoints — the TCP analogue the KaaS prototype
+//! builds on (§4.1: client ↔ KaaS server ↔ task runners all speak TCP).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use kaas_simtime::channel::{self, Receiver, Sender};
+use kaas_simtime::sleep;
+
+use crate::profile::LinkProfile;
+use crate::wire::{wire, Disconnected, Frame, WireReceiver, WireSender};
+
+/// One side of a bidirectional connection: sends `Out` frames, receives
+/// `In` frames.
+#[derive(Debug)]
+pub struct Connection<Out, In> {
+    tx: WireSender<Out>,
+    rx: WireReceiver<In>,
+}
+
+impl<Out: 'static, In: 'static> Connection<Out, In> {
+    /// Sends a frame (resolves at end of transmission; delivery happens
+    /// after the link latency).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] if the peer is gone.
+    pub async fn send(&self, body: Out, bytes: u64) -> Result<(), Disconnected> {
+        self.tx.send(Frame::new(body, bytes)).await
+    }
+
+    /// Receives the next frame; `None` when the peer hung up.
+    pub async fn recv(&mut self) -> Option<Frame<In>> {
+        self.rx.recv().await
+    }
+
+    /// The link profile of the sending direction.
+    pub fn profile(&self) -> LinkProfile {
+        self.tx.profile()
+    }
+
+    /// Whether the peer's receiving half still exists.
+    pub fn is_open(&self) -> bool {
+        self.tx.is_open()
+    }
+
+    /// Splits into independently owned halves.
+    pub fn split(self) -> (WireSender<Out>, WireReceiver<In>) {
+        (self.tx, self.rx)
+    }
+}
+
+/// Creates a directly-wired connection pair (no listener involved), with
+/// symmetric link timing.
+pub fn pair<A: 'static, B: 'static>(
+    profile: LinkProfile,
+) -> (Connection<A, B>, Connection<B, A>) {
+    let (atx, arx) = wire::<A>(profile);
+    let (btx, brx) = wire::<B>(profile);
+    (
+        Connection { tx: atx, rx: brx },
+        Connection { tx: btx, rx: arx },
+    )
+}
+
+/// Errors from [`Network::connect`] / [`Network::listen`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No listener is bound to the address.
+    ConnectionRefused(String),
+    /// The address already has a listener.
+    AddrInUse(String),
+    /// The listener was dropped while connecting.
+    ListenerClosed(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::ConnectionRefused(a) => write!(f, "connection refused: {a}"),
+            NetError::AddrInUse(a) => write!(f, "address in use: {a}"),
+            NetError::ListenerClosed(a) => write!(f, "listener closed: {a}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+type ServerConn<Req, Resp> = Connection<Resp, Req>;
+
+struct NetState<Req, Resp> {
+    listeners: HashMap<String, Sender<ServerConn<Req, Resp>>>,
+}
+
+/// A named-endpoint network for one request/response protocol.
+///
+/// Servers [`listen`](Network::listen) on string addresses; clients
+/// [`connect`](Network::connect) with a chosen [`LinkProfile`] (loopback
+/// for same-host, `lan_1gbps` for remote — the caller decides topology).
+///
+/// # Examples
+///
+/// ```
+/// use kaas_net::{Network, LinkProfile};
+/// use kaas_simtime::{Simulation, spawn};
+///
+/// let mut sim = Simulation::new();
+/// let got = sim.block_on(async {
+///     let net: Network<&str, u32> = Network::new();
+///     let mut listener = net.listen("kaas:7000").unwrap();
+///     spawn(async move {
+///         let mut conn = listener.accept().await.unwrap();
+///         let req = conn.recv().await.unwrap();
+///         assert_eq!(req.body, "len?");
+///         conn.send(4, 8).await.unwrap();
+///     });
+///     let mut c = net.connect("kaas:7000", LinkProfile::loopback()).await.unwrap();
+///     c.send("len?", 4).await.unwrap();
+///     c.recv().await.unwrap().body
+/// });
+/// assert_eq!(got, 4);
+/// ```
+pub struct Network<Req, Resp> {
+    state: Rc<RefCell<NetState<Req, Resp>>>,
+}
+
+impl<Req, Resp> std::fmt::Debug for Network<Req, Resp> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("listeners", &self.state.borrow().listeners.len())
+            .finish()
+    }
+}
+
+impl<Req, Resp> Clone for Network<Req, Resp> {
+    fn clone(&self) -> Self {
+        Network {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl<Req: 'static, Resp: 'static> Default for Network<Req, Resp> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Req: 'static, Resp: 'static> Network<Req, Resp> {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network {
+            state: Rc::new(RefCell::new(NetState {
+                listeners: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Binds a listener to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::AddrInUse`] if `addr` already has a listener.
+    pub fn listen(&self, addr: &str) -> Result<Listener<Req, Resp>, NetError> {
+        let mut s = self.state.borrow_mut();
+        if s.listeners.contains_key(addr) {
+            return Err(NetError::AddrInUse(addr.to_owned()));
+        }
+        let (tx, rx) = channel::unbounded();
+        s.listeners.insert(addr.to_owned(), tx);
+        Ok(Listener {
+            addr: addr.to_owned(),
+            incoming: rx,
+            net: Rc::clone(&self.state),
+        })
+    }
+
+    /// Opens a connection to `addr` over a link with `profile` timing.
+    /// Establishment costs one round trip.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ConnectionRefused`] if nothing listens on `addr`;
+    /// [`NetError::ListenerClosed`] if the listener disappeared mid-dial.
+    pub async fn connect(
+        &self,
+        addr: &str,
+        profile: LinkProfile,
+    ) -> Result<Connection<Req, Resp>, NetError> {
+        let acceptor = self
+            .state
+            .borrow()
+            .listeners
+            .get(addr)
+            .cloned()
+            .ok_or_else(|| NetError::ConnectionRefused(addr.to_owned()))?;
+        // TCP-style handshake: one round trip before data can flow.
+        sleep(profile.latency * 2).await;
+        let (client, server) = pair::<Req, Resp>(profile);
+        acceptor
+            .send(server)
+            .await
+            .map_err(|_| NetError::ListenerClosed(addr.to_owned()))?;
+        Ok(client)
+    }
+}
+
+/// Accepts inbound connections for an address; unbinds on drop.
+pub struct Listener<Req, Resp> {
+    addr: String,
+    incoming: Receiver<ServerConn<Req, Resp>>,
+    net: Rc<RefCell<NetState<Req, Resp>>>,
+}
+
+impl<Req, Resp> std::fmt::Debug for Listener<Req, Resp> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Listener").field("addr", &self.addr).finish()
+    }
+}
+
+impl<Req, Resp> Listener<Req, Resp> {
+    /// The bound address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Waits for the next inbound connection; `None` if the network side
+    /// dropped (cannot normally happen while the listener is bound).
+    pub async fn accept(&mut self) -> Option<ServerConn<Req, Resp>> {
+        self.incoming.recv().await
+    }
+}
+
+impl<Req, Resp> Drop for Listener<Req, Resp> {
+    fn drop(&mut self) {
+        self.net.borrow_mut().listeners.remove(&self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaas_simtime::{now, spawn, Simulation};
+    use std::time::Duration;
+
+    #[test]
+    fn connect_without_listener_refused() {
+        let mut sim = Simulation::new();
+        let out = sim.block_on(async {
+            let net: Network<u8, u8> = Network::new();
+            net.connect("nowhere", LinkProfile::loopback()).await.err()
+        });
+        assert_eq!(out, Some(NetError::ConnectionRefused("nowhere".into())));
+    }
+
+    #[test]
+    fn double_listen_rejected() {
+        let net: Network<u8, u8> = Network::new();
+        let _l = net.listen("a").unwrap();
+        assert_eq!(net.listen("a").err(), Some(NetError::AddrInUse("a".into())));
+    }
+
+    #[test]
+    fn listener_drop_unbinds() {
+        let net: Network<u8, u8> = Network::new();
+        drop(net.listen("a").unwrap());
+        assert!(net.listen("a").is_ok());
+    }
+
+    #[test]
+    fn handshake_costs_one_rtt() {
+        let mut sim = Simulation::new();
+        let t = sim.block_on(async {
+            let net: Network<u8, u8> = Network::new();
+            let _l = net.listen("srv").unwrap();
+            let link = LinkProfile::new(Duration::from_millis(50), 1e9);
+            net.connect("srv", link).await.unwrap();
+            now()
+        });
+        assert_eq!(t.as_secs_f64(), 0.1);
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let mut sim = Simulation::new();
+        let reply = sim.block_on(async {
+            let net: Network<u32, u32> = Network::new();
+            let mut l = net.listen("echo").unwrap();
+            spawn(async move {
+                while let Some(mut conn) = l.accept().await {
+                    spawn(async move {
+                        while let Some(req) = conn.recv().await {
+                            conn.send(req.body * 2, 8).await.ok();
+                        }
+                    });
+                }
+            });
+            let mut c = net.connect("echo", LinkProfile::loopback()).await.unwrap();
+            c.send(21, 8).await.unwrap();
+            c.recv().await.unwrap().body
+        });
+        assert_eq!(reply, 42);
+    }
+
+    #[test]
+    fn multiple_clients_are_isolated() {
+        let mut sim = Simulation::new();
+        let (a, b) = sim.block_on(async {
+            let net: Network<u32, u32> = Network::new();
+            let mut l = net.listen("svc").unwrap();
+            spawn(async move {
+                while let Some(mut conn) = l.accept().await {
+                    spawn(async move {
+                        while let Some(req) = conn.recv().await {
+                            conn.send(req.body + 100, 8).await.ok();
+                        }
+                    });
+                }
+            });
+            let mut c1 = net.connect("svc", LinkProfile::loopback()).await.unwrap();
+            let mut c2 = net.connect("svc", LinkProfile::loopback()).await.unwrap();
+            c1.send(1, 8).await.unwrap();
+            c2.send(2, 8).await.unwrap();
+            (c1.recv().await.unwrap().body, c2.recv().await.unwrap().body)
+        });
+        assert_eq!((a, b), (101, 102));
+    }
+}

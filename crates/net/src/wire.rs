@@ -1,0 +1,264 @@
+//! A unidirectional, order-preserving message pipe with link timing.
+//!
+//! A [`Wire`] models a TCP-like byte stream at message granularity:
+//! transmissions serialize on the link (bandwidth sharing), then propagate
+//! for the link latency, and arrive in order. Multiple messages may be "in
+//! flight" (transmitted but still propagating) simultaneously, so long
+//! fat pipes behave correctly.
+
+
+use kaas_simtime::channel::{self, Receiver, Sender};
+use kaas_simtime::sync::Semaphore;
+use kaas_simtime::{sleep, spawn};
+
+use crate::profile::LinkProfile;
+
+/// A message travelling over a wire: an application value annotated with
+/// its on-wire size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame<T> {
+    /// Application payload.
+    pub body: T,
+    /// Wire size in bytes (drives transmission time).
+    pub bytes: u64,
+}
+
+impl<T> Frame<T> {
+    /// Creates a frame of `bytes` on-wire size.
+    pub fn new(body: T, bytes: u64) -> Self {
+        Frame { body, bytes }
+    }
+}
+
+/// Sending half of a [`wire`].
+pub struct WireSender<T> {
+    profile: LinkProfile,
+    link: Semaphore,
+    tx: Sender<Frame<T>>,
+}
+
+impl<T> std::fmt::Debug for WireSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireSender")
+            .field("profile", &self.profile)
+            .finish()
+    }
+}
+
+impl<T> Clone for WireSender<T> {
+    fn clone(&self) -> Self {
+        WireSender {
+            profile: self.profile,
+            link: self.link.clone(),
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+/// Receiving half of a [`wire`].
+pub struct WireReceiver<T> {
+    rx: Receiver<Frame<T>>,
+}
+
+impl<T> std::fmt::Debug for WireReceiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireReceiver").finish_non_exhaustive()
+    }
+}
+
+/// Creates a unidirectional wire with the given link timing.
+pub fn wire<T: 'static>(profile: LinkProfile) -> (WireSender<T>, WireReceiver<T>) {
+    let (tx, rx) = channel::unbounded();
+    (
+        WireSender {
+            profile,
+            link: Semaphore::new(1),
+            tx,
+        },
+        WireReceiver { rx },
+    )
+}
+
+/// Error returned by [`WireSender::send`] when the receiving endpoint has
+/// been dropped before transmission begins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire peer disconnected")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+impl<T: 'static> WireSender<T> {
+    /// Transmits `frame`: waits for the link (FIFO), spends the
+    /// transmission time, then lets the frame propagate in the background
+    /// and delivers it after the link latency.
+    ///
+    /// Resolves when transmission completes (the sender is free again),
+    /// *not* when the frame arrives — like a socket write returning once
+    /// the bytes hit the send buffer/wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] if the receiver is gone.
+    pub async fn send(&self, frame: Frame<T>) -> Result<(), Disconnected> {
+        if !self.tx.is_open() {
+            return Err(Disconnected);
+        }
+        let _guard = self.link.acquire(1).await;
+        sleep(self.profile.transmission_time(frame.bytes)).await;
+        let latency = self.profile.latency;
+        let tx = self.tx.clone();
+        // Propagation happens off the sender's critical path so the link
+        // can pipeline subsequent transmissions.
+        spawn(async move {
+            sleep(latency).await;
+            let _ = tx.send(frame).await;
+        });
+        Ok(())
+    }
+
+    /// Transmits and waits for full delivery (transmission + propagation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] if the receiver is gone.
+    pub async fn send_and_flush(&self, frame: Frame<T>) -> Result<(), Disconnected> {
+        if !self.tx.is_open() {
+            return Err(Disconnected);
+        }
+        let _guard = self.link.acquire(1).await;
+        sleep(self.profile.transfer_time(frame.bytes)).await;
+        self.tx.send(frame).await.map_err(|_| Disconnected)
+    }
+
+    /// The link timing profile.
+    pub fn profile(&self) -> LinkProfile {
+        self.profile
+    }
+
+    /// Whether the receiving endpoint still exists.
+    pub fn is_open(&self) -> bool {
+        self.tx.is_open()
+    }
+}
+
+impl<T> WireReceiver<T> {
+    /// Receives the next frame; `None` once all senders are gone and the
+    /// pipe is drained.
+    pub async fn recv(&mut self) -> Option<Frame<T>> {
+        self.rx.recv().await
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<Frame<T>> {
+        self.rx.try_recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::LinkProfile;
+    use kaas_simtime::{now, Simulation};
+    use std::time::Duration;
+
+    fn test_link() -> LinkProfile {
+        // 1 MB/s, 10 ms latency, no per-message overhead: easy arithmetic.
+        LinkProfile::new(Duration::from_millis(10), 1.0e6)
+    }
+
+    #[test]
+    fn frame_arrives_after_transmission_plus_latency() {
+        let mut sim = Simulation::new();
+        let arrived = sim.block_on(async {
+            let (tx, mut rx) = wire::<&str>(test_link());
+            spawn(async move {
+                tx.send(Frame::new("hello", 1_000_000)).await.unwrap();
+            });
+            rx.recv().await.expect("frame");
+            now()
+        });
+        // 1 s transmission + 10 ms latency.
+        assert!((arrived.as_secs_f64() - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn messages_arrive_in_order_and_pipeline() {
+        let mut sim = Simulation::new();
+        let (order, t_last) = sim.block_on(async {
+            let (tx, mut rx) = wire::<u32>(test_link());
+            spawn(async move {
+                for i in 0..3 {
+                    tx.send(Frame::new(i, 500_000)).await.unwrap();
+                }
+            });
+            let mut order = Vec::new();
+            while order.len() < 3 {
+                order.push(rx.recv().await.unwrap().body);
+            }
+            (order, now())
+        });
+        assert_eq!(order, vec![0, 1, 2]);
+        // Three 0.5 s transmissions serialize; last arrives at 1.5 s + 10 ms,
+        // NOT at 3 × (0.5 + 0.01): propagation overlaps transmission.
+        assert!((t_last.as_secs_f64() - 1.51).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_returns_at_transmission_end() {
+        let mut sim = Simulation::new();
+        let t = sim.block_on(async {
+            let (tx, _rx) = wire::<u8>(test_link());
+            tx.send(Frame::new(1, 1_000_000)).await.unwrap();
+            now()
+        });
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9, "send resolves pre-latency");
+    }
+
+    #[test]
+    fn send_and_flush_includes_latency() {
+        let mut sim = Simulation::new();
+        let t = sim.block_on(async {
+            let (tx, _rx) = wire::<u8>(test_link());
+            tx.send_and_flush(Frame::new(1, 1_000_000)).await.unwrap();
+            now()
+        });
+        assert!((t.as_secs_f64() - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let mut sim = Simulation::new();
+        let out = sim.block_on(async {
+            let (tx, rx) = wire::<u8>(test_link());
+            drop(rx);
+            assert!(!tx.is_open());
+            tx.send(Frame::new(1, 10)).await
+        });
+        assert_eq!(out, Err(Disconnected));
+    }
+
+    #[test]
+    fn concurrent_senders_share_the_link() {
+        let mut sim = Simulation::new();
+        let t = sim.block_on(async {
+            let (tx, mut rx) = wire::<u32>(test_link());
+            for i in 0..4u32 {
+                let tx = tx.clone();
+                spawn(async move {
+                    tx.send(Frame::new(i, 250_000)).await.unwrap();
+                });
+            }
+            for _ in 0..4 {
+                rx.recv().await.unwrap();
+            }
+            now()
+        });
+        // 4 × 0.25 s serialized + 10 ms propagation of the last frame.
+        assert!((t.as_secs_f64() - 1.01).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,233 @@
+//! [`Circuit`]: an ordered list of operations with builder conveniences.
+
+use rand::Rng;
+
+use crate::gate::{Gate, Op};
+use crate::state::StateVector;
+
+/// A quantum circuit over a fixed number of qubits.
+///
+/// # Examples
+///
+/// ```
+/// use kaas_quantum::Circuit;
+///
+/// let mut qc = Circuit::new(2);
+/// qc.h(0).cx(0, 1);
+/// let psi = qc.statevector();
+/// assert!((psi.probabilities()[3] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    qubits: usize,
+    ops: Vec<Op>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `qubits` qubits.
+    pub fn new(qubits: usize) -> Self {
+        assert!(qubits >= 1, "circuit needs at least one qubit");
+        Circuit {
+            qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn qubits(&self) -> usize {
+        self.qubits
+    }
+
+    /// The operation list.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Total gate count.
+    pub fn gate_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Two-qubit gate count.
+    pub fn two_qubit_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_two_qubit()).count()
+    }
+
+    /// Circuit depth (longest chain of ops per qubit timeline).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.qubits];
+        let mut depth = 0;
+        for op in &self.ops {
+            let qs = op.qubits();
+            let l = qs.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            for q in qs {
+                level[q] = l;
+            }
+            depth = depth.max(l);
+        }
+        depth
+    }
+
+    /// Appends an arbitrary op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op addresses a qubit out of range.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        for q in op.qubits() {
+            assert!(q < self.qubits, "qubit {q} out of range");
+        }
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends a single-qubit gate.
+    pub fn gate(&mut self, gate: Gate, qubit: usize) -> &mut Self {
+        self.push(Op::Gate1 { gate, qubit })
+    }
+
+    /// Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::H, q)
+    }
+
+    /// Pauli-X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::X, q)
+    }
+
+    /// Y-rotation.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Ry(theta), q)
+    }
+
+    /// Z-rotation.
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Rz(theta), q)
+    }
+
+    /// Controlled-X.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Op::Cx { control, target })
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Op::Cz { a, b })
+    }
+
+    /// The inverse circuit: adjoint ops in reverse order, so
+    /// `qc.inverse()` undoes `qc` up to global phase.
+    pub fn inverse(&self) -> Circuit {
+        let mut inv = Circuit::new(self.qubits);
+        for op in self.ops.iter().rev() {
+            inv.push(op.inverse());
+        }
+        inv
+    }
+
+    /// Applies the circuit to |0…0⟩ and returns the final state.
+    pub fn statevector(&self) -> StateVector {
+        let mut psi = StateVector::new(self.qubits);
+        psi.apply_all(self.ops());
+        psi
+    }
+
+    /// Applies the circuit to an existing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's qubit count differs.
+    pub fn run_on(&self, psi: &mut StateVector) {
+        assert_eq!(psi.qubits(), self.qubits, "qubit counts differ");
+        psi.apply_all(self.ops());
+    }
+
+    /// Builds the paper's QC workload (§5.6.1): a circuit of `n_gates` CX
+    /// gates (preceded by a Hadamard layer so the state is nontrivial)
+    /// over `qubits` qubits, with pseudo-random wiring.
+    pub fn random_cx<R: Rng>(qubits: usize, n_gates: usize, rng: &mut R) -> Self {
+        assert!(qubits >= 2, "CX circuits need at least two qubits");
+        let mut qc = Circuit::new(qubits);
+        for q in 0..qubits {
+            qc.h(q);
+        }
+        for _ in 0..n_gates {
+            let c = rng.gen_range(0..qubits);
+            let mut t = rng.gen_range(0..qubits - 1);
+            if t >= c {
+                t += 1;
+            }
+            qc.cx(c, t);
+        }
+        qc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1).cx(1, 2).rz(0.5, 2);
+        assert_eq!(qc.gate_count(), 4);
+        assert_eq!(qc.two_qubit_count(), 2);
+        assert_eq!(qc.qubits(), 3);
+    }
+
+    #[test]
+    fn depth_accounts_for_parallelism() {
+        let mut qc = Circuit::new(4);
+        // Two disjoint CX gates can run in parallel: depth 1.
+        qc.cx(0, 1).cx(2, 3);
+        assert_eq!(qc.depth(), 1);
+        // A chained CX adds a level.
+        qc.cx(1, 2);
+        assert_eq!(qc.depth(), 2);
+    }
+
+    #[test]
+    fn random_cx_has_requested_gates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let qc = Circuit::random_cx(8, 100, &mut rng);
+        assert_eq!(qc.gate_count(), 8 + 100);
+        assert_eq!(qc.two_qubit_count(), 100);
+        // Norm must be preserved through all 100 CX gates.
+        assert!((qc.statevector().norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_undoes_the_circuit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let qc = Circuit::random_cx(4, 25, &mut rng);
+        let mut psi = qc.statevector();
+        qc.inverse().run_on(&mut psi);
+        let ground = StateVector::new(4);
+        assert!((psi.fidelity(&ground) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_of_rotations_cancels() {
+        let mut qc = Circuit::new(2);
+        qc.ry(0.37, 0).rz(-1.2, 1).cx(0, 1).h(0);
+        let mut psi = qc.statevector();
+        qc.inverse().run_on(&mut psi);
+        assert!((psi.probabilities()[0] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn statevector_of_empty_circuit_is_ground() {
+        let qc = Circuit::new(2);
+        assert!((qc.statevector().probabilities()[0] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_push_panics() {
+        let mut qc = Circuit::new(1);
+        qc.x(3);
+    }
+}

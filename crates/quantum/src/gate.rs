@@ -1,0 +1,281 @@
+//! Quantum gates and circuit operations.
+
+use crate::complex::C64;
+
+/// A single-qubit gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// √X.
+    Sx,
+    /// Phase gate S = Rz(π/2) up to global phase.
+    S,
+    /// S†.
+    Sdg,
+    /// T = Rz(π/4) up to global phase.
+    T,
+    /// T†.
+    Tdg,
+    /// Rotation about X by the angle.
+    Rx(f64),
+    /// Rotation about Y by the angle.
+    Ry(f64),
+    /// Rotation about Z by the angle.
+    Rz(f64),
+    /// Phase(λ) = diag(1, e^{iλ}).
+    Phase(f64),
+}
+
+impl Gate {
+    /// The gate's 2×2 unitary matrix `[[a, b], [c, d]]`.
+    pub fn matrix(&self) -> [[C64; 2]; 2] {
+        use std::f64::consts::FRAC_1_SQRT_2 as R;
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        let i = C64::I;
+        match *self {
+            Gate::H => [
+                [C64::new(R, 0.0), C64::new(R, 0.0)],
+                [C64::new(R, 0.0), C64::new(-R, 0.0)],
+            ],
+            Gate::X => [[z, o], [o, z]],
+            Gate::Y => [[z, -i], [i, z]],
+            Gate::Z => [[o, z], [z, -o]],
+            Gate::Sx => [
+                [C64::new(0.5, 0.5), C64::new(0.5, -0.5)],
+                [C64::new(0.5, -0.5), C64::new(0.5, 0.5)],
+            ],
+            Gate::S => [[o, z], [z, i]],
+            Gate::Sdg => [[o, z], [z, -i]],
+            Gate::T => [[o, z], [z, C64::from_polar(std::f64::consts::FRAC_PI_4)]],
+            Gate::Tdg => [[o, z], [z, C64::from_polar(-std::f64::consts::FRAC_PI_4)]],
+            Gate::Rx(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                [
+                    [C64::new(c, 0.0), C64::new(0.0, -s)],
+                    [C64::new(0.0, -s), C64::new(c, 0.0)],
+                ]
+            }
+            Gate::Ry(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                [
+                    [C64::new(c, 0.0), C64::new(-s, 0.0)],
+                    [C64::new(s, 0.0), C64::new(c, 0.0)],
+                ]
+            }
+            Gate::Rz(t) => [
+                [C64::from_polar(-t / 2.0), z],
+                [z, C64::from_polar(t / 2.0)],
+            ],
+            Gate::Phase(l) => [[o, z], [z, C64::from_polar(l)]],
+        }
+    }
+
+    /// Whether the gate belongs to the IBM-style hardware basis
+    /// `{Rz, Sx, X}` (plus CX at the two-qubit level).
+    pub fn in_hardware_basis(&self) -> bool {
+        matches!(self, Gate::Rz(_) | Gate::Sx | Gate::X)
+    }
+
+    /// The adjoint (inverse) gate: G† such that G†·G = I.
+    pub fn adjoint(&self) -> Gate {
+        match *self {
+            Gate::H | Gate::X | Gate::Y | Gate::Z => *self,
+            Gate::Sx => Gate::Rx(-std::f64::consts::FRAC_PI_2),
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::Phase(l) => Gate::Phase(-l),
+        }
+    }
+
+    /// Short lowercase mnemonic (QASM style).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::Sx => "sx",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::Phase(_) => "p",
+        }
+    }
+}
+
+/// One operation in a circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// A single-qubit gate on `qubit`.
+    Gate1 {
+        /// The gate.
+        gate: Gate,
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// Controlled-X.
+    Cx {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled-Z (symmetric).
+    Cz {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+    /// Swap two qubits.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+}
+
+impl Op {
+    /// The qubits this op touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Op::Gate1 { qubit, .. } => vec![qubit],
+            Op::Cx { control, target } => vec![control, target],
+            Op::Cz { a, b } | Op::Swap { a, b } => vec![a, b],
+        }
+    }
+
+    /// Whether this is a two-qubit operation.
+    pub fn is_two_qubit(&self) -> bool {
+        !matches!(self, Op::Gate1 { .. })
+    }
+
+    /// The inverse operation (CX, CZ, and Swap are involutions).
+    pub fn inverse(&self) -> Op {
+        match *self {
+            Op::Gate1 { gate, qubit } => Op::Gate1 {
+                gate: gate.adjoint(),
+                qubit,
+            },
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_unitary(m: [[C64; 2]; 2]) -> bool {
+        // m† m == I
+        let dot = |a: [C64; 2], b: [C64; 2]| a[0].conj() * b[0] + a[1].conj() * b[1];
+        let col = |j: usize| [m[0][j], m[1][j]];
+        let e00 = dot(col(0), col(0));
+        let e11 = dot(col(1), col(1));
+        let e01 = dot(col(0), col(1));
+        (e00 - C64::ONE).abs() < 1e-12
+            && (e11 - C64::ONE).abs() < 1e-12
+            && e01.abs() < 1e-12
+    }
+
+    #[test]
+    fn all_gates_are_unitary() {
+        let gates = [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::Sx,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.3),
+            Gate::Ry(1.1),
+            Gate::Rz(-2.2),
+            Gate::Phase(0.7),
+        ];
+        for g in gates {
+            assert!(is_unitary(g.matrix()), "{g:?} is not unitary");
+        }
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let m = Gate::Sx.matrix();
+        let x = Gate::X.matrix();
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut acc = C64::ZERO;
+                for k in 0..2 {
+                    acc += m[r][k] * m[k][c];
+                }
+                assert!((acc - x[r][c]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn op_qubits_are_reported() {
+        assert_eq!(Op::Cx { control: 1, target: 3 }.qubits(), vec![1, 3]);
+        assert!(Op::Cz { a: 0, b: 1 }.is_two_qubit());
+        assert!(!Op::Gate1 { gate: Gate::H, qubit: 0 }.is_two_qubit());
+    }
+
+    #[test]
+    fn adjoints_invert_their_gates() {
+        let gates = [
+            Gate::H,
+            Gate::X,
+            Gate::Sx,
+            Gate::S,
+            Gate::T,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.2),
+            Gate::Rz(2.5),
+            Gate::Phase(0.4),
+        ];
+        for g in gates {
+            let m = g.matrix();
+            let a = g.adjoint().matrix();
+            // a · m ≈ global-phase × I: check off-diagonals vanish and
+            // diagonals have equal magnitude 1.
+            let mut prod = [[C64::ZERO; 2]; 2];
+            for r in 0..2 {
+                for c in 0..2 {
+                    for k in 0..2 {
+                        prod[r][c] += a[r][k] * m[k][c];
+                    }
+                }
+            }
+            assert!(prod[0][1].abs() < 1e-12, "{g:?}");
+            assert!(prod[1][0].abs() < 1e-12, "{g:?}");
+            assert!((prod[0][0].abs() - 1.0).abs() < 1e-12, "{g:?}");
+            assert!((prod[0][0] - prod[1][1]).abs() < 1e-12, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_lowercase() {
+        assert_eq!(Gate::Ry(0.5).mnemonic(), "ry");
+        assert_eq!(Gate::H.mnemonic(), "h");
+    }
+}

@@ -1,0 +1,211 @@
+//! Classical optimizers used by VQE: Nelder–Mead simplex and SPSA.
+
+use rand::Rng;
+
+/// Result of an optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeResult {
+    /// Best parameter vector found.
+    pub params: Vec<f64>,
+    /// Objective value at `params`.
+    pub value: f64,
+    /// Number of objective evaluations performed.
+    pub evaluations: usize,
+    /// Best value after each iteration (for convergence plots).
+    pub history: Vec<f64>,
+}
+
+/// Nelder–Mead simplex minimization (deterministic).
+///
+/// # Examples
+///
+/// ```
+/// use kaas_quantum::nelder_mead;
+///
+/// let res = nelder_mead(|x| (x[0] - 3.0).powi(2) + x[1].powi(2), &[0.0, 1.0], 0.5, 200);
+/// assert!((res.params[0] - 3.0).abs() < 1e-3);
+/// assert!(res.value < 1e-5);
+/// ```
+pub fn nelder_mead<F>(mut f: F, x0: &[f64], step: f64, max_iters: usize) -> OptimizeResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = x0.len();
+    assert!(n >= 1, "need at least one parameter");
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut evals = 0usize;
+    let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        f(x)
+    };
+
+    // Initial simplex: x0 plus per-axis offsets.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let v0 = eval(&mut f, x0, &mut evals);
+    simplex.push((x0.to_vec(), v0));
+    for i in 0..n {
+        let mut x = x0.to_vec();
+        x[i] += step;
+        let v = eval(&mut f, &x, &mut evals);
+        simplex.push((x, v));
+    }
+
+    let mut history = Vec::with_capacity(max_iters);
+    for _ in 0..max_iters {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN objective"));
+        history.push(simplex[0].1);
+
+        // Convergence: tiny simplex spread.
+        if (simplex[n].1 - simplex[0].1).abs() < 1e-10 {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(ai, bi)| ai + t * (bi - ai)).collect()
+        };
+
+        // Reflection.
+        let xr = lerp(&centroid, &worst.0, -alpha);
+        let vr = eval(&mut f, &xr, &mut evals);
+        if vr < simplex[0].1 {
+            // Expansion.
+            let xe = lerp(&centroid, &worst.0, -gamma);
+            let ve = eval(&mut f, &xe, &mut evals);
+            simplex[n] = if ve < vr { (xe, ve) } else { (xr, vr) };
+        } else if vr < simplex[n - 1].1 {
+            simplex[n] = (xr, vr);
+        } else {
+            // Contraction.
+            let xc = lerp(&centroid, &worst.0, rho);
+            let vc = eval(&mut f, &xc, &mut evals);
+            if vc < worst.1 {
+                simplex[n] = (xc, vc);
+            } else {
+                // Shrink towards the best.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    entry.0 = lerp(&best, &entry.0, sigma);
+                    entry.1 = eval(&mut f, &entry.0, &mut evals);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN objective"));
+    OptimizeResult {
+        params: simplex[0].0.clone(),
+        value: simplex[0].1,
+        evaluations: evals,
+        history,
+    }
+}
+
+/// Simultaneous-perturbation stochastic approximation (two evaluations
+/// per iteration; robust to shot noise).
+pub fn spsa<F, R>(
+    mut f: F,
+    x0: &[f64],
+    iterations: usize,
+    rng: &mut R,
+) -> OptimizeResult
+where
+    F: FnMut(&[f64]) -> f64,
+    R: Rng,
+{
+    let n = x0.len();
+    assert!(n >= 1, "need at least one parameter");
+    let mut x = x0.to_vec();
+    let mut evals = 0usize;
+    let mut history = Vec::with_capacity(iterations);
+    let (a, c, big_a, alpha, gamma) = (2.0, 0.2, iterations as f64 * 0.1, 0.602, 0.101);
+    let mut best = (x.clone(), f64::INFINITY);
+    for k in 0..iterations {
+        let ak = a / (k as f64 + 1.0 + big_a).powf(alpha);
+        let ck = c / (k as f64 + 1.0).powf(gamma);
+        let delta: Vec<f64> = (0..n)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        let xp: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
+        let xm: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
+        let fp = f(&xp);
+        let fm = f(&xm);
+        evals += 2;
+        for i in 0..n {
+            let g = (fp - fm) / (2.0 * ck * delta[i]);
+            x[i] -= ak * g;
+        }
+        let fx = fp.min(fm);
+        if fx < best.1 {
+            best = (if fp < fm { xp } else { xm }, fx);
+        }
+        history.push(best.1);
+    }
+    let final_val = f(&x);
+    evals += 1;
+    if final_val < best.1 {
+        best = (x, final_val);
+    }
+    OptimizeResult {
+        params: best.0,
+        value: best.1,
+        evaluations: evals,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn nelder_mead_minimizes_sphere() {
+        let res = nelder_mead(sphere, &[2.0, -1.5, 0.7], 0.5, 400);
+        assert!(res.value < 1e-6, "value={}", res.value);
+        assert!(res.evaluations > 10);
+    }
+
+    #[test]
+    fn nelder_mead_minimizes_rosenbrock() {
+        let rosen =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let res = nelder_mead(rosen, &[-1.0, 1.0], 0.5, 2000);
+        assert!((res.params[0] - 1.0).abs() < 1e-2, "params={:?}", res.params);
+    }
+
+    #[test]
+    fn nelder_mead_history_is_monotone() {
+        let res = nelder_mead(sphere, &[3.0, 3.0], 1.0, 100);
+        for w in res.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn spsa_reduces_objective() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let start = sphere(&[2.0, 2.0]);
+        let res = spsa(sphere, &[2.0, 2.0], 300, &mut rng);
+        assert!(res.value < start / 10.0, "value={}", res.value);
+    }
+
+    #[test]
+    fn spsa_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            spsa(sphere, &[1.0, -1.0], 50, &mut rng).value
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,179 @@
+//! Pauli strings and observables ([`Hamiltonian`]).
+
+use crate::state::StateVector;
+
+/// A weighted tensor product of Pauli operators, e.g. `0.5 · Z₀X₂`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PauliTerm {
+    /// Real coefficient.
+    pub coefficient: f64,
+    /// `(qubit, pauli)` factors with pauli ∈ {'X','Y','Z'}; identity on
+    /// every unlisted qubit. An empty list is the identity term.
+    pub factors: Vec<(usize, char)>,
+}
+
+impl PauliTerm {
+    /// Creates a term.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown Pauli letter or a duplicated qubit.
+    pub fn new(coefficient: f64, factors: Vec<(usize, char)>) -> Self {
+        for &(q, p) in &factors {
+            assert!(matches!(p, 'X' | 'Y' | 'Z'), "unknown Pauli '{p}'");
+            assert_eq!(
+                factors.iter().filter(|&&(q2, _)| q2 == q).count(),
+                1,
+                "qubit {q} appears twice in a Pauli term"
+            );
+        }
+        PauliTerm {
+            coefficient,
+            factors,
+        }
+    }
+
+    /// The identity term `c · I`.
+    pub fn identity(coefficient: f64) -> Self {
+        PauliTerm::new(coefficient, Vec::new())
+    }
+
+    /// ⟨ψ| this |ψ⟩.
+    pub fn expectation(&self, psi: &StateVector) -> f64 {
+        if self.factors.is_empty() {
+            return self.coefficient;
+        }
+        self.coefficient * psi.pauli_expectation(&self.factors)
+    }
+}
+
+/// A Hermitian observable as a sum of Pauli terms.
+///
+/// # Examples
+///
+/// ```
+/// use kaas_quantum::{Gate, Hamiltonian, Op, StateVector};
+///
+/// let h = Hamiltonian::h2_sto3g();
+/// // |01> is the Hartree–Fock determinant: energy ≈ -1.84 Ha for H₂.
+/// let mut psi = StateVector::new(2);
+/// psi.apply(Op::Gate1 { gate: Gate::X, qubit: 0 });
+/// let e = h.expectation(&psi);
+/// assert!(e < -1.8 && e > -1.9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hamiltonian {
+    terms: Vec<PauliTerm>,
+}
+
+impl Hamiltonian {
+    /// Builds an observable from terms.
+    pub fn new(terms: Vec<PauliTerm>) -> Self {
+        Hamiltonian { terms }
+    }
+
+    /// The terms.
+    pub fn terms(&self) -> &[PauliTerm] {
+        &self.terms
+    }
+
+    /// Highest qubit index referenced, plus one (0 for a pure identity).
+    pub fn qubits(&self) -> usize {
+        self.terms
+            .iter()
+            .flat_map(|t| t.factors.iter().map(|&(q, _)| q + 1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// ⟨ψ|H|ψ⟩.
+    pub fn expectation(&self, psi: &StateVector) -> f64 {
+        self.terms.iter().map(|t| t.expectation(psi)).sum()
+    }
+
+    /// The two-qubit reduced Hamiltonian of molecular H₂ in the STO-3G
+    /// basis at 0.735 Å bond distance (the standard VQE benchmark used in
+    /// single-point electronic-structure calculations like the paper's
+    /// §5.6.4 workload). Ground-state energy ≈ −1.8573 Ha.
+    pub fn h2_sto3g() -> Self {
+        Hamiltonian::new(vec![
+            PauliTerm::identity(-1.052373245772859),
+            PauliTerm::new(0.39793742484318045, vec![(0, 'Z')]),
+            PauliTerm::new(-0.39793742484318045, vec![(1, 'Z')]),
+            PauliTerm::new(-0.01128010425623538, vec![(0, 'Z'), (1, 'Z')]),
+            PauliTerm::new(0.18093119978423156, vec![(0, 'X'), (1, 'X')]),
+        ])
+    }
+
+    /// Reference ground-state energy of [`Hamiltonian::h2_sto3g`].
+    pub fn h2_ground_energy() -> f64 {
+        -1.857_275_030_202_382
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{Gate, Op};
+
+    #[test]
+    fn identity_term_is_constant() {
+        let t = PauliTerm::identity(2.5);
+        let psi = StateVector::new(3);
+        assert_eq!(t.expectation(&psi), 2.5);
+    }
+
+    #[test]
+    fn z_term_on_excited_qubit_flips_sign() {
+        let t = PauliTerm::new(1.0, vec![(0, 'Z')]);
+        let mut psi = StateVector::new(1);
+        assert!((t.expectation(&psi) - 1.0).abs() < 1e-12);
+        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 0 });
+        assert!((t.expectation(&psi) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h2_qubit_count() {
+        assert_eq!(Hamiltonian::h2_sto3g().qubits(), 2);
+    }
+
+    #[test]
+    fn h2_hartree_fock_energy() {
+        // |01> (occupied orbital) vs |00>: the mapped HF determinant for
+        // this reduced Hamiltonian is |01>.
+        let h = Hamiltonian::h2_sto3g();
+        let mut psi = StateVector::new(2);
+        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 0 });
+        let e_01 = h.expectation(&psi);
+        // HF energy for H2/STO-3G at 0.735 Å is ≈ -1.117 + nuclear rep?
+        // In this reduced mapping the HF determinant sits close to the
+        // exact ground energy; just require it to be within 0.1 Ha.
+        assert!(
+            (e_01 - Hamiltonian::h2_ground_energy()).abs() < 0.1,
+            "e={e_01}"
+        );
+    }
+
+    #[test]
+    fn ground_energy_is_spectrum_minimum() {
+        // Exhaustively check all four basis states are above the reported
+        // ground energy (variational principle sanity).
+        let h = Hamiltonian::h2_sto3g();
+        for basis in 0..4u32 {
+            let mut psi = StateVector::new(2);
+            if basis & 1 != 0 {
+                psi.apply(Op::Gate1 { gate: Gate::X, qubit: 0 });
+            }
+            if basis & 2 != 0 {
+                psi.apply(Op::Gate1 { gate: Gate::X, qubit: 1 });
+            }
+            assert!(h.expectation(&psi) >= Hamiltonian::h2_ground_energy() - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_qubit_rejected() {
+        let _ = PauliTerm::new(1.0, vec![(0, 'X'), (0, 'Z')]);
+    }
+}

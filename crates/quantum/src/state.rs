@@ -1,0 +1,377 @@
+//! [`StateVector`]: a full Schrödinger wave-function simulator.
+
+use rand::Rng;
+
+use crate::complex::C64;
+use crate::gate::{Gate, Op};
+
+/// A normalized quantum state over `n` qubits (qubit 0 is the least
+/// significant bit of the basis index).
+///
+/// # Examples
+///
+/// ```
+/// use kaas_quantum::{StateVector, Gate, Op};
+///
+/// let mut psi = StateVector::new(2);
+/// psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
+/// psi.apply(Op::Cx { control: 0, target: 1 });
+/// // Bell state: |00> and |11> each with probability 1/2.
+/// let p = psi.probabilities();
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// assert!((p[3] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// Creates |0…0⟩ over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or large enough to overflow memory (> 26 here).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1 && n <= 26, "qubit count {n} out of supported range 1..=26");
+        let mut amps = vec![C64::ZERO; 1 << n];
+        amps[0] = C64::ONE;
+        StateVector { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Basis amplitudes (length `2^n`).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// ⟨ψ|ψ⟩ (should be 1 up to rounding).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sq()).sum()
+    }
+
+    /// Per-basis-state probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sq()).collect()
+    }
+
+    /// Applies one operation in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op addresses a qubit out of range or a two-qubit op
+    /// uses the same qubit twice.
+    pub fn apply(&mut self, op: Op) {
+        match op {
+            Op::Gate1 { gate, qubit } => self.apply_1q(qubit, gate.matrix()),
+            Op::Cx { control, target } => self.apply_controlled(control, target, Gate::X.matrix()),
+            Op::Cz { a, b } => self.apply_controlled(a, b, Gate::Z.matrix()),
+            Op::Swap { a, b } => {
+                assert!(a != b, "swap qubits must differ");
+                self.apply(Op::Cx { control: a, target: b });
+                self.apply(Op::Cx { control: b, target: a });
+                self.apply(Op::Cx { control: a, target: b });
+            }
+        }
+    }
+
+    /// Applies a sequence of operations.
+    pub fn apply_all<'a>(&mut self, ops: impl IntoIterator<Item = &'a Op>) {
+        for op in ops {
+            self.apply(*op);
+        }
+    }
+
+    fn apply_1q(&mut self, q: usize, m: [[C64; 2]; 2]) {
+        assert!(q < self.n, "qubit {q} out of range for {}-qubit state", self.n);
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    fn apply_controlled(&mut self, c: usize, t: usize, m: [[C64; 2]; 2]) {
+        assert!(c < self.n && t < self.n, "qubit out of range");
+        assert!(c != t, "control and target must differ");
+        let cbit = 1usize << c;
+        let tbit = 1usize << t;
+        for i in 0..self.amps.len() {
+            if i & cbit != 0 && i & tbit == 0 {
+                let j = i | tbit;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// ⟨ψ|φ⟩ for two states of equal size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states have different qubit counts.
+    pub fn inner(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.n, other.n, "qubit counts differ");
+        let mut acc = C64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// |⟨ψ|φ⟩|² — 1.0 means equal up to global phase.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sq()
+    }
+
+    /// Samples `shots` measurement outcomes in the computational basis.
+    pub fn sample<R: Rng>(&self, shots: u64, rng: &mut R) -> Vec<usize> {
+        let probs = self.probabilities();
+        let mut cumulative = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in &probs {
+            acc += p;
+            cumulative.push(acc);
+        }
+        (0..shots)
+            .map(|_| {
+                let r: f64 = rng.gen::<f64>() * acc;
+                cumulative.partition_point(|&c| c < r).min(probs.len() - 1)
+            })
+            .collect()
+    }
+
+    /// Projectively measures one qubit in the computational basis,
+    /// collapsing the state: returns the observed bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn measure_qubit<R: Rng>(&mut self, qubit: usize, rng: &mut R) -> bool {
+        assert!(qubit < self.n, "qubit {qubit} out of range");
+        let bit = 1usize << qubit;
+        let p_one: f64 = self
+            .amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sq())
+            .sum();
+        let outcome = rng.gen::<f64>() < p_one;
+        let keep_mask = if outcome { bit } else { 0 };
+        let norm = if outcome { p_one } else { 1.0 - p_one };
+        let scale = 1.0 / norm.max(f64::MIN_POSITIVE).sqrt();
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & bit == keep_mask {
+                *a = a.scale(scale);
+            } else {
+                *a = C64::ZERO;
+            }
+        }
+        outcome
+    }
+
+    /// Expectation value of a tensor product of Paulis given as a slice of
+    /// `(qubit, pauli)` pairs, where pauli ∈ {'X','Y','Z'}.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown Pauli letter or out-of-range qubit.
+    pub fn pauli_expectation(&self, paulis: &[(usize, char)]) -> f64 {
+        // Compute P|ψ> then take <ψ|P|ψ>.
+        let mut phi = self.clone();
+        for &(q, p) in paulis {
+            let gate = match p {
+                'X' => Gate::X,
+                'Y' => Gate::Y,
+                'Z' => Gate::Z,
+                other => panic!("unknown Pauli '{other}'"),
+            };
+            phi.apply(Op::Gate1 { gate, qubit: q });
+        }
+        self.inner(&phi).re
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn initial_state_is_all_zeros() {
+        let psi = StateVector::new(3);
+        assert_eq!(psi.qubits(), 3);
+        assert!((psi.probabilities()[0] - 1.0).abs() < 1e-15);
+        assert!((psi.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn x_flips_a_qubit() {
+        let mut psi = StateVector::new(2);
+        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 1 });
+        let p = psi.probabilities();
+        assert!((p[0b10] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn h_twice_is_identity() {
+        let mut psi = StateVector::new(1);
+        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
+        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
+        assert!((psi.probabilities()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_probabilities() {
+        let mut psi = StateVector::new(3);
+        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
+        psi.apply(Op::Cx { control: 0, target: 1 });
+        psi.apply(Op::Cx { control: 1, target: 2 });
+        let p = psi.probabilities();
+        assert!((p[0b000] - 0.5).abs() < 1e-12);
+        assert!((p[0b111] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_preserved_by_random_circuit() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut psi = StateVector::new(5);
+        for _ in 0..200 {
+            let q = rng.gen_range(0..5);
+            match rng.gen_range(0..4) {
+                0 => psi.apply(Op::Gate1 { gate: Gate::H, qubit: q }),
+                1 => psi.apply(Op::Gate1 { gate: Gate::Ry(rng.gen::<f64>()), qubit: q }),
+                2 => psi.apply(Op::Gate1 { gate: Gate::Rz(rng.gen::<f64>()), qubit: q }),
+                _ => {
+                    let t = (q + 1) % 5;
+                    psi.apply(Op::Cx { control: q, target: t });
+                }
+            }
+        }
+        assert!((psi.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut psi = StateVector::new(2);
+        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 0 });
+        psi.apply(Op::Swap { a: 0, b: 1 });
+        assert!((psi.probabilities()[0b10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_expectation_signs() {
+        let mut psi = StateVector::new(1);
+        assert!((psi.pauli_expectation(&[(0, 'Z')]) - 1.0).abs() < 1e-12);
+        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 0 });
+        assert!((psi.pauli_expectation(&[(0, 'Z')]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_expectation_on_plus_state() {
+        let mut psi = StateVector::new(1);
+        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
+        assert!((psi.pauli_expectation(&[(0, 'X')]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let mut psi = StateVector::new(2);
+        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
+        psi.apply(Op::Cx { control: 0, target: 1 });
+        // <Z0 Z1> = 1, <X0 X1> = 1 for |Φ+>.
+        assert!((psi.pauli_expectation(&[(0, 'Z'), (1, 'Z')]) - 1.0).abs() < 1e-12);
+        assert!((psi.pauli_expectation(&[(0, 'X'), (1, 'X')]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut psi = StateVector::new(1);
+        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let samples = psi.sample(10_000, &mut rng);
+        let ones = samples.iter().filter(|&&s| s == 1).count();
+        let frac = ones as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn measurement_collapses_and_normalizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        // Bell state: the two qubits' outcomes must agree, and the
+        // post-measurement state is normalized and deterministic.
+        for _ in 0..20 {
+            let mut psi = StateVector::new(2);
+            psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
+            psi.apply(Op::Cx { control: 0, target: 1 });
+            let first = psi.measure_qubit(0, &mut rng);
+            assert!((psi.norm() - 1.0).abs() < 1e-12);
+            let second = psi.measure_qubit(1, &mut rng);
+            assert_eq!(first, second, "Bell correlations");
+            assert!((psi.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn measurement_of_definite_state_is_certain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut psi = StateVector::new(2);
+        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 1 });
+        for _ in 0..5 {
+            assert!(!psi.measure_qubit(0, &mut rng));
+            assert!(psi.measure_qubit(1, &mut rng));
+        }
+    }
+
+    #[test]
+    fn measurement_statistics_match_probabilities() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut ones = 0u32;
+        for _ in 0..2000 {
+            let mut psi = StateVector::new(1);
+            psi.apply(Op::Gate1 { gate: Gate::Ry(1.0), qubit: 0 });
+            if psi.measure_qubit(0, &mut rng) {
+                ones += 1;
+            }
+        }
+        // P(1) = sin²(0.5) ≈ 0.2298.
+        let frac = ones as f64 / 2000.0;
+        assert!((frac - 0.2298).abs() < 0.03, "frac={frac}");
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let mut a = StateVector::new(2);
+        a.apply(Op::Gate1 { gate: Gate::Ry(0.7), qubit: 0 });
+        let b = a.clone();
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut psi = StateVector::new(2);
+        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "differ")]
+    fn cx_same_qubit_panics() {
+        let mut psi = StateVector::new(2);
+        psi.apply(Op::Cx { control: 1, target: 1 });
+    }
+}

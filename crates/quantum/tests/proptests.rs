@@ -1,0 +1,154 @@
+//! Property-based tests of the quantum stack's physical invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use kaas_quantum::{transpile, Circuit, Gate, Hamiltonian, Op, StateVector};
+
+/// Strategy: an arbitrary op on `qubits` qubits.
+fn arb_op(qubits: usize) -> impl Strategy<Value = Op> {
+    let single = (0..qubits, 0..8usize, -3.2f64..3.2).prop_map(|(q, which, theta)| {
+        let gate = match which {
+            0 => Gate::H,
+            1 => Gate::X,
+            2 => Gate::Y,
+            3 => Gate::Z,
+            4 => Gate::S,
+            5 => Gate::Rx(theta),
+            6 => Gate::Ry(theta),
+            _ => Gate::Rz(theta),
+        };
+        Op::Gate1 { gate, qubit: q }
+    });
+    let two = (0..qubits, 1..qubits, 0..3usize).prop_map(move |(a, off, kind)| {
+        let b = (a + off) % qubits;
+        let (a, b) = if a == b { (a, (a + 1) % qubits) } else { (a, b) };
+        match kind {
+            0 => Op::Cx { control: a, target: b },
+            1 => Op::Cz { a, b },
+            _ => Op::Swap { a, b },
+        }
+    });
+    prop_oneof![3 => single, 2 => two]
+}
+
+fn arb_circuit(qubits: usize, max_ops: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_op(qubits), 0..max_ops).prop_map(move |ops| {
+        let mut qc = Circuit::new(qubits);
+        for op in ops {
+            qc.push(op);
+        }
+        qc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every circuit is norm-preserving (all gates are unitary).
+    #[test]
+    fn circuits_preserve_norm(qc in arb_circuit(4, 60)) {
+        let psi = qc.statevector();
+        prop_assert!((psi.norm() - 1.0).abs() < 1e-9);
+    }
+
+    /// Transpiled circuits are equivalent up to global phase (fidelity 1
+    /// against the original on a random input state).
+    #[test]
+    fn transpile_preserves_semantics(qc in arb_circuit(3, 40), seed in 0u64..1000) {
+        let (lowered, stats) = transpile(&qc);
+        prop_assert!(stats.gates_after <= stats.gates_before * 7 + 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let prep = Circuit::random_cx(3, 5, &mut rng);
+        let mut a = prep.statevector();
+        let mut b = a.clone();
+        qc.run_on(&mut a);
+        lowered.run_on(&mut b);
+        prop_assert!((a.fidelity(&b) - 1.0).abs() < 1e-8,
+            "fidelity {} after transpiling {:?}", a.fidelity(&b), qc);
+    }
+
+    /// Applying a gate twice where G² = I returns to the original state.
+    #[test]
+    fn involutory_gates_square_to_identity(
+        qc in arb_circuit(3, 20),
+        which in 0..4usize,
+        q in 0..3usize,
+    ) {
+        let gate = [Gate::H, Gate::X, Gate::Y, Gate::Z][which];
+        let mut psi = qc.statevector();
+        let reference = psi.clone();
+        psi.apply(Op::Gate1 { gate, qubit: q });
+        psi.apply(Op::Gate1 { gate, qubit: q });
+        prop_assert!((psi.fidelity(&reference) - 1.0).abs() < 1e-9);
+    }
+
+    /// Pauli expectations are bounded by the operator norm: |⟨P⟩| ≤ 1.
+    #[test]
+    fn pauli_expectations_are_bounded(qc in arb_circuit(3, 30), q in 0..3usize) {
+        let psi = qc.statevector();
+        for p in ['X', 'Y', 'Z'] {
+            let e = psi.pauli_expectation(&[(q, p)]);
+            prop_assert!(e.abs() <= 1.0 + 1e-9, "<{p}> = {e}");
+        }
+    }
+
+    /// Energies of arbitrary states respect the variational bound of the
+    /// H₂ Hamiltonian's ground energy.
+    #[test]
+    fn variational_bound_holds(qc in arb_circuit(2, 30)) {
+        let h = Hamiltonian::h2_sto3g();
+        let e = h.expectation(&qc.statevector());
+        prop_assert!(e >= Hamiltonian::h2_ground_energy() - 1e-9, "e = {e}");
+    }
+
+    /// Probabilities sum to one and every amplitude is bounded.
+    #[test]
+    fn probabilities_form_a_distribution(qc in arb_circuit(4, 40)) {
+        let psi = qc.statevector();
+        let probs = psi.probabilities();
+        let total: f64 = probs.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(probs.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+    }
+
+    /// Sampling only produces basis states with nonzero probability.
+    #[test]
+    fn samples_come_from_the_support(seed in 0u64..500) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let qc = Circuit::random_cx(4, 12, &mut rng);
+        let psi = qc.statevector();
+        let probs = psi.probabilities();
+        let samples = psi.sample(200, &mut rng);
+        for s in samples {
+            prop_assert!(probs[s] > 1e-12, "sampled zero-probability state {s}");
+        }
+    }
+
+    /// Circuit depth is never larger than the gate count and never
+    /// smaller than gates-per-qubit.
+    #[test]
+    fn depth_bounds(qc in arb_circuit(4, 50)) {
+        let depth = qc.depth();
+        prop_assert!(depth <= qc.gate_count());
+        let per_qubit_max = (0..4)
+            .map(|q| qc.ops().iter().filter(|op| op.qubits().contains(&q)).count())
+            .max()
+            .unwrap_or(0);
+        prop_assert!(depth >= per_qubit_max.min(qc.gate_count()));
+    }
+
+    /// StateVector::inner is conjugate-symmetric: ⟨a|b⟩ = conj(⟨b|a⟩).
+    #[test]
+    fn inner_product_conjugate_symmetry(
+        a in arb_circuit(3, 25),
+        b in arb_circuit(3, 25),
+    ) {
+        let pa: StateVector = a.statevector();
+        let pb: StateVector = b.statevector();
+        let ab = pa.inner(&pb);
+        let ba = pb.inner(&pa);
+        prop_assert!((ab.re - ba.re).abs() < 1e-9);
+        prop_assert!((ab.im + ba.im).abs() < 1e-9);
+    }
+}

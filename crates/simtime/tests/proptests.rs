@@ -1,0 +1,166 @@
+//! Property-based tests of the simulator's core guarantees.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use kaas_simtime::channel;
+use kaas_simtime::sync::Semaphore;
+use kaas_simtime::{now, sleep, spawn, SimTime, Simulation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Virtual time observed inside tasks never decreases, regardless of
+    /// how sleeps interleave.
+    #[test]
+    fn clock_is_monotone_across_tasks(delays in prop::collection::vec(0u64..2_000, 1..40)) {
+        let mut sim = Simulation::new();
+        let observed: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        for &d in &delays {
+            let observed = Rc::clone(&observed);
+            sim.spawn(async move {
+                sleep(Duration::from_micros(d)).await;
+                observed.borrow_mut().push(now());
+                sleep(Duration::from_micros(d / 2 + 1)).await;
+                observed.borrow_mut().push(now());
+            });
+        }
+        sim.run();
+        let obs = observed.borrow();
+        prop_assert_eq!(obs.len(), delays.len() * 2);
+        // The recorded sequence (in event order) is sorted.
+        let mut sorted = obs.clone();
+        sorted.sort();
+        prop_assert_eq!(&*obs, &sorted);
+    }
+
+    /// The final clock equals the maximum requested deadline.
+    #[test]
+    fn run_ends_at_last_deadline(delays in prop::collection::vec(1u64..5_000, 1..30)) {
+        let mut sim = Simulation::new();
+        for &d in &delays {
+            sim.spawn(async move {
+                sleep(Duration::from_micros(d)).await;
+            });
+        }
+        let end = sim.run();
+        let max = *delays.iter().max().unwrap();
+        prop_assert_eq!(end, SimTime::ZERO + Duration::from_micros(max));
+    }
+
+    /// Unbounded channels deliver every message exactly once, in order,
+    /// per sender.
+    #[test]
+    fn channel_is_lossless_and_fifo(msgs in prop::collection::vec(0u32..1000, 0..100)) {
+        let mut sim = Simulation::new();
+        let msgs2 = msgs.clone();
+        let got = sim.block_on(async move {
+            let (tx, mut rx) = channel::unbounded();
+            spawn(async move {
+                for (i, m) in msgs2.into_iter().enumerate() {
+                    sleep(Duration::from_nanos((m as u64 * 7 + i as u64) % 97)).await;
+                    tx.send(m).await.unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        prop_assert_eq!(got, msgs);
+    }
+
+    /// Bounded channels never hold more than their capacity.
+    #[test]
+    fn bounded_channel_respects_capacity(
+        cap in 1usize..8,
+        n in 1usize..40,
+    ) {
+        let mut sim = Simulation::new();
+        let peak = sim.block_on(async move {
+            let (tx, mut rx) = channel::bounded::<usize>(cap);
+            let peak = Rc::new(RefCell::new(0usize));
+            let p2 = Rc::clone(&peak);
+            let txl = tx.clone();
+            drop(tx);
+            spawn(async move {
+                for i in 0..n {
+                    txl.send(i).await.unwrap();
+                    let len = txl.len();
+                    let mut p = p2.borrow_mut();
+                    if len > *p {
+                        *p = len;
+                    }
+                }
+            });
+            let mut count = 0;
+            while let Some(_) = rx.recv().await {
+                count += 1;
+                sleep(Duration::from_micros(1)).await;
+            }
+            assert_eq!(count, n);
+            let p = *peak.borrow();
+            p
+        });
+        prop_assert!(peak <= cap, "peak {peak} exceeded capacity {cap}");
+    }
+
+    /// A semaphore never over-admits, for any permit pattern.
+    #[test]
+    fn semaphore_never_overadmits(
+        permits in 1usize..6,
+        requests in prop::collection::vec((1usize..4, 1u64..500), 1..30),
+    ) {
+        let mut sim = Simulation::new();
+        let max_permits = permits;
+        let violation = sim.block_on(async move {
+            let sem = Semaphore::new(max_permits);
+            let in_use = Rc::new(RefCell::new((0usize, false)));
+            let mut handles = Vec::new();
+            for (want, hold_us) in requests {
+                let want = want.min(max_permits);
+                let sem = sem.clone();
+                let in_use = Rc::clone(&in_use);
+                handles.push(spawn(async move {
+                    let _g = sem.acquire(want).await;
+                    {
+                        let mut s = in_use.borrow_mut();
+                        s.0 += want;
+                        if s.0 > max_permits {
+                            s.1 = true;
+                        }
+                    }
+                    sleep(Duration::from_micros(hold_us)).await;
+                    in_use.borrow_mut().0 -= want;
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            let v = in_use.borrow().1;
+            v
+        });
+        prop_assert!(!violation, "semaphore admitted more than {max_permits} permits");
+    }
+
+    /// Two identical simulations give identical final clocks (determinism
+    /// under arbitrary workloads).
+    #[test]
+    fn identical_runs_identical_clocks(delays in prop::collection::vec(0u64..10_000, 1..25)) {
+        let run = |delays: Vec<u64>| {
+            let mut sim = Simulation::new();
+            for (i, d) in delays.into_iter().enumerate() {
+                sim.spawn(async move {
+                    for k in 0..3 {
+                        sleep(Duration::from_nanos(d * (k + 1) + i as u64)).await;
+                    }
+                });
+            }
+            sim.run()
+        };
+        prop_assert_eq!(run(delays.clone()), run(delays));
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: boot a KaaS deployment, register a kernel, and watch the
+//! cold-start → warm-start transition the paper is built around.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::rc::Rc;
+
+use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
+use kaas::core::{KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig};
+use kaas::kernels::{MatMul, Value};
+use kaas::net::{LinkProfile, SerializationProfile, SharedMemory};
+use kaas::simtime::{spawn, Simulation};
+
+fn main() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        // 1. A shared pool of accelerators: two P100 GPUs.
+        let devices: Vec<Device> = (0..2)
+            .map(|i| GpuDevice::new(DeviceId(i), GpuProfile::p100()).into())
+            .collect();
+
+        // 2. Developers register kernels (Fig. 3 step ①).
+        let registry = KernelRegistry::new();
+        registry.register(MatMul::new()).expect("fresh registry");
+
+        // 3. The KaaS server wraps and deploys them (steps ② and ④).
+        let shm = SharedMemory::host();
+        let server = KaasServer::new(devices, registry, shm.clone(), ServerConfig::default());
+        let net: KaasNetwork = KaasNetwork::new();
+        let listener = net.listen("kaas:7000").expect("fresh network");
+        spawn(server.clone().serve(listener));
+
+        // 4. Applications invoke kernels over the network (step ③).
+        let mut client = KaasClient::connect(&net, "kaas:7000", LinkProfile::loopback())
+            .await
+            .expect("server is listening")
+            .with_shared_memory(shm)
+            .with_serialization(SerializationProfile::numpy());
+
+        println!("invoking matmul(500x500) five times:");
+        for i in 0..5 {
+            let input = Value::sized(2 * 8 * 500 * 500, Value::U64(500));
+            let inv = client
+                .invoke_oob("matmul", input)
+                .await
+                .expect("invocation succeeds");
+            println!(
+                "  #{i}: {:>8.1} ms total | kernel {:>6.2} ms | {} | runner {} on {}",
+                inv.latency.as_secs_f64() * 1e3,
+                inv.report.kernel_time().as_secs_f64() * 1e3,
+                if inv.report.cold_start { "COLD" } else { "warm" },
+                inv.report.runner,
+                inv.report.device,
+            );
+        }
+
+        let metrics = server.metrics();
+        println!(
+            "\nserver handled {} invocations ({} cold start)",
+            metrics.len(),
+            metrics.cold_starts()
+        );
+        let kernel: Rc<dyn kaas::kernels::Kernel> = Rc::new(MatMul::new());
+        println!(
+            "kernel '{}' targets {} devices",
+            kernel.name(),
+            kernel.device_class()
+        );
+    });
+    println!("\nsimulated time elapsed: {}", sim.now());
+}

@@ -1,0 +1,96 @@
+//! Workflows and kernel fusion (§3.4 + §6): compose registered kernels
+//! declaratively, then fuse adjacent same-device stages to keep
+//! intermediates in device memory.
+//!
+//! Run with: `cargo run --example workflow_fusion`
+
+use std::rc::Rc;
+
+use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
+use kaas::core::{
+    fuse, KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig, Workflow,
+};
+use kaas::kernels::{mean_fitness, GaGeneration, Kernel, Value};
+use kaas::net::{LinkProfile, SerializationProfile, SharedMemory};
+use kaas::simtime::{now, spawn, Simulation};
+
+fn main() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let devices: Vec<Device> =
+            vec![GpuDevice::new(DeviceId(0), GpuProfile::p100()).into()];
+        let registry = KernelRegistry::new();
+        // A plain GA generation, and a fused five-generation variant.
+        registry.register(GaGeneration::seeded(1)).expect("register");
+        let stages: Vec<Rc<dyn Kernel>> = (0..5)
+            .map(|i| Rc::new(GaGeneration::seeded(10 + i)) as Rc<dyn Kernel>)
+            .collect();
+        registry
+            .register(fuse("ga-x5", stages).expect("same device class"))
+            .expect("register");
+
+        let shm = SharedMemory::host();
+        let server = KaasServer::new(devices, registry, shm.clone(), ServerConfig::default());
+        let net: KaasNetwork = KaasNetwork::new();
+        spawn(server.clone().serve(net.listen("kaas").expect("bind")));
+        server.prewarm("ga", 1).await.expect("prewarm");
+        server.prewarm("ga-x5", 1).await.expect("prewarm");
+
+        // A *remote* client: every workflow step ships the population
+        // over the 1 Gbps link, so fusing steps visibly saves round
+        // trips (§6 "Data Movement").
+        let _ = shm;
+        let mut client = KaasClient::connect(&net, "kaas", LinkProfile::lan_1gbps())
+            .await
+            .expect("listening")
+            .with_serialization(SerializationProfile::numpy());
+        use kaas::core::TransferMode;
+
+        // Ten generations as a 10-step workflow of single generations...
+        let unfused: Workflow = (0..10)
+            .fold(Workflow::new("evolve-10x1"), |wf, _| wf.step("ga"))
+            .with_transfer(TransferMode::InBand);
+        let t0 = now();
+        let run1 = client
+            .run_workflow(&unfused, Value::U64(128))
+            .await
+            .expect("workflow runs");
+        let unfused_time = (now() - t0).as_secs_f64();
+
+        // ...and as a 2-step workflow of fused five-generation kernels.
+        let fused_wf = Workflow::new("evolve-2x5")
+            .step("ga-x5")
+            .step("ga-x5")
+            .with_transfer(TransferMode::InBand);
+        let t1 = now();
+        let run2 = client
+            .run_workflow(&fused_wf, Value::U64(128))
+            .await
+            .expect("workflow runs");
+        let fused_time = (now() - t1).as_secs_f64();
+
+        let fit1 = match &run1.output {
+            Value::F64s(pop) => mean_fitness(pop),
+            _ => unreachable!(),
+        };
+        let fit2 = match &run2.output {
+            Value::F64s(pop) => mean_fitness(pop),
+            _ => unreachable!(),
+        };
+        println!("ten GA generations over a 128-individual population (remote client):");
+        println!(
+            "  10 x 1 (unfused): {unfused_time:.3} s, {} steps, mean fitness {fit1:.1}"
+            , run1.reports.len()
+        );
+        println!(
+            "   2 x 5 (fused)  : {fused_time:.3} s, {} steps, mean fitness {fit2:.1}",
+            run2.reports.len()
+        );
+        println!(
+            "  fusion saved {:.1}% by keeping intermediate populations on \
+             the device instead of shipping them through the client",
+            100.0 * (unfused_time - fused_time) / unfused_time
+        );
+        assert!(fused_time < unfused_time);
+    });
+}

@@ -1,0 +1,27 @@
+//! # KaaS — Kernel-as-a-Service in Rust
+//!
+//! A full reproduction of *"Kernel-as-a-Service: A Serverless Programming
+//! Model for Heterogeneous Hardware Accelerators"* (Pfandzelter et al.,
+//! Middleware '23): the KaaS runtime (server, task runners, client API,
+//! autoscaler), the delivery-model baselines (time sharing and space
+//! sharing), calibrated device models for GPU/FPGA/TPU/QPU/CPU, real
+//! kernel implementations, and a benchmark harness regenerating every
+//! figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`simtime`] — deterministic discrete-event async runtime.
+//! * [`net`] — simulated network, serialization, shared memory.
+//! * [`accel`] — accelerator device models and power metering.
+//! * [`quantum`] — state-vector quantum circuit simulator and VQE.
+//! * [`kernels`] — real kernel implementations with work profiles.
+//! * [`core`] — the KaaS runtime itself.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use kaas_accel as accel;
+pub use kaas_core as core;
+pub use kaas_kernels as kernels;
+pub use kaas_net as net;
+pub use kaas_quantum as quantum;
+pub use kaas_simtime as simtime;

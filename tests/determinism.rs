@@ -1,0 +1,62 @@
+//! Integration: the whole stack is deterministic — identical runs
+//! produce bit-identical figures, and simulated time is independent of
+//! wall-clock conditions.
+
+use kaas::simtime::{sleep, spawn, Simulation};
+use std::time::Duration;
+
+#[test]
+fn figure_runs_are_bit_identical() {
+    let a = kaas_bench::fig15::run(true);
+    let b = kaas_bench::fig15::run(true);
+    assert_eq!(a, b, "fig15 must be deterministic");
+}
+
+#[test]
+fn autoscaling_timeline_is_deterministic() {
+    let a = kaas_bench::fig13::run_timeline(60, 10);
+    let b = kaas_bench::fig13::run_timeline(60, 10);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn quantum_vqe_is_deterministic() {
+    use kaas::quantum::{vqe, EstimatorMode, Hamiltonian, TwoLocalAnsatz, VqeOptimizer};
+    use rand::SeedableRng;
+    let run = || {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        vqe(
+            &Hamiltonian::h2_sto3g(),
+            TwoLocalAnsatz::new(2, 1),
+            VqeOptimizer::Spsa { iterations: 60 },
+            EstimatorMode::Shots(1024),
+            &mut rng,
+        )
+        .energy
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn thousands_of_interleaved_tasks_settle_identically() {
+    let run = || {
+        let mut sim = Simulation::new();
+        let end = sim.block_on(async {
+            let mut handles = Vec::new();
+            for i in 0..2_000u64 {
+                handles.push(spawn(async move {
+                    sleep(Duration::from_nanos(i * 13 % 1009)).await;
+                    sleep(Duration::from_nanos(i * 7 % 509)).await;
+                    i
+                }));
+            }
+            let mut acc = 0u64;
+            for h in handles {
+                acc = acc.wrapping_mul(31).wrapping_add(h.await);
+            }
+            acc
+        });
+        (end, sim.now())
+    };
+    assert_eq!(run(), run());
+}

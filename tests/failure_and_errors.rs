@@ -1,0 +1,140 @@
+//! Integration: failure injection and error paths across the stack.
+
+use std::rc::Rc;
+
+use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
+use kaas::core::{
+    InvokeError, KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig,
+};
+use kaas::kernels::{Kernel, MatMul, MonteCarlo, Value};
+use kaas::net::{LinkProfile, SharedMemory};
+use kaas::simtime::{spawn, Simulation};
+
+fn gpus(n: u32) -> Vec<Device> {
+    (0..n)
+        .map(|i| GpuDevice::new(DeviceId(i), GpuProfile::p100()).into())
+        .collect()
+}
+
+fn boot(devices: Vec<Device>, kernels: Vec<Rc<dyn Kernel>>) -> (KaasServer, KaasNetwork, SharedMemory) {
+    let registry = KernelRegistry::new();
+    for k in kernels {
+        registry.register_rc(k).unwrap();
+    }
+    let shm = SharedMemory::host();
+    let server = KaasServer::new(devices, registry, shm.clone(), ServerConfig::default());
+    let net: KaasNetwork = KaasNetwork::new();
+    spawn(server.clone().serve(net.listen("kaas").unwrap()));
+    (server, net, shm)
+}
+
+async fn connect(net: &KaasNetwork, shm: SharedMemory) -> KaasClient {
+    KaasClient::connect(net, "kaas", LinkProfile::loopback())
+        .await
+        .expect("listening")
+        .with_shared_memory(shm)
+}
+
+#[test]
+fn unknown_kernel_is_reported() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let (_s, net, shm) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
+        let mut client = connect(&net, shm).await;
+        let err = client.invoke("nonexistent", Value::U64(1)).await.unwrap_err();
+        assert_eq!(err, InvokeError::UnknownKernel("nonexistent".into()));
+    });
+}
+
+#[test]
+fn bad_input_is_reported_not_fatal() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let (_s, net, shm) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
+        let mut client = connect(&net, shm).await;
+        let err = client.invoke("matmul", Value::Unit).await.unwrap_err();
+        assert!(matches!(err, InvokeError::BadInput(_)), "got {err:?}");
+        // The server keeps serving after a bad request.
+        let ok = client.invoke("matmul", Value::U64(64)).await;
+        assert!(ok.is_ok());
+    });
+}
+
+#[test]
+fn missing_device_class_is_reported() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        // A GPU kernel on a deployment with no GPU.
+        let cpu: Device = kaas::accel::CpuDevice::new(
+            DeviceId(0),
+            kaas::accel::CpuProfile::xeon_e5_2698v4_dual(),
+        )
+        .into();
+        let (_s, net, shm) = boot(vec![cpu], vec![Rc::new(MatMul::new())]);
+        let mut client = connect(&net, shm).await;
+        let err = client.invoke("matmul", Value::U64(64)).await.unwrap_err();
+        assert_eq!(err, InvokeError::NoDevice("GPU".into()));
+    });
+}
+
+#[test]
+fn killed_runner_is_replaced_transparently() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let (server, net, shm) = boot(gpus(2), vec![Rc::new(MonteCarlo::default())]);
+        let mut client = connect(&net, shm).await;
+        let first = client.invoke_oob("mci", Value::U64(10_000)).await.unwrap();
+        let dev0 = first.report.device;
+        // Crash the runner that served us.
+        assert!(server.kill_runner("mci", dev0));
+        // The next invocation is retried onto a fresh runner and succeeds.
+        let second = client.invoke_oob("mci", Value::U64(10_000)).await.unwrap();
+        assert!(second.report.cold_start, "replacement runner cold-starts");
+        assert_ne!(
+            second.report.runner, first.report.runner,
+            "a new runner must serve after the crash"
+        );
+    });
+}
+
+#[test]
+fn oob_without_shared_memory_fails_cleanly() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let (_s, net, _shm) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
+        // No shared-memory attachment (a remote client).
+        let mut client = KaasClient::connect(&net, "kaas", LinkProfile::lan_1gbps())
+            .await
+            .expect("listening");
+        let err = client.invoke_oob("matmul", Value::U64(8)).await.unwrap_err();
+        assert_eq!(err, InvokeError::BadHandle);
+        // In-band still works for remote clients.
+        assert!(client.invoke("matmul", Value::U64(8)).await.is_ok());
+    });
+}
+
+#[test]
+fn in_band_and_out_of_band_produce_identical_outputs() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let (_s, net, shm) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
+        let mut client = connect(&net, shm).await;
+        let a = client.invoke("matmul", Value::U64(100)).await.unwrap();
+        let b = client.invoke_oob("matmul", Value::U64(100)).await.unwrap();
+        assert_eq!(a.output, b.output);
+    });
+}
+
+#[test]
+fn sized_envelopes_round_trip() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let (_s, net, shm) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
+        let mut client = connect(&net, shm).await;
+        let input = Value::sized(2 * 8 * 2000 * 2000, Value::U64(2000));
+        let inv = client.invoke_oob("matmul", input).await.unwrap();
+        // The response mirrors the descriptor size (result matrix bytes).
+        assert_eq!(inv.output.wire_bytes(), 8 * 2000 * 2000);
+        assert!(matches!(inv.output.payload(), Value::F64(_)));
+    });
+}

@@ -1,0 +1,149 @@
+//! Integration: federated multi-site deployments — kernel discovery,
+//! routing, and cross-site workflows.
+
+use std::rc::Rc;
+
+use kaas::accel::{
+    Device, DeviceId, FpgaDevice, FpgaProfile, GpuDevice, GpuProfile, QpuDevice, QpuProfile,
+};
+use kaas::core::{
+    FederatedClient, InvokeError, KaasNetwork, KaasServer, KernelRegistry, ServerConfig,
+    SiteSpec, Workflow,
+};
+use kaas::kernels::{BitmapConversion, Kernel, MatMul, Preprocess, Value, VqeEstimator};
+use kaas::net::SharedMemory;
+use kaas::simtime::{spawn, Simulation};
+
+fn boot_site(
+    net: &KaasNetwork,
+    addr: &str,
+    devices: Vec<Device>,
+    kernels: Vec<Rc<dyn Kernel>>,
+) -> SharedMemory {
+    let registry = KernelRegistry::new();
+    for k in kernels {
+        registry.register_rc(k).unwrap();
+    }
+    let shm = SharedMemory::host();
+    let server = KaasServer::new(devices, registry, shm.clone(), ServerConfig::default());
+    spawn(server.serve(net.listen(addr).unwrap()));
+    shm
+}
+
+#[test]
+fn discovery_finds_each_sites_kernels() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let net: KaasNetwork = KaasNetwork::new();
+        let shm_a = boot_site(
+            &net,
+            "site-a",
+            vec![GpuDevice::new(DeviceId(0), GpuProfile::p100()).into()],
+            vec![Rc::new(MatMul::new())],
+        );
+        let _shm_b = boot_site(
+            &net,
+            "site-b",
+            vec![FpgaDevice::new(DeviceId(1), FpgaProfile::alveo_u250()).into()],
+            vec![Rc::new(BitmapConversion::default())],
+        );
+        let fed = FederatedClient::connect(
+            &net,
+            vec![SiteSpec::local("site-a", shm_a), SiteSpec::remote("site-b")],
+        )
+        .await
+        .unwrap();
+        assert_eq!(fed.site_count(), 2);
+        assert_eq!(fed.kernels(), vec!["bitmap".to_owned(), "matmul".to_owned()]);
+        assert_eq!(fed.route("matmul"), Some(0));
+        assert_eq!(fed.route("bitmap"), Some(1));
+        assert_eq!(fed.route("nope"), None);
+        assert_eq!(fed.site_kernels(0), ["matmul".to_owned()]);
+    });
+}
+
+#[test]
+fn invocations_route_to_the_serving_site() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let net: KaasNetwork = KaasNetwork::new();
+        let shm_a = boot_site(
+            &net,
+            "gpu-site",
+            vec![GpuDevice::new(DeviceId(0), GpuProfile::p100()).into()],
+            vec![Rc::new(MatMul::new())],
+        );
+        let _ = boot_site(
+            &net,
+            "qpu-site",
+            vec![QpuDevice::new(DeviceId(7), QpuProfile::qasm_simulator()).into()],
+            vec![Rc::new(VqeEstimator::h2(1024))],
+        );
+        let mut fed = FederatedClient::connect(
+            &net,
+            vec![
+                SiteSpec::local("gpu-site", shm_a),
+                SiteSpec::remote("qpu-site"),
+            ],
+        )
+        .await
+        .unwrap();
+        let mm = fed.invoke("matmul", Value::U64(128)).await.unwrap();
+        assert_eq!(mm.report.device, DeviceId(0));
+        let vqe = fed
+            .invoke("vqe-estimator", Value::F64s(vec![0.2; 4]))
+            .await
+            .unwrap();
+        assert_eq!(vqe.report.device, DeviceId(7));
+        let err = fed.invoke("missing", Value::Unit).await.unwrap_err();
+        assert_eq!(err, InvokeError::UnknownKernel("missing".into()));
+    });
+}
+
+#[test]
+fn workflows_hop_between_sites() {
+    // The Fig. 1 pipeline split across two federated hosts: CPU
+    // preprocessing at the edge, FPGA bitmap conversion in the
+    // datacenter (the §6 earth-observation style of deployment).
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let net: KaasNetwork = KaasNetwork::new();
+        let shm_edge = boot_site(
+            &net,
+            "edge",
+            vec![kaas::accel::CpuDevice::new(
+                DeviceId(0),
+                kaas::accel::CpuProfile::xeon_e5_2650v3_dual(),
+            )
+            .into()],
+            vec![Rc::new(Preprocess::new())],
+        );
+        let _ = boot_site(
+            &net,
+            "dc",
+            vec![FpgaDevice::new(DeviceId(1), FpgaProfile::alveo_u250()).into()],
+            vec![Rc::new(BitmapConversion::default())],
+        );
+        let mut fed = FederatedClient::connect(
+            &net,
+            vec![SiteSpec::local("edge", shm_edge), SiteSpec::remote("dc")],
+        )
+        .await
+        .unwrap();
+
+        let frame = Value::image(vec![210u8; 96 * 96 * 3], 96, 96, 3);
+        let wf = Workflow::new("edge-to-dc").step("preprocess").step("bitmap");
+        let run = fed.run_workflow(&wf, frame).await.unwrap();
+        assert_eq!(run.reports.len(), 2);
+        assert_ne!(run.reports[0].device, run.reports[1].device);
+        match &run.output {
+            Value::Image {
+                pixels, channels, ..
+            } => {
+                assert_eq!(*channels, 1);
+                assert!(pixels.iter().all(|&p| p == 1), "bright frame → white bitmap");
+            }
+            other => panic!("expected a bitmap, got {other:?}"),
+        }
+    });
+}

@@ -1,0 +1,68 @@
+//! Integration: the paper's abstract headline claims, end to end.
+//!
+//! "KaaS reduces completion times for fine-grained tasks by up to
+//!  96.0% (GPU), 68.4% (FPGA), 98.6% (TPU), and 34.9% (QPU)."
+
+use kaas::accel::QpuProfile;
+use kaas_bench::common::reduction_pct;
+
+#[test]
+fn gpu_headline_up_to_96_percent() {
+    // The GPU maximum comes from the MCI kernel (Fig. 14).
+    let figs = kaas_bench::fig14::run(true);
+    let mci = figs
+        .iter()
+        .find(|f| f.id == "fig14-mci")
+        .expect("mci panel present");
+    let base = mci.series("Baseline").unwrap();
+    let kaas = mci.series("KaaS").unwrap();
+    let best = base
+        .points
+        .iter()
+        .zip(&kaas.points)
+        .map(|(&(_, b), &(_, k))| reduction_pct(b, k))
+        .fold(f64::MIN, f64::max);
+    assert!(best > 85.0, "GPU best reduction {best}% (paper: up to 96.0%)");
+}
+
+#[test]
+fn fpga_headline_about_68_percent() {
+    let b = kaas_bench::fig15::baseline_time("histogram");
+    let k = kaas_bench::fig15::kaas_time("histogram");
+    let red = reduction_pct(b, k);
+    assert!(
+        (55.0..80.0).contains(&red),
+        "FPGA reduction {red}% (paper: 68.4–68.5%)"
+    );
+}
+
+#[test]
+fn tpu_headline_up_to_98_percent() {
+    let (_, ex) = kaas_bench::fig16::run_model(kaas_bench::fig16::TpuModel::Exclusive, 1000);
+    let (_, ka) = kaas_bench::fig16::run_model(kaas_bench::fig16::TpuModel::Kaas, 1000);
+    let red = reduction_pct(ex, ka);
+    assert!(red > 93.0, "TPU reduction {red}% (paper: up to 98.6%)");
+}
+
+#[test]
+fn qpu_headline_about_35_percent() {
+    let b = kaas_bench::fig17::baseline_time(QpuProfile::qasm_simulator());
+    let k = kaas_bench::fig17::kaas_time(QpuProfile::qasm_simulator());
+    let red = reduction_pct(b, k);
+    assert!(
+        (28.0..42.0).contains(&red),
+        "QPU reduction {red}% (paper: 34.9%)"
+    );
+}
+
+#[test]
+fn warm_starts_dominate_cold_starts() {
+    // §3.2: "the majority of requests can then be served by a warm copy
+    // ... at near-native latency".
+    let figs = kaas_bench::fig06::run(true);
+    let small = &figs[0];
+    let kaas = small.series("KaaS").unwrap();
+    let cold = kaas.first_y();
+    let warm = kaas.last_y();
+    assert!(cold / warm > 3.0, "cold {cold}s vs warm {warm}s");
+}
