@@ -156,7 +156,10 @@ impl CpuDevice {
 
     /// Energy drawn over a window of `total`.
     pub fn energy_joules(&self, total: Duration) -> f64 {
-        self.inner.profile.power.energy_joules(total, self.busy_seconds())
+        self.inner
+            .profile
+            .power
+            .energy_joules(total, self.busy_seconds())
     }
 }
 
@@ -182,7 +185,10 @@ mod tests {
             out
         });
         for t in times {
-            assert!((t - 0.2).abs() < 1e-6, "two sharers double the time, got {t}");
+            assert!(
+                (t - 0.2).abs() < 1e-6,
+                "two sharers double the time, got {t}"
+            );
         }
     }
 

@@ -154,7 +154,11 @@ impl FpgaDevice {
         let dma_in = self.inner.dma.transfer(work.bytes_in, Duration::ZERO).await;
         let kernel = Duration::from_secs_f64(work.fpga_cycles / p.clock_hz);
         sleep(kernel).await;
-        let dma_out = self.inner.dma.transfer(work.bytes_out, Duration::ZERO).await;
+        let dma_out = self
+            .inner
+            .dma
+            .transfer(work.bytes_out, Duration::ZERO)
+            .await;
         let t = FpgaTimings {
             dma_in,
             kernel,
@@ -178,7 +182,10 @@ impl FpgaDevice {
 
     /// Energy drawn over a window of `total`.
     pub fn energy_joules(&self, total: Duration) -> f64 {
-        self.inner.profile.power.energy_joules(total, self.busy_seconds())
+        self.inner
+            .profile
+            .power
+            .energy_joules(total, self.busy_seconds())
     }
 }
 

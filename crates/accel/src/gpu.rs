@@ -301,7 +301,10 @@ impl GpuDevice {
     /// Energy drawn over a window of `total` given this device's recorded
     /// busy time.
     pub fn energy_joules(&self, total: Duration) -> f64 {
-        self.inner.profile.power.energy_joules(total, self.busy_seconds())
+        self.inner
+            .profile
+            .power
+            .energy_joules(total, self.busy_seconds())
     }
 }
 
@@ -349,7 +352,10 @@ mod tests {
         });
         assert!((warm.as_secs_f64() - 0.1).abs() < 1e-6);
         // Same bandwidth plus the 25 ms lazy-init penalty.
-        assert!((fresh.as_secs_f64() - 0.125).abs() < 1e-6, "fresh={fresh:?}");
+        assert!(
+            (fresh.as_secs_f64() - 0.125).abs() < 1e-6,
+            "fresh={fresh:?}"
+        );
     }
 
     #[test]
@@ -409,8 +415,7 @@ mod tests {
         let mut sim = Simulation::new();
         let (fast, slow) = sim.block_on(async {
             let fast = GpuDevice::new(DeviceId(0), GpuProfile::p100());
-            let slow =
-                GpuDevice::new(DeviceId(1), GpuProfile::p100().with_speed_factor(0.875));
+            let slow = GpuDevice::new(DeviceId(1), GpuProfile::p100().with_speed_factor(0.875));
             let w = WorkUnits::new(3.0e12);
             (
                 fast.launch_kernel(&w, 1.0).await,

@@ -289,7 +289,9 @@ mod tests {
             // standalone rate of 100/s.
             for _ in 0..4 {
                 let ps = ps.clone();
-                hs.push(spawn(async move { ps.execute_with_demand(100.0, 0.25).await }));
+                hs.push(spawn(
+                    async move { ps.execute_with_demand(100.0, 0.25).await },
+                ));
             }
             let mut out = Vec::new();
             for h in hs {
@@ -312,7 +314,9 @@ mod tests {
             // 100/1.4 ≈ 71.4/s.
             for _ in 0..2 {
                 let ps = ps.clone();
-                hs.push(spawn(async move { ps.execute_with_demand(100.0, 0.7).await }));
+                hs.push(spawn(
+                    async move { ps.execute_with_demand(100.0, 0.7).await },
+                ));
             }
             let mut out = Vec::new();
             for h in hs {
@@ -341,7 +345,10 @@ mod tests {
         // A: 0.5 s alone + 1.0 s shared (50 units at 50/s) = 1.5 s total.
         assert!((first.as_secs_f64() - 1.5).abs() < 1e-6, "A took {first:?}");
         // B: shares for 1.0 s (50 done when A leaves), then 0.5 s alone.
-        assert!((second.as_secs_f64() - 1.5).abs() < 1e-6, "B took {second:?}");
+        assert!(
+            (second.as_secs_f64() - 1.5).abs() < 1e-6,
+            "B took {second:?}"
+        );
     }
 
     #[test]
@@ -424,7 +431,9 @@ mod tests {
     fn excess_demand_rejected() {
         let mut sim = Simulation::new();
         sim.block_on(async {
-            SharedProcessor::new(1.0).execute_with_demand(1.0, 1.5).await;
+            SharedProcessor::new(1.0)
+                .execute_with_demand(1.0, 1.5)
+                .await;
         });
     }
 }

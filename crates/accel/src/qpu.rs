@@ -275,8 +275,16 @@ mod tests {
     #[test]
     fn shots_scale_job_time() {
         let p = QpuProfile::qasm_simulator();
-        let small = p.job_time(&CircuitCost { qubits: 4, gates: 10, shots: 100 });
-        let big = p.job_time(&CircuitCost { qubits: 4, gates: 10, shots: 10_000 });
+        let small = p.job_time(&CircuitCost {
+            qubits: 4,
+            gates: 10,
+            shots: 100,
+        });
+        let big = p.job_time(&CircuitCost {
+            qubits: 4,
+            gates: 10,
+            shots: 10_000,
+        });
         assert!(big > small);
     }
 
@@ -286,7 +294,12 @@ mod tests {
         let mut sim = Simulation::new();
         sim.block_on(async {
             let qpu = QpuDevice::new(DeviceId(0), QpuProfile::falcon_r4t());
-            qpu.execute(&CircuitCost { qubits: 12, gates: 1, shots: 1 }).await;
+            qpu.execute(&CircuitCost {
+                qubits: 12,
+                gates: 1,
+                shots: 1,
+            })
+            .await;
         });
     }
 
@@ -295,7 +308,10 @@ mod tests {
         let backends = QpuProfile::figure17_backends();
         assert_eq!(backends.len(), 5);
         assert_eq!(
-            backends.iter().filter(|b| b.kind == QpuKind::Hardware).count(),
+            backends
+                .iter()
+                .filter(|b| b.kind == QpuKind::Hardware)
+                .count(),
             2
         );
     }
@@ -305,7 +321,11 @@ mod tests {
         let mut sim = Simulation::new();
         let busy = sim.block_on(async {
             let qpu = QpuDevice::new(DeviceId(0), QpuProfile::statevector_simulator());
-            let c = CircuitCost { qubits: 4, gates: 100, shots: 1000 };
+            let c = CircuitCost {
+                qubits: 4,
+                gates: 100,
+                shots: 1000,
+            };
             let d = qpu.execute(&c).await;
             assert!((qpu.busy_seconds() - d.as_secs_f64()).abs() < 1e-9);
             qpu.busy_seconds()

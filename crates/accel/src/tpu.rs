@@ -148,9 +148,8 @@ impl TpuDevice {
     /// Panics if `chip` is out of range.
     pub async fn run_on_chip(&self, chip: u32, work: &WorkUnits) -> Duration {
         let ps = &self.inner.chips[chip as usize];
-        let infeed = Duration::from_secs_f64(
-            work.total_bytes() as f64 / self.inner.profile.infeed_bps,
-        );
+        let infeed =
+            Duration::from_secs_f64(work.total_bytes() as f64 / self.inner.profile.infeed_bps);
         sleep(infeed).await;
         infeed + ps.execute(work.flops / work.efficiency).await
     }
@@ -177,9 +176,8 @@ impl TpuDevice {
     /// and XLA compilation, as real exclusive TPU use does).
     pub async fn run_board(&self, work: &WorkUnits) -> Duration {
         let start = kaas_simtime::now();
-        let infeed = Duration::from_secs_f64(
-            work.total_bytes() as f64 / self.inner.profile.infeed_bps,
-        );
+        let infeed =
+            Duration::from_secs_f64(work.total_bytes() as f64 / self.inner.profile.infeed_bps);
         sleep(infeed).await;
         let rate = self.inner.profile.flops_per_chip * self.inner.profile.chips as f64;
         let compute = Duration::from_secs_f64(work.flops / work.efficiency / rate);
@@ -208,7 +206,11 @@ impl TpuDevice {
     /// Utilization-weighted busy seconds summed over chips (including
     /// board-exclusive runs).
     pub fn busy_seconds(&self) -> f64 {
-        self.inner.chips.iter().map(|c| c.busy_seconds()).sum::<f64>()
+        self.inner
+            .chips
+            .iter()
+            .map(|c| c.busy_seconds())
+            .sum::<f64>()
             + self.inner.exclusive_busy.get()
     }
 
@@ -217,7 +219,9 @@ impl TpuDevice {
         let p = &self.inner.profile;
         let idle_all = p.power_per_chip.idle_w * p.chips as f64 * total.as_secs_f64();
         let dynamic = (p.power_per_chip.active_w - p.power_per_chip.idle_w)
-            * self.busy_seconds().min(total.as_secs_f64() * p.chips as f64);
+            * self
+                .busy_seconds()
+                .min(total.as_secs_f64() * p.chips as f64);
         idle_all + dynamic
     }
 }

@@ -1,21 +1,28 @@
-//! Property-based tests of the device models' conservation laws.
+//! Property-style tests of the device models' conservation laws.
+//!
+//! Randomized cases come from the in-tree deterministic RNG instead of
+//! an external property-test framework, so the suite builds with no
+//! registry access. Enable with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 
-use proptest::prelude::*;
 use std::time::Duration;
 
 use kaas_accel::{PowerProfile, SharedProcessor, TransferEngine};
+use kaas_simtime::rng::det_rng;
 use kaas_simtime::{now, spawn, Simulation};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Processor sharing conserves work: the makespan of any batch of
-    /// full-demand jobs equals total work / capacity.
-    #[test]
-    fn ps_conserves_work(
-        jobs in prop::collection::vec(1.0f64..500.0, 1..20),
-        capacity in 10.0f64..1000.0,
-    ) {
+/// Processor sharing conserves work: the makespan of any batch of
+/// full-demand jobs equals total work / capacity.
+#[test]
+fn ps_conserves_work() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xAC_0000 + case);
+        let n = rng.gen_range(1..20usize);
+        let jobs: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..500.0f64)).collect();
+        let capacity = rng.gen_range(10.0..1000.0f64);
+
         let total: f64 = jobs.iter().sum();
         let mut sim = Simulation::new();
         let end = sim.block_on(async move {
@@ -31,20 +38,24 @@ proptest! {
             now()
         });
         let expected = total / capacity;
-        prop_assert!(
+        assert!(
             (end.as_secs_f64() - expected).abs() < 1e-6 + expected * 1e-9,
             "makespan {} vs expected {expected}",
             end.as_secs_f64()
         );
     }
+}
 
-    /// No job finishes before its isolated lower bound (work/capacity) or
-    /// after the whole batch's serial time.
-    #[test]
-    fn ps_completion_bounds(
-        jobs in prop::collection::vec(1.0f64..200.0, 1..12),
-        capacity in 10.0f64..500.0,
-    ) {
+/// No job finishes before its isolated lower bound (work/capacity) or
+/// after the whole batch's serial time.
+#[test]
+fn ps_completion_bounds() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xAD_0000 + case);
+        let n = rng.gen_range(1..12usize);
+        let jobs: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..200.0f64)).collect();
+        let capacity = rng.gen_range(10.0..500.0f64);
+
         let total: f64 = jobs.iter().sum();
         let mut sim = Simulation::new();
         let durations = sim.block_on(async move {
@@ -64,18 +75,22 @@ proptest! {
             let lower = w / capacity;
             let upper = total / capacity;
             let d = d.as_secs_f64();
-            prop_assert!(d >= lower - 1e-9, "{d} < isolated bound {lower}");
-            prop_assert!(d <= upper + 1e-6, "{d} > serial bound {upper}");
+            assert!(d >= lower - 1e-9, "{d} < isolated bound {lower}");
+            assert!(d <= upper + 1e-6, "{d} > serial bound {upper}");
         }
     }
+}
 
-    /// Busy seconds never exceed elapsed time and equal total work /
-    /// capacity for full-demand jobs.
-    #[test]
-    fn ps_busy_accounting(
-        jobs in prop::collection::vec(1.0f64..100.0, 1..10),
-        capacity in 10.0f64..200.0,
-    ) {
+/// Busy seconds never exceed elapsed time and equal total work /
+/// capacity for full-demand jobs.
+#[test]
+fn ps_busy_accounting() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xAE_0000 + case);
+        let n = rng.gen_range(1..10usize);
+        let jobs: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..100.0f64)).collect();
+        let capacity = rng.gen_range(10.0..200.0f64);
+
         let total: f64 = jobs.iter().sum();
         let mut sim = Simulation::new();
         let (busy, end) = sim.block_on(async move {
@@ -90,17 +105,21 @@ proptest! {
             }
             (ps.busy_seconds(), now())
         });
-        prop_assert!(busy <= end.as_secs_f64() + 1e-9);
-        prop_assert!((busy - total / capacity).abs() < 1e-6);
+        assert!(busy <= end.as_secs_f64() + 1e-9);
+        assert!((busy - total / capacity).abs() < 1e-6);
     }
+}
 
-    /// Transfer engines serialize: total time equals the sum of the
-    /// individual transfer times.
-    #[test]
-    fn transfers_serialize_exactly(
-        sizes in prop::collection::vec(1u64..10_000_000, 1..12),
-        bw in 1.0e6f64..1.0e9,
-    ) {
+/// Transfer engines serialize: total time equals the sum of the
+/// individual transfer times.
+#[test]
+fn transfers_serialize_exactly() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xAF_0000 + case);
+        let n = rng.gen_range(1..12usize);
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..10_000_000u64)).collect();
+        let bw = rng.gen_range(1.0e6..1.0e9f64);
+
         let expected: f64 = sizes.iter().map(|&b| b as f64 / bw).sum();
         let mut sim = Simulation::new();
         let end = sim.block_on(async move {
@@ -117,27 +136,34 @@ proptest! {
             }
             now()
         });
-        prop_assert!((end.as_secs_f64() - expected).abs() < 1e-6 + expected * 1e-9);
+        assert!((end.as_secs_f64() - expected).abs() < 1e-6 + expected * 1e-9);
     }
+}
 
-    /// Energy is monotone in busy time and bounded by idle/active rails.
-    #[test]
-    fn energy_bounds(
-        idle in 0.0f64..100.0,
-        dynamic in 0.0f64..400.0,
-        window_s in 0.1f64..100.0,
-        busy_a in 0.0f64..100.0,
-        busy_b in 0.0f64..100.0,
-    ) {
+/// Energy is monotone in busy time and bounded by idle/active rails.
+#[test]
+fn energy_bounds() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xB0_0000 + case);
+        let idle = rng.gen_range(0.0..100.0f64);
+        let dynamic = rng.gen_range(0.0..400.0f64);
+        let window_s = rng.gen_range(0.1..100.0f64);
+        let busy_a = rng.gen_range(0.0..100.0f64);
+        let busy_b = rng.gen_range(0.0..100.0f64);
+
         let p = PowerProfile::new(idle, idle + dynamic);
         let window = Duration::from_secs_f64(window_s);
-        let (lo, hi) = if busy_a <= busy_b { (busy_a, busy_b) } else { (busy_b, busy_a) };
+        let (lo, hi) = if busy_a <= busy_b {
+            (busy_a, busy_b)
+        } else {
+            (busy_b, busy_a)
+        };
         let e_lo = p.energy_joules(window, lo);
         let e_hi = p.energy_joules(window, hi);
-        prop_assert!(e_lo <= e_hi + 1e-9);
+        assert!(e_lo <= e_hi + 1e-9);
         let floor = idle * window_s;
         let ceil = (idle + dynamic) * window_s;
-        prop_assert!(e_lo >= floor - 1e-6 * (1.0 + floor.abs()));
-        prop_assert!(e_hi <= ceil + 1e-6 * (1.0 + ceil.abs()));
+        assert!(e_lo >= floor - 1e-6 * (1.0 + floor.abs()));
+        assert!(e_hi <= ceil + 1e-6 * (1.0 + ceil.abs()));
     }
 }

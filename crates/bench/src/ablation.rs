@@ -5,7 +5,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
-use kaas_core::{fuse, KaasClient, Scheduler, ServerConfig};
+use kaas_core::{fuse, KaasClient, SchedulerKind};
 use kaas_kernels::{GaGeneration, Kernel, MatMul, Value, GENERATIONS};
 use kaas_net::LinkProfile;
 use kaas_simtime::{now, spawn, Simulation};
@@ -15,13 +15,10 @@ use crate::fig06::mm_input;
 
 /// Makespan of a burst of `tasks` concurrent matmuls under a scheduler,
 /// plus how many runners ended up used.
-pub fn scheduler_burst(scheduler: Scheduler, tasks: usize, n: u64) -> (f64, usize) {
+pub fn scheduler_burst(scheduler: SchedulerKind, tasks: usize, n: u64) -> (f64, usize) {
     let mut sim = Simulation::new();
     sim.block_on(async move {
-        let config = ServerConfig {
-            scheduler,
-            ..experiment_server_config()
-        };
+        let config = experiment_server_config().with_scheduler(scheduler);
         let dep = deploy(p100_cluster(), vec![Rc::new(MatMul::new())], config);
         dep.server.prewarm("matmul", 4).await.expect("prewarm");
         let start = now();
@@ -48,7 +45,10 @@ pub fn scheduler_burst(scheduler: Scheduler, tasks: usize, n: u64) -> (f64, usiz
 /// Total time of a ten-generation GA with a given fusion factor
 /// (1 = unfused, 2 = pairs, 5 = quintuples).
 pub fn fusion_run(factor: usize) -> f64 {
-    assert!(GENERATIONS as usize % factor == 0, "factor must divide 10");
+    assert!(
+        (GENERATIONS as usize).is_multiple_of(factor),
+        "factor must divide 10"
+    );
     let mut sim = Simulation::new();
     sim.block_on(async move {
         let stages: Vec<Rc<dyn Kernel>> = (0..factor)
@@ -66,7 +66,11 @@ pub fn fusion_run(factor: usize) -> f64 {
         let t0 = now();
         let mut pop = Value::U64(2048);
         for _ in 0..(GENERATIONS as usize / factor) {
-            pop = client.invoke_oob(&name, pop).await.expect("generation").output;
+            pop = client
+                .invoke_oob(&name, pop)
+                .await
+                .expect("generation")
+                .output;
         }
         (now() - t0).as_secs_f64()
     })
@@ -100,10 +104,7 @@ pub fn transport_run(profile: LinkProfile) -> f64 {
 pub fn reaper_run(idle_timeout: Option<Duration>) -> (usize, usize, f64) {
     let mut sim = Simulation::new();
     sim.block_on(async move {
-        let config = ServerConfig {
-            idle_timeout,
-            ..experiment_server_config()
-        };
+        let config = experiment_server_config().with_idle_timeout(idle_timeout);
         let dep = deploy(p100_cluster(), vec![Rc::new(MatMul::new())], config);
         let mut client = dep.local_client().await;
         let start = now();
@@ -144,9 +145,14 @@ pub fn run(_quick: bool) -> Vec<Figure> {
     );
 
     let mut sched = Series::new("scheduler makespan (12 tasks, MM 5000)");
-    for (i, policy) in [Scheduler::FillFirst, Scheduler::RoundRobin, Scheduler::LeastLoaded]
-        .into_iter()
-        .enumerate()
+    for (i, policy) in [
+        SchedulerKind::FillFirst,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::LeastLoaded,
+        SchedulerKind::WarmFirst,
+    ]
+    .into_iter()
+    .enumerate()
     {
         let (makespan, used) = scheduler_burst(policy, 12, 5_000);
         sched.push(i as f64, makespan);
@@ -197,16 +203,16 @@ mod tests {
 
     #[test]
     fn fill_first_consolidates_round_robin_spreads() {
-        let (_, ff_used) = scheduler_burst(Scheduler::FillFirst, 6, 2_000);
-        let (_, rr_used) = scheduler_burst(Scheduler::RoundRobin, 6, 2_000);
+        let (_, ff_used) = scheduler_burst(SchedulerKind::FillFirst, 6, 2_000);
+        let (_, rr_used) = scheduler_burst(SchedulerKind::RoundRobin, 6, 2_000);
         assert!(ff_used < rr_used, "ff={ff_used}, rr={rr_used}");
     }
 
     #[test]
     fn round_robin_wins_bursty_makespan() {
         // Spreading a burst across runners beats packing it.
-        let (ff, _) = scheduler_burst(Scheduler::FillFirst, 12, 9_000);
-        let (rr, _) = scheduler_burst(Scheduler::RoundRobin, 12, 9_000);
+        let (ff, _) = scheduler_burst(SchedulerKind::FillFirst, 12, 9_000);
+        let (rr, _) = scheduler_burst(SchedulerKind::RoundRobin, 12, 9_000);
         assert!(rr <= ff * 1.05, "rr={rr}, ff={ff}");
     }
 
@@ -234,8 +240,7 @@ mod tests {
     #[test]
     fn reaping_trades_cold_starts_for_released_capacity() {
         let (reaped_off, cold_off, energy_off) = reaper_run(None);
-        let (reaped_on, cold_on, energy_on) =
-            reaper_run(Some(Duration::from_secs(300)));
+        let (reaped_on, cold_on, energy_on) = reaper_run(Some(Duration::from_secs(300)));
         assert_eq!(reaped_off, 0);
         assert!(reaped_on >= 1, "idle gaps must trigger reaps");
         assert!(cold_on > cold_off, "reaping forces re-warms");

@@ -1,9 +1,11 @@
 //! Regenerates every figure of the KaaS paper in one run. Pass
 //! `--quick` for reduced sweeps.
 
+type FigureRun = fn(bool) -> Vec<kaas_bench::common::Figure>;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let runs: Vec<(&str, fn(bool) -> Vec<kaas_bench::common::Figure>)> = vec![
+    let runs: Vec<(&str, FigureRun)> = vec![
         ("fig02", kaas_bench::fig02::run),
         ("fig06", kaas_bench::fig06::run),
         ("fig07", kaas_bench::fig07::run),

@@ -175,10 +175,7 @@ pub fn qpu_testbed(profile: QpuProfile) -> Vec<Device> {
 /// The experiment-default server configuration: array-friendly
 /// serialization, the paper's dispatch overhead and in-flight cap.
 pub fn experiment_server_config() -> ServerConfig {
-    ServerConfig {
-        serialization: SerializationProfile::numpy(),
-        ..ServerConfig::default()
-    }
+    ServerConfig::default().with_serialization(SerializationProfile::numpy())
 }
 
 /// A running KaaS deployment (inside an active simulation).

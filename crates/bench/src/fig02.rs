@@ -8,7 +8,9 @@
 //! data and running the kernel accounts for only 75.9 % (FPGA) and 1.7 %
 //! (GPU) task completion time".
 
-use kaas_accel::{CpuDevice, CpuProfile, Device, DeviceId, FpgaDevice, FpgaProfile, GpuDevice, GpuProfile};
+use kaas_accel::{
+    CpuDevice, CpuProfile, Device, DeviceId, FpgaDevice, FpgaProfile, GpuDevice, GpuProfile,
+};
 use kaas_core::baseline::{run_cpu_only, run_time_sharing};
 use kaas_kernels::{BitmapConversion, Kernel, Preprocess, ResNet50, Value};
 use kaas_simtime::Simulation;
@@ -43,7 +45,9 @@ pub fn cpu_only_breakdown() -> Vec<Component> {
         let (cpu, _, _) = testbed();
         let mut out = Vec::new();
         for (stage, kernel, input) in stages() {
-            let r = run_cpu_only(&cpu, kernel.as_ref(), &input).await.expect("valid");
+            let r = run_cpu_only(&cpu, kernel.as_ref(), &input)
+                .await
+                .expect("valid");
             out.push(Component {
                 stage,
                 label: "App. Init",
@@ -93,7 +97,9 @@ pub fn accelerator_breakdown() -> Vec<Component> {
         // Stage 1: preprocessing stays on the CPU.
         let stages_list = stages();
         let (_, preprocess, pre_in) = &stages_list[0];
-        let r = run_cpu_only(&cpu, preprocess.as_ref(), pre_in).await.expect("valid");
+        let r = run_cpu_only(&cpu, preprocess.as_ref(), pre_in)
+            .await
+            .expect("valid");
         out.push(Component {
             stage: "Preprocess",
             label: "App. Init",
@@ -184,7 +190,10 @@ pub fn run(_quick: bool) -> Vec<Figure> {
         100.0 * gpu_kernel / gpu_stage
     ));
     for c in accel {
-        fig.note(format!("accel {} / {}: {:.3}s", c.stage, c.label, c.seconds));
+        fig.note(format!(
+            "accel {} / {}: {:.3}s",
+            c.stage, c.label, c.seconds
+        ));
     }
     fig.series = vec![s_cpu, s_accel];
     vec![fig]

@@ -8,8 +8,7 @@ use kaas_kernels::{MatMul, Value};
 use kaas_simtime::{now, sleep, Simulation};
 
 use crate::common::{
-    deploy, experiment_server_config, host_cpu_profile, p100_cluster, reduction_pct, Figure,
-    Series,
+    deploy, experiment_server_config, host_cpu_profile, p100_cluster, reduction_pct, Figure, Series,
 };
 
 /// Matrix-multiplication descriptor payload: two n×n input matrices.

@@ -47,10 +47,16 @@ fn measure(n: u64) -> (Sample, Sample) {
         dep.server.prewarm("matmul", 1).await.expect("prewarm");
         let mut client = dep.local_client().await;
         // One warm-up (the paper discards cold starts in this figure).
-        client.invoke_oob("matmul", mm_input(n)).await.expect("warm-up");
+        client
+            .invoke_oob("matmul", mm_input(n))
+            .await
+            .expect("warm-up");
         let t0 = now();
         sleep(host.python_launch).await;
-        let inv = client.invoke_oob("matmul", mm_input(n)).await.expect("warm");
+        let inv = client
+            .invoke_oob("matmul", mm_input(n))
+            .await
+            .expect("warm");
         let kaas = Sample {
             total: (now() - t0).as_secs_f64(),
             kernel: inv.report.kernel_time().as_secs_f64(),
@@ -64,7 +70,9 @@ pub fn run(quick: bool) -> Vec<Figure> {
     let sizes: &[u64] = if quick {
         &[500, 2_000, 10_000, 20_000]
     } else {
-        &[500, 1_000, 2_000, 4_000, 7_000, 10_000, 14_000, 17_000, 20_000]
+        &[
+            500, 1_000, 2_000, 4_000, 7_000, 10_000, 14_000, 17_000, 20_000,
+        ]
     };
     let mut fig = Figure::new(
         "fig07",

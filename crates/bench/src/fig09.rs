@@ -13,7 +13,10 @@ pub fn run(quick: bool) -> Vec<Figure> {
         "slowdown (×)",
     );
     let sizes = sweep_sizes(quick);
-    let isolated: Vec<f64> = sizes.iter().map(|&n| isolated_kaas_kernel_time(n)).collect();
+    let isolated: Vec<f64> = sizes
+        .iter()
+        .map(|&n| isolated_kaas_kernel_time(n))
+        .collect();
     for model in Model::all() {
         let mut series = Series::new(model.label());
         for (i, &n) in sizes.iter().enumerate() {

@@ -31,8 +31,8 @@ fn cpu_run(n: u64, tasks: usize) -> f64 {
         // Package energy: compute busy time plus the interpreter
         // launch/import overhead, all active on the host CPU.
         let p = *cpu.profile();
-        let overhead_busy = tasks as f64
-            * (p.python_launch.as_secs_f64() + p.runtime_import.as_secs_f64());
+        let overhead_busy =
+            tasks as f64 * (p.python_launch.as_secs_f64() + p.runtime_import.as_secs_f64());
         let energy = p
             .power
             .energy_joules(window, cpu.busy_seconds() + overhead_busy);
@@ -70,10 +70,7 @@ pub fn run(quick: bool) -> Vec<Figure> {
         kaas_large / 1e9,
         cpu_large / 1e9
     ));
-    fig.note(
-        "paper: for the smallest tasks only KaaS beats the CPU-only execution"
-            .to_owned(),
-    );
+    fig.note("paper: for the smallest tasks only KaaS beats the CPU-only execution".to_owned());
     vec![fig]
 }
 

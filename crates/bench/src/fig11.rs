@@ -90,8 +90,10 @@ pub fn run_scenario(scenario: Scenario, n: u64) -> f64 {
             _ => {
                 let dep = deploy(
                     p100_cluster(),
-                    vec![Rc::new(GaGeneration::default()) as Rc<dyn kaas_kernels::Kernel>,
-                         Rc::new(MatMul::new())],
+                    vec![
+                        Rc::new(GaGeneration::default()) as Rc<dyn kaas_kernels::Kernel>,
+                        Rc::new(MatMul::new()),
+                    ],
                     experiment_server_config(),
                 );
                 dep.server.prewarm("ga", 1).await.expect("prewarm");
@@ -186,6 +188,9 @@ mod tests {
         assert!(cpu < 1.0, "cpu={cpu}");
         assert!(remote < 1.0, "remote={remote}");
         let large_gap = run_scenario(Scenario::Cpu, 4096) / run_scenario(Scenario::Remote, 4096);
-        assert!(cpu / remote < large_gap, "small gap must be below large gap");
+        assert!(
+            cpu / remote < large_gap,
+            "small gap must be below large gap"
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use std::rc::Rc;
 
-use kaas_core::{RunnerConfig, Scheduler, ServerConfig};
+use kaas_core::{RunnerConfig, SchedulerKind};
 use kaas_kernels::{ResNet50, Value};
 use kaas_simtime::{now, spawn, Simulation};
 
@@ -30,20 +30,14 @@ pub enum Scaling {
 pub fn run_scaling(scaling: Scaling, gpus: u32, warm: bool, batches: u64) -> f64 {
     let mut sim = Simulation::new();
     sim.block_on(async move {
-        let config = ServerConfig {
-            scheduler: Scheduler::RoundRobin,
-            autoscale: false,
-            runner: RunnerConfig {
+        let config = experiment_server_config()
+            .with_scheduler(SchedulerKind::RoundRobin)
+            .with_autoscale(false)
+            .with_runner(RunnerConfig {
                 max_inflight: 4,
                 ..RunnerConfig::default()
-            },
-            ..experiment_server_config()
-        };
-        let dep = deploy(
-            v100_cluster(gpus),
-            vec![Rc::new(ResNet50::new())],
-            config,
-        );
+            });
+        let dep = deploy(v100_cluster(gpus), vec![Rc::new(ResNet50::new())], config);
         let total_batches = match scaling {
             Scaling::Strong => batches,
             Scaling::Weak => batches * gpus as u64,
@@ -91,10 +85,18 @@ pub fn run_scaling(scaling: Scaling, gpus: u32, warm: bool, batches: u64) -> f64
 /// Reproduces Figures 12a (strong) and 12b (weak).
 pub fn run(quick: bool) -> Vec<Figure> {
     let batches = if quick { 400 } else { BATCHES };
-    let gpu_counts: &[u32] = if quick { &[1, 2, 4, 8] } else { &[1, 2, 3, 4, 5, 6, 7, 8] };
+    let gpu_counts: &[u32] = if quick {
+        &[1, 2, 4, 8]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8]
+    };
     let mut figs = Vec::new();
     for (scaling, id, title) in [
-        (Scaling::Strong, "fig12a", "Strong scaling (fixed total batches)"),
+        (
+            Scaling::Strong,
+            "fig12a",
+            "Strong scaling (fixed total batches)",
+        ),
         (Scaling::Weak, "fig12b", "Weak scaling (8k batches per GPU)"),
     ] {
         let mut fig = Figure::new(id, title, "number of GPUs", "task completion time (s)");
@@ -158,7 +160,10 @@ mod tests {
         // Parallel initialization: the penalty does not scale with GPUs.
         assert!((d1 - d8).abs() < 0.5, "d1={d1}, d8={d8}");
         // And it sits near the V100's 1.22 s context creation plus spawn.
-        assert!((1.0..2.2).contains(&d1), "cold penalty {d1}s (paper: 1.22 s)");
+        assert!(
+            (1.0..2.2).contains(&d1),
+            "cold penalty {d1}s (paper: 1.22 s)"
+        );
     }
 
     #[test]

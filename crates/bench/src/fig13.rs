@@ -7,7 +7,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
-use kaas_core::{RunnerConfig, Scheduler, ServerConfig};
+use kaas_core::{RunnerConfig, SchedulerKind};
 use kaas_simtime::{now, sleep, spawn, Simulation};
 
 use crate::common::{deploy, experiment_server_config, v100_cluster, Figure, Series};
@@ -33,16 +33,18 @@ pub struct TimelineSample {
 pub fn run_timeline(duration_s: u64, ramp_s: u64) -> Vec<TimelineSample> {
     let mut sim = Simulation::new();
     sim.block_on(async move {
-        let config = ServerConfig {
-            scheduler: Scheduler::FillFirst,
-            autoscale: true,
-            runner: RunnerConfig {
+        let config = experiment_server_config()
+            .with_scheduler(SchedulerKind::FillFirst)
+            .with_autoscale(true)
+            .with_runner(RunnerConfig {
                 max_inflight: 4,
                 ..RunnerConfig::default()
-            },
-            ..experiment_server_config()
-        };
-        let dep = deploy(v100_cluster(8), vec![Rc::new(kaas_kernels::MatMul::new())], config);
+            });
+        let dep = deploy(
+            v100_cluster(8),
+            vec![Rc::new(kaas_kernels::MatMul::new())],
+            config,
+        );
         let clients_active = Rc::new(RefCell::new(0usize));
         let completions: Rc<RefCell<Vec<(f64, f64)>>> = Rc::new(RefCell::new(Vec::new()));
 

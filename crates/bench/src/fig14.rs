@@ -9,7 +9,7 @@
 use std::rc::Rc;
 
 use kaas_core::baseline::run_space_sharing;
-use kaas_core::{KaasClient, Scheduler, ServerConfig};
+use kaas_core::{KaasClient, SchedulerKind};
 use kaas_kernels::{
     GaGeneration, GnnTraining, Kernel, MatMul, MonteCarlo, QcSimulation, SoftDtw, Value,
     GENERATIONS,
@@ -17,8 +17,7 @@ use kaas_kernels::{
 use kaas_simtime::{now, sleep, Simulation};
 
 use crate::common::{
-    deploy, experiment_server_config, host_cpu_profile, p100_cluster, reduction_pct, Figure,
-    Series,
+    deploy, experiment_server_config, host_cpu_profile, p100_cluster, reduction_pct, Figure, Series,
 };
 
 /// Builds one of the six evaluated kernels by name.
@@ -107,17 +106,14 @@ fn kaas_time(name: &'static str, n: u64) -> f64 {
     let mut sim = Simulation::new();
     sim.block_on(async move {
         let host = host_cpu_profile();
-        let config = ServerConfig {
-            scheduler: Scheduler::RoundRobin,
-            ..experiment_server_config()
-        };
+        let config = experiment_server_config().with_scheduler(SchedulerKind::RoundRobin);
         let dep = deploy(p100_cluster(), vec![kernel_by_name(name)], config);
         dep.server.prewarm(name, 4).await.expect("prewarm");
         let mut client = dep.local_client().await;
         // Warm every runner once so the sweep measures warm behaviour.
         for _ in 0..4 {
             client
-                .invoke_oob(name, input_for(name, n.min(64).max(8)))
+                .invoke_oob(name, input_for(name, n.clamp(8, 64)))
                 .await
                 .expect("warm-up");
         }

@@ -10,8 +10,7 @@ use kaas_kernels::{
 use kaas_simtime::{now, sleep, Simulation};
 
 use crate::common::{
-    deploy, experiment_server_config, fpga_testbed, host_cpu_profile, reduction_pct, Figure,
-    Series,
+    deploy, experiment_server_config, fpga_testbed, host_cpu_profile, reduction_pct, Figure, Series,
 };
 
 fn kernel_for(name: &'static str) -> Rc<dyn Kernel> {
@@ -59,7 +58,10 @@ pub fn kaas_time(name: &'static str) -> f64 {
         );
         dep.server.prewarm(name, 1).await.expect("prewarm");
         let mut client = dep.local_client().await;
-        client.invoke_oob(name, input_for(name)).await.expect("warm-up");
+        client
+            .invoke_oob(name, input_for(name))
+            .await
+            .expect("warm-up");
         let t0 = now();
         sleep(host_cpu_profile().python_launch).await;
         client

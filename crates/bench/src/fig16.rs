@@ -4,13 +4,12 @@
 use std::rc::Rc;
 
 use kaas_core::baseline::{run_space_sharing, run_time_sharing};
-use kaas_core::{RunnerConfig, Scheduler, ServerConfig};
+use kaas_core::{RunnerConfig, SchedulerKind};
 use kaas_kernels::{Conv2d, Value};
 use kaas_simtime::{now, sleep, spawn, Simulation};
 
 use crate::common::{
-    deploy, experiment_server_config, host_cpu_profile, reduction_pct, tpu_testbed, Figure,
-    Series,
+    deploy, experiment_server_config, host_cpu_profile, reduction_pct, tpu_testbed, Figure, Series,
 };
 
 /// Parallel kernel instances, per the paper.
@@ -71,16 +70,17 @@ pub fn run_model(model: TpuModel, n: u64) -> (f64, f64) {
                 }
             }
             TpuModel::Kaas => {
-                let config = ServerConfig {
-                    scheduler: Scheduler::RoundRobin,
-                    runner: RunnerConfig {
+                let config = experiment_server_config()
+                    .with_scheduler(SchedulerKind::RoundRobin)
+                    .with_runner(RunnerConfig {
                         max_inflight: 1,
                         ..RunnerConfig::default()
-                    },
-                    ..experiment_server_config()
-                };
+                    });
                 let dep = deploy(tpu_testbed(), vec![Rc::new(Conv2d::new())], config);
-                dep.server.prewarm("conv2d", INSTANCES).await.expect("prewarm");
+                dep.server
+                    .prewarm("conv2d", INSTANCES)
+                    .await
+                    .expect("prewarm");
                 let mut handles = Vec::new();
                 for _ in 0..INSTANCES {
                     let mut client = dep.local_client().await;

@@ -15,8 +15,7 @@ use kaas_kernels::{Kernel, Value};
 use kaas_simtime::{now, sleep, Simulation};
 
 use crate::common::{
-    deploy, experiment_server_config, host_cpu_profile, qpu_testbed, reduction_pct, Figure,
-    Series,
+    deploy, experiment_server_config, host_cpu_profile, qpu_testbed, reduction_pct, Figure, Series,
 };
 
 /// Estimator calls per single-point VQE calculation (a short optimizer
@@ -71,7 +70,10 @@ pub fn kaas_time(profile: QpuProfile) -> f64 {
             vec![Rc::new(VqeEstimator::h2(SHOTS)) as Rc<dyn Kernel>],
             experiment_server_config(),
         );
-        dep.server.prewarm("vqe-estimator", 1).await.expect("prewarm");
+        dep.server
+            .prewarm("vqe-estimator", 1)
+            .await
+            .expect("prewarm");
         let mut client = dep.local_client().await;
         client
             .invoke_oob("vqe-estimator", Value::F64s(vec![0.0; 4]))
@@ -170,6 +172,9 @@ mod tests {
         let b = baseline_time(QpuProfile::falcon_r4t());
         assert!((4.0..16.0).contains(&b), "baseline {b}s");
         let fast = baseline_time(QpuProfile::qasm_simulator());
-        assert!((6.0..14.0).contains(&fast), "QASM baseline {fast}s (paper: ≈10 s)");
+        assert!(
+            (6.0..14.0).contains(&fast),
+            "QASM baseline {fast}s (paper: ≈10 s)"
+        );
     }
 }

@@ -5,7 +5,7 @@
 use std::rc::Rc;
 
 use kaas_core::baseline::{run_space_sharing, run_time_sharing};
-use kaas_core::{RunnerConfig, ServerConfig};
+use kaas_core::RunnerConfig;
 use kaas_kernels::{MatMul, Value};
 use kaas_simtime::{now, sleep, spawn, Simulation};
 
@@ -109,19 +109,12 @@ pub fn run_model(model: Model, n: u64, tasks: usize) -> RunStats {
                 }
             }
             Model::Kaas => {
-                let config = ServerConfig {
-                    runner: RunnerConfig {
-                        // Two concurrent computations per GPU.
-                        max_inflight: 2,
-                        ..RunnerConfig::default()
-                    },
-                    ..experiment_server_config()
-                };
-                let dep = deploy(
-                    devices.clone(),
-                    vec![Rc::new(MatMul::new())],
-                    config,
-                );
+                let config = experiment_server_config().with_runner(RunnerConfig {
+                    // Two concurrent computations per GPU.
+                    max_inflight: 2,
+                    ..RunnerConfig::default()
+                });
+                let dep = deploy(devices.clone(), vec![Rc::new(MatMul::new())], config);
                 dep.server
                     .prewarm("matmul", devices.len())
                     .await
@@ -130,7 +123,6 @@ pub fn run_model(model: Model, n: u64, tasks: usize) -> RunStats {
                 let mut handles = Vec::new();
                 for _ in 0..tasks {
                     let mut client = dep.local_client().await;
-                    let host = host;
                     handles.push(spawn(async move {
                         let t0 = now();
                         sleep(host.python_launch).await;
@@ -224,6 +216,9 @@ mod tests {
     fn isolated_kernel_time_is_fastest() {
         let isolated = isolated_kaas_kernel_time(5_000);
         let shared = run_model(Model::Kaas, 5_000, CONCURRENCY).mean_kernel_time();
-        assert!(shared >= isolated * 0.99, "shared={shared}, isolated={isolated}");
+        assert!(
+            shared >= isolated * 0.99,
+            "shared={shared}, isolated={isolated}"
+        );
     }
 }

@@ -10,12 +10,11 @@
 use std::rc::Rc;
 use std::time::Duration;
 
-use kaas_core::{percentile, ServerConfig};
+use kaas_core::percentile;
 use kaas_kernels::{Kernel, MatMul, MonteCarlo, SoftDtw, Value};
 use kaas_net::SharedMemory;
 use kaas_simtime::rng::stream_rng;
 use kaas_simtime::{now, sleep, spawn, Simulation};
-use rand::Rng;
 
 use crate::common::{deploy, experiment_server_config, p100_cluster, Figure, Series};
 use crate::fig06::mm_input;
@@ -93,10 +92,7 @@ pub fn replay(events: &[TraceEvent], idle_timeout: Option<Duration>) -> ReplaySt
     let events = events.to_vec();
     let mut sim = Simulation::new();
     sim.block_on(async move {
-        let config = ServerConfig {
-            idle_timeout,
-            ..experiment_server_config()
-        };
+        let config = experiment_server_config().with_idle_timeout(idle_timeout);
         let kernels: Vec<Rc<dyn Kernel>> = vec![
             Rc::new(MonteCarlo::default()),
             Rc::new(MatMul::new()),

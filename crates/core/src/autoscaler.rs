@@ -1,0 +1,215 @@
+//! Pluggable scale-out policy: when to start additional runners.
+//!
+//! The server consults its [`AutoscalePolicy`] on every invocation —
+//! once proactively before scheduling ([`on_invocation`]
+//! (AutoscalePolicy::on_invocation)) and, if the scheduler declines to
+//! place because every eligible runner is saturated, once reactively
+//! ([`on_saturated`](AutoscalePolicy::on_saturated)). A [`ScaleUp`]
+//! (ScaleDecision::ScaleUp) verdict makes the server try to spawn one
+//! runner through the [pool](crate::pool); if no device has room the
+//! invocation queues on the least-loaded runner instead, so a policy
+//! can never exceed the physical device count.
+//!
+//! Scale *down* is handled orthogonally by the pool's idle reaper
+//! ([`ServerConfig::idle_timeout`](crate::ServerConfig::idle_timeout)).
+//!
+//! Built-in policies: [`InFlightThreshold`] (the paper's §5.5
+//! behaviour, Fig. 13/14), [`NoScale`] (prewarmed capacity only), and
+//! [`TargetUtilization`] (proactive, scales before saturation).
+
+/// A point-in-time view of one kernel's serving state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleCtx<'a> {
+    /// Kernel being invoked.
+    pub kernel: &'a str,
+    /// Usable runners (starting or warm) for this kernel.
+    pub runners: usize,
+    /// Invocations currently claimed across those runners.
+    pub in_flight: usize,
+    /// Per-runner in-flight cap.
+    pub cap_per_runner: usize,
+    /// Physical ceiling: total runner capacity across devices of the
+    /// kernel's class (one per device, one per chip on TPUs).
+    pub device_capacity: usize,
+}
+
+/// An autoscaler's verdict for one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Keep the current fleet.
+    Hold,
+    /// Start one more runner (best-effort; bounded by device capacity).
+    ScaleUp,
+}
+
+/// Scale-out policy, evaluated on invocation events.
+///
+/// Implementations must be deterministic functions of their own state
+/// and the [`ScaleCtx`] so simulations replay bit-for-bit.
+pub trait AutoscalePolicy {
+    /// Short policy name (used in `Debug` output).
+    fn name(&self) -> &'static str;
+
+    /// Proactive hook: called for every invocation before scheduling.
+    /// Default: [`ScaleDecision::Hold`].
+    fn on_invocation(&self, ctx: &ScaleCtx) -> ScaleDecision {
+        let _ = ctx;
+        ScaleDecision::Hold
+    }
+
+    /// Reactive hook: called when the scheduler declined to place
+    /// because every eligible runner is at its in-flight cap.
+    fn on_saturated(&self, ctx: &ScaleCtx) -> ScaleDecision;
+
+    /// Clones the policy, preserving its internal state.
+    fn box_clone(&self) -> Box<dyn AutoscalePolicy>;
+}
+
+impl Clone for Box<dyn AutoscalePolicy> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+impl<P: AutoscalePolicy + 'static> From<P> for Box<dyn AutoscalePolicy> {
+    fn from(policy: P) -> Self {
+        Box::new(policy)
+    }
+}
+
+impl std::fmt::Debug for Box<dyn AutoscalePolicy> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AutoscalePolicy({})", self.name())
+    }
+}
+
+/// The paper's §5.5 policy: start another runner exactly when demand
+/// has filled every existing runner to its in-flight threshold (Figs.
+/// 13–14). This is the default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InFlightThreshold;
+
+impl AutoscalePolicy for InFlightThreshold {
+    fn name(&self) -> &'static str {
+        "in-flight-threshold"
+    }
+
+    fn on_saturated(&self, ctx: &ScaleCtx) -> ScaleDecision {
+        // The scheduler only reports saturation once all runners carry
+        // `cap_per_runner` claims; confirm and scale.
+        if ctx.in_flight >= ctx.runners * ctx.cap_per_runner {
+            ScaleDecision::ScaleUp
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn AutoscalePolicy> {
+        Box::new(*self)
+    }
+}
+
+/// Never scales: capacity comes exclusively from
+/// [`prewarm`](crate::KaasServer::prewarm)ed runners (plus the
+/// bootstrap runner a cold deployment starts for its first request).
+/// The old `autoscale: false` configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoScale;
+
+impl AutoscalePolicy for NoScale {
+    fn name(&self) -> &'static str {
+        "no-scale"
+    }
+
+    fn on_saturated(&self, _ctx: &ScaleCtx) -> ScaleDecision {
+        ScaleDecision::Hold
+    }
+
+    fn box_clone(&self) -> Box<dyn AutoscalePolicy> {
+        Box::new(*self)
+    }
+}
+
+/// Proactive utilization target: starts a runner as soon as fleet
+/// utilization (`in_flight / (runners · cap)`) crosses `target`,
+/// absorbing bursts before they saturate (at the cost of running more
+/// runners than strictly necessary).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetUtilization {
+    /// Utilization fraction in `(0, 1]` above which to scale out.
+    pub target: f64,
+}
+
+impl Default for TargetUtilization {
+    /// Scale at 75 % utilization.
+    fn default() -> Self {
+        TargetUtilization { target: 0.75 }
+    }
+}
+
+impl AutoscalePolicy for TargetUtilization {
+    fn name(&self) -> &'static str {
+        "target-utilization"
+    }
+
+    fn on_invocation(&self, ctx: &ScaleCtx) -> ScaleDecision {
+        let capacity = (ctx.runners * ctx.cap_per_runner) as f64;
+        if capacity <= 0.0 || ctx.in_flight as f64 / capacity >= self.target {
+            ScaleDecision::ScaleUp
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+
+    fn on_saturated(&self, _ctx: &ScaleCtx) -> ScaleDecision {
+        ScaleDecision::ScaleUp
+    }
+
+    fn box_clone(&self) -> Box<dyn AutoscalePolicy> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(runners: usize, in_flight: usize, cap: usize) -> ScaleCtx<'static> {
+        ScaleCtx {
+            kernel: "k",
+            runners,
+            in_flight,
+            cap_per_runner: cap,
+            device_capacity: 8,
+        }
+    }
+
+    #[test]
+    fn threshold_policy_scales_exactly_at_the_cap() {
+        let p = InFlightThreshold;
+        // Below the aggregate threshold: hold (a spurious saturation
+        // report must not trigger growth).
+        assert_eq!(p.on_saturated(&ctx(2, 7, 4)), ScaleDecision::Hold);
+        // At the paper's threshold (all runners full): scale.
+        assert_eq!(p.on_saturated(&ctx(2, 8, 4)), ScaleDecision::ScaleUp);
+        // Proactive hook never fires for the reactive paper policy.
+        assert_eq!(p.on_invocation(&ctx(2, 8, 4)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn no_scale_always_holds() {
+        let p = NoScale;
+        assert_eq!(p.on_saturated(&ctx(1, 99, 4)), ScaleDecision::Hold);
+        assert_eq!(p.on_invocation(&ctx(1, 99, 4)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn target_utilization_scales_before_saturation() {
+        let p = TargetUtilization { target: 0.75 };
+        // 5/8 = 62.5 % < 75 %: hold.
+        assert_eq!(p.on_invocation(&ctx(2, 5, 4)), ScaleDecision::Hold);
+        // 6/8 = 75 %: scale proactively, well before all slots fill.
+        assert_eq!(p.on_invocation(&ctx(2, 6, 4)), ScaleDecision::ScaleUp);
+        assert_eq!(p.on_saturated(&ctx(2, 8, 4)), ScaleDecision::ScaleUp);
+    }
+}

@@ -260,9 +260,15 @@ mod tests {
                         .await
                         .unwrap()
                 });
-                run_baseline(&gpu, &MatMul::new(), &Value::U64(10_000), &host(), exclusive)
-                    .await
-                    .unwrap();
+                run_baseline(
+                    &gpu,
+                    &MatMul::new(),
+                    &Value::U64(10_000),
+                    &host(),
+                    exclusive,
+                )
+                .await
+                .unwrap();
                 h.await;
                 now()
             })
@@ -302,7 +308,9 @@ mod tests {
         let mut sim = Simulation::new();
         let report = sim.block_on(async {
             let cpu = CpuDevice::new(DeviceId(9), CpuProfile::xeon_e5_2698v4_dual());
-            run_cpu_only(&cpu, &MatMul::new(), &Value::U64(2000)).await.unwrap()
+            run_cpu_only(&cpu, &MatMul::new(), &Value::U64(2000))
+                .await
+                .unwrap()
         });
         // 2·2000³ = 1.6e10 flops at 140 GF/s / eff — seconds-scale.
         assert!(report.kernel_time.as_secs_f64() > 0.05);

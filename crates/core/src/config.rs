@@ -1,0 +1,179 @@
+//! Server configuration: tuning knobs plus the pluggable control-plane
+//! policies ([`Scheduler`], [`AutoscalePolicy`]).
+//!
+//! `ServerConfig` stays [`Default`]-constructible and clonable; policy
+//! fields hold trait objects, set either from the built-in shims
+//! ([`SchedulerKind`](crate::SchedulerKind), [`NoScale`]
+//! (crate::NoScale), …) or from custom implementations:
+//!
+//! ```
+//! use kaas_core::{SchedulerKind, ServerConfig, TargetUtilization};
+//!
+//! let config = ServerConfig::default()
+//!     .with_scheduler(SchedulerKind::WarmFirst)
+//!     .with_autoscaler(TargetUtilization { target: 0.8 })
+//!     .with_tenant_quota(4);
+//! ```
+
+use std::time::Duration;
+
+use kaas_net::SerializationProfile;
+
+use crate::admission::AdmissionConfig;
+use crate::autoscaler::{AutoscalePolicy, InFlightThreshold, NoScale};
+use crate::runner::RunnerConfig;
+use crate::scheduler::Scheduler;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-invocation routing cost on the server CPU (calibrated to the
+    /// Fig. 12b weak-scaling offset: ≈ 35 µs/invocation).
+    pub dispatch_overhead: Duration,
+    /// Runner settings.
+    pub runner: RunnerConfig,
+    /// Placement policy (default: [`FillFirst`](crate::FillFirst)).
+    pub scheduler: Box<dyn Scheduler>,
+    /// Scale-out policy (default: [`InFlightThreshold`], the paper's
+    /// §5.5 behaviour; use [`NoScale`] for prewarmed-only capacity).
+    pub autoscaler: Box<dyn AutoscalePolicy>,
+    /// Reap runners that stay idle for this long (§6: energy-aware
+    /// scale-*down*; the next invocation after a reap cold-starts).
+    /// `None` keeps runners warm forever.
+    pub idle_timeout: Option<Duration>,
+    /// Admission control (tenant quotas, overload shedding).
+    pub admission: AdmissionConfig,
+    /// Serializer for in-band payloads.
+    pub serialization: SerializationProfile,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            dispatch_overhead: Duration::from_micros(35),
+            runner: RunnerConfig::default(),
+            scheduler: Box::new(crate::scheduler::FillFirst),
+            autoscaler: Box::new(InFlightThreshold),
+            idle_timeout: None,
+            admission: AdmissionConfig::default(),
+            serialization: SerializationProfile::python_pickle(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the per-invocation dispatch overhead.
+    pub fn with_dispatch_overhead(mut self, overhead: Duration) -> Self {
+        self.dispatch_overhead = overhead;
+        self
+    }
+
+    /// Sets the runner configuration.
+    pub fn with_runner(mut self, runner: RunnerConfig) -> Self {
+        self.runner = runner;
+        self
+    }
+
+    /// Sets the placement policy — a [`SchedulerKind`]
+    /// (crate::SchedulerKind), a built-in policy struct, or any custom
+    /// [`Scheduler`] implementation.
+    pub fn with_scheduler(mut self, scheduler: impl Into<Box<dyn Scheduler>>) -> Self {
+        self.scheduler = scheduler.into();
+        self
+    }
+
+    /// Sets the scale-out policy.
+    pub fn with_autoscaler(mut self, autoscaler: impl Into<Box<dyn AutoscalePolicy>>) -> Self {
+        self.autoscaler = autoscaler.into();
+        self
+    }
+
+    /// Boolean shorthand for the classic configurations: `true` is the
+    /// paper's [`InFlightThreshold`] policy, `false` is [`NoScale`]
+    /// (prewarmed capacity only).
+    pub fn with_autoscale(self, autoscale: bool) -> Self {
+        if autoscale {
+            self.with_autoscaler(InFlightThreshold)
+        } else {
+            self.with_autoscaler(NoScale)
+        }
+    }
+
+    /// Sets (or clears, with `None`) the idle-runner reap timeout.
+    pub fn with_idle_timeout(mut self, timeout: impl Into<Option<Duration>>) -> Self {
+        self.idle_timeout = timeout.into();
+        self
+    }
+
+    /// Sets (or clears, with `None`) the per-tenant concurrency quota.
+    pub fn with_tenant_quota(mut self, quota: impl Into<Option<usize>>) -> Self {
+        self.admission.tenant_quota = quota.into();
+        self
+    }
+
+    /// Sets (or clears, with `None`) the server-wide admitted-request
+    /// ceiling; excess requests fail with [`InvokeError::Overloaded`]
+    /// (crate::InvokeError::Overloaded).
+    pub fn with_max_in_flight(mut self, max: impl Into<Option<usize>>) -> Self {
+        self.admission.max_in_flight = max.into();
+        self
+    }
+
+    /// Sets the in-band payload serializer.
+    pub fn with_serialization(mut self, serialization: SerializationProfile) -> Self {
+        self.serialization = serialization;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{SchedCtx, SchedulerKind, SlotChoice};
+
+    #[test]
+    fn default_matches_the_paper_setup() {
+        let c = ServerConfig::default();
+        assert_eq!(c.dispatch_overhead, Duration::from_micros(35));
+        assert_eq!(c.scheduler.name(), "fill-first");
+        assert_eq!(c.autoscaler.name(), "in-flight-threshold");
+        assert_eq!(c.admission, AdmissionConfig::default());
+        assert!(c.idle_timeout.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ServerConfig::default()
+            .with_scheduler(SchedulerKind::RoundRobin)
+            .with_autoscale(false)
+            .with_tenant_quota(3)
+            .with_max_in_flight(64)
+            .with_idle_timeout(Duration::from_secs(60));
+        assert_eq!(c.scheduler.name(), "round-robin");
+        assert_eq!(c.autoscaler.name(), "no-scale");
+        assert_eq!(c.admission.tenant_quota, Some(3));
+        assert_eq!(c.admission.max_in_flight, Some(64));
+        assert_eq!(c.idle_timeout, Some(Duration::from_secs(60)));
+    }
+
+    #[test]
+    fn custom_policies_plug_in() {
+        #[derive(Debug, Clone)]
+        struct Always0;
+        impl Scheduler for Always0 {
+            fn name(&self) -> &'static str {
+                "always-0"
+            }
+            fn pick(&self, _ctx: &SchedCtx) -> Option<SlotChoice> {
+                Some(SlotChoice { index: 0 })
+            }
+            fn box_clone(&self) -> Box<dyn Scheduler> {
+                Box::new(self.clone())
+            }
+        }
+        let c = ServerConfig::default().with_scheduler(Always0);
+        assert_eq!(c.scheduler.name(), "always-0");
+        // Clone preserves the policy.
+        assert_eq!(c.clone().scheduler.name(), "always-0");
+    }
+}

@@ -1,0 +1,204 @@
+//! The per-invocation data path: admission → serialized dispatch →
+//! placement (scheduler + autoscaler) → execution with retry.
+//!
+//! Split from [`server`](crate::server) so the orchestration skeleton
+//! (lifecycle, accept loop, accessors) stays separate from the hot
+//! path every request walks.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use kaas_accel::DeviceId;
+use kaas_kernels::{Kernel, Value};
+use kaas_simtime::{now, sleep};
+
+use crate::autoscaler::{ScaleCtx, ScaleDecision};
+use crate::metrics::{InvocationReport, RunnerId};
+use crate::pool::{InFlightGuard, RunnerPool, RunnerSlot};
+use crate::protocol::{DataRef, InvokeError, Request, Response};
+use crate::scheduler::SchedCtx;
+use crate::server::{KaasServer, DISCOVERY_KERNEL};
+
+impl KaasServer {
+    /// Handles one request end to end (public for in-process use and
+    /// tests; network callers go through [`KaasServer::serve`]).
+    pub async fn handle(&self, req: Request) -> Response {
+        let id = req.id;
+        match self.handle_inner(req).await {
+            Ok((data, report)) => Response {
+                id,
+                result: Ok(data),
+                report: Some(report),
+            },
+            Err(e) => Response {
+                id,
+                result: Err(e),
+                report: None,
+            },
+        }
+    }
+
+    async fn handle_inner(&self, req: Request) -> Result<(DataRef, InvocationReport), InvokeError> {
+        // Reserved discovery endpoint: federated clients list the
+        // kernels a site serves before routing work to it.
+        if req.kernel == DISCOVERY_KERNEL {
+            return Ok(self.discovery_response());
+        }
+        let inner = self.inner();
+        let submitted = now();
+        let _permit = inner.admission.admit(req.tenant.as_deref()).await?;
+        {
+            let _router = inner.dispatch_lock.acquire(1).await;
+            sleep(inner.config.dispatch_overhead).await;
+        }
+        let kernel = inner
+            .registry
+            .lookup(&req.kernel)
+            .ok_or_else(|| InvokeError::UnknownKernel(req.kernel.clone()))?;
+
+        // Materialize the input.
+        let oob = matches!(req.data, DataRef::OutOfBand(_));
+        let input = match req.data {
+            DataRef::InBand(v) => {
+                // Runner-side deserialization of the in-band payload.
+                sleep(inner.config.serialization.time(v.wire_bytes())).await;
+                v
+            }
+            DataRef::OutOfBand(h) => inner.shm.take(h).await.ok_or(InvokeError::BadHandle)?,
+        };
+        let enveloped = matches!(input, Value::Sized { .. });
+
+        // Dispatch with retries if the chosen runner died.
+        let mut attempts = 0;
+        let (output, timings, runner_id, device_id, started) = loop {
+            attempts += 1;
+            let slot = self.place(&req.kernel, &kernel)?;
+            // RAII claim: released on every exit path below, including
+            // kernel errors and retries.
+            let claim = InFlightGuard::claim(&slot);
+            let runner = slot.runner().await;
+            let started = now();
+            let result = runner.invoke(&input).await;
+            drop(claim);
+            slot.touch();
+            if let Some(timeout) = inner.config.idle_timeout {
+                inner.pool.arm_reaper(&slot, timeout);
+            }
+            match result {
+                Ok((output, timings)) => {
+                    break (output, timings, runner.id(), runner.device_id(), started)
+                }
+                Err(InvokeError::RunnerFailed(_)) if attempts < 3 => slot.retire(),
+                Err(e) => return Err(e),
+            }
+        };
+
+        let completed = now();
+        let report = InvocationReport {
+            kernel: req.kernel.clone(),
+            runner: runner_id,
+            device: device_id,
+            cold_start: timings.first_invocation,
+            submitted,
+            started,
+            completed,
+            copy_in: timings.copy_in,
+            kernel_exec: timings.kernel_exec,
+            copy_out: timings.copy_out,
+        };
+        inner.metrics.record(report.clone());
+
+        // Descriptor-mode requests get descriptor-sized responses: the
+        // logical result size is the kernel's device→host volume.
+        let output = if enveloped {
+            let bytes_out = kernel
+                .work(input.payload())
+                .map(|w| w.bytes_out)
+                .unwrap_or(0)
+                .max(output.wire_bytes());
+            Value::sized(bytes_out, output)
+        } else {
+            output
+        };
+        // Return the output the same way the input came in.
+        let data = if oob {
+            let bytes = output.wire_bytes();
+            DataRef::OutOfBand(inner.shm.put(output, bytes).await)
+        } else {
+            sleep(inner.config.serialization.time(output.wire_bytes())).await;
+            DataRef::InBand(output)
+        };
+        Ok((data, report))
+    }
+
+    /// Chooses (or starts) a runner slot for `kernel`: scheduler first,
+    /// autoscaler on cold/saturated fleets, queueing as the fallback.
+    /// Claims nothing — the caller takes the in-flight guard.
+    fn place(&self, name: &str, kernel: &Rc<dyn Kernel>) -> Result<Rc<RunnerSlot>, InvokeError> {
+        let inner = self.inner();
+        let pool = &inner.pool;
+        let config = &inner.config;
+        let scale_ctx = |pool: &RunnerPool| ScaleCtx {
+            kernel: name,
+            runners: pool.runner_count(name),
+            in_flight: pool.in_flight(name),
+            cap_per_runner: config.runner.max_inflight,
+            device_capacity: pool.class_capacity(kernel.device_class()),
+        };
+        if pool.runner_count(name) == 0 {
+            // Bootstrap: a cold deployment always starts its first
+            // runner, whatever the policy says.
+            if let Ok(slot) = pool.spawn_runner(name, kernel, config.runner) {
+                return Ok(slot);
+            }
+        } else {
+            // Proactive policies may grow the fleet before placement.
+            if config.autoscaler.on_invocation(&scale_ctx(pool)) == ScaleDecision::ScaleUp {
+                let _ = pool.spawn_runner(name, kernel, config.runner);
+            }
+            let (slots, views) = pool.usable_slots(name);
+            if !slots.is_empty() {
+                let ctx = SchedCtx {
+                    kernel: name,
+                    slots: &views,
+                    cap: config.runner.max_inflight,
+                };
+                if let Some(choice) = config.scheduler.pick(&ctx) {
+                    return Ok(Rc::clone(&slots[choice.index]));
+                }
+                // Every eligible runner is saturated: ask the autoscaler.
+                if config.autoscaler.on_saturated(&scale_ctx(pool)) == ScaleDecision::ScaleUp {
+                    if let Ok(slot) = pool.spawn_runner(name, kernel, config.runner) {
+                        return Ok(slot);
+                    }
+                }
+            }
+        }
+        // Fall back to queueing on the least-claimed usable slot.
+        pool.least_claimed(name)
+            .ok_or_else(|| InvokeError::NoDevice(kernel.device_class().to_string()))
+    }
+
+    fn discovery_response(&self) -> (DataRef, InvocationReport) {
+        let names = self
+            .inner()
+            .registry
+            .names()
+            .into_iter()
+            .map(Value::Text)
+            .collect();
+        let report = InvocationReport {
+            kernel: DISCOVERY_KERNEL.to_owned(),
+            runner: RunnerId(u32::MAX),
+            device: DeviceId(u32::MAX),
+            cold_start: false,
+            submitted: now(),
+            started: now(),
+            completed: now(),
+            copy_in: Duration::ZERO,
+            kernel_exec: Duration::ZERO,
+            copy_out: Duration::ZERO,
+        };
+        (DataRef::InBand(Value::List(names)), report)
+    }
+}

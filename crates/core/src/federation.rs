@@ -187,4 +187,3 @@ async fn discover(client: &mut KaasClient) -> Vec<String> {
         Err(_) => Vec::new(),
     }
 }
-

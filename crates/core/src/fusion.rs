@@ -154,7 +154,11 @@ impl Kernel for FusedKernel {
                 current = stage.execute(&current)?;
             }
         }
-        let efficiency = if denom > 0.0 { (flops / denom).clamp(1e-6, 8.0) } else { 1.0 };
+        let efficiency = if denom > 0.0 {
+            (flops / denom).clamp(1e-6, 8.0)
+        } else {
+            1.0
+        };
         Ok(WorkUnits::new(flops)
             .with_bytes(bytes_in, bytes_out)
             .with_efficiency(efficiency)
@@ -229,7 +233,11 @@ mod tests {
     #[test]
     fn cpu_chain_fuses_too() {
         // Two CPU-class preprocessing stages.
-        let fused = fuse("prep-x2", vec![rc(Preprocess::new()), rc(Preprocess::new())]).unwrap();
+        let fused = fuse(
+            "prep-x2",
+            vec![rc(Preprocess::new()), rc(Preprocess::new())],
+        )
+        .unwrap();
         assert_eq!(fused.device_class(), DeviceClass::Cpu);
         let out = fused.execute(&Value::U64(640 * 480)).unwrap();
         assert!(matches!(out, Value::Image { width: 224, .. }));

@@ -11,6 +11,32 @@
 //! * [`baseline`] provides the time-sharing / space-sharing / CPU-only
 //!   delivery models the paper compares against.
 //!
+//! ## The control plane
+//!
+//! [`KaasServer`] is a thin orchestrator over four modules, each with a
+//! pluggable policy seam:
+//!
+//! | Module | Responsibility | Policy hook |
+//! |---|---|---|
+//! | [`admission`] | tenant quotas, overload shedding | [`AdmissionConfig`] |
+//! | [`scheduler`] | route an invocation to a runner slot | [`Scheduler`] trait |
+//! | [`autoscaler`] | decide when to start more runners | [`AutoscalePolicy`] trait |
+//! | [`pool`] | runner lifecycle: spawn, warm lookup, idle reaping | mechanism only |
+//!
+//! Per invocation: admission ⇒ dispatch overhead ⇒ `scheduler.pick()`
+//! over the pool's usable slots ⇒ on decline, `autoscaler.on_saturated()`
+//! may spawn a runner (bounded by physical devices) ⇒ execute, retrying
+//! on runner failure. Scale-down is the pool's idle reaper
+//! ([`ServerConfig::idle_timeout`]).
+//!
+//! Built-in schedulers: [`FillFirst`], [`RoundRobin`], [`LeastLoaded`],
+//! [`WarmFirst`] (enum shim: [`SchedulerKind`]). Built-in autoscalers:
+//! [`InFlightThreshold`] (the paper's §5.5 policy), [`NoScale`],
+//! [`TargetUtilization`]. Custom policies implement the trait and plug
+//! in through [`ServerConfig::with_scheduler`] /
+//! [`ServerConfig::with_autoscaler`]; see the [`scheduler`] module docs
+//! for a worked example.
+//!
 //! ```
 //! use kaas_core::{baseline, KernelRegistry};
 //! use kaas_kernels::{MatMul, Value};
@@ -30,26 +56,42 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
+pub mod autoscaler;
 pub mod baseline;
 mod client;
+mod config;
+mod dispatch;
 mod federation;
 mod fusion;
 mod metrics;
+pub mod pool;
 mod protocol;
 mod registry;
 mod runner;
+pub mod scheduler;
 mod server;
 mod workflow;
 
+pub use admission::AdmissionConfig;
+pub use autoscaler::{
+    AutoscalePolicy, InFlightThreshold, NoScale, ScaleCtx, ScaleDecision, TargetUtilization,
+};
 pub use baseline::{run_cpu_only, run_space_sharing, run_time_sharing, BaselineReport};
 pub use client::{Invocation, KaasClient};
+pub use config::ServerConfig;
 pub use federation::{FederatedClient, SiteSpec};
 pub use fusion::{fuse, FusedKernel, FusionError};
 pub use metrics::{mean_ci95, percentile, InvocationReport, MeanCi, MetricsSink, RunnerId};
+pub use pool::{RunnerPool, RunnerSlot};
 pub use protocol::{DataRef, InvokeError, Request, Response, FRAME_BYTES};
 pub use registry::{KernelRegistry, RegistryError};
 pub use runner::{RunnerConfig, RunnerTimings, TaskRunner};
-pub use server::{KaasServer, Scheduler, ServerConfig, DISCOVERY_KERNEL};
+pub use scheduler::{
+    FillFirst, LeastLoaded, RoundRobin, SchedCtx, Scheduler, SchedulerKind, SlotChoice, SlotView,
+    WarmFirst,
+};
+pub use server::{KaasServer, DISCOVERY_KERNEL};
 pub use workflow::{TransferMode, Workflow, WorkflowRun};
 
 /// The network type used between KaaS clients and servers.

@@ -102,7 +102,11 @@ impl MetricsSink {
 
     /// How many recorded invocations were cold starts.
     pub fn cold_starts(&self) -> usize {
-        self.records.borrow().iter().filter(|r| r.cold_start).count()
+        self.records
+            .borrow()
+            .iter()
+            .filter(|r| r.cold_start)
+            .count()
     }
 }
 

@@ -1,0 +1,440 @@
+//! Runner lifecycle: the [`RunnerPool`] owns every [`RunnerSlot`] —
+//! spawning runners onto devices, warm lookup, idle reaping, failure
+//! kills, and per-kernel / per-device accounting.
+//!
+//! The pool is pure mechanism: *when* to start or stop runners is
+//! decided by the [scheduler](crate::scheduler) and
+//! [autoscaler](crate::autoscaler) policies; the pool only enforces
+//! physical placement limits (one runner per device, one per chip on
+//! TPUs).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use kaas_accel::{Device, DeviceClass, DeviceId};
+use kaas_kernels::Kernel;
+use kaas_simtime::sync::Event;
+use kaas_simtime::{now, sleep, spawn, SimTime};
+
+use crate::metrics::RunnerId;
+use crate::protocol::InvokeError;
+use crate::runner::{RunnerConfig, TaskRunner};
+use crate::scheduler::SlotView;
+
+/// A runner slot: claimed synchronously at dispatch time, filled by an
+/// asynchronous cold start.
+pub struct RunnerSlot {
+    device: DeviceId,
+    claimed: Cell<usize>,
+    ready: Event,
+    runner: RefCell<Option<Rc<TaskRunner>>>,
+    dead: Cell<bool>,
+    last_used: Cell<SimTime>,
+}
+
+impl std::fmt::Debug for RunnerSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunnerSlot")
+            .field("device", &self.device)
+            .field("claimed", &self.claimed.get())
+            .field("warm", &self.is_warm())
+            .field("dead", &self.dead.get())
+            .finish()
+    }
+}
+
+impl RunnerSlot {
+    /// Device hosting this runner.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// In-flight invocations currently claimed against this slot.
+    pub fn claimed(&self) -> usize {
+        self.claimed.get()
+    }
+
+    /// Whether the runner finished its cold start.
+    pub fn is_warm(&self) -> bool {
+        self.ready.is_set()
+    }
+
+    /// Whether the slot can still serve work (not reaped or failed).
+    pub fn is_usable(&self) -> bool {
+        !self.dead.get()
+    }
+
+    /// Marks the slot dead so no further work routes to it.
+    pub(crate) fn retire(&self) {
+        self.dead.set(true);
+    }
+
+    /// Waits until the cold start completed and returns the runner.
+    pub(crate) async fn runner(&self) -> Rc<TaskRunner> {
+        self.ready.wait().await;
+        self.runner
+            .borrow()
+            .clone()
+            .expect("slot signalled ready without a runner")
+    }
+
+    /// Waits until the runner is warm (prewarm path).
+    pub(crate) async fn wait_ready(&self) {
+        self.ready.wait().await;
+    }
+
+    /// Records an invocation completion for idle accounting.
+    pub(crate) fn touch(&self) {
+        self.last_used.set(now());
+    }
+
+    /// A scheduler-facing snapshot of this slot.
+    fn view(&self, index: usize) -> SlotView {
+        SlotView {
+            index,
+            claimed: self.claimed.get(),
+            device: self.device,
+            warm: self.is_warm(),
+        }
+    }
+}
+
+/// RAII claim on a slot's in-flight budget: increments `claimed` on
+/// construction and decrements on drop, so the count is released on
+/// *every* exit path (success, kernel error, retry, panic).
+#[derive(Debug)]
+pub(crate) struct InFlightGuard {
+    slot: Rc<RunnerSlot>,
+}
+
+impl InFlightGuard {
+    pub(crate) fn claim(slot: &Rc<RunnerSlot>) -> Self {
+        slot.claimed.set(slot.claimed.get() + 1);
+        InFlightGuard {
+            slot: Rc::clone(slot),
+        }
+    }
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.slot.claimed.set(self.slot.claimed.get() - 1);
+    }
+}
+
+/// Owns every runner slot in a deployment, keyed by kernel name.
+pub struct RunnerPool {
+    devices: Vec<Device>,
+    slots: RefCell<HashMap<String, Vec<Rc<RunnerSlot>>>>,
+    next_runner: Cell<u32>,
+    reaped: Cell<usize>,
+}
+
+impl std::fmt::Debug for RunnerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunnerPool")
+            .field("devices", &self.devices.len())
+            .field("kernels", &self.slots.borrow().len())
+            .field("reaped", &self.reaped.get())
+            .finish()
+    }
+}
+
+impl RunnerPool {
+    /// Creates a pool managing `devices`.
+    pub fn new(devices: Vec<Device>) -> Self {
+        RunnerPool {
+            devices,
+            slots: RefCell::new(HashMap::new()),
+            next_runner: Cell::new(0),
+            reaped: Cell::new(0),
+        }
+    }
+
+    /// The managed devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Device classes available in this deployment.
+    pub fn device_classes(&self) -> Vec<DeviceClass> {
+        let mut classes: Vec<DeviceClass> = self.devices.iter().map(Device::class).collect();
+        classes.sort();
+        classes.dedup();
+        classes
+    }
+
+    /// Total runner capacity across devices of `class` (one runner per
+    /// device; one per chip on TPUs).
+    pub fn class_capacity(&self, class: DeviceClass) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.class() == class)
+            .map(|d| match d {
+                Device::Tpu(t) => t.chips() as usize,
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// Number of runner slots (starting or ready) for `kernel`.
+    pub fn runner_count(&self, kernel: &str) -> usize {
+        self.slots
+            .borrow()
+            .get(kernel)
+            .map(|v| v.iter().filter(|s| s.is_usable()).count())
+            .unwrap_or(0)
+    }
+
+    /// Total in-flight (claimed) invocations for `kernel`.
+    pub fn in_flight(&self, kernel: &str) -> usize {
+        self.slots
+            .borrow()
+            .get(kernel)
+            .map(|v| v.iter().map(|s| s.claimed.get()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of runners reaped by the idle timeout so far.
+    pub fn reaped(&self) -> usize {
+        self.reaped.get()
+    }
+
+    /// Usable slots for `kernel` in start order, plus their
+    /// scheduler-facing views (same indices in both).
+    pub(crate) fn usable_slots(&self, kernel: &str) -> (Vec<Rc<RunnerSlot>>, Vec<SlotView>) {
+        let slots: Vec<Rc<RunnerSlot>> = self
+            .slots
+            .borrow()
+            .get(kernel)
+            .map(|v| v.iter().filter(|s| s.is_usable()).cloned().collect())
+            .unwrap_or_default();
+        let views = slots.iter().enumerate().map(|(i, s)| s.view(i)).collect();
+        (slots, views)
+    }
+
+    /// The usable slot with the fewest claims (queueing fallback when
+    /// scale-out is denied or impossible).
+    pub(crate) fn least_claimed(&self, kernel: &str) -> Option<Rc<RunnerSlot>> {
+        self.slots.borrow().get(kernel).and_then(|v| {
+            v.iter()
+                .filter(|s| s.is_usable())
+                .min_by_key(|s| s.claimed.get())
+                .cloned()
+        })
+    }
+
+    /// Starts a new runner for `kernel` on a free device (synchronously
+    /// reserving the slot, asynchronously cold-starting the runner).
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::NoDevice`] if every suitable device already hosts
+    /// this kernel (one runner per device; one per chip on TPUs).
+    pub fn spawn_runner(
+        &self,
+        name: &str,
+        kernel: &Rc<dyn Kernel>,
+        config: RunnerConfig,
+    ) -> Result<Rc<RunnerSlot>, InvokeError> {
+        let class = kernel.device_class();
+        let mut slots = self.slots.borrow_mut();
+        let list = slots.entry(name.to_owned()).or_default();
+        let device = self
+            .devices
+            .iter()
+            .find(|d| {
+                if d.class() != class {
+                    return false;
+                }
+                let occupied = list
+                    .iter()
+                    .filter(|s| s.is_usable() && s.device == d.id())
+                    .count();
+                let capacity = match d {
+                    Device::Tpu(t) => t.chips() as usize,
+                    _ => 1,
+                };
+                occupied < capacity
+            })
+            .cloned()
+            .ok_or_else(|| InvokeError::NoDevice(class.to_string()))?;
+
+        let chip = list
+            .iter()
+            .filter(|s| s.is_usable() && s.device == device.id())
+            .count() as u32;
+        let slot = Rc::new(RunnerSlot {
+            device: device.id(),
+            claimed: Cell::new(0),
+            ready: Event::new(),
+            runner: RefCell::new(None),
+            dead: Cell::new(false),
+            last_used: Cell::new(now()),
+        });
+        list.push(Rc::clone(&slot));
+        drop(slots);
+
+        let id = RunnerId(self.next_runner.get());
+        self.next_runner.set(id.0 + 1);
+        let kernel = Rc::clone(kernel);
+        let slot2 = Rc::clone(&slot);
+        spawn(async move {
+            let runner = TaskRunner::cold_start(id, kernel, device, chip, config).await;
+            *slot2.runner.borrow_mut() = Some(Rc::new(runner));
+            slot2.ready.set();
+        });
+        Ok(slot)
+    }
+
+    /// Schedules an idle check for `slot` one timeout from now; the slot
+    /// is reaped if no invocation touched it in the meantime. Checks are
+    /// one-shot (armed per completed invocation), so an idle deployment
+    /// quiesces instead of polling forever. A busy slot (claims in
+    /// flight) is never reaped.
+    pub(crate) fn arm_reaper(self: &Rc<Self>, slot: &Rc<RunnerSlot>, timeout: Duration) {
+        let slot = Rc::clone(slot);
+        let pool = Rc::clone(self);
+        let armed_at = now();
+        spawn(async move {
+            sleep(timeout).await;
+            if slot.dead.get() || slot.claimed.get() > 0 {
+                return;
+            }
+            if slot.last_used.get() > armed_at {
+                // Someone used the runner since; their completion armed a
+                // fresher check.
+                return;
+            }
+            slot.dead.set(true);
+            if let Some(runner) = slot.runner.borrow().as_ref() {
+                runner.kill();
+            }
+            pool.reaped.set(pool.reaped.get() + 1);
+        });
+    }
+
+    /// Kills the runner currently serving `kernel` on `device` (failure
+    /// injection for tests).
+    pub fn kill_runner(&self, kernel: &str, device: DeviceId) -> bool {
+        let slots = self.slots.borrow();
+        if let Some(list) = slots.get(kernel) {
+            for slot in list {
+                if slot.device == device && slot.is_usable() {
+                    if let Some(runner) = slot.runner.borrow().as_ref() {
+                        runner.kill();
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaas_accel::{GpuDevice, GpuProfile};
+    use kaas_kernels::MonteCarlo;
+    use kaas_simtime::Simulation;
+
+    fn gpus(n: u32) -> Vec<Device> {
+        (0..n)
+            .map(|i| GpuDevice::new(DeviceId(i), GpuProfile::p100()).into())
+            .collect()
+    }
+
+    fn mci() -> Rc<dyn Kernel> {
+        Rc::new(MonteCarlo::default())
+    }
+
+    #[test]
+    fn spawn_fills_devices_then_errors() {
+        let mut sim = Simulation::new();
+        sim.block_on(async {
+            let pool = Rc::new(RunnerPool::new(gpus(2)));
+            let k = mci();
+            pool.spawn_runner("mci", &k, RunnerConfig::default())
+                .unwrap();
+            pool.spawn_runner("mci", &k, RunnerConfig::default())
+                .unwrap();
+            assert_eq!(pool.runner_count("mci"), 2);
+            let err = pool
+                .spawn_runner("mci", &k, RunnerConfig::default())
+                .unwrap_err();
+            assert!(matches!(err, InvokeError::NoDevice(_)));
+        });
+    }
+
+    #[test]
+    fn in_flight_guard_releases_on_drop() {
+        let mut sim = Simulation::new();
+        sim.block_on(async {
+            let pool = Rc::new(RunnerPool::new(gpus(1)));
+            let k = mci();
+            let slot = pool
+                .spawn_runner("mci", &k, RunnerConfig::default())
+                .unwrap();
+            {
+                let _a = InFlightGuard::claim(&slot);
+                let _b = InFlightGuard::claim(&slot);
+                assert_eq!(pool.in_flight("mci"), 2);
+            }
+            assert_eq!(pool.in_flight("mci"), 0);
+        });
+    }
+
+    #[test]
+    fn reaper_never_kills_a_busy_slot() {
+        let mut sim = Simulation::new();
+        sim.block_on(async {
+            let pool = Rc::new(RunnerPool::new(gpus(1)));
+            let k = mci();
+            let slot = pool
+                .spawn_runner("mci", &k, RunnerConfig::default())
+                .unwrap();
+            slot.wait_ready().await;
+            // An invocation is in flight while the idle check fires.
+            let guard = InFlightGuard::claim(&slot);
+            pool.arm_reaper(&slot, Duration::from_secs(1));
+            sleep(Duration::from_secs(5)).await;
+            assert!(slot.is_usable(), "busy slot must survive the reaper");
+            assert_eq!(pool.reaped(), 0);
+            drop(guard);
+            // Now idle: the next armed check reaps it.
+            pool.arm_reaper(&slot, Duration::from_secs(1));
+            sleep(Duration::from_secs(5)).await;
+            assert!(!slot.is_usable());
+            assert_eq!(pool.reaped(), 1);
+        });
+    }
+
+    #[test]
+    fn recent_use_defers_the_reaper() {
+        let mut sim = Simulation::new();
+        sim.block_on(async {
+            let pool = Rc::new(RunnerPool::new(gpus(1)));
+            let k = mci();
+            let slot = pool
+                .spawn_runner("mci", &k, RunnerConfig::default())
+                .unwrap();
+            slot.wait_ready().await;
+            pool.arm_reaper(&slot, Duration::from_secs(10));
+            // A completion touches the slot before the check fires.
+            sleep(Duration::from_secs(5)).await;
+            slot.touch();
+            sleep(Duration::from_secs(6)).await;
+            assert!(slot.is_usable(), "freshly used slot must not be reaped");
+        });
+    }
+
+    #[test]
+    fn class_capacity_counts_devices() {
+        let pool = RunnerPool::new(gpus(3));
+        assert_eq!(pool.class_capacity(DeviceClass::Gpu), 3);
+        assert_eq!(pool.class_capacity(DeviceClass::Cpu), 0);
+    }
+}

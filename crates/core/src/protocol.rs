@@ -75,6 +75,9 @@ pub enum InvokeError {
     Disconnected,
     /// An out-of-band handle did not resolve.
     BadHandle,
+    /// The server shed the request: its admitted-request ceiling
+    /// (`AdmissionConfig::max_in_flight`) was already reached.
+    Overloaded,
 }
 
 impl std::fmt::Display for InvokeError {
@@ -86,6 +89,7 @@ impl std::fmt::Display for InvokeError {
             InvokeError::RunnerFailed(m) => write!(f, "task runner failed: {m}"),
             InvokeError::Disconnected => write!(f, "server disconnected"),
             InvokeError::BadHandle => write!(f, "shared-memory handle did not resolve"),
+            InvokeError::Overloaded => write!(f, "server overloaded; request shed"),
         }
     }
 }
@@ -157,7 +161,11 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(InvokeError::UnknownKernel("x".into()).to_string().contains('x'));
-        assert!(InvokeError::Disconnected.to_string().contains("disconnected"));
+        assert!(InvokeError::UnknownKernel("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(InvokeError::Disconnected
+            .to_string()
+            .contains("disconnected"));
     }
 }

@@ -1,111 +1,43 @@
-//! [`KaasServer`]: accepts invocations, routes them to warm task runners,
-//! and scales runners out across devices on demand (§4.1 and §5.5 of the
-//! paper).
+//! [`KaasServer`]: the thin orchestrator tying the control-plane
+//! modules together (§4.1 and §5.5 of the paper).
+//!
+//! Per invocation the server (1) applies [admission](crate::admission)
+//! control, (2) pays the serialized dispatch overhead, (3) asks the
+//! [`Scheduler`](crate::Scheduler) to place the request on a slot from
+//! the [`RunnerPool`](crate::RunnerPool), consulting the
+//! [`AutoscalePolicy`](crate::AutoscalePolicy) when the fleet is cold
+//! or saturated, and (4) runs the kernel, retrying on runner failure.
+//! The data path itself lives in the `dispatch` module; this module
+//! holds construction, lifecycle, and the accept loop.
 
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
-use std::time::Duration;
 
 use kaas_accel::{Device, DeviceClass, DeviceId};
-use kaas_kernels::{Kernel, Value};
-use kaas_net::{Frame, Listener, SerializationProfile, SharedMemory};
-use kaas_simtime::sync::{Event, Semaphore};
-use kaas_simtime::{now, sleep, spawn};
+use kaas_net::{Frame, Listener, SharedMemory};
+use kaas_simtime::spawn;
+use kaas_simtime::sync::Semaphore;
 
-use crate::metrics::{InvocationReport, MetricsSink, RunnerId};
-use crate::protocol::{DataRef, InvokeError, Request, Response};
+use crate::admission::AdmissionController;
+use crate::config::ServerConfig;
+use crate::metrics::MetricsSink;
+use crate::pool::RunnerPool;
+use crate::protocol::{InvokeError, Request, Response};
 use crate::registry::KernelRegistry;
-use crate::runner::{RunnerConfig, TaskRunner};
 
 /// Reserved kernel name answering with the site's registered kernel
 /// list (used by federated clients for discovery).
 pub const DISCOVERY_KERNEL: &str = "_kaas/list";
 
-/// How eligible runners are chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Scheduler {
-    /// Fill the earliest-started runner to its in-flight cap before
-    /// spilling to the next (the paper's §5.5 autoscaling behaviour).
-    #[default]
-    FillFirst,
-    /// Rotate across all runners (the paper's §5.4 weak-scaling
-    /// "round-robin scheduler").
-    RoundRobin,
-    /// Pick the runner with the fewest in-flight invocations.
-    LeastLoaded,
-}
-
-/// Server tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ServerConfig {
-    /// Per-invocation routing cost on the server CPU (calibrated to the
-    /// Fig. 12b weak-scaling offset: ≈ 35 µs/invocation).
-    pub dispatch_overhead: Duration,
-    /// Runner settings.
-    pub runner: RunnerConfig,
-    /// Scheduling policy.
-    pub scheduler: Scheduler,
-    /// Start new runners on unused devices when all existing runners are
-    /// at their in-flight cap.
-    pub autoscale: bool,
-    /// Reap runners that stay idle for this long (§6: energy-aware
-    /// scale-*down*; the next invocation after a reap cold-starts).
-    /// `None` keeps runners warm forever.
-    pub idle_timeout: Option<Duration>,
-    /// Per-tenant concurrent-invocation quota (§3.1 fairness): a tenant
-    /// exceeding it queues FIFO behind its own requests instead of
-    /// starving others. `None` disables tenant accounting.
-    pub tenant_quota: Option<usize>,
-    /// Serializer for in-band payloads.
-    pub serialization: SerializationProfile,
-}
-
-impl Default for ServerConfig {
-    fn default() -> Self {
-        ServerConfig {
-            dispatch_overhead: Duration::from_micros(35),
-            runner: RunnerConfig::default(),
-            scheduler: Scheduler::FillFirst,
-            autoscale: true,
-            idle_timeout: None,
-            tenant_quota: None,
-            serialization: SerializationProfile::python_pickle(),
-        }
-    }
-}
-
-/// A runner slot: claimed synchronously at dispatch time, filled by an
-/// asynchronous cold start.
-struct RunnerSlot {
-    device: DeviceId,
-    claimed: Cell<usize>,
-    ready: Event,
-    runner: RefCell<Option<Rc<TaskRunner>>>,
-    dead: Cell<bool>,
-    last_used: Cell<kaas_simtime::SimTime>,
-}
-
-impl RunnerSlot {
-    fn is_usable(&self) -> bool {
-        !self.dead.get()
-    }
-}
-
-struct ServerInner {
-    devices: Vec<Device>,
-    registry: KernelRegistry,
-    config: ServerConfig,
-    shm: SharedMemory,
-    slots: RefCell<HashMap<String, Vec<Rc<RunnerSlot>>>>,
-    rr: Cell<usize>,
-    next_runner: Cell<u32>,
-    metrics: MetricsSink,
+pub(crate) struct ServerInner {
+    pub(crate) registry: KernelRegistry,
+    pub(crate) config: ServerConfig,
+    pub(crate) shm: SharedMemory,
+    pub(crate) pool: Rc<RunnerPool>,
+    pub(crate) admission: AdmissionController,
+    pub(crate) metrics: MetricsSink,
     /// The router runs on one server thread: dispatch work serializes
     /// (the Fig. 12b weak-scaling offset of ≈35 µs per invocation).
-    dispatch_lock: Semaphore,
-    reaped: Cell<usize>,
-    tenants: RefCell<HashMap<String, Semaphore>>,
+    pub(crate) dispatch_lock: Semaphore,
 }
 
 /// The KaaS server (Fig. 3: registration target and invocation router).
@@ -144,7 +76,7 @@ pub struct KaasServer {
 impl std::fmt::Debug for KaasServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KaasServer")
-            .field("devices", &self.inner.devices.len())
+            .field("devices", &self.inner.pool.devices().len())
             .field("kernels", &self.inner.registry.names())
             .finish()
     }
@@ -161,19 +93,19 @@ impl KaasServer {
     ) -> Self {
         KaasServer {
             inner: Rc::new(ServerInner {
-                devices,
                 registry,
-                config,
                 shm,
-                slots: RefCell::new(HashMap::new()),
-                rr: Cell::new(0),
-                next_runner: Cell::new(0),
+                pool: Rc::new(RunnerPool::new(devices)),
+                admission: AdmissionController::new(config.admission),
                 metrics: MetricsSink::new(),
                 dispatch_lock: Semaphore::new(1),
-                reaped: Cell::new(0),
-                tenants: RefCell::new(HashMap::new()),
+                config,
             }),
         }
+    }
+
+    pub(crate) fn inner(&self) -> &ServerInner {
+        &self.inner
     }
 
     /// The server's metric sink.
@@ -183,7 +115,7 @@ impl KaasServer {
 
     /// The managed devices.
     pub fn devices(&self) -> &[Device] {
-        &self.inner.devices
+        self.inner.pool.devices()
     }
 
     /// The kernel registry (register kernels through this).
@@ -191,24 +123,35 @@ impl KaasServer {
         &self.inner.registry
     }
 
+    /// The runner pool (lifecycle state: counts, reaps, kills).
+    pub fn pool(&self) -> &RunnerPool {
+        &self.inner.pool
+    }
+
     /// Number of runner slots (starting or ready) for `kernel`.
     pub fn runner_count(&self, kernel: &str) -> usize {
-        self.inner
-            .slots
-            .borrow()
-            .get(kernel)
-            .map(|v| v.iter().filter(|s| s.is_usable()).count())
-            .unwrap_or(0)
+        self.inner.pool.runner_count(kernel)
     }
 
     /// Total in-flight (claimed) invocations for `kernel`.
     pub fn in_flight(&self, kernel: &str) -> usize {
-        self.inner
-            .slots
-            .borrow()
-            .get(kernel)
-            .map(|v| v.iter().map(|s| s.claimed.get()).sum())
-            .unwrap_or(0)
+        self.inner.pool.in_flight(kernel)
+    }
+
+    /// Number of runners reaped by the idle timeout so far.
+    pub fn reaped(&self) -> usize {
+        self.inner.pool.reaped()
+    }
+
+    /// Kills the runner currently serving `kernel` on `device` (failure
+    /// injection for tests).
+    pub fn kill_runner(&self, kernel: &str, device: DeviceId) -> bool {
+        self.inner.pool.kill_runner(kernel, device)
+    }
+
+    /// Device classes available in this deployment.
+    pub fn device_classes(&self) -> Vec<DeviceClass> {
+        self.inner.pool.device_classes()
     }
 
     /// Pre-starts `count` runners for `kernel` and waits until they are
@@ -226,10 +169,14 @@ impl KaasServer {
             .ok_or_else(|| InvokeError::UnknownKernel(kernel.to_owned()))?;
         let mut slots = Vec::new();
         for _ in 0..count {
-            slots.push(self.start_runner(kernel, &k)?);
+            slots.push(
+                self.inner
+                    .pool
+                    .spawn_runner(kernel, &k, self.inner.config.runner)?,
+            );
         }
         for slot in slots {
-            slot.ready.wait().await;
+            slot.wait_ready().await;
         }
         Ok(())
     }
@@ -251,342 +198,5 @@ impl KaasServer {
                 }
             });
         }
-    }
-
-    /// Handles one request end to end (public for in-process use and
-    /// tests; network callers go through [`KaasServer::serve`]).
-    pub async fn handle(&self, req: Request) -> Response {
-        let id = req.id;
-        match self.handle_inner(req).await {
-            Ok((data, report)) => Response {
-                id,
-                result: Ok(data),
-                report: Some(report),
-            },
-            Err(e) => Response {
-                id,
-                result: Err(e),
-                report: None,
-            },
-        }
-    }
-
-    async fn handle_inner(
-        &self,
-        req: Request,
-    ) -> Result<(DataRef, InvocationReport), InvokeError> {
-        // Reserved discovery endpoint: federated clients list the
-        // kernels a site serves before routing work to it.
-        if req.kernel == DISCOVERY_KERNEL {
-            let names = self
-                .inner
-                .registry
-                .names()
-                .into_iter()
-                .map(Value::Text)
-                .collect();
-            let report = InvocationReport {
-                kernel: DISCOVERY_KERNEL.to_owned(),
-                runner: RunnerId(u32::MAX),
-                device: DeviceId(u32::MAX),
-                cold_start: false,
-                submitted: now(),
-                started: now(),
-                completed: now(),
-                copy_in: Duration::ZERO,
-                kernel_exec: Duration::ZERO,
-                copy_out: Duration::ZERO,
-            };
-            return Ok((DataRef::InBand(Value::List(names)), report));
-        }
-        let submitted = now();
-        // Per-tenant admission: a tenant over its quota waits behind its
-        // own requests (FIFO), never starving other tenants.
-        let _tenant_permit = match (&req.tenant, self.inner.config.tenant_quota) {
-            (Some(tenant), Some(quota)) => {
-                let sem = self
-                    .inner
-                    .tenants
-                    .borrow_mut()
-                    .entry(tenant.clone())
-                    .or_insert_with(|| Semaphore::new(quota))
-                    .clone();
-                Some(sem.acquire(1).await)
-            }
-            _ => None,
-        };
-        {
-            let _router = self.inner.dispatch_lock.acquire(1).await;
-            sleep(self.inner.config.dispatch_overhead).await;
-        }
-        let kernel = self
-            .inner
-            .registry
-            .lookup(&req.kernel)
-            .ok_or_else(|| InvokeError::UnknownKernel(req.kernel.clone()))?;
-
-        // Materialize the input.
-        let oob = matches!(req.data, DataRef::OutOfBand(_));
-        let mut enveloped = false;
-        let input = match req.data {
-            DataRef::InBand(v) => {
-                // Runner-side deserialization of the in-band payload.
-                sleep(self.inner.config.serialization.time(v.wire_bytes())).await;
-                v
-            }
-            DataRef::OutOfBand(h) => self
-                .inner
-                .shm
-                .take(h)
-                .await
-                .ok_or(InvokeError::BadHandle)?,
-        };
-        enveloped |= matches!(input, Value::Sized { .. });
-
-        // Dispatch with one retry if the chosen runner died.
-        let mut attempts = 0;
-        let (output, timings, runner_id, device_id, started) = loop {
-            attempts += 1;
-            let slot = self.pick_slot(&req.kernel, &kernel)?;
-            slot.claimed.set(slot.claimed.get() + 1);
-            slot.ready.wait().await;
-            let runner = slot
-                .runner
-                .borrow()
-                .clone()
-                .expect("slot signalled ready without a runner");
-            let started = now();
-            let result = runner.invoke(&input).await;
-            slot.claimed.set(slot.claimed.get() - 1);
-            slot.last_used.set(now());
-            if let Some(timeout) = self.inner.config.idle_timeout {
-                self.arm_reaper(&slot, timeout);
-            }
-            match result {
-                Ok((output, timings)) => {
-                    break (output, timings, runner.id(), runner.device_id(), started)
-                }
-                Err(InvokeError::RunnerFailed(msg)) if attempts < 3 => {
-                    slot.dead.set(true);
-                    let _ = msg;
-                }
-                Err(e) => return Err(e),
-            }
-        };
-
-        let completed = now();
-        let report = InvocationReport {
-            kernel: req.kernel.clone(),
-            runner: runner_id,
-            device: device_id,
-            cold_start: timings.first_invocation,
-            submitted,
-            started,
-            completed,
-            copy_in: timings.copy_in,
-            kernel_exec: timings.kernel_exec,
-            copy_out: timings.copy_out,
-        };
-        self.inner.metrics.record(report.clone());
-
-        // Descriptor-mode requests get descriptor-sized responses: the
-        // logical result size is the kernel's device→host volume.
-        let output = if enveloped {
-            let bytes_out = kernel
-                .work(input.payload())
-                .map(|w| w.bytes_out)
-                .unwrap_or(0)
-                .max(output.wire_bytes());
-            Value::sized(bytes_out, output)
-        } else {
-            output
-        };
-        // Return the output the same way the input came in.
-        let data = if oob {
-            let bytes = output.wire_bytes();
-            DataRef::OutOfBand(self.inner.shm.put(output, bytes).await)
-        } else {
-            sleep(self.inner.config.serialization.time(output.wire_bytes())).await;
-            DataRef::InBand(output)
-        };
-        Ok((data, report))
-    }
-
-    /// Chooses (or starts) a runner slot for `kernel`. Claims nothing —
-    /// the caller increments `claimed`.
-    fn pick_slot(
-        &self,
-        name: &str,
-        kernel: &Rc<dyn Kernel>,
-    ) -> Result<Rc<RunnerSlot>, InvokeError> {
-        let cap = self.inner.config.runner.max_inflight;
-        {
-            let slots = self.inner.slots.borrow();
-            let list: Vec<Rc<RunnerSlot>> = slots
-                .get(name)
-                .map(|v| v.iter().filter(|s| s.is_usable()).cloned().collect())
-                .unwrap_or_default();
-            if !list.is_empty() {
-                match self.inner.config.scheduler {
-                    Scheduler::FillFirst => {
-                        if let Some(slot) = list.iter().find(|s| s.claimed.get() < cap) {
-                            return Ok(Rc::clone(slot));
-                        }
-                    }
-                    Scheduler::RoundRobin => {
-                        let i = self.inner.rr.get();
-                        self.inner.rr.set(i + 1);
-                        return Ok(Rc::clone(&list[i % list.len()]));
-                    }
-                    Scheduler::LeastLoaded => {
-                        let slot = list
-                            .iter()
-                            .min_by_key(|s| s.claimed.get())
-                            .expect("non-empty");
-                        if slot.claimed.get() < cap {
-                            return Ok(Rc::clone(slot));
-                        }
-                    }
-                }
-            }
-        }
-        // Everything is full (or nothing exists): scale out if allowed.
-        if self.inner.config.autoscale || self.runner_count(name) == 0 {
-            if let Ok(slot) = self.start_runner(name, kernel) {
-                return Ok(slot);
-            }
-        }
-        // Fall back to queueing on the least-claimed usable slot.
-        let slots = self.inner.slots.borrow();
-        slots
-            .get(name)
-            .and_then(|v| {
-                v.iter()
-                    .filter(|s| s.is_usable())
-                    .min_by_key(|s| s.claimed.get())
-                    .cloned()
-            })
-            .ok_or_else(|| InvokeError::NoDevice(kernel.device_class().to_string()))
-    }
-
-    /// Starts a new runner for `kernel` on a free device (synchronously
-    /// reserving the slot, asynchronously cold-starting the runner).
-    ///
-    /// # Errors
-    ///
-    /// [`InvokeError::NoDevice`] if every suitable device already hosts
-    /// this kernel (one runner per device; one per chip on TPUs).
-    fn start_runner(
-        &self,
-        name: &str,
-        kernel: &Rc<dyn Kernel>,
-    ) -> Result<Rc<RunnerSlot>, InvokeError> {
-        let class = kernel.device_class();
-        let mut slots = self.inner.slots.borrow_mut();
-        let list = slots.entry(name.to_owned()).or_default();
-        let device = self
-            .inner
-            .devices
-            .iter()
-            .find(|d| {
-                if d.class() != class {
-                    return false;
-                }
-                let occupied = list
-                    .iter()
-                    .filter(|s| s.is_usable() && s.device == d.id())
-                    .count();
-                let capacity = match d {
-                    Device::Tpu(t) => t.chips() as usize,
-                    _ => 1,
-                };
-                occupied < capacity
-            })
-            .cloned()
-            .ok_or_else(|| InvokeError::NoDevice(class.to_string()))?;
-
-        let chip = list
-            .iter()
-            .filter(|s| s.is_usable() && s.device == device.id())
-            .count() as u32;
-        let slot = Rc::new(RunnerSlot {
-            device: device.id(),
-            claimed: Cell::new(0),
-            ready: Event::new(),
-            runner: RefCell::new(None),
-            dead: Cell::new(false),
-            last_used: Cell::new(now()),
-        });
-        list.push(Rc::clone(&slot));
-        drop(slots);
-
-        let id = RunnerId(self.inner.next_runner.get());
-        self.inner.next_runner.set(id.0 + 1);
-        let kernel = Rc::clone(kernel);
-        let config = self.inner.config.runner;
-        let slot2 = Rc::clone(&slot);
-        spawn(async move {
-            let runner = TaskRunner::cold_start(id, kernel, device, chip, config).await;
-            *slot2.runner.borrow_mut() = Some(Rc::new(runner));
-            slot2.ready.set();
-        });
-        Ok(slot)
-    }
-
-    /// Number of runners reaped by the idle timeout so far.
-    pub fn reaped(&self) -> usize {
-        self.inner.reaped.get()
-    }
-
-    /// Schedules an idle check for `slot` one timeout from now; the slot
-    /// is reaped if no invocation touched it in the meantime. Checks are
-    /// one-shot (armed per completed invocation), so an idle deployment
-    /// quiesces instead of polling forever.
-    fn arm_reaper(&self, slot: &Rc<RunnerSlot>, timeout: Duration) {
-        let slot = Rc::clone(slot);
-        let server = self.clone();
-        let armed_at = now();
-        spawn(async move {
-            sleep(timeout).await;
-            if slot.dead.get() || slot.claimed.get() > 0 {
-                return;
-            }
-            if slot.last_used.get() > armed_at {
-                // Someone used the runner since; their completion armed a
-                // fresher check.
-                return;
-            }
-            slot.dead.set(true);
-            if let Some(runner) = slot.runner.borrow().as_ref() {
-                runner.kill();
-            }
-            server.inner.reaped.set(server.inner.reaped.get() + 1);
-        });
-    }
-
-    /// Kills the runner currently serving `kernel` on `device` (failure
-    /// injection for tests).
-    pub fn kill_runner(&self, kernel: &str, device: DeviceId) -> bool {
-        let slots = self.inner.slots.borrow();
-        if let Some(list) = slots.get(kernel) {
-            for slot in list {
-                if slot.device == device && slot.is_usable() {
-                    if let Some(runner) = slot.runner.borrow().as_ref() {
-                        runner.kill();
-                        return true;
-                    }
-                }
-            }
-        }
-        false
-    }
-
-    /// Device classes available in this deployment.
-    pub fn device_classes(&self) -> Vec<DeviceClass> {
-        let mut classes: Vec<DeviceClass> =
-            self.inner.devices.iter().map(Device::class).collect();
-        classes.sort();
-        classes.dedup();
-        classes
     }
 }

@@ -37,9 +37,9 @@ impl ConvAlgorithm {
     /// divisibility, which makes efficiency non-monotone in `n`.
     pub fn select(n: u64) -> ConvAlgorithm {
         // Multiples of 1024 map perfectly onto the systolic array tiles.
-        if n % 1024 == 0 {
+        if n.is_multiple_of(1024) {
             ConvAlgorithm::Winograd
-        } else if n % 1000 == 0 && (n / 1000) % 2 == 1 {
+        } else if n.is_multiple_of(1000) && (n / 1000) % 2 == 1 {
             // Odd thousands: padded direct convolution.
             ConvAlgorithm::Direct
         } else if n > 4096 {
@@ -152,7 +152,7 @@ mod tests {
         filter[4] = 1.0; // centre tap
         let out = conv2d_direct(&input, n, &filter, 3);
         // Output (3×3) equals the interior of the input.
-        assert_eq!(out[0], input[1 * n + 1]);
+        assert_eq!(out[0], input[n + 1]);
         assert_eq!(out[8], input[3 * n + 3]);
     }
 

@@ -2,8 +2,7 @@
 //! as soft-DTW after Cuturi & Blondel 2017).
 
 use kaas_accel::{DeviceClass, WorkUnits};
-use rand::Rng;
-use rand::SeedableRng;
+use kaas_simtime::rng::DetRng;
 
 use crate::kernel::{Kernel, KernelError};
 use crate::value::Value;
@@ -32,7 +31,10 @@ fn soft_min(a: f64, b: f64, c: f64, gamma: f64) -> f64 {
 ///
 /// Panics if either sequence is empty.
 pub fn soft_dtw(a: &[f64], b: &[f64], gamma: f64) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "sequences must be non-empty");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "sequences must be non-empty"
+    );
     let (n, m) = (a.len(), b.len());
     let inf = f64::INFINITY;
     // One rolling row of the DP table, with a virtual border of +inf.
@@ -99,7 +101,10 @@ impl Kernel for SoftDtw {
                 let flops = BATCHES as f64 * SEQS_PER_BATCH as f64 * n * n * 9.0;
                 Ok(WorkUnits::new(flops)
                     // Sequences in, one score per (batch, sequence) out.
-                    .with_bytes(BATCHES * SEQS_PER_BATCH * (n as u64) * 8, BATCHES * SEQS_PER_BATCH * 8)
+                    .with_bytes(
+                        BATCHES * SEQS_PER_BATCH * (n as u64) * 8,
+                        BATCHES * SEQS_PER_BATCH * 8,
+                    )
                     // Wavefront dependences keep GPU efficiency low.
                     .with_efficiency(0.0047))
             }
@@ -124,7 +129,7 @@ impl Kernel for SoftDtw {
         match input {
             Value::U64(n) => {
                 let len = (*n as usize).clamp(2, EXEC_CAP);
-                let mut rng = rand::rngs::StdRng::seed_from_u64(7 ^ *n);
+                let mut rng = DetRng::seed_from_u64(7 ^ *n);
                 let query: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
                 let mut total = 0.0;
                 for _ in 0..SEQS_PER_BATCH {
@@ -141,7 +146,9 @@ impl Kernel for SoftDtw {
                     .as_f64s()
                     .ok_or_else(|| KernelError::BadInput("dtw expects F64s".into()))?;
                 if a.is_empty() || b.is_empty() {
-                    return Err(KernelError::BadInput("dtw sequences must be non-empty".into()));
+                    return Err(KernelError::BadInput(
+                        "dtw sequences must be non-empty".into(),
+                    ));
                 }
                 Ok(Value::F64(soft_dtw(a, b, self.gamma)))
             }

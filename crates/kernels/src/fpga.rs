@@ -4,8 +4,7 @@
 //! (≈ 0.4 s on the Alveo U250, versus 80–100 ms hand-tuned RTL).
 
 use kaas_accel::{DeviceClass, WorkUnits};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kaas_simtime::rng::DetRng;
 
 use crate::kernel::{Kernel, KernelError};
 use crate::value::Value;
@@ -76,7 +75,7 @@ impl Kernel for Histogram {
         let data: Vec<u8> = match input {
             Value::U64(len) => {
                 let real_len = (*len as usize).min(EXEC_PIXEL_CAP);
-                let mut rng = StdRng::seed_from_u64(0x415 ^ len);
+                let mut rng = DetRng::seed_from_u64(0x415 ^ len);
                 (0..real_len).map(|_| rng.gen()).collect()
             }
             Value::Bytes(b) => b.clone(),

@@ -15,8 +15,7 @@
 use std::cell::RefCell;
 
 use kaas_accel::{DeviceClass, WorkUnits};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kaas_simtime::rng::DetRng;
 
 use crate::kernel::{Kernel, KernelError};
 use crate::value::Value;
@@ -46,7 +45,7 @@ const FLOPS_PER_INDIVIDUAL: f64 = 2.136e8;
 /// Output: `Value::F64s` — the next population, flattened.
 #[derive(Debug)]
 pub struct GaGeneration {
-    rng: RefCell<StdRng>,
+    rng: RefCell<DetRng>,
 }
 
 impl Default for GaGeneration {
@@ -59,7 +58,7 @@ impl GaGeneration {
     /// Creates the kernel with a deterministic RNG seed.
     pub fn seeded(seed: u64) -> Self {
         GaGeneration {
-            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            rng: RefCell::new(DetRng::seed_from_u64(seed)),
         }
     }
 
@@ -70,7 +69,7 @@ impl GaGeneration {
                 if n == 0 {
                     return Err(KernelError::BadInput("population must be non-empty".into()));
                 }
-                let mut rng = StdRng::seed_from_u64(0xBEEF ^ n as u64);
+                let mut rng = DetRng::seed_from_u64(0xBEEF ^ n as u64);
                 Ok((0..n * GENES).map(|_| rng.gen_range(-5.12..5.12)).collect())
             }
             Value::F64s(flat) => {
@@ -99,14 +98,14 @@ pub fn rastrigin(x: &[f64]) -> f64 {
 }
 
 /// Evolves `population` (flattened `n×GENES`) one generation.
-pub fn evolve_generation<R: Rng>(population: &[f64], rng: &mut R) -> Vec<f64> {
+pub fn evolve_generation(population: &[f64], rng: &mut DetRng) -> Vec<f64> {
     let n = population.len() / GENES;
     let individual = |i: usize| &population[i * GENES..(i + 1) * GENES];
     let fitness: Vec<f64> = (0..n).map(|i| rastrigin(individual(i))).collect();
     let mut next = Vec::with_capacity(population.len());
     for _ in 0..n {
         // Tournament selection of two parents (lower fitness wins).
-        let pick = |rng: &mut R| {
+        let pick = |rng: &mut DetRng| {
             let a = rng.gen_range(0..n);
             let b = rng.gen_range(0..n);
             if fitness[a] <= fitness[b] {
@@ -120,8 +119,7 @@ pub fn evolve_generation<R: Rng>(population: &[f64], rng: &mut R) -> Vec<f64> {
         // Blend crossover plus Gaussian-ish mutation.
         for g in 0..GENES {
             let alpha: f64 = rng.gen();
-            let mut gene =
-                alpha * individual(pa)[g] + (1.0 - alpha) * individual(pb)[g];
+            let mut gene = alpha * individual(pa)[g] + (1.0 - alpha) * individual(pb)[g];
             if rng.gen::<f64>() < 0.02 {
                 gene += rng.gen_range(-0.5..0.5);
             }
@@ -176,7 +174,7 @@ impl Kernel for GaGeneration {
     fn execute(&self, input: &Value) -> Result<Value, KernelError> {
         let population = self.population_from(input)?;
         let mut rng = self.rng.borrow_mut();
-        Ok(Value::F64s(evolve_generation(&population, &mut *rng)))
+        Ok(Value::F64s(evolve_generation(&population, &mut rng)))
     }
 }
 
@@ -215,7 +213,10 @@ mod tests {
             };
         }
         let after = mean_fitness(&pop);
-        assert!(after < before, "fitness should improve: {before} -> {after}");
+        assert!(
+            after < before,
+            "fitness should improve: {before} -> {after}"
+        );
     }
 
     #[test]

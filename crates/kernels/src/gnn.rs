@@ -4,8 +4,7 @@
 //! The training loop is fully real on a synthetic citation-style graph.
 
 use kaas_accel::{DeviceClass, WorkUnits};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kaas_simtime::rng::DetRng;
 
 use crate::kernel::{require_n, Kernel, KernelError};
 use crate::matmul::matmul;
@@ -40,7 +39,7 @@ impl Graph {
     /// Builds a deterministic synthetic graph: a ring plus random chords,
     /// with features correlated with labels so the task is learnable.
     pub fn synthetic(seed: u64) -> Graph {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let n = NODES;
         let mut a = vec![0.0; n * n];
         // Self loops + ring.
@@ -98,7 +97,7 @@ pub struct GcnModel {
 impl GcnModel {
     /// Xavier-ish deterministic initialization.
     pub fn new(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut init = |len: usize, fan_in: usize| -> Vec<f64> {
             let scale = (1.0 / fan_in as f64).sqrt();
             (0..len).map(|_| rng.gen_range(-scale..scale)).collect()
@@ -133,8 +132,7 @@ impl GcnModel {
             loss -= (exps[label] / sum).ln();
             for c in 0..CLASSES {
                 let p = exps[c] / sum;
-                dlogits[i * CLASSES + c] =
-                    (p - if c == label { 1.0 } else { 0.0 }) / n as f64;
+                dlogits[i * CLASSES + c] = (p - if c == label { 1.0 } else { 0.0 }) / n as f64;
             }
         }
         loss /= n as f64;
@@ -236,7 +234,9 @@ impl Kernel for GnnTraining {
     fn execute(&self, input: &Value) -> Result<Value, KernelError> {
         let iters = require_n("gnn", input)?;
         if iters == 0 {
-            return Err(KernelError::BadInput("gnn needs at least one iteration".into()));
+            return Err(KernelError::BadInput(
+                "gnn needs at least one iteration".into(),
+            ));
         }
         let g = Graph::synthetic(3);
         let mut model = GcnModel::new(4);

@@ -24,7 +24,9 @@ pub fn box_resize(
     let mut out = vec![0u8; target * target * channels];
     for ty in 0..target {
         let y0 = ty * height / target;
-        let y1 = (((ty + 1) * height).div_ceil(target)).min(height).max(y0 + 1);
+        let y1 = (((ty + 1) * height).div_ceil(target))
+            .min(height)
+            .max(y0 + 1);
         for tx in 0..target {
             let x0 = tx * width / target;
             let x1 = (((tx + 1) * width).div_ceil(target)).min(width).max(x0 + 1);
@@ -93,9 +95,7 @@ impl Kernel for Preprocess {
                 let p = (*p as usize).clamp(1, 1 << 21);
                 let w = ((p as f64).sqrt() as usize).max(1);
                 let h = (p / w).max(1);
-                let pix: Vec<u8> = (0..w * h * 3)
-                    .map(|i| ((i * 37) % 251) as u8)
-                    .collect();
+                let pix: Vec<u8> = (0..w * h * 3).map(|i| ((i * 37) % 251) as u8).collect();
                 (pix, w, h, 3)
             }
             Value::Image {
@@ -131,9 +131,7 @@ mod tests {
     fn resize_preserves_gradient_direction() {
         // A left-to-right ramp must stay increasing after downsampling.
         let w = 512;
-        let img: Vec<u8> = (0..w * w)
-            .map(|i| ((i % w) * 255 / w) as u8)
-            .collect();
+        let img: Vec<u8> = (0..w * w).map(|i| ((i % w) * 255 / w) as u8).collect();
         let out = box_resize(&img, w, w, 1, 64);
         let row = &out[0..64];
         assert!(row.windows(2).all(|p| p[1] >= p[0]));

@@ -1,8 +1,7 @@
 //! Matrix multiplication (the paper's §5.1 MM kernel).
 
 use kaas_accel::{DeviceClass, WorkUnits};
-use rand::Rng;
-use rand::SeedableRng;
+use kaas_simtime::rng::DetRng;
 
 use crate::kernel::{Kernel, KernelError};
 use crate::value::Value;
@@ -89,9 +88,7 @@ impl Kernel for MatMul {
                 (
                     Value::Matrix { rows, cols, .. },
                     Value::Matrix {
-                        rows: r2,
-                        cols: c2,
-                        ..
+                        rows: r2, cols: c2, ..
                     },
                 ) if cols == r2 => (*rows as u64, *cols as u64, *c2 as u64),
                 other => {
@@ -118,8 +115,8 @@ impl Kernel for MatMul {
     fn execute(&self, input: &Value) -> Result<Value, KernelError> {
         match input {
             Value::U64(n) => {
-                let n = (*n as usize).min(EXEC_CAP).max(1);
-                let mut rng = rand::rngs::StdRng::seed_from_u64(42 ^ n as u64);
+                let n = (*n as usize).clamp(1, EXEC_CAP);
+                let mut rng = DetRng::seed_from_u64(42 ^ n as u64);
                 let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
                 let b: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
                 let c = matmul(&a, &b, n, n, n);
@@ -168,8 +165,7 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         for n in [1usize, 7, 32, 50, 65] {
             let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let b: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();

@@ -4,8 +4,7 @@
 use std::cell::RefCell;
 
 use kaas_accel::{DeviceClass, WorkUnits};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kaas_simtime::rng::DetRng;
 
 use crate::kernel::{require_n, Kernel, KernelError};
 use crate::value::Value;
@@ -32,7 +31,7 @@ const EXEC_CAP: u64 = 1_000_000;
 /// ```
 #[derive(Debug)]
 pub struct MonteCarlo {
-    rng: RefCell<StdRng>,
+    rng: RefCell<DetRng>,
 }
 
 impl Default for MonteCarlo {
@@ -45,13 +44,13 @@ impl MonteCarlo {
     /// Creates the kernel with a deterministic RNG seed.
     pub fn seeded(seed: u64) -> Self {
         MonteCarlo {
-            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            rng: RefCell::new(DetRng::seed_from_u64(seed)),
         }
     }
 }
 
 /// Direct sampling estimate of the integral with the given RNG.
-pub fn estimate_integral<R: Rng>(samples: u64, rng: &mut R) -> f64 {
+pub fn estimate_integral(samples: u64, rng: &mut DetRng) -> f64 {
     assert!(samples > 0, "need at least one sample");
     let width = 9.0; // x ∈ [1, 10]
     let mut acc = 0.0;
@@ -86,10 +85,12 @@ impl Kernel for MonteCarlo {
     fn execute(&self, input: &Value) -> Result<Value, KernelError> {
         let n = require_n("mci", input)?;
         if n == 0 {
-            return Err(KernelError::BadInput("mci needs at least one sample".into()));
+            return Err(KernelError::BadInput(
+                "mci needs at least one sample".into(),
+            ));
         }
         let mut rng = self.rng.borrow_mut();
-        Ok(Value::F64(estimate_integral(n.min(EXEC_CAP), &mut *rng)))
+        Ok(Value::F64(estimate_integral(n.min(EXEC_CAP), &mut rng)))
     }
 }
 
@@ -99,7 +100,7 @@ mod tests {
 
     #[test]
     fn estimate_converges_to_ln10() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DetRng::seed_from_u64(11);
         let est = estimate_integral(500_000, &mut rng);
         assert!((est - 10f64.ln()).abs() < 0.01, "est={est}");
     }
@@ -109,7 +110,7 @@ mod tests {
         let err = |n: u64| {
             let mut worst: f64 = 0.0;
             for seed in 0..5 {
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = DetRng::seed_from_u64(seed);
                 worst = worst.max((estimate_integral(n, &mut rng) - 10f64.ln()).abs());
             }
             worst

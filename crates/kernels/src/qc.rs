@@ -4,11 +4,8 @@
 use std::cell::RefCell;
 
 use kaas_accel::{CircuitCost, DeviceClass, WorkUnits};
-use kaas_quantum::{
-    estimate, transpile, Circuit, EstimatorMode, Hamiltonian, TwoLocalAnsatz,
-};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use kaas_quantum::{estimate, transpile, Circuit, EstimatorMode, Hamiltonian, TwoLocalAnsatz};
+use kaas_simtime::rng::DetRng;
 
 use crate::kernel::{require_n, Kernel, KernelError};
 use crate::value::Value;
@@ -63,7 +60,7 @@ impl Kernel for QcSimulation {
         if gates == 0 {
             return Err(KernelError::BadInput("qc needs at least one gate".into()));
         }
-        let mut rng = StdRng::seed_from_u64(0x51C ^ gates);
+        let mut rng = DetRng::seed_from_u64(0x51C ^ gates);
         let qc = Circuit::random_cx(EXEC_QUBITS, gates.min(EXEC_GATE_CAP) as usize, &mut rng);
         Ok(Value::F64(qc.statevector().norm()))
     }
@@ -81,7 +78,7 @@ pub struct VqeEstimator {
     hamiltonian: Hamiltonian,
     shots: u64,
     mode: EstimatorMode,
-    rng: RefCell<StdRng>,
+    rng: RefCell<DetRng>,
 }
 
 impl Default for VqeEstimator {
@@ -103,7 +100,7 @@ impl VqeEstimator {
             } else {
                 EstimatorMode::Shots(shots)
             },
-            rng: RefCell::new(StdRng::seed_from_u64(0xE57)),
+            rng: RefCell::new(DetRng::seed_from_u64(0xE57)),
         }
     }
 
@@ -167,7 +164,7 @@ impl Kernel for VqeEstimator {
             &qc,
             &self.hamiltonian,
             self.mode,
-            &mut *rng,
+            &mut rng,
         )))
     }
 }

@@ -43,21 +43,56 @@ impl ConvStage {
 pub fn resnet50_stages() -> Vec<ConvStage> {
     let mut stages = vec![
         // Stem: 7×7/2, 3→64 at 112².
-        ConvStage { resolution: 112, c_in: 3, c_out: 64, kernel: 7, count: 1 },
+        ConvStage {
+            resolution: 112,
+            c_in: 3,
+            c_out: 64,
+            kernel: 7,
+            count: 1,
+        },
     ];
     // (blocks, resolution, width) per stage; bottleneck expansion ×4.
-    let specs = [(3usize, 56usize, 64usize), (4, 28, 128), (6, 14, 256), (3, 7, 512)];
+    let specs = [
+        (3usize, 56usize, 64usize),
+        (4, 28, 128),
+        (6, 14, 256),
+        (3, 7, 512),
+    ];
     for (blocks, res, width) in specs {
         let expanded = width * 4;
         // Per block: 1×1 reduce, 3×3, 1×1 expand (input channel counts
         // vary by position; use the steady-state width — the aggregate
         // FLOP total lands on the canonical ≈4.1 GFLOP figure).
-        stages.push(ConvStage { resolution: res, c_in: expanded, c_out: width, kernel: 1, count: blocks });
-        stages.push(ConvStage { resolution: res, c_in: width, c_out: width, kernel: 3, count: blocks });
-        stages.push(ConvStage { resolution: res, c_in: width, c_out: expanded, kernel: 1, count: blocks });
+        stages.push(ConvStage {
+            resolution: res,
+            c_in: expanded,
+            c_out: width,
+            kernel: 1,
+            count: blocks,
+        });
+        stages.push(ConvStage {
+            resolution: res,
+            c_in: width,
+            c_out: width,
+            kernel: 3,
+            count: blocks,
+        });
+        stages.push(ConvStage {
+            resolution: res,
+            c_in: width,
+            c_out: expanded,
+            kernel: 1,
+            count: blocks,
+        });
     }
     // Classifier: 2048 → 1000 fully connected.
-    stages.push(ConvStage { resolution: 1, c_in: 2048, c_out: 1000, kernel: 1, count: 1 });
+    stages.push(ConvStage {
+        resolution: 1,
+        c_in: 2048,
+        c_out: 1000,
+        kernel: 1,
+        count: 1,
+    });
     stages
 }
 

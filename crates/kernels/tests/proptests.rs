@@ -1,22 +1,25 @@
-//! Property-based tests of the kernel computations' mathematical
+//! Property-style tests of the kernel computations' mathematical
 //! invariants.
-
-use proptest::prelude::*;
+//!
+//! Randomized cases come from the in-tree deterministic RNG instead of
+//! an external property-test framework, so the suite builds with no
+//! registry access. Enable with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 
 use kaas_kernels::{
     box_resize, evolve_generation, histogram256, matmul, rastrigin, soft_dtw, Kernel, MatMul,
     SoftDtw, Value, GENES,
 };
-use rand::SeedableRng;
+use kaas_simtime::rng::det_rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// (A·B)·C == A·(B·C) for random square matrices.
-    #[test]
-    fn matmul_is_associative(
-        vals in prop::collection::vec(-2.0f64..2.0, 27 * 3),
-    ) {
+/// (A·B)·C == A·(B·C) for random square matrices.
+#[test]
+fn matmul_is_associative() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xE0_0000 + case);
+        let vals: Vec<f64> = (0..27 * 3).map(|_| rng.gen_range(-2.0..2.0f64)).collect();
         let n = 3;
         let a = &vals[0..9];
         let b = &vals[9..18];
@@ -24,111 +27,143 @@ proptest! {
         let ab_c = matmul(&matmul(a, b, n, n, n), c, n, n, n);
         let a_bc = matmul(a, &matmul(b, c, n, n, n), n, n, n);
         for (x, y) in ab_c.iter().zip(&a_bc) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9);
         }
     }
+}
 
-    /// Multiplying by the identity changes nothing (any size).
-    #[test]
-    fn matmul_identity(n in 1usize..12, seed in 0u64..100) {
-        use rand::Rng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+/// Multiplying by the identity changes nothing (any size).
+#[test]
+fn matmul_identity() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xE1_0000 + case);
+        let n = rng.gen_range(1..12usize);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-5.0..5.0f64)).collect();
         let mut id = vec![0.0; n * n];
         for i in 0..n {
             id[i * n + i] = 1.0;
         }
         let out = matmul(&a, &id, n, n, n);
         for (x, y) in out.iter().zip(&a) {
-            prop_assert!((x - y).abs() < 1e-12);
+            assert!((x - y).abs() < 1e-12);
         }
     }
+}
 
-    /// Soft-DTW: symmetric, non-negative for γ=0, zero on identical
-    /// inputs, and a lower bound of the hard distance for γ>0.
-    #[test]
-    fn soft_dtw_properties(
-        a in prop::collection::vec(-3.0f64..3.0, 1..40),
-        b in prop::collection::vec(-3.0f64..3.0, 1..40),
-        gamma in 0.01f64..2.0,
-    ) {
+/// Soft-DTW: symmetric, non-negative for γ=0, zero on identical
+/// inputs, and a lower bound of the hard distance for γ>0.
+#[test]
+fn soft_dtw_properties() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xE2_0000 + case);
+        let la = rng.gen_range(1..40usize);
+        let lb = rng.gen_range(1..40usize);
+        let a: Vec<f64> = (0..la).map(|_| rng.gen_range(-3.0..3.0f64)).collect();
+        let b: Vec<f64> = (0..lb).map(|_| rng.gen_range(-3.0..3.0f64)).collect();
+        let gamma = rng.gen_range(0.01..2.0f64);
+
         let hard = soft_dtw(&a, &b, 0.0);
         let soft = soft_dtw(&a, &b, gamma);
-        prop_assert!(hard >= 0.0);
-        prop_assert!(soft <= hard + 1e-9, "soft {soft} > hard {hard}");
-        prop_assert!((soft_dtw(&a, &b, gamma) - soft_dtw(&b, &a, gamma)).abs() < 1e-9);
-        prop_assert!(soft_dtw(&a, &a, 0.0).abs() < 1e-12);
+        assert!(hard >= 0.0);
+        assert!(soft <= hard + 1e-9, "soft {soft} > hard {hard}");
+        assert!((soft_dtw(&a, &b, gamma) - soft_dtw(&b, &a, gamma)).abs() < 1e-9);
+        assert!(soft_dtw(&a, &a, 0.0).abs() < 1e-12);
     }
+}
 
-    /// Histograms conserve mass and count correctly per bin.
-    #[test]
-    fn histogram_conserves_mass(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+/// Histograms conserve mass and count correctly per bin.
+#[test]
+fn histogram_conserves_mass() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xE3_0000 + case);
+        let n = rng.gen_range(0..2000usize);
+        let data: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+
         let bins = histogram256(&data);
-        prop_assert_eq!(bins.iter().sum::<u64>(), data.len() as u64);
+        assert_eq!(bins.iter().sum::<u64>(), data.len() as u64);
         for (value, &count) in bins.iter().enumerate() {
             let expected = data.iter().filter(|&&b| b as usize == value).count() as u64;
-            prop_assert_eq!(count, expected);
+            assert_eq!(count, expected);
         }
     }
+}
 
-    /// GA generations preserve population shape and bounds, and never
-    /// invent NaNs.
-    #[test]
-    fn ga_generation_is_well_formed(n in 1usize..20, seed in 0u64..200) {
-        use rand::Rng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let pop: Vec<f64> = (0..n * GENES).map(|_| rng.gen_range(-5.12..5.12)).collect();
+/// GA generations preserve population shape and bounds, and never
+/// invent NaNs.
+#[test]
+fn ga_generation_is_well_formed() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xE4_0000 + case);
+        let n = rng.gen_range(1..20usize);
+        let pop: Vec<f64> = (0..n * GENES)
+            .map(|_| rng.gen_range(-5.12..5.12f64))
+            .collect();
         let next = evolve_generation(&pop, &mut rng);
-        prop_assert_eq!(next.len(), pop.len());
-        prop_assert!(next.iter().all(|g| g.is_finite() && (-5.12..=5.12).contains(g)));
+        assert_eq!(next.len(), pop.len());
+        assert!(next
+            .iter()
+            .all(|g| g.is_finite() && (-5.12..=5.12).contains(g)));
     }
+}
 
-    /// Rastrigin is non-negative with its global minimum at the origin.
-    #[test]
-    fn rastrigin_bounds(x in prop::collection::vec(-5.12f64..5.12, 1..50)) {
-        prop_assert!(rastrigin(&x) >= -1e-9);
+/// Rastrigin is non-negative with its global minimum at the origin.
+#[test]
+fn rastrigin_bounds() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xE5_0000 + case);
+        let n = rng.gen_range(1..50usize);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.12..5.12f64)).collect();
+        assert!(rastrigin(&x) >= -1e-9);
     }
+}
 
-    /// Box resize preserves the global min/max envelope of the image.
-    #[test]
-    fn box_resize_stays_in_range(
-        w in 4usize..40,
-        h in 4usize..40,
-        target in 1usize..32,
-        seed in 0u64..100,
-    ) {
-        use rand::Rng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Box resize preserves the global min/max envelope of the image.
+#[test]
+fn box_resize_stays_in_range() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xE6_0000 + case);
+        let w = rng.gen_range(4..40usize);
+        let h = rng.gen_range(4..40usize);
+        let target = rng.gen_range(1..32usize);
         let img: Vec<u8> = (0..w * h).map(|_| rng.gen()).collect();
         let lo = *img.iter().min().unwrap();
         let hi = *img.iter().max().unwrap();
         let out = box_resize(&img, w, h, 1, target);
-        prop_assert_eq!(out.len(), target * target);
-        prop_assert!(out.iter().all(|&p| (lo..=hi).contains(&p)));
+        assert_eq!(out.len(), target * target);
+        assert!(out.iter().all(|&p| (lo..=hi).contains(&p)));
     }
+}
 
-    /// Every kernel's work profile is sane for any granularity: finite,
-    /// non-negative FLOPs, and monotone in N.
-    #[test]
-    fn matmul_work_profile_is_monotone(n1 in 8u64..4000, delta in 1u64..4000) {
+/// Every kernel's work profile is sane for any granularity: finite,
+/// non-negative FLOPs, and monotone in N.
+#[test]
+fn matmul_work_profile_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xE7_0000 + case);
+        let n1 = rng.gen_range(8..4000u64);
+        let delta = rng.gen_range(1..4000u64);
         let k = MatMul::new();
         let w1 = k.work(&Value::U64(n1)).unwrap();
         let w2 = k.work(&Value::U64(n1 + delta)).unwrap();
-        prop_assert!(w1.flops.is_finite() && w1.flops >= 0.0);
-        prop_assert!(w2.flops > w1.flops);
-        prop_assert!(w2.bytes_in > w1.bytes_in);
+        assert!(w1.flops.is_finite() && w1.flops >= 0.0);
+        assert!(w2.flops > w1.flops);
+        assert!(w2.bytes_in > w1.bytes_in);
     }
+}
 
-    /// The DTW kernel accepts any positive N and its real execution is
-    /// finite (soft-DTW may legitimately go negative for γ > 0, so only
-    /// finiteness is required).
-    #[test]
-    fn dtw_kernel_total_and_finite(n in 2u64..300) {
+/// The DTW kernel accepts any positive N and its real execution is
+/// finite (soft-DTW may legitimately go negative for γ > 0, so only
+/// finiteness is required).
+#[test]
+fn dtw_kernel_total_and_finite() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0xE8_0000 + case);
+        let n = rng.gen_range(2..300u64);
         let k = SoftDtw::default();
         let out = k.execute(&Value::U64(n)).unwrap();
         match out {
-            Value::F64(v) => prop_assert!(v.is_finite()),
-            other => prop_assert!(false, "unexpected output {other:?}"),
+            Value::F64(v) => assert!(v.is_finite()),
+            other => panic!("unexpected output {other:?}"),
         }
     }
 }

@@ -54,9 +54,7 @@ impl<Out: 'static, In: 'static> Connection<Out, In> {
 
 /// Creates a directly-wired connection pair (no listener involved), with
 /// symmetric link timing.
-pub fn pair<A: 'static, B: 'static>(
-    profile: LinkProfile,
-) -> (Connection<A, B>, Connection<B, A>) {
+pub fn pair<A: 'static, B: 'static>(profile: LinkProfile) -> (Connection<A, B>, Connection<B, A>) {
     let (atx, arx) = wire::<A>(profile);
     let (btx, brx) = wire::<B>(profile);
     (
@@ -216,7 +214,9 @@ pub struct Listener<Req, Resp> {
 
 impl<Req, Resp> std::fmt::Debug for Listener<Req, Resp> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Listener").field("addr", &self.addr).finish()
+        f.debug_struct("Listener")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 

@@ -66,10 +66,7 @@ impl LinkProfile {
 
     /// Creates a custom profile.
     pub fn new(latency: Duration, bandwidth_bytes_per_sec: f64) -> Self {
-        assert!(
-            bandwidth_bytes_per_sec > 0.0,
-            "bandwidth must be positive"
-        );
+        assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
         LinkProfile {
             latency,
             bandwidth_bytes_per_sec,
@@ -182,7 +179,10 @@ mod tests {
         let t2 = lan.transmission_time(2_000_000);
         assert!(t2 > t1);
         let delta = (t2 - t1).as_secs_f64();
-        assert!((delta - 0.008).abs() < 1e-4, "1 MB at 1 Gbps ≈ 8 ms, got {delta}");
+        assert!(
+            (delta - 0.008).abs() < 1e-4,
+            "1 MB at 1 Gbps ≈ 8 ms, got {delta}"
+        );
     }
 
     #[test]

@@ -165,7 +165,10 @@ mod tests {
             (v, now())
         });
         assert_eq!(value, 7);
-        assert!((elapsed.as_secs_f64() - 0.5).abs() < 1e-9, "0.5 s put, free take");
+        assert!(
+            (elapsed.as_secs_f64() - 0.5).abs() < 1e-9,
+            "0.5 s put, free take"
+        );
     }
 
     #[test]
@@ -194,7 +197,7 @@ mod tests {
 
     #[test]
     fn handles_are_copy_and_small() {
-        assert!(HANDLE_WIRE_BYTES < 1024);
+        const _: () = assert!(HANDLE_WIRE_BYTES < 1024);
         let mut sim = Simulation::new();
         sim.block_on(async {
             let shm = SharedMemory::host();

@@ -6,7 +6,6 @@
 //! flight" (transmitted but still propagating) simultaneously, so long
 //! fat pipes behave correctly.
 
-
 use kaas_simtime::channel::{self, Receiver, Sender};
 use kaas_simtime::sync::Semaphore;
 use kaas_simtime::{sleep, spawn};
@@ -216,7 +215,10 @@ mod tests {
             tx.send(Frame::new(1, 1_000_000)).await.unwrap();
             now()
         });
-        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9, "send resolves pre-latency");
+        assert!(
+            (t.as_secs_f64() - 1.0).abs() < 1e-9,
+            "send resolves pre-latency"
+        );
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! [`Circuit`]: an ordered list of operations with builder conveniences.
 
-use rand::Rng;
-
 use crate::gate::{Gate, Op};
 use crate::state::StateVector;
+use kaas_simtime::rng::DetRng;
 
 /// A quantum circuit over a fixed number of qubits.
 ///
@@ -146,7 +145,7 @@ impl Circuit {
     /// Builds the paper's QC workload (§5.6.1): a circuit of `n_gates` CX
     /// gates (preceded by a Hadamard layer so the state is nontrivial)
     /// over `qubits` qubits, with pseudo-random wiring.
-    pub fn random_cx<R: Rng>(qubits: usize, n_gates: usize, rng: &mut R) -> Self {
+    pub fn random_cx(qubits: usize, n_gates: usize, rng: &mut DetRng) -> Self {
         assert!(qubits >= 2, "CX circuits need at least two qubits");
         let mut qc = Circuit::new(qubits);
         for q in 0..qubits {
@@ -167,7 +166,6 @@ impl Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn builder_chains_and_counts() {
@@ -191,7 +189,7 @@ mod tests {
 
     #[test]
     fn random_cx_has_requested_gates() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let qc = Circuit::random_cx(8, 100, &mut rng);
         assert_eq!(qc.gate_count(), 8 + 100);
         assert_eq!(qc.two_qubit_count(), 100);
@@ -201,7 +199,7 @@ mod tests {
 
     #[test]
     fn inverse_undoes_the_circuit() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut rng = DetRng::seed_from_u64(31);
         let qc = Circuit::random_cx(4, 25, &mut rng);
         let mut psi = qc.statevector();
         qc.inverse().run_on(&mut psi);

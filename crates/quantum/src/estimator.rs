@@ -1,10 +1,9 @@
 //! The estimator primitive: expectation values of observables over
 //! parametrized circuits (the paper's §5.6.4 "quantum kernel").
 
-use rand::Rng;
-
 use crate::circuit::Circuit;
 use crate::pauli::Hamiltonian;
+use kaas_simtime::rng::DetRng;
 
 /// Exact or shot-sampled expectation estimation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,20 +20,20 @@ pub enum EstimatorMode {
 ///
 /// ```
 /// use kaas_quantum::{estimate, Circuit, EstimatorMode, Hamiltonian};
-/// use rand::SeedableRng;
+/// use kaas_simtime::rng::DetRng;
 ///
 /// let mut qc = Circuit::new(2);
 /// qc.x(0);
 /// let h = Hamiltonian::h2_sto3g();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = DetRng::seed_from_u64(1);
 /// let e = estimate(&qc, &h, EstimatorMode::Exact, &mut rng);
 /// assert!(e < -1.7);
 /// ```
-pub fn estimate<R: Rng>(
+pub fn estimate(
     circuit: &Circuit,
     observable: &Hamiltonian,
     mode: EstimatorMode,
-    rng: &mut R,
+    rng: &mut DetRng,
 ) -> f64 {
     let psi = circuit.statevector();
     let exact = observable.expectation(&psi);
@@ -44,11 +43,7 @@ pub fn estimate<R: Rng>(
             // Model shot noise as Gaussian with variance ∝ 1/shots around
             // the exact value (standard estimator error model); the spread
             // scales with the observable's total Pauli weight.
-            let weight: f64 = observable
-                .terms()
-                .iter()
-                .map(|t| t.coefficient.abs())
-                .sum();
+            let weight: f64 = observable.terms().iter().map(|t| t.coefficient.abs()).sum();
             let sigma = weight / (shots.max(1) as f64).sqrt();
             // Box–Muller from two uniforms.
             let u1: f64 = rng.gen::<f64>().max(1e-12);
@@ -62,14 +57,13 @@ pub fn estimate<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn exact_matches_direct_expectation() {
         let mut qc = Circuit::new(2);
         qc.ry(0.4, 0).cx(0, 1);
         let h = Hamiltonian::h2_sto3g();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         let e = estimate(&qc, &h, EstimatorMode::Exact, &mut rng);
         assert!((e - h.expectation(&qc.statevector())).abs() < 1e-12);
     }
@@ -81,7 +75,7 @@ mod tests {
         let h = Hamiltonian::h2_sto3g();
         let exact = h.expectation(&qc.statevector());
         let spread = |shots: u64, seed: u64| -> f64 {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = DetRng::seed_from_u64(seed);
             let mut worst: f64 = 0.0;
             for _ in 0..50 {
                 let e = estimate(&qc, &h, EstimatorMode::Shots(shots), &mut rng);
@@ -96,8 +90,8 @@ mod tests {
     fn shot_estimates_are_deterministic_per_seed() {
         let qc = Circuit::new(2);
         let h = Hamiltonian::h2_sto3g();
-        let mut a = rand::rngs::StdRng::seed_from_u64(9);
-        let mut b = rand::rngs::StdRng::seed_from_u64(9);
+        let mut a = DetRng::seed_from_u64(9);
+        let mut b = DetRng::seed_from_u64(9);
         let ea = estimate(&qc, &h, EstimatorMode::Shots(512), &mut a);
         let eb = estimate(&qc, &h, EstimatorMode::Shots(512), &mut b);
         assert_eq!(ea, eb);

@@ -191,9 +191,7 @@ mod tests {
         let e00 = dot(col(0), col(0));
         let e11 = dot(col(1), col(1));
         let e01 = dot(col(0), col(1));
-        (e00 - C64::ONE).abs() < 1e-12
-            && (e11 - C64::ONE).abs() < 1e-12
-            && e01.abs() < 1e-12
+        (e00 - C64::ONE).abs() < 1e-12 && (e11 - C64::ONE).abs() < 1e-12 && e01.abs() < 1e-12
     }
 
     #[test]
@@ -224,10 +222,7 @@ mod tests {
         let x = Gate::X.matrix();
         for r in 0..2 {
             for c in 0..2 {
-                let mut acc = C64::ZERO;
-                for k in 0..2 {
-                    acc += m[r][k] * m[k][c];
-                }
+                let acc = (0..2).fold(C64::ZERO, |acc, k| acc + m[r][k] * m[k][c]);
                 assert!((acc - x[r][c]).abs() < 1e-12);
             }
         }
@@ -235,9 +230,20 @@ mod tests {
 
     #[test]
     fn op_qubits_are_reported() {
-        assert_eq!(Op::Cx { control: 1, target: 3 }.qubits(), vec![1, 3]);
+        assert_eq!(
+            Op::Cx {
+                control: 1,
+                target: 3
+            }
+            .qubits(),
+            vec![1, 3]
+        );
         assert!(Op::Cz { a: 0, b: 1 }.is_two_qubit());
-        assert!(!Op::Gate1 { gate: Gate::H, qubit: 0 }.is_two_qubit());
+        assert!(!Op::Gate1 {
+            gate: Gate::H,
+            qubit: 0
+        }
+        .is_two_qubit());
     }
 
     #[test]

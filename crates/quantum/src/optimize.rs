@@ -1,6 +1,6 @@
 //! Classical optimizers used by VQE: Nelder–Mead simplex and SPSA.
 
-use rand::Rng;
+use kaas_simtime::rng::DetRng;
 
 /// Result of an optimization run.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,15 +109,9 @@ where
 
 /// Simultaneous-perturbation stochastic approximation (two evaluations
 /// per iteration; robust to shot noise).
-pub fn spsa<F, R>(
-    mut f: F,
-    x0: &[f64],
-    iterations: usize,
-    rng: &mut R,
-) -> OptimizeResult
+pub fn spsa<F>(mut f: F, x0: &[f64], iterations: usize, rng: &mut DetRng) -> OptimizeResult
 where
     F: FnMut(&[f64]) -> f64,
-    R: Rng,
 {
     let n = x0.len();
     assert!(n >= 1, "need at least one parameter");
@@ -163,7 +157,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn sphere(x: &[f64]) -> f64 {
         x.iter().map(|v| v * v).sum()
@@ -178,10 +171,13 @@ mod tests {
 
     #[test]
     fn nelder_mead_minimizes_rosenbrock() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let res = nelder_mead(rosen, &[-1.0, 1.0], 0.5, 2000);
-        assert!((res.params[0] - 1.0).abs() < 1e-2, "params={:?}", res.params);
+        assert!(
+            (res.params[0] - 1.0).abs() < 1e-2,
+            "params={:?}",
+            res.params
+        );
     }
 
     #[test]
@@ -194,7 +190,7 @@ mod tests {
 
     #[test]
     fn spsa_reduces_objective() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let start = sphere(&[2.0, 2.0]);
         let res = spsa(sphere, &[2.0, 2.0], 300, &mut rng);
         assert!(res.value < start / 10.0, "value={}", res.value);
@@ -203,7 +199,7 @@ mod tests {
     #[test]
     fn spsa_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = DetRng::seed_from_u64(seed);
             spsa(sphere, &[1.0, -1.0], 50, &mut rng).value
         };
         assert_eq!(run(7), run(7));

@@ -128,7 +128,10 @@ mod tests {
         let t = PauliTerm::new(1.0, vec![(0, 'Z')]);
         let mut psi = StateVector::new(1);
         assert!((t.expectation(&psi) - 1.0).abs() < 1e-12);
-        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 0 });
+        psi.apply(Op::Gate1 {
+            gate: Gate::X,
+            qubit: 0,
+        });
         assert!((t.expectation(&psi) + 1.0).abs() < 1e-12);
     }
 
@@ -143,7 +146,10 @@ mod tests {
         // this reduced Hamiltonian is |01>.
         let h = Hamiltonian::h2_sto3g();
         let mut psi = StateVector::new(2);
-        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 0 });
+        psi.apply(Op::Gate1 {
+            gate: Gate::X,
+            qubit: 0,
+        });
         let e_01 = h.expectation(&psi);
         // HF energy for H2/STO-3G at 0.735 Å is ≈ -1.117 + nuclear rep?
         // In this reduced mapping the HF determinant sits close to the
@@ -162,10 +168,16 @@ mod tests {
         for basis in 0..4u32 {
             let mut psi = StateVector::new(2);
             if basis & 1 != 0 {
-                psi.apply(Op::Gate1 { gate: Gate::X, qubit: 0 });
+                psi.apply(Op::Gate1 {
+                    gate: Gate::X,
+                    qubit: 0,
+                });
             }
             if basis & 2 != 0 {
-                psi.apply(Op::Gate1 { gate: Gate::X, qubit: 1 });
+                psi.apply(Op::Gate1 {
+                    gate: Gate::X,
+                    qubit: 1,
+                });
             }
             assert!(h.expectation(&psi) >= Hamiltonian::h2_ground_energy() - 1e-9);
         }

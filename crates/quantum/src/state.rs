@@ -1,6 +1,6 @@
 //! [`StateVector`]: a full Schrödinger wave-function simulator.
 
-use rand::Rng;
+use kaas_simtime::rng::DetRng;
 
 use crate::complex::C64;
 use crate::gate::{Gate, Op};
@@ -34,7 +34,10 @@ impl StateVector {
     ///
     /// Panics if `n` is 0 or large enough to overflow memory (> 26 here).
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n <= 26, "qubit count {n} out of supported range 1..=26");
+        assert!(
+            (1..=26).contains(&n),
+            "qubit count {n} out of supported range 1..=26"
+        );
         let mut amps = vec![C64::ZERO; 1 << n];
         amps[0] = C64::ONE;
         StateVector { n, amps }
@@ -73,9 +76,18 @@ impl StateVector {
             Op::Cz { a, b } => self.apply_controlled(a, b, Gate::Z.matrix()),
             Op::Swap { a, b } => {
                 assert!(a != b, "swap qubits must differ");
-                self.apply(Op::Cx { control: a, target: b });
-                self.apply(Op::Cx { control: b, target: a });
-                self.apply(Op::Cx { control: a, target: b });
+                self.apply(Op::Cx {
+                    control: a,
+                    target: b,
+                });
+                self.apply(Op::Cx {
+                    control: b,
+                    target: a,
+                });
+                self.apply(Op::Cx {
+                    control: a,
+                    target: b,
+                });
             }
         }
     }
@@ -88,7 +100,11 @@ impl StateVector {
     }
 
     fn apply_1q(&mut self, q: usize, m: [[C64; 2]; 2]) {
-        assert!(q < self.n, "qubit {q} out of range for {}-qubit state", self.n);
+        assert!(
+            q < self.n,
+            "qubit {q} out of range for {}-qubit state",
+            self.n
+        );
         let bit = 1usize << q;
         for i in 0..self.amps.len() {
             if i & bit == 0 {
@@ -137,7 +153,7 @@ impl StateVector {
     }
 
     /// Samples `shots` measurement outcomes in the computational basis.
-    pub fn sample<R: Rng>(&self, shots: u64, rng: &mut R) -> Vec<usize> {
+    pub fn sample(&self, shots: u64, rng: &mut DetRng) -> Vec<usize> {
         let probs = self.probabilities();
         let mut cumulative = Vec::with_capacity(probs.len());
         let mut acc = 0.0;
@@ -159,7 +175,7 @@ impl StateVector {
     /// # Panics
     ///
     /// Panics if `qubit` is out of range.
-    pub fn measure_qubit<R: Rng>(&mut self, qubit: usize, rng: &mut R) -> bool {
+    pub fn measure_qubit(&mut self, qubit: usize, rng: &mut DetRng) -> bool {
         assert!(qubit < self.n, "qubit {qubit} out of range");
         let bit = 1usize << qubit;
         let p_one: f64 = self
@@ -208,7 +224,6 @@ impl StateVector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn initial_state_is_all_zeros() {
@@ -221,7 +236,10 @@ mod tests {
     #[test]
     fn x_flips_a_qubit() {
         let mut psi = StateVector::new(2);
-        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 1 });
+        psi.apply(Op::Gate1 {
+            gate: Gate::X,
+            qubit: 1,
+        });
         let p = psi.probabilities();
         assert!((p[0b10] - 1.0).abs() < 1e-15);
     }
@@ -229,17 +247,32 @@ mod tests {
     #[test]
     fn h_twice_is_identity() {
         let mut psi = StateVector::new(1);
-        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
-        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
+        psi.apply(Op::Gate1 {
+            gate: Gate::H,
+            qubit: 0,
+        });
+        psi.apply(Op::Gate1 {
+            gate: Gate::H,
+            qubit: 0,
+        });
         assert!((psi.probabilities()[0] - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn ghz_state_probabilities() {
         let mut psi = StateVector::new(3);
-        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
-        psi.apply(Op::Cx { control: 0, target: 1 });
-        psi.apply(Op::Cx { control: 1, target: 2 });
+        psi.apply(Op::Gate1 {
+            gate: Gate::H,
+            qubit: 0,
+        });
+        psi.apply(Op::Cx {
+            control: 0,
+            target: 1,
+        });
+        psi.apply(Op::Cx {
+            control: 1,
+            target: 2,
+        });
         let p = psi.probabilities();
         assert!((p[0b000] - 0.5).abs() < 1e-12);
         assert!((p[0b111] - 0.5).abs() < 1e-12);
@@ -247,18 +280,29 @@ mod tests {
 
     #[test]
     fn norm_preserved_by_random_circuit() {
-        use rand::Rng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = DetRng::seed_from_u64(11);
         let mut psi = StateVector::new(5);
         for _ in 0..200 {
             let q = rng.gen_range(0..5);
             match rng.gen_range(0..4) {
-                0 => psi.apply(Op::Gate1 { gate: Gate::H, qubit: q }),
-                1 => psi.apply(Op::Gate1 { gate: Gate::Ry(rng.gen::<f64>()), qubit: q }),
-                2 => psi.apply(Op::Gate1 { gate: Gate::Rz(rng.gen::<f64>()), qubit: q }),
+                0 => psi.apply(Op::Gate1 {
+                    gate: Gate::H,
+                    qubit: q,
+                }),
+                1 => psi.apply(Op::Gate1 {
+                    gate: Gate::Ry(rng.gen::<f64>()),
+                    qubit: q,
+                }),
+                2 => psi.apply(Op::Gate1 {
+                    gate: Gate::Rz(rng.gen::<f64>()),
+                    qubit: q,
+                }),
                 _ => {
                     let t = (q + 1) % 5;
-                    psi.apply(Op::Cx { control: q, target: t });
+                    psi.apply(Op::Cx {
+                        control: q,
+                        target: t,
+                    });
                 }
             }
         }
@@ -268,7 +312,10 @@ mod tests {
     #[test]
     fn swap_exchanges_qubits() {
         let mut psi = StateVector::new(2);
-        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 0 });
+        psi.apply(Op::Gate1 {
+            gate: Gate::X,
+            qubit: 0,
+        });
         psi.apply(Op::Swap { a: 0, b: 1 });
         assert!((psi.probabilities()[0b10] - 1.0).abs() < 1e-12);
     }
@@ -277,22 +324,34 @@ mod tests {
     fn z_expectation_signs() {
         let mut psi = StateVector::new(1);
         assert!((psi.pauli_expectation(&[(0, 'Z')]) - 1.0).abs() < 1e-12);
-        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 0 });
+        psi.apply(Op::Gate1 {
+            gate: Gate::X,
+            qubit: 0,
+        });
         assert!((psi.pauli_expectation(&[(0, 'Z')]) + 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn x_expectation_on_plus_state() {
         let mut psi = StateVector::new(1);
-        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
+        psi.apply(Op::Gate1 {
+            gate: Gate::H,
+            qubit: 0,
+        });
         assert!((psi.pauli_expectation(&[(0, 'X')]) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn bell_state_correlations() {
         let mut psi = StateVector::new(2);
-        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
-        psi.apply(Op::Cx { control: 0, target: 1 });
+        psi.apply(Op::Gate1 {
+            gate: Gate::H,
+            qubit: 0,
+        });
+        psi.apply(Op::Cx {
+            control: 0,
+            target: 1,
+        });
         // <Z0 Z1> = 1, <X0 X1> = 1 for |Φ+>.
         assert!((psi.pauli_expectation(&[(0, 'Z'), (1, 'Z')]) - 1.0).abs() < 1e-12);
         assert!((psi.pauli_expectation(&[(0, 'X'), (1, 'X')]) - 1.0).abs() < 1e-12);
@@ -301,8 +360,11 @@ mod tests {
     #[test]
     fn sampling_matches_distribution() {
         let mut psi = StateVector::new(1);
-        psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        psi.apply(Op::Gate1 {
+            gate: Gate::H,
+            qubit: 0,
+        });
+        let mut rng = DetRng::seed_from_u64(3);
         let samples = psi.sample(10_000, &mut rng);
         let ones = samples.iter().filter(|&&s| s == 1).count();
         let frac = ones as f64 / 10_000.0;
@@ -311,13 +373,19 @@ mod tests {
 
     #[test]
     fn measurement_collapses_and_normalizes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut rng = DetRng::seed_from_u64(17);
         // Bell state: the two qubits' outcomes must agree, and the
         // post-measurement state is normalized and deterministic.
         for _ in 0..20 {
             let mut psi = StateVector::new(2);
-            psi.apply(Op::Gate1 { gate: Gate::H, qubit: 0 });
-            psi.apply(Op::Cx { control: 0, target: 1 });
+            psi.apply(Op::Gate1 {
+                gate: Gate::H,
+                qubit: 0,
+            });
+            psi.apply(Op::Cx {
+                control: 0,
+                target: 1,
+            });
             let first = psi.measure_qubit(0, &mut rng);
             assert!((psi.norm() - 1.0).abs() < 1e-12);
             let second = psi.measure_qubit(1, &mut rng);
@@ -328,9 +396,12 @@ mod tests {
 
     #[test]
     fn measurement_of_definite_state_is_certain() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let mut psi = StateVector::new(2);
-        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 1 });
+        psi.apply(Op::Gate1 {
+            gate: Gate::X,
+            qubit: 1,
+        });
         for _ in 0..5 {
             assert!(!psi.measure_qubit(0, &mut rng));
             assert!(psi.measure_qubit(1, &mut rng));
@@ -339,11 +410,14 @@ mod tests {
 
     #[test]
     fn measurement_statistics_match_probabilities() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut rng = DetRng::seed_from_u64(8);
         let mut ones = 0u32;
         for _ in 0..2000 {
             let mut psi = StateVector::new(1);
-            psi.apply(Op::Gate1 { gate: Gate::Ry(1.0), qubit: 0 });
+            psi.apply(Op::Gate1 {
+                gate: Gate::Ry(1.0),
+                qubit: 0,
+            });
             if psi.measure_qubit(0, &mut rng) {
                 ones += 1;
             }
@@ -356,7 +430,10 @@ mod tests {
     #[test]
     fn fidelity_of_identical_states_is_one() {
         let mut a = StateVector::new(2);
-        a.apply(Op::Gate1 { gate: Gate::Ry(0.7), qubit: 0 });
+        a.apply(Op::Gate1 {
+            gate: Gate::Ry(0.7),
+            qubit: 0,
+        });
         let b = a.clone();
         assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
     }
@@ -365,13 +442,19 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_qubit_panics() {
         let mut psi = StateVector::new(2);
-        psi.apply(Op::Gate1 { gate: Gate::X, qubit: 5 });
+        psi.apply(Op::Gate1 {
+            gate: Gate::X,
+            qubit: 5,
+        });
     }
 
     #[test]
     #[should_panic(expected = "differ")]
     fn cx_same_qubit_panics() {
         let mut psi = StateVector::new(2);
-        psi.apply(Op::Cx { control: 1, target: 1 });
+        psi.apply(Op::Cx {
+            control: 1,
+            target: 1,
+        });
     }
 }

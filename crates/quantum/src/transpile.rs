@@ -205,12 +205,12 @@ pub fn optimize(qc: &Circuit) -> Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use kaas_simtime::rng::DetRng;
 
     /// Equivalence up to global phase, checked on several random input
     /// states prepared by a fixed random prefix circuit.
     fn assert_equivalent(a: &Circuit, b: &Circuit) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut rng = DetRng::seed_from_u64(77);
         for _ in 0..4 {
             let prep = Circuit::random_cx(a.qubits().max(2), 6, &mut rng);
             let mut psi_a = prep.statevector();
@@ -249,7 +249,10 @@ mod tests {
             assert_equivalent(&qc, &lowered);
             for op in lowered.ops() {
                 if let Op::Gate1 { gate, .. } = op {
-                    assert!(gate.in_hardware_basis(), "{gate:?} left in output for {g:?}");
+                    assert!(
+                        gate.in_hardware_basis(),
+                        "{gate:?} left in output for {g:?}"
+                    );
                 }
             }
         }
@@ -293,7 +296,7 @@ mod tests {
 
     #[test]
     fn random_circuits_survive_transpilation() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut rng = DetRng::seed_from_u64(21);
         for seed in 0..5 {
             let _ = seed;
             let qc = Circuit::random_cx(4, 30, &mut rng);

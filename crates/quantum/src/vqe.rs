@@ -2,7 +2,7 @@
 //! ("a single point electronic structure calculation using the
 //! Variational Quantum Eigensolver").
 
-use rand::{Rng, SeedableRng};
+use kaas_simtime::rng::DetRng;
 
 use crate::circuit::Circuit;
 use crate::estimator::{estimate, EstimatorMode};
@@ -95,9 +95,9 @@ pub struct VqeResult {
 ///
 /// ```
 /// use kaas_quantum::{vqe, Hamiltonian, TwoLocalAnsatz, VqeOptimizer, EstimatorMode};
-/// use rand::SeedableRng;
+/// use kaas_simtime::rng::DetRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut rng = DetRng::seed_from_u64(2);
 /// let result = vqe(
 ///     &Hamiltonian::h2_sto3g(),
 ///     TwoLocalAnsatz::new(2, 1),
@@ -107,12 +107,12 @@ pub struct VqeResult {
 /// );
 /// assert!((result.energy - Hamiltonian::h2_ground_energy()).abs() < 1e-3);
 /// ```
-pub fn vqe<R: Rng>(
+pub fn vqe(
     hamiltonian: &Hamiltonian,
     ansatz: TwoLocalAnsatz,
     optimizer: VqeOptimizer,
     mode: EstimatorMode,
-    rng: &mut R,
+    rng: &mut DetRng,
 ) -> VqeResult {
     assert!(
         ansatz.qubits >= hamiltonian.qubits(),
@@ -127,7 +127,7 @@ pub fn vqe<R: Rng>(
 
     let result: OptimizeResult = match optimizer {
         VqeOptimizer::NelderMead { max_iters } => {
-            let mut shot_rng = rand::rngs::StdRng::seed_from_u64(rng.gen());
+            let mut shot_rng = DetRng::seed_from_u64(rng.gen());
             nelder_mead(
                 |params| {
                     calls += 1;
@@ -140,7 +140,7 @@ pub fn vqe<R: Rng>(
             )
         }
         VqeOptimizer::Spsa { iterations } => {
-            let mut shot_rng = rand::rngs::StdRng::seed_from_u64(rng.gen());
+            let mut shot_rng = DetRng::seed_from_u64(rng.gen());
             spsa(
                 |params| {
                     calls += 1;
@@ -165,15 +165,12 @@ pub fn vqe<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
-    use rand::rngs::StdRng;
 
     #[test]
     fn ansatz_parameter_count() {
         let a = TwoLocalAnsatz::new(4, 2);
         assert_eq!(a.parameter_count(), 12);
-        let qc = a.bind(&vec![0.1; 12]);
+        let qc = a.bind(&[0.1; 12]);
         assert_eq!(qc.qubits(), 4);
         assert_eq!(qc.two_qubit_count(), 6); // 2 reps × 3 CX
     }
@@ -186,7 +183,7 @@ mod tests {
 
     #[test]
     fn vqe_finds_h2_ground_state_exactly() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let res = vqe(
             &Hamiltonian::h2_sto3g(),
             TwoLocalAnsatz::new(2, 1),
@@ -201,7 +198,7 @@ mod tests {
 
     #[test]
     fn vqe_energy_respects_variational_bound() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let res = vqe(
             &Hamiltonian::h2_sto3g(),
             TwoLocalAnsatz::new(2, 2),
@@ -214,7 +211,7 @@ mod tests {
 
     #[test]
     fn vqe_with_shots_gets_close() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let res = vqe(
             &Hamiltonian::h2_sto3g(),
             TwoLocalAnsatz::new(2, 1),
@@ -228,7 +225,7 @@ mod tests {
 
     #[test]
     fn history_tracks_progress() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = DetRng::seed_from_u64(8);
         let res = vqe(
             &Hamiltonian::h2_sto3g(),
             TwoLocalAnsatz::new(2, 1),

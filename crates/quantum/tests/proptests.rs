@@ -1,14 +1,21 @@
-//! Property-based tests of the quantum stack's physical invariants.
-
-use proptest::prelude::*;
-use rand::SeedableRng;
+//! Property-style tests of the quantum stack's physical invariants.
+//!
+//! Randomized circuits come from the in-tree deterministic RNG instead
+//! of an external property-test framework, so the suite builds with no
+//! registry access. Enable with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 
 use kaas_quantum::{transpile, Circuit, Gate, Hamiltonian, Op, StateVector};
+use kaas_simtime::rng::DetRng;
 
-/// Strategy: an arbitrary op on `qubits` qubits.
-fn arb_op(qubits: usize) -> impl Strategy<Value = Op> {
-    let single = (0..qubits, 0..8usize, -3.2f64..3.2).prop_map(|(q, which, theta)| {
-        let gate = match which {
+const CASES: u64 = 48;
+
+/// An arbitrary op on `qubits` qubits.
+fn arb_op(qubits: usize, rng: &mut DetRng) -> Op {
+    if rng.gen_range(0..5usize) < 3 {
+        let q = rng.gen_range(0..qubits);
+        let theta = rng.gen_range(-3.2..3.2f64);
+        let gate = match rng.gen_range(0..8usize) {
             0 => Gate::H,
             1 => Gate::X,
             2 => Gate::Y,
@@ -19,136 +26,177 @@ fn arb_op(qubits: usize) -> impl Strategy<Value = Op> {
             _ => Gate::Rz(theta),
         };
         Op::Gate1 { gate, qubit: q }
-    });
-    let two = (0..qubits, 1..qubits, 0..3usize).prop_map(move |(a, off, kind)| {
+    } else {
+        let a = rng.gen_range(0..qubits);
+        let off = rng.gen_range(1..qubits.max(2));
         let b = (a + off) % qubits;
-        let (a, b) = if a == b { (a, (a + 1) % qubits) } else { (a, b) };
-        match kind {
-            0 => Op::Cx { control: a, target: b },
+        let (a, b) = if a == b {
+            (a, (a + 1) % qubits)
+        } else {
+            (a, b)
+        };
+        match rng.gen_range(0..3usize) {
+            0 => Op::Cx {
+                control: a,
+                target: b,
+            },
             1 => Op::Cz { a, b },
             _ => Op::Swap { a, b },
         }
-    });
-    prop_oneof![3 => single, 2 => two]
-}
-
-fn arb_circuit(qubits: usize, max_ops: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec(arb_op(qubits), 0..max_ops).prop_map(move |ops| {
-        let mut qc = Circuit::new(qubits);
-        for op in ops {
-            qc.push(op);
-        }
-        qc
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every circuit is norm-preserving (all gates are unitary).
-    #[test]
-    fn circuits_preserve_norm(qc in arb_circuit(4, 60)) {
-        let psi = qc.statevector();
-        prop_assert!((psi.norm() - 1.0).abs() < 1e-9);
     }
+}
 
-    /// Transpiled circuits are equivalent up to global phase (fidelity 1
-    /// against the original on a random input state).
-    #[test]
-    fn transpile_preserves_semantics(qc in arb_circuit(3, 40), seed in 0u64..1000) {
+fn arb_circuit(qubits: usize, max_ops: usize, rng: &mut DetRng) -> Circuit {
+    let n = rng.gen_range(0..max_ops);
+    let mut qc = Circuit::new(qubits);
+    for _ in 0..n {
+        qc.push(arb_op(qubits, rng));
+    }
+    qc
+}
+
+/// Every circuit is norm-preserving (all gates are unitary).
+#[test]
+fn circuits_preserve_norm() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x900_000 + case);
+        let qc = arb_circuit(4, 60, &mut rng);
+        let psi = qc.statevector();
+        assert!((psi.norm() - 1.0).abs() < 1e-9);
+    }
+}
+
+/// Transpiled circuits are equivalent up to global phase (fidelity 1
+/// against the original on a random input state).
+#[test]
+fn transpile_preserves_semantics() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x901_000 + case);
+        let qc = arb_circuit(3, 40, &mut rng);
         let (lowered, stats) = transpile(&qc);
-        prop_assert!(stats.gates_after <= stats.gates_before * 7 + 1);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        assert!(stats.gates_after <= stats.gates_before * 7 + 1);
         let prep = Circuit::random_cx(3, 5, &mut rng);
         let mut a = prep.statevector();
         let mut b = a.clone();
         qc.run_on(&mut a);
         lowered.run_on(&mut b);
-        prop_assert!((a.fidelity(&b) - 1.0).abs() < 1e-8,
-            "fidelity {} after transpiling {:?}", a.fidelity(&b), qc);
+        assert!(
+            (a.fidelity(&b) - 1.0).abs() < 1e-8,
+            "fidelity {} after transpiling {:?}",
+            a.fidelity(&b),
+            qc
+        );
     }
+}
 
-    /// Applying a gate twice where G² = I returns to the original state.
-    #[test]
-    fn involutory_gates_square_to_identity(
-        qc in arb_circuit(3, 20),
-        which in 0..4usize,
-        q in 0..3usize,
-    ) {
+/// Applying a gate twice where G² = I returns to the original state.
+#[test]
+fn involutory_gates_square_to_identity() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x902_000 + case);
+        let qc = arb_circuit(3, 20, &mut rng);
+        let which = rng.gen_range(0..4usize);
+        let q = rng.gen_range(0..3usize);
         let gate = [Gate::H, Gate::X, Gate::Y, Gate::Z][which];
         let mut psi = qc.statevector();
         let reference = psi.clone();
         psi.apply(Op::Gate1 { gate, qubit: q });
         psi.apply(Op::Gate1 { gate, qubit: q });
-        prop_assert!((psi.fidelity(&reference) - 1.0).abs() < 1e-9);
+        assert!((psi.fidelity(&reference) - 1.0).abs() < 1e-9);
     }
+}
 
-    /// Pauli expectations are bounded by the operator norm: |⟨P⟩| ≤ 1.
-    #[test]
-    fn pauli_expectations_are_bounded(qc in arb_circuit(3, 30), q in 0..3usize) {
+/// Pauli expectations are bounded by the operator norm: |⟨P⟩| ≤ 1.
+#[test]
+fn pauli_expectations_are_bounded() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x903_000 + case);
+        let qc = arb_circuit(3, 30, &mut rng);
+        let q = rng.gen_range(0..3usize);
         let psi = qc.statevector();
         for p in ['X', 'Y', 'Z'] {
             let e = psi.pauli_expectation(&[(q, p)]);
-            prop_assert!(e.abs() <= 1.0 + 1e-9, "<{p}> = {e}");
+            assert!(e.abs() <= 1.0 + 1e-9, "<{p}> = {e}");
         }
     }
+}
 
-    /// Energies of arbitrary states respect the variational bound of the
-    /// H₂ Hamiltonian's ground energy.
-    #[test]
-    fn variational_bound_holds(qc in arb_circuit(2, 30)) {
+/// Energies of arbitrary states respect the variational bound of the
+/// H₂ Hamiltonian's ground energy.
+#[test]
+fn variational_bound_holds() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x904_000 + case);
+        let qc = arb_circuit(2, 30, &mut rng);
         let h = Hamiltonian::h2_sto3g();
         let e = h.expectation(&qc.statevector());
-        prop_assert!(e >= Hamiltonian::h2_ground_energy() - 1e-9, "e = {e}");
+        assert!(e >= Hamiltonian::h2_ground_energy() - 1e-9, "e = {e}");
     }
+}
 
-    /// Probabilities sum to one and every amplitude is bounded.
-    #[test]
-    fn probabilities_form_a_distribution(qc in arb_circuit(4, 40)) {
+/// Probabilities sum to one and every amplitude is bounded.
+#[test]
+fn probabilities_form_a_distribution() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x905_000 + case);
+        let qc = arb_circuit(4, 40, &mut rng);
         let psi = qc.statevector();
         let probs = psi.probabilities();
         let total: f64 = probs.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(probs.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(probs.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
     }
+}
 
-    /// Sampling only produces basis states with nonzero probability.
-    #[test]
-    fn samples_come_from_the_support(seed in 0u64..500) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Sampling only produces basis states with nonzero probability.
+#[test]
+fn samples_come_from_the_support() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x906_000 + case);
         let qc = Circuit::random_cx(4, 12, &mut rng);
         let psi = qc.statevector();
         let probs = psi.probabilities();
         let samples = psi.sample(200, &mut rng);
         for s in samples {
-            prop_assert!(probs[s] > 1e-12, "sampled zero-probability state {s}");
+            assert!(probs[s] > 1e-12, "sampled zero-probability state {s}");
         }
     }
+}
 
-    /// Circuit depth is never larger than the gate count and never
-    /// smaller than gates-per-qubit.
-    #[test]
-    fn depth_bounds(qc in arb_circuit(4, 50)) {
+/// Circuit depth is never larger than the gate count and never
+/// smaller than gates-per-qubit.
+#[test]
+fn depth_bounds() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x907_000 + case);
+        let qc = arb_circuit(4, 50, &mut rng);
         let depth = qc.depth();
-        prop_assert!(depth <= qc.gate_count());
+        assert!(depth <= qc.gate_count());
         let per_qubit_max = (0..4)
-            .map(|q| qc.ops().iter().filter(|op| op.qubits().contains(&q)).count())
+            .map(|q| {
+                qc.ops()
+                    .iter()
+                    .filter(|op| op.qubits().contains(&q))
+                    .count()
+            })
             .max()
             .unwrap_or(0);
-        prop_assert!(depth >= per_qubit_max.min(qc.gate_count()));
+        assert!(depth >= per_qubit_max.min(qc.gate_count()));
     }
+}
 
-    /// StateVector::inner is conjugate-symmetric: ⟨a|b⟩ = conj(⟨b|a⟩).
-    #[test]
-    fn inner_product_conjugate_symmetry(
-        a in arb_circuit(3, 25),
-        b in arb_circuit(3, 25),
-    ) {
+/// StateVector::inner is conjugate-symmetric: ⟨a|b⟩ = conj(⟨b|a⟩).
+#[test]
+fn inner_product_conjugate_symmetry() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(0x908_000 + case);
+        let a = arb_circuit(3, 25, &mut rng);
+        let b = arb_circuit(3, 25, &mut rng);
         let pa: StateVector = a.statevector();
         let pb: StateVector = b.statevector();
         let ab = pa.inner(&pb);
         let ba = pb.inner(&pa);
-        prop_assert!((ab.re - ba.re).abs() < 1e-9);
-        prop_assert!((ab.im + ba.im).abs() < 1e-9);
+        assert!((ab.re - ba.re).abs() < 1e-9);
+        assert!((ab.im + ba.im).abs() < 1e-9);
     }
 }

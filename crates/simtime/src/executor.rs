@@ -34,7 +34,10 @@ pub(crate) struct WakeQueue {
 
 impl WakeQueue {
     fn push(&self, id: usize) {
-        self.queue.lock().expect("wake queue poisoned").push_back(id);
+        self.queue
+            .lock()
+            .expect("wake queue poisoned")
+            .push_back(id);
     }
 
     fn pop(&self) -> Option<usize> {

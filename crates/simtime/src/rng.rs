@@ -1,10 +1,184 @@
 //! Deterministic random-number streams for reproducible simulations.
+//!
+//! [`DetRng`] is a self-contained xoshiro256++ generator: the workspace
+//! carries no external RNG dependency, so builds are reproducible and
+//! fully offline. The API mirrors the common `rand` idioms
+//! ([`gen`](DetRng::gen), [`gen_range`](DetRng::gen_range),
+//! [`gen_bool`](DetRng::gen_bool)) to keep call sites natural.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+/// The RNG used throughout the workspace: a seedable, portable
+/// xoshiro256++ generator with SplitMix64 seed expansion.
+///
+/// Identical seeds produce identical sequences on every platform, which
+/// is what makes whole-simulation runs replayable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
 
-/// The RNG type used throughout the workspace (a seedable, portable PRNG).
-pub type DetRng = StdRng;
+/// One step of SplitMix64 — used to expand a 64-bit seed into the
+/// generator's 256-bit state and to mix stream ids.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that [`DetRng::gen`] can draw uniformly.
+pub trait Sample {
+    /// Draws one uniformly distributed value.
+    fn sample(rng: &mut DetRng) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut DetRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut DetRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for u8 {
+    fn sample(rng: &mut DetRng) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Sample for usize {
+    fn sample(rng: &mut DetRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut DetRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut DetRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample(rng: &mut DetRng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types usable with [`DetRng::gen_range`] over a half-open `lo..hi`.
+pub trait SampleRange: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_range(rng: &mut DetRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                // Multiply-shift maps a 64-bit draw onto [0, span) with
+                // negligible (2^-64-scale) bias.
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for f64 {
+    fn sample_range(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+        let u: f64 = Sample::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleRange for f32 {
+    fn sample_range(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+        let u: f32 = Sample::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion, so
+    /// nearby seeds still yield decorrelated states).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// The raw xoshiro256++ output step.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Draws one uniform value of the inferred type (`u32`, `u64`,
+    /// `usize`, `bool`, or a float in `[0, 1)`).
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range needs a non-empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Picks a uniformly random element (`None` on an empty slice).
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(0..slice.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            slice.swap(i, self.gen_range(0..i + 1));
+        }
+    }
+}
 
 /// Creates a deterministic RNG from a 64-bit seed.
 ///
@@ -12,14 +186,13 @@ pub type DetRng = StdRng;
 ///
 /// ```
 /// use kaas_simtime::rng::det_rng;
-/// use rand::Rng;
 ///
 /// let mut a = det_rng(7);
 /// let mut b = det_rng(7);
 /// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
 /// ```
 pub fn det_rng(seed: u64) -> DetRng {
-    StdRng::seed_from_u64(seed)
+    DetRng::seed_from_u64(seed)
 }
 
 /// Derives an independent RNG stream from a base seed and a stream id,
@@ -30,19 +203,20 @@ pub fn stream_rng(seed: u64, stream: u64) -> DetRng {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
-    StdRng::seed_from_u64(z)
+    DetRng::seed_from_u64(z)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_sequence() {
-        let a: Vec<u32> = det_rng(42).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = det_rng(42).sample_iter(rand::distributions::Standard).take(8).collect();
-        assert_eq!(a, b);
+        let mut x = det_rng(42);
+        let mut y = det_rng(42);
+        let xs: Vec<u64> = (0..32).map(|_| x.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| y.next_u64()).collect();
+        assert_eq!(xs, ys);
     }
 
     #[test]
@@ -65,5 +239,68 @@ mod tests {
         let a: u64 = stream_rng(0, 0).gen();
         let b: u64 = stream_rng(0, 1).gen();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = det_rng(9);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = det_rng(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5..17i64);
+            assert!((-5..17).contains(&v));
+            let f = rng.gen_range(-2.5..2.5f64);
+            assert!((-2.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = det_rng(1234);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = det_rng(77);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = det_rng(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = det_rng(6);
+        let items = [1, 2, 3];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(*rng.choose(&items).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        assert!(rng.choose::<u8>(&[]).is_none());
     }
 }

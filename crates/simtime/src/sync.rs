@@ -136,7 +136,10 @@ impl Semaphore {
     /// earlier waiters are queued (FIFO fairness is never bypassed).
     pub fn try_acquire(&self, n: usize) -> Option<SemaphoreGuard> {
         let mut s = self.state.borrow_mut();
-        let blocked = s.waiters.iter().any(|w| w.phase.get() == WaiterPhase::Queued);
+        let blocked = s
+            .waiters
+            .iter()
+            .any(|w| w.phase.get() == WaiterPhase::Queued);
         if blocked || s.permits < n {
             return None;
         }
@@ -191,11 +194,7 @@ impl Future for Acquire {
                     // Refresh our stored waker.
                     let phase = Rc::clone(phase);
                     let mut s = self.sem.state.borrow_mut();
-                    if let Some(w) = s
-                        .waiters
-                        .iter_mut()
-                        .find(|w| Rc::ptr_eq(&w.phase, &phase))
-                    {
+                    if let Some(w) = s.waiters.iter_mut().find(|w| Rc::ptr_eq(&w.phase, &phase)) {
                         w.waker = Some(cx.waker().clone());
                     }
                     return Poll::Pending;
@@ -206,7 +205,10 @@ impl Future for Acquire {
             }
         }
         let mut s = self.sem.state.borrow_mut();
-        let blocked = s.waiters.iter().any(|w| w.phase.get() == WaiterPhase::Queued);
+        let blocked = s
+            .waiters
+            .iter()
+            .any(|w| w.phase.get() == WaiterPhase::Queued);
         if !blocked && s.permits >= self.n {
             s.permits -= self.n;
             drop(s);

@@ -47,7 +47,10 @@ impl SimTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid SimTime seconds: {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid SimTime seconds: {secs}"
+        );
         SimTime((secs * 1e9).round() as u64)
     }
 
@@ -179,7 +182,10 @@ mod tests {
 
     #[test]
     fn saturating_add_caps_at_max() {
-        assert_eq!(SimTime::MAX.saturating_add(Duration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(Duration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

@@ -1,21 +1,31 @@
-//! Property-based tests of the simulator's core guarantees.
+//! Property-style tests of the simulator's core guarantees.
+//!
+//! These run many randomized cases from the in-tree deterministic RNG
+//! ([`kaas_simtime::rng::DetRng`]) instead of an external property-test
+//! framework, so the suite builds with no registry access. Enable with
+//! `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
 use kaas_simtime::channel;
+use kaas_simtime::rng::det_rng;
 use kaas_simtime::sync::Semaphore;
 use kaas_simtime::{now, sleep, spawn, SimTime, Simulation};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Virtual time observed inside tasks never decreases, regardless of
-    /// how sleeps interleave.
-    #[test]
-    fn clock_is_monotone_across_tasks(delays in prop::collection::vec(0u64..2_000, 1..40)) {
+/// Virtual time observed inside tasks never decreases, regardless of
+/// how sleeps interleave.
+#[test]
+fn clock_is_monotone_across_tasks() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0x51_0000 + case);
+        let n = rng.gen_range(1..40usize);
+        let delays: Vec<u64> = (0..n).map(|_| rng.gen_range(0..2_000u64)).collect();
+
         let mut sim = Simulation::new();
         let observed: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
         for &d in &delays {
@@ -29,16 +39,22 @@ proptest! {
         }
         sim.run();
         let obs = observed.borrow();
-        prop_assert_eq!(obs.len(), delays.len() * 2);
+        assert_eq!(obs.len(), delays.len() * 2);
         // The recorded sequence (in event order) is sorted.
         let mut sorted = obs.clone();
         sorted.sort();
-        prop_assert_eq!(&*obs, &sorted);
+        assert_eq!(&*obs, &sorted);
     }
+}
 
-    /// The final clock equals the maximum requested deadline.
-    #[test]
-    fn run_ends_at_last_deadline(delays in prop::collection::vec(1u64..5_000, 1..30)) {
+/// The final clock equals the maximum requested deadline.
+#[test]
+fn run_ends_at_last_deadline() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0x52_0000 + case);
+        let n = rng.gen_range(1..30usize);
+        let delays: Vec<u64> = (0..n).map(|_| rng.gen_range(1..5_000u64)).collect();
+
         let mut sim = Simulation::new();
         for &d in &delays {
             sim.spawn(async move {
@@ -47,13 +63,19 @@ proptest! {
         }
         let end = sim.run();
         let max = *delays.iter().max().unwrap();
-        prop_assert_eq!(end, SimTime::ZERO + Duration::from_micros(max));
+        assert_eq!(end, SimTime::ZERO + Duration::from_micros(max));
     }
+}
 
-    /// Unbounded channels deliver every message exactly once, in order,
-    /// per sender.
-    #[test]
-    fn channel_is_lossless_and_fifo(msgs in prop::collection::vec(0u32..1000, 0..100)) {
+/// Unbounded channels deliver every message exactly once, in order,
+/// per sender.
+#[test]
+fn channel_is_lossless_and_fifo() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0x53_0000 + case);
+        let n = rng.gen_range(0..100usize);
+        let msgs: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000u32)).collect();
+
         let mut sim = Simulation::new();
         let msgs2 = msgs.clone();
         let got = sim.block_on(async move {
@@ -70,15 +92,18 @@ proptest! {
             }
             got
         });
-        prop_assert_eq!(got, msgs);
+        assert_eq!(got, msgs);
     }
+}
 
-    /// Bounded channels never hold more than their capacity.
-    #[test]
-    fn bounded_channel_respects_capacity(
-        cap in 1usize..8,
-        n in 1usize..40,
-    ) {
+/// Bounded channels never hold more than their capacity.
+#[test]
+fn bounded_channel_respects_capacity() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0x54_0000 + case);
+        let cap = rng.gen_range(1..8usize);
+        let n = rng.gen_range(1..40usize);
+
         let mut sim = Simulation::new();
         let peak = sim.block_on(async move {
             let (tx, mut rx) = channel::bounded::<usize>(cap);
@@ -97,7 +122,7 @@ proptest! {
                 }
             });
             let mut count = 0;
-            while let Some(_) = rx.recv().await {
+            while rx.recv().await.is_some() {
                 count += 1;
                 sleep(Duration::from_micros(1)).await;
             }
@@ -105,15 +130,21 @@ proptest! {
             let p = *peak.borrow();
             p
         });
-        prop_assert!(peak <= cap, "peak {peak} exceeded capacity {cap}");
+        assert!(peak <= cap, "peak {peak} exceeded capacity {cap}");
     }
+}
 
-    /// A semaphore never over-admits, for any permit pattern.
-    #[test]
-    fn semaphore_never_overadmits(
-        permits in 1usize..6,
-        requests in prop::collection::vec((1usize..4, 1u64..500), 1..30),
-    ) {
+/// A semaphore never over-admits, for any permit pattern.
+#[test]
+fn semaphore_never_overadmits() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0x55_0000 + case);
+        let permits = rng.gen_range(1..6usize);
+        let n = rng.gen_range(1..30usize);
+        let requests: Vec<(usize, u64)> = (0..n)
+            .map(|_| (rng.gen_range(1..4usize), rng.gen_range(1..500u64)))
+            .collect();
+
         let mut sim = Simulation::new();
         let max_permits = permits;
         let violation = sim.block_on(async move {
@@ -143,13 +174,22 @@ proptest! {
             let v = in_use.borrow().1;
             v
         });
-        prop_assert!(!violation, "semaphore admitted more than {max_permits} permits");
+        assert!(
+            !violation,
+            "semaphore admitted more than {max_permits} permits"
+        );
     }
+}
 
-    /// Two identical simulations give identical final clocks (determinism
-    /// under arbitrary workloads).
-    #[test]
-    fn identical_runs_identical_clocks(delays in prop::collection::vec(0u64..10_000, 1..25)) {
+/// Two identical simulations give identical final clocks (determinism
+/// under arbitrary workloads).
+#[test]
+fn identical_runs_identical_clocks() {
+    for case in 0..CASES {
+        let mut rng = det_rng(0x56_0000 + case);
+        let n = rng.gen_range(1..25usize);
+        let delays: Vec<u64> = (0..n).map(|_| rng.gen_range(0..10_000u64)).collect();
+
         let run = |delays: Vec<u64>| {
             let mut sim = Simulation::new();
             for (i, d) in delays.into_iter().enumerate() {
@@ -161,6 +201,6 @@ proptest! {
             }
             sim.run()
         };
-        prop_assert_eq!(run(delays.clone()), run(delays));
+        assert_eq!(run(delays.clone()), run(delays));
     }
 }

@@ -89,13 +89,20 @@ fn main() {
                 if report.cold_start { " [cold]" } else { "" },
             );
         }
-        let inference = fed.invoke("resnet50", Value::U64(8)).await.expect("inference");
+        let inference = fed
+            .invoke("resnet50", Value::U64(8))
+            .await
+            .expect("inference");
         println!(
             "  {:<10} on {} — kernel {:.1} ms{}",
             "resnet50",
             inference.report.device,
             inference.report.kernel_time().as_secs_f64() * 1e3,
-            if inference.report.cold_start { " [cold]" } else { "" },
+            if inference.report.cold_start {
+                " [cold]"
+            } else {
+                ""
+            },
         );
         println!(
             "\nend-to-end workflow latency: {:.3} s (first run, all cold)",

@@ -28,7 +28,9 @@ fn main() {
         ];
         let registry = KernelRegistry::new();
         registry.register(Preprocess::new()).expect("register");
-        registry.register(BitmapConversion::default()).expect("register");
+        registry
+            .register(BitmapConversion::default())
+            .expect("register");
         registry.register(ResNet50::new()).expect("register");
 
         let shm = SharedMemory::host();
@@ -51,11 +53,17 @@ fn main() {
         let (w, h) = (3840usize, 2160usize);
         let pixels: Vec<u8> = (0..w * h * 3).map(|i| ((i * 31) % 251) as u8).collect();
         let frame = Value::image(pixels, w, h, 3);
-        println!("input frame: {w}x{h} RGB ({} MB)", frame.wire_bytes() / 1_000_000);
+        println!(
+            "input frame: {w}x{h} RGB ({} MB)",
+            frame.wire_bytes() / 1_000_000
+        );
 
         let t0 = now();
         // Stage 1: CPU preprocessing (resize to 224²).
-        let pre = client.invoke_oob("preprocess", frame).await.expect("preprocess");
+        let pre = client
+            .invoke_oob("preprocess", frame)
+            .await
+            .expect("preprocess");
         let resized = pre.output;
         println!(
             "preprocess  → {:>7.1} ms on {} ({} bytes out)",

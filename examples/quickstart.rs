@@ -48,7 +48,11 @@ fn main() {
                 "  #{i}: {:>8.1} ms total | kernel {:>6.2} ms | {} | runner {} on {}",
                 inv.latency.as_secs_f64() * 1e3,
                 inv.report.kernel_time().as_secs_f64() * 1e3,
-                if inv.report.cold_start { "COLD" } else { "warm" },
+                if inv.report.cold_start {
+                    "COLD"
+                } else {
+                    "warm"
+                },
                 inv.report.runner,
                 inv.report.device,
             );

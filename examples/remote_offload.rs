@@ -8,7 +8,10 @@ use kaas_bench::fig11::{run_scenario, Scenario};
 
 fn main() {
     println!("GA, 10 generations, population N (task completion in seconds):");
-    println!("{:>6}  {:>12} {:>12} {:>12} {:>12}", "N", "local-ib", "local-oob", "remote", "cpu");
+    println!(
+        "{:>6}  {:>12} {:>12} {:>12} {:>12}",
+        "N", "local-ib", "local-oob", "remote", "cpu"
+    );
     for n in [64u64, 256, 1024, 4096] {
         let local_ib = run_scenario(Scenario::LocalInBand, n);
         let local_oob = run_scenario(Scenario::LocalOutOfBand, n);

@@ -8,7 +8,6 @@
 //!
 //! Run with: `cargo run --example vqe_chemistry`
 
-
 use kaas::accel::{Device, DeviceId, QpuDevice, QpuProfile};
 use kaas::core::{KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig};
 use kaas::kernels::{Value, VqeEstimator};
@@ -30,11 +29,10 @@ fn main() {
         spawn(server.clone().serve(net.listen("kaas:7000").expect("bind")));
         server.prewarm("vqe-estimator", 1).await.expect("prewarm");
 
-        let client = KaasClient::connect(&net, "kaas:7000", LinkProfile::loopback())
+        let mut client = KaasClient::connect(&net, "kaas:7000", LinkProfile::loopback())
             .await
             .expect("server listening")
             .with_shared_memory(shm);
-        let client = std::cell::RefCell::new(client);
 
         // The classical optimizer queries energies; every evaluation is
         // one KaaS invocation of the "quantum kernel". We gather the
@@ -43,8 +41,7 @@ fn main() {
         let _ansatz = TwoLocalAnsatz::new(2, 1);
         let t0 = now();
         let mut calls = 0usize;
-        let cache: std::cell::RefCell<Vec<(Vec<f64>, f64)>> =
-            std::cell::RefCell::new(Vec::new());
+        let cache: std::cell::RefCell<Vec<(Vec<f64>, f64)>> = std::cell::RefCell::new(Vec::new());
         // Synchronously driven async invocations: evaluate eagerly.
         let mut pending: Vec<Vec<f64>> = Vec::new();
         let x0 = vec![0.1, 0.15, 0.2, 0.25];
@@ -62,7 +59,6 @@ fn main() {
         let energy = loop {
             for params in pending.drain(..) {
                 let inv = client
-                    .borrow_mut()
                     .invoke_oob("vqe-estimator", Value::F64s(params.clone()))
                     .await
                     .expect("estimator call");

@@ -17,11 +17,12 @@ use kaas::simtime::{now, spawn, Simulation};
 fn main() {
     let mut sim = Simulation::new();
     sim.block_on(async {
-        let devices: Vec<Device> =
-            vec![GpuDevice::new(DeviceId(0), GpuProfile::p100()).into()];
+        let devices: Vec<Device> = vec![GpuDevice::new(DeviceId(0), GpuProfile::p100()).into()];
         let registry = KernelRegistry::new();
         // A plain GA generation, and a fused five-generation variant.
-        registry.register(GaGeneration::seeded(1)).expect("register");
+        registry
+            .register(GaGeneration::seeded(1))
+            .expect("register");
         let stages: Vec<Rc<dyn Kernel>> = (0..5)
             .map(|i| Rc::new(GaGeneration::seeded(10 + i)) as Rc<dyn Kernel>)
             .collect();
@@ -79,8 +80,8 @@ fn main() {
         };
         println!("ten GA generations over a 128-individual population (remote client):");
         println!(
-            "  10 x 1 (unfused): {unfused_time:.3} s, {} steps, mean fitness {fit1:.1}"
-            , run1.reports.len()
+            "  10 x 1 (unfused): {unfused_time:.3} s, {} steps, mean fitness {fit1:.1}",
+            run1.reports.len()
         );
         println!(
             "   2 x 5 (fused)  : {fused_time:.3} s, {} steps, mean fitness {fit2:.1}",

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, format, lint. No network access needed —
+# the workspace has zero external dependencies.
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick   skip the feature-gated property tests and bench build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --release --workspace
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo test -q --all-features (property tests + bench harness)"
+    cargo test -q --release --workspace --all-features
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --release --workspace --all-targets -- -D warnings
+if [[ $quick -eq 0 ]]; then
+    cargo clippy --release --workspace --all-targets --all-features -- -D warnings
+fi
+
+echo "CI OK"

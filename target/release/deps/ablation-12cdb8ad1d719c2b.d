@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-12cdb8ad1d719c2b.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-12cdb8ad1d719c2b: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

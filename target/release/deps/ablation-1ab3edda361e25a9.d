@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-1ab3edda361e25a9.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-1ab3edda361e25a9: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

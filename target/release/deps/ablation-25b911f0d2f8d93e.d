@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-25b911f0d2f8d93e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-25b911f0d2f8d93e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-6722628eb089dc15.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-6722628eb089dc15: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-8ad1a55f0f7536ca.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-8ad1a55f0f7536ca: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

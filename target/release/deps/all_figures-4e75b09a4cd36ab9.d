@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-4e75b09a4cd36ab9.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-4e75b09a4cd36ab9: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

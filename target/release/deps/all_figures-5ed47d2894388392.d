@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-5ed47d2894388392.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-5ed47d2894388392: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-b68c0798e51f010f.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-b68c0798e51f010f: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-bb54eb976ab63f8c.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-bb54eb976ab63f8c: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/all_figures-dce048484ce1b63b.d: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+/root/repo/target/release/deps/liball_figures-dce048484ce1b63b.rmeta: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+crates/bench/src/bin/all_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-f0c198eb16bf0756.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-f0c198eb16bf0756: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

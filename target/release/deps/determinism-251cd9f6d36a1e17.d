@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-251cd9f6d36a1e17.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-251cd9f6d36a1e17: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-693bcb368d38ce9b.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-693bcb368d38ce9b.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-c27a219f71b09473.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-c27a219f71b09473: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-c981fe881a5c32db.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-c981fe881a5c32db.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

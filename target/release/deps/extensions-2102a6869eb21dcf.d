@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-2102a6869eb21dcf.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-2102a6869eb21dcf: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-5bf71c14412f95ef.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-5bf71c14412f95ef.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

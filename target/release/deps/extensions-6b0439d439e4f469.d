@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-6b0439d439e4f469.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-6b0439d439e4f469: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-e175d13c56e3936f.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-e175d13c56e3936f.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-f231036e78e898c0.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-f231036e78e898c0.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_and_errors-2a553c5d6da0a0e8.d: tests/failure_and_errors.rs
+
+/root/repo/target/release/deps/failure_and_errors-2a553c5d6da0a0e8: tests/failure_and_errors.rs
+
+tests/failure_and_errors.rs:

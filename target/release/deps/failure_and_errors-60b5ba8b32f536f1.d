@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_and_errors-60b5ba8b32f536f1.d: tests/failure_and_errors.rs
+
+/root/repo/target/release/deps/failure_and_errors-60b5ba8b32f536f1: tests/failure_and_errors.rs
+
+tests/failure_and_errors.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/failure_and_errors-92bd28388374b2d2.d: tests/failure_and_errors.rs Cargo.toml
+
+/root/repo/target/release/deps/libfailure_and_errors-92bd28388374b2d2.rmeta: tests/failure_and_errors.rs Cargo.toml
+
+tests/failure_and_errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

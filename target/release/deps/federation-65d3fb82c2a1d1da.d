@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/federation-65d3fb82c2a1d1da.d: tests/federation.rs
+
+/root/repo/target/release/deps/federation-65d3fb82c2a1d1da: tests/federation.rs
+
+tests/federation.rs:

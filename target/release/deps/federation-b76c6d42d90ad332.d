@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/federation-b76c6d42d90ad332.d: tests/federation.rs Cargo.toml
+
+/root/repo/target/release/deps/libfederation-b76c6d42d90ad332.rmeta: tests/federation.rs Cargo.toml
+
+tests/federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/federation-c86b7e98b90148d6.d: tests/federation.rs
+
+/root/repo/target/release/deps/federation-c86b7e98b90148d6: tests/federation.rs
+
+tests/federation.rs:

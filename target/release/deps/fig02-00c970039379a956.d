@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-00c970039379a956.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-00c970039379a956: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

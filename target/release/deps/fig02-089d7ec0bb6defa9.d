@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-089d7ec0bb6defa9.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-089d7ec0bb6defa9: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

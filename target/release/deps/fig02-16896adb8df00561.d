@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-16896adb8df00561.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-16896adb8df00561: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-4c34c296490bec2c.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-4c34c296490bec2c: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

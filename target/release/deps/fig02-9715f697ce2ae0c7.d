@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-9715f697ce2ae0c7.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-9715f697ce2ae0c7: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

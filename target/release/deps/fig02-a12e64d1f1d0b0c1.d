@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig02-a12e64d1f1d0b0c1.d: crates/bench/src/bin/fig02.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig02-a12e64d1f1d0b0c1.rmeta: crates/bench/src/bin/fig02.rs Cargo.toml
+
+crates/bench/src/bin/fig02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

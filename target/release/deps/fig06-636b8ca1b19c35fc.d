@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig06-636b8ca1b19c35fc.d: crates/bench/src/bin/fig06.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig06-636b8ca1b19c35fc.rmeta: crates/bench/src/bin/fig06.rs Cargo.toml
+
+crates/bench/src/bin/fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

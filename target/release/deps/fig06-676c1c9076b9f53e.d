@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-676c1c9076b9f53e.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-676c1c9076b9f53e: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

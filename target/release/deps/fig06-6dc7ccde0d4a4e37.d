@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-6dc7ccde0d4a4e37.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-6dc7ccde0d4a4e37: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

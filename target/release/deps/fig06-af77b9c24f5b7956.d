@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-af77b9c24f5b7956.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-af77b9c24f5b7956: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-bd87f0eff98cb865.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-bd87f0eff98cb865: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-f64ff99a3f8bab99.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-f64ff99a3f8bab99: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

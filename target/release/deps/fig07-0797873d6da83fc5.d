@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-0797873d6da83fc5.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-0797873d6da83fc5: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

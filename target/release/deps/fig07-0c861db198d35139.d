@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-0c861db198d35139.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-0c861db198d35139: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

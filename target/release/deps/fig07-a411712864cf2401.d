@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-a411712864cf2401.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-a411712864cf2401: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

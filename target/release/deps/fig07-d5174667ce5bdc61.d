@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-d5174667ce5bdc61.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-d5174667ce5bdc61: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

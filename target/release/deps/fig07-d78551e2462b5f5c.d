@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig07-d78551e2462b5f5c.d: crates/bench/src/bin/fig07.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig07-d78551e2462b5f5c.rmeta: crates/bench/src/bin/fig07.rs Cargo.toml
+
+crates/bench/src/bin/fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

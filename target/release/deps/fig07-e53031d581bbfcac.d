@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-e53031d581bbfcac.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-e53031d581bbfcac: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

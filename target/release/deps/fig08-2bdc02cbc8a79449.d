@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08-2bdc02cbc8a79449.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/release/deps/fig08-2bdc02cbc8a79449: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

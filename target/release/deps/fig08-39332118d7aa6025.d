@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08-39332118d7aa6025.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/release/deps/fig08-39332118d7aa6025: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

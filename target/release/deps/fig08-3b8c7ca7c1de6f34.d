@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08-3b8c7ca7c1de6f34.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/release/deps/fig08-3b8c7ca7c1de6f34: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

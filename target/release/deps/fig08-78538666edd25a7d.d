@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08-78538666edd25a7d.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/release/deps/fig08-78538666edd25a7d: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08-d0acfe397d815c47.d: crates/bench/src/bin/fig08.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08-d0acfe397d815c47.rmeta: crates/bench/src/bin/fig08.rs Cargo.toml
+
+crates/bench/src/bin/fig08.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

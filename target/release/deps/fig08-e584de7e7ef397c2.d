@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08-e584de7e7ef397c2.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/release/deps/fig08-e584de7e7ef397c2: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-4bfd9651eb7c06aa.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-4bfd9651eb7c06aa: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

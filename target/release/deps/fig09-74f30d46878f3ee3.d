@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-74f30d46878f3ee3.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-74f30d46878f3ee3: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

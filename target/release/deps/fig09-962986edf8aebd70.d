@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-962986edf8aebd70.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-962986edf8aebd70: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-a4747e1845dec399.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-a4747e1845dec399: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09-c95108dd3fe6d168.d: crates/bench/src/bin/fig09.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09-c95108dd3fe6d168.rmeta: crates/bench/src/bin/fig09.rs Cargo.toml
+
+crates/bench/src/bin/fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-e5ece4c15df97664.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-e5ece4c15df97664: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-1b1fd62dd6153886.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-1b1fd62dd6153886: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-62d54254dbf133ca.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-62d54254dbf133ca: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

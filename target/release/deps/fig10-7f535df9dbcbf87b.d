@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-7f535df9dbcbf87b.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-7f535df9dbcbf87b: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-86bdc3a6f00d3816.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-86bdc3a6f00d3816: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

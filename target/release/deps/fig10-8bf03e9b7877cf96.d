@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10-8bf03e9b7877cf96.d: crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10-8bf03e9b7877cf96.rmeta: crates/bench/src/bin/fig10.rs Cargo.toml
+
+crates/bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

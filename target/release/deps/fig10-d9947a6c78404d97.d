@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-d9947a6c78404d97.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-d9947a6c78404d97: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-0e55c41d1fc07692.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-0e55c41d1fc07692: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-4098641bb43c3f8a.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-4098641bb43c3f8a: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-4984afc7b6191e55.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-4984afc7b6191e55: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

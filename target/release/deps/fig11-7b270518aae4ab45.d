@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-7b270518aae4ab45.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-7b270518aae4ab45: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

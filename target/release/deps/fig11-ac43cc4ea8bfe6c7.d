@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11-ac43cc4ea8bfe6c7.d: crates/bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11-ac43cc4ea8bfe6c7.rmeta: crates/bench/src/bin/fig11.rs Cargo.toml
+
+crates/bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-e4289d4fbc9eb790.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-e4289d4fbc9eb790: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12-1f9019acc6e606d3.d: crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12-1f9019acc6e606d3.rmeta: crates/bench/src/bin/fig12.rs Cargo.toml
+
+crates/bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

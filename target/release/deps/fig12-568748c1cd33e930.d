@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-568748c1cd33e930.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-568748c1cd33e930: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

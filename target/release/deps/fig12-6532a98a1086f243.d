@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-6532a98a1086f243.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-6532a98a1086f243: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-83aefbdbe422d3c2.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-83aefbdbe422d3c2: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12-ca9047c6b716a2c4.d: crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12-ca9047c6b716a2c4.rmeta: crates/bench/src/bin/fig12.rs Cargo.toml
+
+crates/bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

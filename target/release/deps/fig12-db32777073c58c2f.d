@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12-db32777073c58c2f.d: crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12-db32777073c58c2f.rmeta: crates/bench/src/bin/fig12.rs Cargo.toml
+
+crates/bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

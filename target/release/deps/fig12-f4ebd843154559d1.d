@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-f4ebd843154559d1.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-f4ebd843154559d1: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

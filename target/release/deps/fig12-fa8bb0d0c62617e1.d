@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-fa8bb0d0c62617e1.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-fa8bb0d0c62617e1: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

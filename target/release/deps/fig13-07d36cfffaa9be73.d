@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-07d36cfffaa9be73.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-07d36cfffaa9be73: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-362f56b13e08e0d2.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-362f56b13e08e0d2: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig13-4032da0712193712.d: crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig13-4032da0712193712.rmeta: crates/bench/src/bin/fig13.rs Cargo.toml
+
+crates/bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

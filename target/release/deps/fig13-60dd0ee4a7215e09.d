@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig13-60dd0ee4a7215e09.d: crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig13-60dd0ee4a7215e09.rmeta: crates/bench/src/bin/fig13.rs Cargo.toml
+
+crates/bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-69e218b6939950de.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-69e218b6939950de: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-7e7ca295f3a32ea0.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-7e7ca295f3a32ea0: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-982cd887c04a601a.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-982cd887c04a601a: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

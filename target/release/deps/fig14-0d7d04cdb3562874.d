@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-0d7d04cdb3562874.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-0d7d04cdb3562874: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-381897cb566d5c38.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-381897cb566d5c38: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

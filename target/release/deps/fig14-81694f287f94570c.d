@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-81694f287f94570c.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-81694f287f94570c: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-825fbba6fbd29f2e.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-825fbba6fbd29f2e: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

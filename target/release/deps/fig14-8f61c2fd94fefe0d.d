@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-8f61c2fd94fefe0d.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-8f61c2fd94fefe0d: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14-bb6abf3b4b84d29c.d: crates/bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14-bb6abf3b4b84d29c.rmeta: crates/bench/src/bin/fig14.rs Cargo.toml
+
+crates/bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

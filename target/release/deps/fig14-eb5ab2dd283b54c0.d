@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14-eb5ab2dd283b54c0.d: crates/bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14-eb5ab2dd283b54c0.rmeta: crates/bench/src/bin/fig14.rs Cargo.toml
+
+crates/bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-1285c8d49008ad5a.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-1285c8d49008ad5a: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-1d7b5d41df38e15c.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-1d7b5d41df38e15c: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

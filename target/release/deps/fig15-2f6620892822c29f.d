@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-2f6620892822c29f.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-2f6620892822c29f: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig15-3d201c45fdf4f1fd.d: crates/bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig15-3d201c45fdf4f1fd.rmeta: crates/bench/src/bin/fig15.rs Cargo.toml
+
+crates/bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

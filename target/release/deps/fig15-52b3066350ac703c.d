@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-52b3066350ac703c.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-52b3066350ac703c: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig15-a0048bc380a0a914.d: crates/bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig15-a0048bc380a0a914.rmeta: crates/bench/src/bin/fig15.rs Cargo.toml
+
+crates/bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig15-a34bab0aee337a11.d: crates/bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig15-a34bab0aee337a11.rmeta: crates/bench/src/bin/fig15.rs Cargo.toml
+
+crates/bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-de104cdb2d1441b6.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-de104cdb2d1441b6: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

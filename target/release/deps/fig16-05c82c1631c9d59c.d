@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-05c82c1631c9d59c.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-05c82c1631c9d59c: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

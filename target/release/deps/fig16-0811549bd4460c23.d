@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-0811549bd4460c23.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-0811549bd4460c23: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

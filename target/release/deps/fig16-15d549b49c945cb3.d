@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig16-15d549b49c945cb3.d: crates/bench/src/bin/fig16.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig16-15d549b49c945cb3.rmeta: crates/bench/src/bin/fig16.rs Cargo.toml
+
+crates/bench/src/bin/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-94948174df2d17d0.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-94948174df2d17d0: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-9e0ded8183b81125.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-9e0ded8183b81125: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-f433b080eb99a11d.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-f433b080eb99a11d: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

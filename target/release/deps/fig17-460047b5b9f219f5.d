@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-460047b5b9f219f5.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-460047b5b9f219f5: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-4a8d605022515884.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-4a8d605022515884: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

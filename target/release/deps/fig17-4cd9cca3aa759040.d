@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-4cd9cca3aa759040.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-4cd9cca3aa759040: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

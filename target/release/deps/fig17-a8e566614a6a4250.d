@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig17-a8e566614a6a4250.d: crates/bench/src/bin/fig17.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig17-a8e566614a6a4250.rmeta: crates/bench/src/bin/fig17.rs Cargo.toml
+
+crates/bench/src/bin/fig17.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

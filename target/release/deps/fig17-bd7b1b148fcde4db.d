@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-bd7b1b148fcde4db.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-bd7b1b148fcde4db: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-f1b264c5aafac475.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-f1b264c5aafac475: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig17-fc010308b7b120cd.d: crates/bench/src/bin/fig17.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig17-fc010308b7b120cd.rmeta: crates/bench/src/bin/fig17.rs Cargo.toml
+
+crates/bench/src/bin/fig17.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/heterogeneous-767624d791a66b37.d: tests/heterogeneous.rs Cargo.toml
+
+/root/repo/target/release/deps/libheterogeneous-767624d791a66b37.rmeta: tests/heterogeneous.rs Cargo.toml
+
+tests/heterogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

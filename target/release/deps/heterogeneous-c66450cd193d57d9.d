@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/heterogeneous-c66450cd193d57d9.d: tests/heterogeneous.rs Cargo.toml
+
+/root/repo/target/release/deps/libheterogeneous-c66450cd193d57d9.rmeta: tests/heterogeneous.rs Cargo.toml
+
+tests/heterogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

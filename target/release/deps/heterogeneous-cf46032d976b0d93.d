@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heterogeneous-cf46032d976b0d93.d: tests/heterogeneous.rs
+
+/root/repo/target/release/deps/heterogeneous-cf46032d976b0d93: tests/heterogeneous.rs
+
+tests/heterogeneous.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heterogeneous-f2a72cde696f4afc.d: tests/heterogeneous.rs
+
+/root/repo/target/release/deps/heterogeneous-f2a72cde696f4afc: tests/heterogeneous.rs
+
+tests/heterogeneous.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kaas-06f3097f74d27363.d: crates/bench/benches/kaas.rs Cargo.toml
+
+/root/repo/target/release/deps/libkaas-06f3097f74d27363.rmeta: crates/bench/benches/kaas.rs Cargo.toml
+
+crates/bench/benches/kaas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kaas-0c59fb260eadd4cf.d: crates/bench/benches/kaas.rs
+
+/root/repo/target/release/deps/kaas-0c59fb260eadd4cf: crates/bench/benches/kaas.rs
+
+crates/bench/benches/kaas.rs:

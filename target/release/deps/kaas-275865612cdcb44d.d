@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kaas-275865612cdcb44d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libkaas-275865612cdcb44d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kaas-5a126a1d16631e46.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libkaas-5a126a1d16631e46.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

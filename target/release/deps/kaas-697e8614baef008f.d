@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kaas-697e8614baef008f.d: src/lib.rs
+
+/root/repo/target/release/deps/kaas-697e8614baef008f: src/lib.rs
+
+src/lib.rs:

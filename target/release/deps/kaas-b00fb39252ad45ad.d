@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kaas-b00fb39252ad45ad.d: src/lib.rs
+
+/root/repo/target/release/deps/libkaas-b00fb39252ad45ad.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libkaas-b00fb39252ad45ad.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kaas-d1653a35dc7ef226.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libkaas-d1653a35dc7ef226.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

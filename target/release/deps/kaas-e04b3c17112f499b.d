@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kaas-e04b3c17112f499b.d: src/lib.rs
+
+/root/repo/target/release/deps/libkaas-e04b3c17112f499b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libkaas-e04b3c17112f499b.rmeta: src/lib.rs
+
+src/lib.rs:

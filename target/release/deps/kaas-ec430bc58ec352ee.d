@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kaas-ec430bc58ec352ee.d: src/lib.rs
+
+/root/repo/target/release/deps/kaas-ec430bc58ec352ee: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kaas-fce94f19a6154ccb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libkaas-fce94f19a6154ccb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

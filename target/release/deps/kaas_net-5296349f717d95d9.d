@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kaas_net-5296349f717d95d9.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/kaas_net-5296349f717d95d9: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/conn.rs:
+crates/net/src/profile.rs:
+crates/net/src/shm.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/kaas_net-6700bdf28d3e43a5.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libkaas_net-6700bdf28d3e43a5.rlib: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libkaas_net-6700bdf28d3e43a5.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/conn.rs:
+crates/net/src/profile.rs:
+crates/net/src/shm.rs:
+crates/net/src/wire.rs:

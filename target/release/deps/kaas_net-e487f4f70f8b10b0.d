@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/kaas_net-e487f4f70f8b10b0.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs Cargo.toml
+
+/root/repo/target/release/deps/libkaas_net-e487f4f70f8b10b0.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/conn.rs:
+crates/net/src/profile.rs:
+crates/net/src/shm.rs:
+crates/net/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/kaas_quantum-a63f64f12d985e73.d: crates/quantum/src/lib.rs crates/quantum/src/circuit.rs crates/quantum/src/complex.rs crates/quantum/src/estimator.rs crates/quantum/src/gate.rs crates/quantum/src/optimize.rs crates/quantum/src/pauli.rs crates/quantum/src/state.rs crates/quantum/src/transpile.rs crates/quantum/src/vqe.rs
+
+/root/repo/target/release/deps/libkaas_quantum-a63f64f12d985e73.rlib: crates/quantum/src/lib.rs crates/quantum/src/circuit.rs crates/quantum/src/complex.rs crates/quantum/src/estimator.rs crates/quantum/src/gate.rs crates/quantum/src/optimize.rs crates/quantum/src/pauli.rs crates/quantum/src/state.rs crates/quantum/src/transpile.rs crates/quantum/src/vqe.rs
+
+/root/repo/target/release/deps/libkaas_quantum-a63f64f12d985e73.rmeta: crates/quantum/src/lib.rs crates/quantum/src/circuit.rs crates/quantum/src/complex.rs crates/quantum/src/estimator.rs crates/quantum/src/gate.rs crates/quantum/src/optimize.rs crates/quantum/src/pauli.rs crates/quantum/src/state.rs crates/quantum/src/transpile.rs crates/quantum/src/vqe.rs
+
+crates/quantum/src/lib.rs:
+crates/quantum/src/circuit.rs:
+crates/quantum/src/complex.rs:
+crates/quantum/src/estimator.rs:
+crates/quantum/src/gate.rs:
+crates/quantum/src/optimize.rs:
+crates/quantum/src/pauli.rs:
+crates/quantum/src/state.rs:
+crates/quantum/src/transpile.rs:
+crates/quantum/src/vqe.rs:

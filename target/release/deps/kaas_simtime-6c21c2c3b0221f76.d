@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/kaas_simtime-6c21c2c3b0221f76.d: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs
+
+/root/repo/target/release/deps/libkaas_simtime-6c21c2c3b0221f76.rlib: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs
+
+/root/repo/target/release/deps/libkaas_simtime-6c21c2c3b0221f76.rmeta: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/channel.rs:
+crates/simtime/src/combinators.rs:
+crates/simtime/src/executor.rs:
+crates/simtime/src/join.rs:
+crates/simtime/src/rng.rs:
+crates/simtime/src/sleep.rs:
+crates/simtime/src/sync.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/trace.rs:

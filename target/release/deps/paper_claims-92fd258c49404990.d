@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paper_claims-92fd258c49404990.d: tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/release/deps/libpaper_claims-92fd258c49404990.rmeta: tests/paper_claims.rs Cargo.toml
+
+tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

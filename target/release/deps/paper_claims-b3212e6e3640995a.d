@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-b3212e6e3640995a.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-b3212e6e3640995a: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-c4359a0370142336.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-c4359a0370142336: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-126d176ee16d24aa.d: crates/accel/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-126d176ee16d24aa: crates/accel/tests/proptests.rs
+
+crates/accel/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-1a907db52b789d86.d: crates/quantum/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-1a907db52b789d86: crates/quantum/tests/proptests.rs
+
+crates/quantum/tests/proptests.rs:

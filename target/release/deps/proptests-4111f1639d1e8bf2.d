@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-4111f1639d1e8bf2.d: crates/quantum/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-4111f1639d1e8bf2.rmeta: crates/quantum/tests/proptests.rs Cargo.toml
+
+crates/quantum/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-51310d58635502f2.d: crates/quantum/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-51310d58635502f2.rmeta: crates/quantum/tests/proptests.rs Cargo.toml
+
+crates/quantum/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

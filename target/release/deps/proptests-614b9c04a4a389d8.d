@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-614b9c04a4a389d8.d: crates/kernels/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-614b9c04a4a389d8.rmeta: crates/kernels/tests/proptests.rs Cargo.toml
+
+crates/kernels/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

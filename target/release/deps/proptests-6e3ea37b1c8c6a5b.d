@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-6e3ea37b1c8c6a5b.d: crates/simtime/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-6e3ea37b1c8c6a5b.rmeta: crates/simtime/tests/proptests.rs Cargo.toml
+
+crates/simtime/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

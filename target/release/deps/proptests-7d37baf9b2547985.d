@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-7d37baf9b2547985.d: crates/accel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-7d37baf9b2547985.rmeta: crates/accel/tests/proptests.rs Cargo.toml
+
+crates/accel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

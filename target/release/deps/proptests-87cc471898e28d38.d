@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-87cc471898e28d38.d: crates/simtime/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-87cc471898e28d38: crates/simtime/tests/proptests.rs
+
+crates/simtime/tests/proptests.rs:

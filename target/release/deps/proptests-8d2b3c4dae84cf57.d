@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-8d2b3c4dae84cf57.d: crates/accel/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-8d2b3c4dae84cf57: crates/accel/tests/proptests.rs
+
+crates/accel/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-b624276767612622.d: crates/simtime/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-b624276767612622.rmeta: crates/simtime/tests/proptests.rs Cargo.toml
+
+crates/simtime/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

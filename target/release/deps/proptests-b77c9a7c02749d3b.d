@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-b77c9a7c02749d3b.d: crates/kernels/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-b77c9a7c02749d3b: crates/kernels/tests/proptests.rs
+
+crates/kernels/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-c2a1e6f928a2c872.d: crates/quantum/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-c2a1e6f928a2c872: crates/quantum/tests/proptests.rs
+
+crates/quantum/tests/proptests.rs:

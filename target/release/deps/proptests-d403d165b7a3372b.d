@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-d403d165b7a3372b.d: crates/simtime/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-d403d165b7a3372b: crates/simtime/tests/proptests.rs
+
+crates/simtime/tests/proptests.rs:

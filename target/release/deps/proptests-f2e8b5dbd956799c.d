@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f2e8b5dbd956799c.d: crates/kernels/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f2e8b5dbd956799c: crates/kernels/tests/proptests.rs
+
+crates/kernels/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-08a192de36344ad0.d: tests/stress.rs
+
+/root/repo/target/release/deps/stress-08a192de36344ad0: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stress-5ea18a4d93b42d8b.d: tests/stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libstress-5ea18a4d93b42d8b.rmeta: tests/stress.rs Cargo.toml
+
+tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-afc216015584eed9.d: tests/stress.rs
+
+/root/repo/target/release/deps/stress-afc216015584eed9: tests/stress.rs
+
+tests/stress.rs:

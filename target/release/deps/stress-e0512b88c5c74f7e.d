@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stress-e0512b88c5c74f7e.d: tests/stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libstress-e0512b88c5c74f7e.rmeta: tests/stress.rs Cargo.toml
+
+tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stress-f267eb4a92f62616.d: tests/stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libstress-f267eb4a92f62616.rmeta: tests/stress.rs Cargo.toml
+
+tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

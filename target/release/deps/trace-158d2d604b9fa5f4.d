@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace-158d2d604b9fa5f4.d: crates/bench/src/bin/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace-158d2d604b9fa5f4.rmeta: crates/bench/src/bin/trace.rs Cargo.toml
+
+crates/bench/src/bin/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace-17422a882b97d56b.d: crates/bench/src/bin/trace.rs
+
+/root/repo/target/release/deps/trace-17422a882b97d56b: crates/bench/src/bin/trace.rs
+
+crates/bench/src/bin/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace-2b3d2a5467966aa9.d: crates/bench/src/bin/trace.rs
+
+/root/repo/target/release/deps/trace-2b3d2a5467966aa9: crates/bench/src/bin/trace.rs
+
+crates/bench/src/bin/trace.rs:

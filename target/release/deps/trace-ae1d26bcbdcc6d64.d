@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace-ae1d26bcbdcc6d64.d: crates/bench/src/bin/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace-ae1d26bcbdcc6d64.rmeta: crates/bench/src/bin/trace.rs Cargo.toml
+
+crates/bench/src/bin/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace-cc9f919d440dc41e.d: crates/bench/src/bin/trace.rs
+
+/root/repo/target/release/deps/trace-cc9f919d440dc41e: crates/bench/src/bin/trace.rs
+
+crates/bench/src/bin/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace-e89c115a75231a47.d: crates/bench/src/bin/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace-e89c115a75231a47.rmeta: crates/bench/src/bin/trace.rs Cargo.toml
+
+crates/bench/src/bin/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace-f148fed974a00acb.d: crates/bench/src/bin/trace.rs
+
+/root/repo/target/release/deps/trace-f148fed974a00acb: crates/bench/src/bin/trace.rs
+
+crates/bench/src/bin/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace-f25a153438dabeca.d: crates/bench/src/bin/trace.rs
+
+/root/repo/target/release/deps/trace-f25a153438dabeca: crates/bench/src/bin/trace.rs
+
+crates/bench/src/bin/trace.rs:

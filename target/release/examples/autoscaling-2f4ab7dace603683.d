@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autoscaling-2f4ab7dace603683.d: examples/autoscaling.rs
+
+/root/repo/target/release/examples/autoscaling-2f4ab7dace603683: examples/autoscaling.rs
+
+examples/autoscaling.rs:

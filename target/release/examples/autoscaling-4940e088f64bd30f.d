@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autoscaling-4940e088f64bd30f.d: examples/autoscaling.rs
+
+/root/repo/target/release/examples/autoscaling-4940e088f64bd30f: examples/autoscaling.rs
+
+examples/autoscaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/autoscaling-4e7d557c3eee9c83.d: examples/autoscaling.rs Cargo.toml
+
+/root/repo/target/release/examples/libautoscaling-4e7d557c3eee9c83.rmeta: examples/autoscaling.rs Cargo.toml
+
+examples/autoscaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/autoscaling-cd5657c8a150ac6b.d: examples/autoscaling.rs Cargo.toml
+
+/root/repo/target/release/examples/libautoscaling-cd5657c8a150ac6b.rmeta: examples/autoscaling.rs Cargo.toml
+
+examples/autoscaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

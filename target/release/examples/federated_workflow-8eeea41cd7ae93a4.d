@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/federated_workflow-8eeea41cd7ae93a4.d: examples/federated_workflow.rs
+
+/root/repo/target/release/examples/federated_workflow-8eeea41cd7ae93a4: examples/federated_workflow.rs
+
+examples/federated_workflow.rs:

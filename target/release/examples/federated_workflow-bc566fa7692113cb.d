@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/federated_workflow-bc566fa7692113cb.d: examples/federated_workflow.rs Cargo.toml
+
+/root/repo/target/release/examples/libfederated_workflow-bc566fa7692113cb.rmeta: examples/federated_workflow.rs Cargo.toml
+
+examples/federated_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/federated_workflow-d4efc557865ffabd.d: examples/federated_workflow.rs
+
+/root/repo/target/release/examples/federated_workflow-d4efc557865ffabd: examples/federated_workflow.rs
+
+examples/federated_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_pipeline-36025a951a74b264.d: examples/image_pipeline.rs
+
+/root/repo/target/release/examples/image_pipeline-36025a951a74b264: examples/image_pipeline.rs
+
+examples/image_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/image_pipeline-904122e6d56aa7fb.d: examples/image_pipeline.rs Cargo.toml
+
+/root/repo/target/release/examples/libimage_pipeline-904122e6d56aa7fb.rmeta: examples/image_pipeline.rs Cargo.toml
+
+examples/image_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

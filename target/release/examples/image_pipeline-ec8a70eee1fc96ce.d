@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_pipeline-ec8a70eee1fc96ce.d: examples/image_pipeline.rs
+
+/root/repo/target/release/examples/image_pipeline-ec8a70eee1fc96ce: examples/image_pipeline.rs
+
+examples/image_pipeline.rs:

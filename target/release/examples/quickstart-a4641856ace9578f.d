@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-a4641856ace9578f.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-a4641856ace9578f.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e67f06aa4d9b6848.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e67f06aa4d9b6848: examples/quickstart.rs
+
+examples/quickstart.rs:

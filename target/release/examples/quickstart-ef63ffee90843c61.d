@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ef63ffee90843c61.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ef63ffee90843c61: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/remote_offload-1aa96ac806729591.d: examples/remote_offload.rs Cargo.toml
+
+/root/repo/target/release/examples/libremote_offload-1aa96ac806729591.rmeta: examples/remote_offload.rs Cargo.toml
+
+examples/remote_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

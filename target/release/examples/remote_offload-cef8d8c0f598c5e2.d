@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/remote_offload-cef8d8c0f598c5e2.d: examples/remote_offload.rs
+
+/root/repo/target/release/examples/remote_offload-cef8d8c0f598c5e2: examples/remote_offload.rs
+
+examples/remote_offload.rs:

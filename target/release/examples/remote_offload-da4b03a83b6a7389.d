@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/remote_offload-da4b03a83b6a7389.d: examples/remote_offload.rs
+
+/root/repo/target/release/examples/remote_offload-da4b03a83b6a7389: examples/remote_offload.rs
+
+examples/remote_offload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/vqe_chemistry-325df2bb392ed334.d: examples/vqe_chemistry.rs Cargo.toml
+
+/root/repo/target/release/examples/libvqe_chemistry-325df2bb392ed334.rmeta: examples/vqe_chemistry.rs Cargo.toml
+
+examples/vqe_chemistry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/vqe_chemistry-470bf3830286cb95.d: examples/vqe_chemistry.rs
+
+/root/repo/target/release/examples/vqe_chemistry-470bf3830286cb95: examples/vqe_chemistry.rs
+
+examples/vqe_chemistry.rs:

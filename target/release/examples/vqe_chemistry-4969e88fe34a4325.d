@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/vqe_chemistry-4969e88fe34a4325.d: examples/vqe_chemistry.rs Cargo.toml
+
+/root/repo/target/release/examples/libvqe_chemistry-4969e88fe34a4325.rmeta: examples/vqe_chemistry.rs Cargo.toml
+
+examples/vqe_chemistry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

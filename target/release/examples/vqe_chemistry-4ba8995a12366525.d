@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/vqe_chemistry-4ba8995a12366525.d: examples/vqe_chemistry.rs
+
+/root/repo/target/release/examples/vqe_chemistry-4ba8995a12366525: examples/vqe_chemistry.rs
+
+examples/vqe_chemistry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/workflow_fusion-0b65550505b245a4.d: examples/workflow_fusion.rs
+
+/root/repo/target/release/examples/workflow_fusion-0b65550505b245a4: examples/workflow_fusion.rs
+
+examples/workflow_fusion.rs:

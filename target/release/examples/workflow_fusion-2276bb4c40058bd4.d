@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/workflow_fusion-2276bb4c40058bd4.d: examples/workflow_fusion.rs Cargo.toml
+
+/root/repo/target/release/examples/libworkflow_fusion-2276bb4c40058bd4.rmeta: examples/workflow_fusion.rs Cargo.toml
+
+examples/workflow_fusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

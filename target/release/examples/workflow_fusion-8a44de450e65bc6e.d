@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/workflow_fusion-8a44de450e65bc6e.d: examples/workflow_fusion.rs
+
+/root/repo/target/release/examples/workflow_fusion-8a44de450e65bc6e: examples/workflow_fusion.rs
+
+examples/workflow_fusion.rs:

@@ -22,9 +22,9 @@ fn autoscaling_timeline_is_deterministic() {
 #[test]
 fn quantum_vqe_is_deterministic() {
     use kaas::quantum::{vqe, EstimatorMode, Hamiltonian, TwoLocalAnsatz, VqeOptimizer};
-    use rand::SeedableRng;
+    use kaas::simtime::rng::det_rng;
     let run = || {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = det_rng(42);
         vqe(
             &Hamiltonian::h2_sto3g(),
             TwoLocalAnsatz::new(2, 1),

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
 use kaas::core::{
-    fuse, KaasClient, KaasNetwork, KaasServer, KernelRegistry, Scheduler, ServerConfig,
+    fuse, KaasClient, KaasNetwork, KaasServer, KernelRegistry, SchedulerKind, ServerConfig,
     TransferMode, Workflow,
 };
 use kaas::kernels::{GaGeneration, Kernel, MatMul, Value, GENERATIONS};
@@ -166,13 +166,10 @@ fn rdma_transport_cuts_remote_invocation_latency() {
 #[test]
 fn scheduler_policies_trade_consolidation_for_balance() {
     // FillFirst packs work onto few runners; RoundRobin spreads it.
-    let distinct_runners = |scheduler: Scheduler| {
+    let distinct_runners = |scheduler: SchedulerKind| {
         let mut sim = Simulation::new();
         sim.block_on(async move {
-            let config = ServerConfig {
-                scheduler,
-                ..ServerConfig::default()
-            };
+            let config = ServerConfig::default().with_scheduler(scheduler);
             let (server, net, shm) = boot_with(vec![Rc::new(MatMul::new())], config);
             server.prewarm("matmul", 2).await.unwrap();
             let mut c = client(&net, shm).await;
@@ -184,8 +181,8 @@ fn scheduler_policies_trade_consolidation_for_balance() {
             runners.len()
         })
     };
-    assert_eq!(distinct_runners(Scheduler::FillFirst), 1);
-    assert_eq!(distinct_runners(Scheduler::RoundRobin), 2);
+    assert_eq!(distinct_runners(SchedulerKind::FillFirst), 1);
+    assert_eq!(distinct_runners(SchedulerKind::RoundRobin), 2);
 }
 
 #[test]
@@ -196,15 +193,13 @@ fn tenant_quotas_protect_polite_tenants_from_floods() {
     let polite_latency = |quota: Option<usize>| {
         let mut sim = Simulation::new();
         sim.block_on(async move {
-            let config = ServerConfig {
-                tenant_quota: quota,
-                runner: kaas::core::RunnerConfig {
+            let config = ServerConfig::default()
+                .with_tenant_quota(quota)
+                .with_runner(kaas::core::RunnerConfig {
                     max_inflight: 1,
                     ..kaas::core::RunnerConfig::default()
-                },
-                autoscale: false,
-                ..ServerConfig::default()
-            };
+                })
+                .with_autoscale(false);
             let registry = KernelRegistry::new();
             registry.register(MatMul::new()).unwrap();
             let shm = SharedMemory::host();
@@ -215,9 +210,7 @@ fn tenant_quotas_protect_polite_tenants_from_floods() {
 
             // Greedy tenant: eight large tasks at once.
             for _ in 0..8 {
-                let mut greedy = client(&net, shm.clone())
-                    .await
-                    .with_tenant("greedy");
+                let mut greedy = client(&net, shm.clone()).await.with_tenant("greedy");
                 spawn(async move {
                     let _ = greedy.invoke_oob("matmul", Value::U64(8_000)).await;
                 });

@@ -3,9 +3,7 @@
 use std::rc::Rc;
 
 use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
-use kaas::core::{
-    InvokeError, KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig,
-};
+use kaas::core::{InvokeError, KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig};
 use kaas::kernels::{Kernel, MatMul, MonteCarlo, Value};
 use kaas::net::{LinkProfile, SharedMemory};
 use kaas::simtime::{spawn, Simulation};
@@ -16,7 +14,10 @@ fn gpus(n: u32) -> Vec<Device> {
         .collect()
 }
 
-fn boot(devices: Vec<Device>, kernels: Vec<Rc<dyn Kernel>>) -> (KaasServer, KaasNetwork, SharedMemory) {
+fn boot(
+    devices: Vec<Device>,
+    kernels: Vec<Rc<dyn Kernel>>,
+) -> (KaasServer, KaasNetwork, SharedMemory) {
     let registry = KernelRegistry::new();
     for k in kernels {
         registry.register_rc(k).unwrap();
@@ -41,7 +42,10 @@ fn unknown_kernel_is_reported() {
     sim.block_on(async {
         let (_s, net, shm) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
         let mut client = connect(&net, shm).await;
-        let err = client.invoke("nonexistent", Value::U64(1)).await.unwrap_err();
+        let err = client
+            .invoke("nonexistent", Value::U64(1))
+            .await
+            .unwrap_err();
         assert_eq!(err, InvokeError::UnknownKernel("nonexistent".into()));
     });
 }
@@ -98,6 +102,71 @@ fn killed_runner_is_replaced_transparently() {
 }
 
 #[test]
+fn failed_invocation_releases_in_flight() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let (server, net, shm) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
+        let mut client = connect(&net, shm).await;
+        // Bad-input path: the kernel rejects its argument after a slot
+        // was claimed.
+        let err = client.invoke("matmul", Value::Unit).await.unwrap_err();
+        assert!(matches!(err, InvokeError::BadInput(_)));
+        assert_eq!(
+            server.in_flight("matmul"),
+            0,
+            "failed invocation must release its in-flight claim"
+        );
+        // Crash path: a runner dying mid-service must not leak claims
+        // either, even after the transparent retries.
+        let first = client.invoke("matmul", Value::U64(64)).await.unwrap();
+        assert!(server.kill_runner("matmul", first.report.device));
+        client.invoke("matmul", Value::U64(64)).await.unwrap();
+        assert_eq!(server.in_flight("matmul"), 0);
+    });
+}
+
+#[test]
+fn autoscaler_never_exceeds_device_count() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let devices = 2u32;
+        let (server, net, shm) = boot(gpus(devices), vec![Rc::new(MonteCarlo::default())]);
+        // Far more concurrent requests than 2 devices × default
+        // per-runner capacity can absorb: the autoscaler wants to grow
+        // on every saturated placement but is capped by hardware.
+        let mut handles = Vec::new();
+        for _ in 0..64 {
+            let shm = shm.clone();
+            let net = net.clone();
+            handles.push(spawn(async move {
+                let mut client = connect(&net, shm).await;
+                client.invoke("mci", Value::U64(10_000)).await.unwrap();
+            }));
+        }
+        let watcher = {
+            let server = server.clone();
+            spawn(async move {
+                let mut peak = 0;
+                for _ in 0..1000 {
+                    peak = peak.max(server.runner_count("mci"));
+                    kaas::simtime::sleep(std::time::Duration::from_micros(50)).await;
+                }
+                peak
+            })
+        };
+        for h in handles {
+            h.await;
+        }
+        let peak = watcher.await;
+        assert!(peak >= 2, "load this heavy should use every device");
+        assert!(
+            peak <= devices as usize,
+            "runner fleet ({peak}) exceeded physical device count ({devices})"
+        );
+    });
+}
+
+#[test]
 fn oob_without_shared_memory_fails_cleanly() {
     let mut sim = Simulation::new();
     sim.block_on(async {
@@ -106,7 +175,10 @@ fn oob_without_shared_memory_fails_cleanly() {
         let mut client = KaasClient::connect(&net, "kaas", LinkProfile::lan_1gbps())
             .await
             .expect("listening");
-        let err = client.invoke_oob("matmul", Value::U64(8)).await.unwrap_err();
+        let err = client
+            .invoke_oob("matmul", Value::U64(8))
+            .await
+            .unwrap_err();
         assert_eq!(err, InvokeError::BadHandle);
         // In-band still works for remote clients.
         assert!(client.invoke("matmul", Value::U64(8)).await.is_ok());

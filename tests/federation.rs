@@ -7,8 +7,8 @@ use kaas::accel::{
     Device, DeviceId, FpgaDevice, FpgaProfile, GpuDevice, GpuProfile, QpuDevice, QpuProfile,
 };
 use kaas::core::{
-    FederatedClient, InvokeError, KaasNetwork, KaasServer, KernelRegistry, ServerConfig,
-    SiteSpec, Workflow,
+    FederatedClient, InvokeError, KaasNetwork, KaasServer, KernelRegistry, ServerConfig, SiteSpec,
+    Workflow,
 };
 use kaas::kernels::{BitmapConversion, Kernel, MatMul, Preprocess, Value, VqeEstimator};
 use kaas::net::SharedMemory;
@@ -54,7 +54,10 @@ fn discovery_finds_each_sites_kernels() {
         .await
         .unwrap();
         assert_eq!(fed.site_count(), 2);
-        assert_eq!(fed.kernels(), vec!["bitmap".to_owned(), "matmul".to_owned()]);
+        assert_eq!(
+            fed.kernels(),
+            vec!["bitmap".to_owned(), "matmul".to_owned()]
+        );
         assert_eq!(fed.route("matmul"), Some(0));
         assert_eq!(fed.route("bitmap"), Some(1));
         assert_eq!(fed.route("nope"), None);
@@ -132,7 +135,9 @@ fn workflows_hop_between_sites() {
         .unwrap();
 
         let frame = Value::image(vec![210u8; 96 * 96 * 3], 96, 96, 3);
-        let wf = Workflow::new("edge-to-dc").step("preprocess").step("bitmap");
+        let wf = Workflow::new("edge-to-dc")
+            .step("preprocess")
+            .step("bitmap");
         let run = fed.run_workflow(&wf, frame).await.unwrap();
         assert_eq!(run.reports.len(), 2);
         assert_ne!(run.reports[0].device, run.reports[1].device);
@@ -141,7 +146,10 @@ fn workflows_hop_between_sites() {
                 pixels, channels, ..
             } => {
                 assert_eq!(*channels, 1);
-                assert!(pixels.iter().all(|&p| p == 1), "bright frame → white bitmap");
+                assert!(
+                    pixels.iter().all(|&p| p == 1),
+                    "bright frame → white bitmap"
+                );
             }
             other => panic!("expected a bitmap, got {other:?}"),
         }

@@ -1,15 +1,12 @@
 //! Integration: one KaaS deployment spanning every device class the
 //! paper targets (CPU, GPU, FPGA, TPU, QPU), serving five kernels.
 
-
 use kaas::accel::{
     CpuDevice, CpuProfile, Device, DeviceId, FpgaDevice, FpgaProfile, GpuDevice, GpuProfile,
     QpuDevice, QpuProfile, TpuDevice, TpuProfile,
 };
 use kaas::core::{KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig};
-use kaas::kernels::{
-    Conv2d, Histogram, MatMul, Preprocess, Value, VqeEstimator,
-};
+use kaas::kernels::{Conv2d, Histogram, MatMul, Preprocess, Value, VqeEstimator};
 use kaas::net::{LinkProfile, SharedMemory};
 use kaas::simtime::{spawn, Simulation};
 
@@ -74,7 +71,13 @@ fn one_server_serves_all_five_device_classes() {
         assert_eq!(server.metrics().len(), 5);
         assert_eq!(server.metrics().cold_starts(), 5);
         // Each kernel now has a warm runner.
-        for kernel in ["preprocess", "matmul", "histogram", "conv2d", "vqe-estimator"] {
+        for kernel in [
+            "preprocess",
+            "matmul",
+            "histogram",
+            "conv2d",
+            "vqe-estimator",
+        ] {
             assert_eq!(server.runner_count(kernel), 1);
         }
     });
@@ -138,7 +141,9 @@ fn kernels_are_transparently_polyglot() {
         }
         let bitmap = client.invoke_oob("bitmap", resized).await.unwrap().output;
         match bitmap {
-            Value::Image { pixels, channels, .. } => {
+            Value::Image {
+                pixels, channels, ..
+            } => {
                 assert_eq!(channels, 1);
                 // A uniformly bright frame thresholds to all white.
                 assert!(pixels.iter().all(|&p| p == 1));

@@ -22,7 +22,10 @@ fn gpu_headline_up_to_96_percent() {
         .zip(&kaas.points)
         .map(|(&(_, b), &(_, k))| reduction_pct(b, k))
         .fold(f64::MIN, f64::max);
-    assert!(best > 85.0, "GPU best reduction {best}% (paper: up to 96.0%)");
+    assert!(
+        best > 85.0,
+        "GPU best reduction {best}% (paper: up to 96.0%)"
+    );
 }
 
 #[test]

@@ -8,9 +8,7 @@ use std::time::Duration;
 use kaas::accel::{
     Device, DeviceId, FpgaDevice, FpgaProfile, GpuDevice, GpuProfile, QpuDevice, QpuProfile,
 };
-use kaas::core::{
-    KaasClient, KaasNetwork, KaasServer, KernelRegistry, RunnerConfig, ServerConfig,
-};
+use kaas::core::{KaasClient, KaasNetwork, KaasServer, KernelRegistry, RunnerConfig, ServerConfig};
 use kaas::kernels::{Histogram, MatMul, MonteCarlo, Value, VqeEstimator};
 use kaas::net::{LinkProfile, SharedMemory};
 use kaas::simtime::{join_all, sleep, spawn, Simulation};
@@ -28,15 +26,13 @@ fn build() -> (KaasServer, KaasNetwork, SharedMemory) {
     registry.register(Histogram::new()).unwrap();
     registry.register(VqeEstimator::h2(512)).unwrap();
     let shm = SharedMemory::host();
-    let config = ServerConfig {
-        idle_timeout: Some(Duration::from_secs(120)),
-        tenant_quota: Some(3),
-        runner: RunnerConfig {
+    let config = ServerConfig::default()
+        .with_idle_timeout(Duration::from_secs(120))
+        .with_tenant_quota(3)
+        .with_runner(RunnerConfig {
             max_inflight: 2,
             ..RunnerConfig::default()
-        },
-        ..ServerConfig::default()
-    };
+        });
     let server = KaasServer::new(devices, registry, shm.clone(), config);
     let net: KaasNetwork = KaasNetwork::new();
     spawn(server.clone().serve(net.listen("kaas").unwrap()));
