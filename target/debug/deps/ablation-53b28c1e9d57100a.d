@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-53b28c1e9d57100a.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-53b28c1e9d57100a: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

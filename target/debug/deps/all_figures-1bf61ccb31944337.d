@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-1bf61ccb31944337.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-1bf61ccb31944337: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

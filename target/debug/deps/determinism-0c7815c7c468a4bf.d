@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0c7815c7c468a4bf.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-0c7815c7c468a4bf: tests/determinism.rs
+
+tests/determinism.rs:

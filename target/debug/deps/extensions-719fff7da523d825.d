@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-719fff7da523d825.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-719fff7da523d825: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_and_errors-b68d66e423bec6ec.d: tests/failure_and_errors.rs
+
+/root/repo/target/debug/deps/failure_and_errors-b68d66e423bec6ec: tests/failure_and_errors.rs
+
+tests/failure_and_errors.rs:

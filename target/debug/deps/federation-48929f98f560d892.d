@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/federation-48929f98f560d892.d: tests/federation.rs
+
+/root/repo/target/debug/deps/federation-48929f98f560d892: tests/federation.rs
+
+tests/federation.rs:

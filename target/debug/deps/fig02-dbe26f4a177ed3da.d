@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-dbe26f4a177ed3da.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-dbe26f4a177ed3da: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

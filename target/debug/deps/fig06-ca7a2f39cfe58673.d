@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-ca7a2f39cfe58673.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-ca7a2f39cfe58673: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-0d59a96405238911.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-0d59a96405238911: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-66385de76a4545e5.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/debug/deps/fig08-66385de76a4545e5: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-619b5378b2775399.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-619b5378b2775399: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

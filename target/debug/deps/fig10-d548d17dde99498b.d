@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-d548d17dde99498b.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-d548d17dde99498b: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

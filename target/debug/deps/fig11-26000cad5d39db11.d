@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-26000cad5d39db11.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-26000cad5d39db11: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-52c8b5d7a3fe7be3.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-52c8b5d7a3fe7be3: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

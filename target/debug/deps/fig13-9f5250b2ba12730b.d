@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-9f5250b2ba12730b.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-9f5250b2ba12730b: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

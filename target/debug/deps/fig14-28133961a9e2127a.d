@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-28133961a9e2127a.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-28133961a9e2127a: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

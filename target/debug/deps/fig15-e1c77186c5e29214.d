@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-e1c77186c5e29214.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-e1c77186c5e29214: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

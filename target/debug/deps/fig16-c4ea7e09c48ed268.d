@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-c4ea7e09c48ed268.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-c4ea7e09c48ed268: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-5d17964ce55f58d0.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-5d17964ce55f58d0: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

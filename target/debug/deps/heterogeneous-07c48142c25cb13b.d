@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heterogeneous-07c48142c25cb13b.d: tests/heterogeneous.rs
+
+/root/repo/target/debug/deps/heterogeneous-07c48142c25cb13b: tests/heterogeneous.rs
+
+tests/heterogeneous.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kaas-6b4f2d3203de7bae.d: src/lib.rs
+
+/root/repo/target/debug/deps/kaas-6b4f2d3203de7bae: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kaas-73587a759350ff7b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libkaas-73587a759350ff7b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libkaas-73587a759350ff7b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/kaas_accel-6a098a7c2e508643.d: crates/accel/src/lib.rs crates/accel/src/cpu.rs crates/accel/src/device.rs crates/accel/src/fpga.rs crates/accel/src/gpu.rs crates/accel/src/power.rs crates/accel/src/ps.rs crates/accel/src/qpu.rs crates/accel/src/tpu.rs crates/accel/src/work.rs crates/accel/src/xfer.rs
+
+/root/repo/target/debug/deps/kaas_accel-6a098a7c2e508643: crates/accel/src/lib.rs crates/accel/src/cpu.rs crates/accel/src/device.rs crates/accel/src/fpga.rs crates/accel/src/gpu.rs crates/accel/src/power.rs crates/accel/src/ps.rs crates/accel/src/qpu.rs crates/accel/src/tpu.rs crates/accel/src/work.rs crates/accel/src/xfer.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/cpu.rs:
+crates/accel/src/device.rs:
+crates/accel/src/fpga.rs:
+crates/accel/src/gpu.rs:
+crates/accel/src/power.rs:
+crates/accel/src/ps.rs:
+crates/accel/src/qpu.rs:
+crates/accel/src/tpu.rs:
+crates/accel/src/work.rs:
+crates/accel/src/xfer.rs:

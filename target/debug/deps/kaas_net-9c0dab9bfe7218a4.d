@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kaas_net-9c0dab9bfe7218a4.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libkaas_net-9c0dab9bfe7218a4.rlib: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libkaas_net-9c0dab9bfe7218a4.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/conn.rs:
+crates/net/src/profile.rs:
+crates/net/src/shm.rs:
+crates/net/src/wire.rs:

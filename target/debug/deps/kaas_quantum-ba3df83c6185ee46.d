@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/kaas_quantum-ba3df83c6185ee46.d: crates/quantum/src/lib.rs crates/quantum/src/circuit.rs crates/quantum/src/complex.rs crates/quantum/src/estimator.rs crates/quantum/src/gate.rs crates/quantum/src/optimize.rs crates/quantum/src/pauli.rs crates/quantum/src/state.rs crates/quantum/src/transpile.rs crates/quantum/src/vqe.rs
+
+/root/repo/target/debug/deps/libkaas_quantum-ba3df83c6185ee46.rlib: crates/quantum/src/lib.rs crates/quantum/src/circuit.rs crates/quantum/src/complex.rs crates/quantum/src/estimator.rs crates/quantum/src/gate.rs crates/quantum/src/optimize.rs crates/quantum/src/pauli.rs crates/quantum/src/state.rs crates/quantum/src/transpile.rs crates/quantum/src/vqe.rs
+
+/root/repo/target/debug/deps/libkaas_quantum-ba3df83c6185ee46.rmeta: crates/quantum/src/lib.rs crates/quantum/src/circuit.rs crates/quantum/src/complex.rs crates/quantum/src/estimator.rs crates/quantum/src/gate.rs crates/quantum/src/optimize.rs crates/quantum/src/pauli.rs crates/quantum/src/state.rs crates/quantum/src/transpile.rs crates/quantum/src/vqe.rs
+
+crates/quantum/src/lib.rs:
+crates/quantum/src/circuit.rs:
+crates/quantum/src/complex.rs:
+crates/quantum/src/estimator.rs:
+crates/quantum/src/gate.rs:
+crates/quantum/src/optimize.rs:
+crates/quantum/src/pauli.rs:
+crates/quantum/src/state.rs:
+crates/quantum/src/transpile.rs:
+crates/quantum/src/vqe.rs:

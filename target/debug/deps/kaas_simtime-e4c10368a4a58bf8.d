@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/kaas_simtime-e4c10368a4a58bf8.d: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs
+
+/root/repo/target/debug/deps/kaas_simtime-e4c10368a4a58bf8: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/channel.rs:
+crates/simtime/src/combinators.rs:
+crates/simtime/src/executor.rs:
+crates/simtime/src/join.rs:
+crates/simtime/src/rng.rs:
+crates/simtime/src/sleep.rs:
+crates/simtime/src/sync.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/trace.rs:

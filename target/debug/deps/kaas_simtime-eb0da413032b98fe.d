@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/kaas_simtime-eb0da413032b98fe.d: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs
+
+/root/repo/target/debug/deps/libkaas_simtime-eb0da413032b98fe.rlib: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs
+
+/root/repo/target/debug/deps/libkaas_simtime-eb0da413032b98fe.rmeta: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/channel.rs:
+crates/simtime/src/combinators.rs:
+crates/simtime/src/executor.rs:
+crates/simtime/src/join.rs:
+crates/simtime/src/rng.rs:
+crates/simtime/src/sleep.rs:
+crates/simtime/src/sync.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-254974d0edcd34e6.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-254974d0edcd34e6: tests/paper_claims.rs
+
+tests/paper_claims.rs:

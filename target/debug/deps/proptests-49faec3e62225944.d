@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-49faec3e62225944.d: crates/accel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-49faec3e62225944: crates/accel/tests/proptests.rs
+
+crates/accel/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-56b76220d8a74c8f.d: crates/kernels/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-56b76220d8a74c8f: crates/kernels/tests/proptests.rs
+
+crates/kernels/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-943c399329a105a7.d: crates/quantum/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-943c399329a105a7: crates/quantum/tests/proptests.rs
+
+crates/quantum/tests/proptests.rs:

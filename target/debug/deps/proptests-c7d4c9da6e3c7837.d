@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c7d4c9da6e3c7837.d: crates/simtime/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c7d4c9da6e3c7837: crates/simtime/tests/proptests.rs
+
+crates/simtime/tests/proptests.rs:

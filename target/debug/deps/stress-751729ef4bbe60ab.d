@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-751729ef4bbe60ab.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-751729ef4bbe60ab: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-c76dd863845eaf5e.d: crates/bench/src/bin/trace.rs
+
+/root/repo/target/debug/deps/trace-c76dd863845eaf5e: crates/bench/src/bin/trace.rs
+
+crates/bench/src/bin/trace.rs:

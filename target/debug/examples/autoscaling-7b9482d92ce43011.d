@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autoscaling-7b9482d92ce43011.d: examples/autoscaling.rs
+
+/root/repo/target/debug/examples/autoscaling-7b9482d92ce43011: examples/autoscaling.rs
+
+examples/autoscaling.rs:

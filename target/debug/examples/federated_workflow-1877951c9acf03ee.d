@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federated_workflow-1877951c9acf03ee.d: examples/federated_workflow.rs
+
+/root/repo/target/debug/examples/federated_workflow-1877951c9acf03ee: examples/federated_workflow.rs
+
+examples/federated_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_pipeline-3866bb6ae1808c06.d: examples/image_pipeline.rs
+
+/root/repo/target/debug/examples/image_pipeline-3866bb6ae1808c06: examples/image_pipeline.rs
+
+examples/image_pipeline.rs:

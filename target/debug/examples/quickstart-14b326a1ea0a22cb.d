@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-14b326a1ea0a22cb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-14b326a1ea0a22cb: examples/quickstart.rs
+
+examples/quickstart.rs:

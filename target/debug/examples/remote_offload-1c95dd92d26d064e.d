@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/remote_offload-1c95dd92d26d064e.d: examples/remote_offload.rs
+
+/root/repo/target/debug/examples/remote_offload-1c95dd92d26d064e: examples/remote_offload.rs
+
+examples/remote_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vqe_chemistry-b71bea9e9246f7ba.d: examples/vqe_chemistry.rs
+
+/root/repo/target/debug/examples/vqe_chemistry-b71bea9e9246f7ba: examples/vqe_chemistry.rs
+
+examples/vqe_chemistry.rs:

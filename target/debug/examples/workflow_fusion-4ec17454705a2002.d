@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workflow_fusion-4ec17454705a2002.d: examples/workflow_fusion.rs
+
+/root/repo/target/debug/examples/workflow_fusion-4ec17454705a2002: examples/workflow_fusion.rs
+
+examples/workflow_fusion.rs:
