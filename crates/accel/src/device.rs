@@ -123,6 +123,19 @@ impl Device {
         }
     }
 
+    /// Accumulated utilization-weighted busy time, in device-seconds
+    /// (dispatches to each family's own accounting). Divide by elapsed
+    /// virtual time for a utilization fraction.
+    pub fn busy_seconds(&self) -> f64 {
+        match self {
+            Device::Cpu(d) => d.busy_seconds(),
+            Device::Gpu(d) => d.busy_seconds(),
+            Device::Fpga(d) => d.busy_seconds(),
+            Device::Tpu(d) => d.busy_seconds(),
+            Device::Qpu(d) => d.busy_seconds(),
+        }
+    }
+
     /// Borrows the GPU handle.
     ///
     /// # Panics

@@ -72,6 +72,16 @@ impl FpgaTimings {
     pub fn kernel_time(&self) -> Duration {
         self.dma_in + self.kernel + self.dma_out
     }
+
+    /// The device-side phases as ordered `(name, duration)` sub-spans
+    /// (see [`GpuTimings::phases`](crate::GpuTimings::phases)).
+    pub fn phases(&self) -> [(&'static str, Duration); 3] {
+        [
+            ("copy_in", self.dma_in),
+            ("kernel_exec", self.kernel),
+            ("copy_out", self.dma_out),
+        ]
+    }
 }
 
 struct FpgaInner {

@@ -148,6 +148,17 @@ impl GpuTimings {
     pub fn kernel_time(&self) -> Duration {
         self.copy_in + self.kernel + self.copy_out
     }
+
+    /// The device-side phases as ordered `(name, duration)` sub-spans.
+    /// The phases run back to back on the device, so a tracer can tile
+    /// them backwards from the invocation's end instant.
+    pub fn phases(&self) -> [(&'static str, Duration); 3] {
+        [
+            ("copy_in", self.copy_in),
+            ("kernel_exec", self.kernel),
+            ("copy_out", self.copy_out),
+        ]
+    }
 }
 
 struct GpuInner {

@@ -113,7 +113,10 @@ fn bench_warm_invocation() {
             let mut client = dep.local_client().await;
             for _ in 0..10 {
                 client
-                    .invoke_oob("mci", Value::U64(10_000))
+                    .call("mci")
+                    .arg(Value::U64(10_000))
+                    .out_of_band()
+                    .send()
                     .await
                     .expect("invocation succeeds");
             }

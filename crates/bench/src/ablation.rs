@@ -5,7 +5,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
-use kaas_core::{fuse, KaasClient, SchedulerKind};
+use kaas_core::{fuse, FillFirst, KaasClient, LeastLoaded, RoundRobin, Scheduler, WarmFirst};
 use kaas_kernels::{GaGeneration, Kernel, MatMul, Value, GENERATIONS};
 use kaas_net::LinkProfile;
 use kaas_simtime::{now, spawn, Simulation};
@@ -15,7 +15,12 @@ use crate::fig06::mm_input;
 
 /// Makespan of a burst of `tasks` concurrent matmuls under a scheduler,
 /// plus how many runners ended up used.
-pub fn scheduler_burst(scheduler: SchedulerKind, tasks: usize, n: u64) -> (f64, usize) {
+pub fn scheduler_burst(
+    scheduler: impl Into<Box<dyn Scheduler>>,
+    tasks: usize,
+    n: u64,
+) -> (f64, usize) {
+    let scheduler: Box<dyn Scheduler> = scheduler.into();
     let mut sim = Simulation::new();
     sim.block_on(async move {
         let config = experiment_server_config().with_scheduler(scheduler);
@@ -27,7 +32,10 @@ pub fn scheduler_burst(scheduler: SchedulerKind, tasks: usize, n: u64) -> (f64, 
             let mut client = dep.local_client().await;
             handles.push(spawn(async move {
                 client
-                    .invoke_oob("matmul", mm_input(n))
+                    .call("matmul")
+                    .arg(mm_input(n))
+                    .out_of_band()
+                    .send()
                     .await
                     .expect("invocation succeeds")
                     .report
@@ -67,7 +75,10 @@ pub fn fusion_run(factor: usize) -> f64 {
         let mut pop = Value::U64(2048);
         for _ in 0..(GENERATIONS as usize / factor) {
             pop = client
-                .invoke_oob(&name, pop)
+                .call(&name)
+                .arg(pop)
+                .out_of_band()
+                .send()
                 .await
                 .expect("generation")
                 .output;
@@ -93,7 +104,13 @@ pub fn transport_run(profile: LinkProfile) -> f64 {
         let t0 = now();
         let mut pop = Value::U64(2048);
         for _ in 0..GENERATIONS {
-            pop = client.invoke("ga", pop).await.expect("generation").output;
+            pop = client
+                .call("ga")
+                .arg(pop)
+                .send()
+                .await
+                .expect("generation")
+                .output;
         }
         (now() - t0).as_secs_f64()
     })
@@ -112,7 +129,10 @@ pub fn reaper_run(idle_timeout: Option<Duration>) -> (usize, usize, f64) {
         for burst in 0..3 {
             for _ in 0..5 {
                 client
-                    .invoke_oob("matmul", mm_input(2000))
+                    .call("matmul")
+                    .arg(mm_input(2000))
+                    .out_of_band()
+                    .send()
                     .await
                     .expect("invocation succeeds");
             }
@@ -128,7 +148,7 @@ pub fn reaper_run(idle_timeout: Option<Duration>) -> (usize, usize, f64) {
             .map(|d| d.as_gpu().energy_joules(window))
             .sum();
         (
-            dep.server.reaped(),
+            dep.server.snapshot().reaped,
             dep.server.metrics().cold_starts(),
             energy,
         )
@@ -145,19 +165,18 @@ pub fn run(_quick: bool) -> Vec<Figure> {
     );
 
     let mut sched = Series::new("scheduler makespan (12 tasks, MM 5000)");
-    for (i, policy) in [
-        SchedulerKind::FillFirst,
-        SchedulerKind::RoundRobin,
-        SchedulerKind::LeastLoaded,
-        SchedulerKind::WarmFirst,
-    ]
-    .into_iter()
-    .enumerate()
-    {
+    let policies: [Box<dyn Scheduler>; 4] = [
+        Box::new(FillFirst),
+        Box::new(RoundRobin::default()),
+        Box::new(LeastLoaded),
+        Box::new(WarmFirst),
+    ];
+    for (i, policy) in policies.into_iter().enumerate() {
+        let name = policy.name();
         let (makespan, used) = scheduler_burst(policy, 12, 5_000);
         sched.push(i as f64, makespan);
         fig.note(format!(
-            "scheduler {policy:?}: makespan {makespan:.3}s on {used} runners"
+            "scheduler {name}: makespan {makespan:.3}s on {used} runners"
         ));
     }
     fig.series.push(sched);
@@ -203,16 +222,16 @@ mod tests {
 
     #[test]
     fn fill_first_consolidates_round_robin_spreads() {
-        let (_, ff_used) = scheduler_burst(SchedulerKind::FillFirst, 6, 2_000);
-        let (_, rr_used) = scheduler_burst(SchedulerKind::RoundRobin, 6, 2_000);
+        let (_, ff_used) = scheduler_burst(FillFirst, 6, 2_000);
+        let (_, rr_used) = scheduler_burst(RoundRobin::default(), 6, 2_000);
         assert!(ff_used < rr_used, "ff={ff_used}, rr={rr_used}");
     }
 
     #[test]
     fn round_robin_wins_bursty_makespan() {
         // Spreading a burst across runners beats packing it.
-        let (ff, _) = scheduler_burst(SchedulerKind::FillFirst, 12, 9_000);
-        let (rr, _) = scheduler_burst(SchedulerKind::RoundRobin, 12, 9_000);
+        let (ff, _) = scheduler_burst(FillFirst, 12, 9_000);
+        let (rr, _) = scheduler_burst(RoundRobin::default(), 12, 9_000);
         assert!(rr <= ff * 1.05, "rr={rr}, ff={ff}");
     }
 

@@ -291,7 +291,12 @@ mod tests {
                 experiment_server_config(),
             );
             let mut client = dep.local_client().await;
-            client.invoke("mci", Value::U64(50_000)).await.unwrap()
+            client
+                .call("mci")
+                .arg(Value::U64(50_000))
+                .send()
+                .await
+                .unwrap()
         });
         assert!(matches!(out.output, Value::F64(v) if (v - 10f64.ln()).abs() < 0.2));
         assert!(out.report.cold_start);

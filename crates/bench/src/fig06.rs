@@ -46,7 +46,10 @@ fn run_one(n: u64, iterations: usize) -> Figure {
             // completion time includes launching the client).
             sleep(host.python_launch).await;
             client
-                .invoke_oob("matmul", mm_input(n))
+                .call("matmul")
+                .arg(mm_input(n))
+                .out_of_band()
+                .send()
                 .await
                 .expect("invocation succeeds");
             kaas.push((now() - t0).as_secs_f64());

@@ -48,13 +48,19 @@ fn measure(n: u64) -> (Sample, Sample) {
         let mut client = dep.local_client().await;
         // One warm-up (the paper discards cold starts in this figure).
         client
-            .invoke_oob("matmul", mm_input(n))
+            .call("matmul")
+            .arg(mm_input(n))
+            .out_of_band()
+            .send()
             .await
             .expect("warm-up");
         let t0 = now();
         sleep(host.python_launch).await;
         let inv = client
-            .invoke_oob("matmul", mm_input(n))
+            .call("matmul")
+            .arg(mm_input(n))
+            .out_of_band()
+            .send()
             .await
             .expect("warm");
         let kaas = Sample {

@@ -57,9 +57,14 @@ async fn ga_task(client: &mut KaasClient, n: u64, oob: bool) -> Result<(), Invok
     let mut population = Value::U64(n);
     for _ in 0..GENERATIONS {
         let inv = if oob {
-            client.invoke_oob("ga", population).await?
+            client
+                .call("ga")
+                .arg(population)
+                .out_of_band()
+                .send()
+                .await?
         } else {
-            client.invoke("ga", population).await?
+            client.call("ga").arg(population).send().await?
         };
         population = inv.output;
     }

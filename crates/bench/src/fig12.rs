@@ -3,7 +3,7 @@
 
 use std::rc::Rc;
 
-use kaas_core::{RunnerConfig, SchedulerKind};
+use kaas_core::{RoundRobin, RunnerConfig};
 use kaas_kernels::{ResNet50, Value};
 use kaas_simtime::{now, spawn, Simulation};
 
@@ -31,7 +31,7 @@ pub fn run_scaling(scaling: Scaling, gpus: u32, warm: bool, batches: u64) -> f64
     let mut sim = Simulation::new();
     sim.block_on(async move {
         let config = experiment_server_config()
-            .with_scheduler(SchedulerKind::RoundRobin)
+            .with_scheduler(RoundRobin::default())
             .with_autoscale(false)
             .with_runner(RunnerConfig {
                 max_inflight: 4,
@@ -69,7 +69,10 @@ pub fn run_scaling(scaling: Scaling, gpus: u32, warm: bool, batches: u64) -> f64
             handles.push(spawn(async move {
                 for _ in 0..quota {
                     client
-                        .invoke_oob("resnet50", Value::U64(BATCH_SIZE))
+                        .call("resnet50")
+                        .arg(Value::U64(BATCH_SIZE))
+                        .out_of_band()
+                        .send()
                         .await
                         .expect("inference succeeds");
                 }

@@ -7,7 +7,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
-use kaas_core::{RunnerConfig, SchedulerKind};
+use kaas_core::{FillFirst, RunnerConfig};
 use kaas_simtime::{now, sleep, spawn, Simulation};
 
 use crate::common::{deploy, experiment_server_config, v100_cluster, Figure, Series};
@@ -34,7 +34,7 @@ pub fn run_timeline(duration_s: u64, ramp_s: u64) -> Vec<TimelineSample> {
     let mut sim = Simulation::new();
     sim.block_on(async move {
         let config = experiment_server_config()
-            .with_scheduler(SchedulerKind::FillFirst)
+            .with_scheduler(FillFirst)
             .with_autoscale(true)
             .with_runner(RunnerConfig {
                 max_inflight: 4,
@@ -80,7 +80,14 @@ pub fn run_timeline(duration_s: u64, ramp_s: u64) -> Vec<TimelineSample> {
                                 break;
                             }
                             let t0 = now();
-                            if client.invoke_oob("matmul", mm_input(10_000)).await.is_err() {
+                            if client
+                                .call("matmul")
+                                .arg(mm_input(10_000))
+                                .out_of_band()
+                                .send()
+                                .await
+                                .is_err()
+                            {
                                 break;
                             }
                             completions2
@@ -123,7 +130,7 @@ pub fn run_timeline(duration_s: u64, ramp_s: u64) -> Vec<TimelineSample> {
             samples.push(TimelineSample {
                 t: t as f64,
                 clients: *clients_active.borrow(),
-                runners: dep.server.runner_count("matmul"),
+                runners: dep.server.snapshot().runners("matmul"),
                 gpu_utilization_pct: gpu_util,
                 task_completion,
             });

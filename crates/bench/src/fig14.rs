@@ -9,7 +9,7 @@
 use std::rc::Rc;
 
 use kaas_core::baseline::run_space_sharing;
-use kaas_core::{KaasClient, SchedulerKind};
+use kaas_core::{KaasClient, RoundRobin};
 use kaas_kernels::{
     GaGeneration, GnnTraining, Kernel, MatMul, MonteCarlo, QcSimulation, SoftDtw, Value,
     GENERATIONS,
@@ -106,14 +106,17 @@ fn kaas_time(name: &'static str, n: u64) -> f64 {
     let mut sim = Simulation::new();
     sim.block_on(async move {
         let host = host_cpu_profile();
-        let config = experiment_server_config().with_scheduler(SchedulerKind::RoundRobin);
+        let config = experiment_server_config().with_scheduler(RoundRobin::default());
         let dep = deploy(p100_cluster(), vec![kernel_by_name(name)], config);
         dep.server.prewarm(name, 4).await.expect("prewarm");
         let mut client = dep.local_client().await;
         // Warm every runner once so the sweep measures warm behaviour.
         for _ in 0..4 {
             client
-                .invoke_oob(name, input_for(name, n.clamp(8, 64)))
+                .call(name)
+                .arg(input_for(name, n.clamp(8, 64)))
+                .out_of_band()
+                .send()
                 .await
                 .expect("warm-up");
         }
@@ -123,7 +126,10 @@ fn kaas_time(name: &'static str, n: u64) -> f64 {
             ga_rounds(&mut client, name, n).await;
         } else {
             client
-                .invoke_oob(name, input_for(name, n))
+                .call(name)
+                .arg(input_for(name, n))
+                .out_of_band()
+                .send()
                 .await
                 .expect("invocation succeeds");
         }
@@ -135,7 +141,10 @@ async fn ga_rounds(client: &mut KaasClient, name: &str, n: u64) {
     let mut population = Value::U64(n);
     for _ in 0..GENERATIONS {
         let inv = client
-            .invoke_oob(name, population)
+            .call(name)
+            .arg(population)
+            .out_of_band()
+            .send()
             .await
             .expect("generation succeeds");
         population = inv.output;

@@ -59,13 +59,19 @@ pub fn kaas_time(name: &'static str) -> f64 {
         dep.server.prewarm(name, 1).await.expect("prewarm");
         let mut client = dep.local_client().await;
         client
-            .invoke_oob(name, input_for(name))
+            .call(name)
+            .arg(input_for(name))
+            .out_of_band()
+            .send()
             .await
             .expect("warm-up");
         let t0 = now();
         sleep(host_cpu_profile().python_launch).await;
         client
-            .invoke_oob(name, input_for(name))
+            .call(name)
+            .arg(input_for(name))
+            .out_of_band()
+            .send()
             .await
             .expect("invocation succeeds");
         (now() - t0).as_secs_f64()

@@ -4,7 +4,7 @@
 use std::rc::Rc;
 
 use kaas_core::baseline::{run_space_sharing, run_time_sharing};
-use kaas_core::{RunnerConfig, SchedulerKind};
+use kaas_core::{RoundRobin, RunnerConfig};
 use kaas_kernels::{Conv2d, Value};
 use kaas_simtime::{now, sleep, spawn, Simulation};
 
@@ -71,7 +71,7 @@ pub fn run_model(model: TpuModel, n: u64) -> (f64, f64) {
             }
             TpuModel::Kaas => {
                 let config = experiment_server_config()
-                    .with_scheduler(SchedulerKind::RoundRobin)
+                    .with_scheduler(RoundRobin::default())
                     .with_runner(RunnerConfig {
                         max_inflight: 1,
                         ..RunnerConfig::default()
@@ -88,7 +88,10 @@ pub fn run_model(model: TpuModel, n: u64) -> (f64, f64) {
                         let t0 = now();
                         sleep(host_cpu_profile().python_launch).await;
                         let inv = client
-                            .invoke_oob("conv2d", Value::U64(n))
+                            .call("conv2d")
+                            .arg(Value::U64(n))
+                            .out_of_band()
+                            .send()
                             .await
                             .expect("invocation succeeds");
                         (

@@ -76,14 +76,20 @@ pub fn kaas_time(profile: QpuProfile) -> f64 {
             .expect("prewarm");
         let mut client = dep.local_client().await;
         client
-            .invoke_oob("vqe-estimator", Value::F64s(vec![0.0; 4]))
+            .call("vqe-estimator")
+            .arg(Value::F64s(vec![0.0; 4]))
+            .out_of_band()
+            .send()
             .await
             .expect("warm-up");
         let t0 = now();
         sleep(host_cpu_profile().python_launch).await;
         for params in parameter_trace() {
             client
-                .invoke_oob("vqe-estimator", Value::F64s(params))
+                .call("vqe-estimator")
+                .arg(Value::F64s(params))
+                .out_of_band()
+                .send()
                 .await
                 .expect("estimator call succeeds");
         }

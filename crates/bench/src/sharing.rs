@@ -127,7 +127,10 @@ pub fn run_model(model: Model, n: u64, tasks: usize) -> RunStats {
                         let t0 = now();
                         sleep(host.python_launch).await;
                         let inv = client
-                            .invoke_oob("matmul", mm_input(n))
+                            .call("matmul")
+                            .arg(mm_input(n))
+                            .out_of_band()
+                            .send()
                             .await
                             .expect("invocation succeeds");
                         (

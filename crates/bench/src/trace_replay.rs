@@ -114,7 +114,10 @@ pub fn replay(events: &[TraceEvent], idle_timeout: Option<Duration>) -> ReplaySt
                     _ => Value::U64(ev.n),
                 };
                 let inv = client
-                    .invoke_oob(ev.kernel, input)
+                    .call(ev.kernel)
+                    .arg(input)
+                    .out_of_band()
+                    .send()
                     .await
                     .expect("trace invocation succeeds");
                 (inv.latency.as_secs_f64(), inv.report.cold_start)
@@ -140,7 +143,7 @@ pub fn replay(events: &[TraceEvent], idle_timeout: Option<Duration>) -> ReplaySt
             p95: percentile(&latencies, 0.95),
             p99: percentile(&latencies, 0.99),
             cold_start_rate: cold as f64 / latencies.len().max(1) as f64,
-            reaped: dep.server.reaped(),
+            reaped: dep.server.snapshot().reaped,
             energy_joules: energy,
         }
     })

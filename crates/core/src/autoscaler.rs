@@ -1,11 +1,12 @@
 //! Pluggable scale-out policy: when to start additional runners.
 //!
 //! The server consults its [`AutoscalePolicy`] on every invocation —
-//! once proactively before scheduling ([`on_invocation`]
-//! (AutoscalePolicy::on_invocation)) and, if the scheduler declines to
-//! place because every eligible runner is saturated, once reactively
-//! ([`on_saturated`](AutoscalePolicy::on_saturated)). A [`ScaleUp`]
-//! (ScaleDecision::ScaleUp) verdict makes the server try to spawn one
+//! once proactively before scheduling
+//! ([`on_invocation`][AutoscalePolicy::on_invocation]) and, if the
+//! scheduler declines to place because every eligible runner is
+//! saturated, once reactively
+//! ([`on_saturated`](AutoscalePolicy::on_saturated)). A
+//! [`ScaleUp`][ScaleDecision::ScaleUp] verdict makes the server try to spawn one
 //! runner through the [pool](crate::pool); if no device has room the
 //! invocation queues on the least-loaded runner instead, so a policy
 //! can never exceed the physical device count.

@@ -2,12 +2,34 @@
 //! accelerator libraries — it serializes inputs (in-band) or drops them
 //! into shared memory (out-of-band) and speaks the request/response
 //! protocol over the network.
+//!
+//! Invocations are built fluently: [`KaasClient::call`] returns an
+//! [`InvokeBuilder`] that collects the input, per-call tenant/deadline
+//! overrides, transfer mode, and tracing choice before
+//! [`send`](InvokeBuilder::send) runs the round trip:
+//!
+//! ```no_run
+//! # async fn demo(client: &mut kaas_core::KaasClient) {
+//! use kaas_kernels::Value;
+//! use std::time::Duration;
+//!
+//! let inv = client
+//!     .call("matmul")
+//!     .arg(Value::U64(512))
+//!     .tenant("t0")
+//!     .deadline(Duration::from_millis(50))
+//!     .send()
+//!     .await
+//!     .unwrap();
+//! # let _ = inv;
+//! # }
+//! ```
 
 use std::time::Duration;
 
 use kaas_kernels::Value;
 use kaas_net::{Connection, LinkProfile, NetError, Network, SerializationProfile, SharedMemory};
-use kaas_simtime::{now, sleep};
+use kaas_simtime::{now, sleep, SpanSink};
 
 use crate::metrics::InvocationReport;
 use crate::protocol::{DataRef, InvokeError, Request, Response};
@@ -30,20 +52,28 @@ pub struct KaasClient {
     serialization: SerializationProfile,
     shm: Option<SharedMemory>,
     tenant: Option<String>,
-    next_id: u64,
+    id: u64,
+    next_seq: u64,
+    tracer: Option<SpanSink>,
 }
 
 impl std::fmt::Debug for KaasClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KaasClient")
-            .field("next_id", &self.next_id)
+            .field("id", &self.id)
+            .field("next_seq", &self.next_seq)
             .field("out_of_band", &self.shm.is_some())
+            .field("traced", &self.tracer.is_some())
             .finish()
     }
 }
 
 impl KaasClient {
     /// Connects to a KaaS server over a link with `profile` timing.
+    ///
+    /// The client draws a network-unique identity
+    /// ([`Network::alloc_client_id`]) that namespaces its request and
+    /// span ids, so several clients of one simulation never collide.
     ///
     /// # Errors
     ///
@@ -53,14 +83,23 @@ impl KaasClient {
         addr: &str,
         profile: LinkProfile,
     ) -> Result<KaasClient, NetError> {
+        let id = net.alloc_client_id();
         let conn = net.connect(addr, profile).await?;
         Ok(KaasClient {
             conn,
             serialization: SerializationProfile::python_pickle(),
             shm: None,
             tenant: None,
-            next_id: 0,
+            id,
+            next_seq: 0,
+            tracer: None,
         })
+    }
+
+    /// This client's network-unique identity (the high half of its
+    /// request ids and the number in its `client{N}` trace track).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Uses `shm` for out-of-band transfer (same-host deployments only).
@@ -82,84 +121,66 @@ impl KaasClient {
         self
     }
 
-    /// Invokes `kernel` with `input` sent **in-band** (serialized onto
-    /// the connection — "faster for small data", §4.1).
+    /// Attaches a span sink: every traced invocation records a span tree
+    /// (root `invoke` with `serialize`/`shm_put` → `roundtrip` →
+    /// `deserialize`/`shm_take` children) on the `client{N}` track.
+    /// Attach the same sink to the server config to see one invocation
+    /// across every hop.
+    pub fn with_tracer(mut self, tracer: SpanSink) -> Self {
+        self.conn
+            .set_tracer(tracer.clone(), format!("client{}", self.id));
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Starts building an invocation of `kernel`; finish with
+    /// [`InvokeBuilder::send`].
+    pub fn call(&mut self, kernel: &str) -> InvokeBuilder<'_> {
+        InvokeBuilder {
+            kernel: kernel.to_owned(),
+            input: Value::Unit,
+            tenant: None,
+            deadline: None,
+            trace: true,
+            out_of_band: false,
+            client: self,
+        }
+    }
+
+    /// Invokes `kernel` with `input` sent **in-band**.
     ///
     /// # Errors
     ///
     /// Any [`InvokeError`] the server reports, or
     /// [`InvokeError::Disconnected`].
+    #[deprecated(note = "use the builder: `client.call(kernel).arg(input).send()`")]
     pub async fn invoke(&mut self, kernel: &str, input: Value) -> Result<Invocation, InvokeError> {
-        let start = now();
-        sleep(self.serialization.time(input.wire_bytes())).await;
-        let data = DataRef::InBand(input);
-        let resp = self.roundtrip(kernel, data).await?;
-        let output = match resp.result? {
-            DataRef::InBand(v) => {
-                sleep(self.serialization.time(v.wire_bytes())).await;
-                v
-            }
-            DataRef::OutOfBand(h) => self
-                .shm
-                .as_ref()
-                .ok_or(InvokeError::BadHandle)?
-                .take(h)
-                .await
-                .ok_or(InvokeError::BadHandle)?,
-        };
-        Ok(Invocation {
-            output,
-            report: resp.report.ok_or(InvokeError::Disconnected)?,
-            latency: now() - start,
-        })
+        self.call(kernel).arg(input).send().await
     }
 
     /// Invokes `kernel` with `input` passed **out-of-band** through
-    /// shared memory (only a small handle crosses the connection —
-    /// "transferring larger data without copying over the network",
-    /// §4.1).
+    /// shared memory.
     ///
     /// # Errors
     ///
     /// [`InvokeError::BadHandle`] if no shared-memory region was attached
-    /// via [`KaasClient::with_shared_memory`]; otherwise as
-    /// [`KaasClient::invoke`].
+    /// via [`KaasClient::with_shared_memory`]; otherwise any
+    /// [`InvokeError`] the server reports.
+    #[deprecated(note = "use the builder: `client.call(kernel).arg(input).out_of_band().send()`")]
     pub async fn invoke_oob(
         &mut self,
         kernel: &str,
         input: Value,
     ) -> Result<Invocation, InvokeError> {
-        let start = now();
-        let shm = self.shm.as_ref().ok_or(InvokeError::BadHandle)?.clone();
-        let bytes = input.wire_bytes();
-        let handle = shm.put(input, bytes).await;
-        let resp = self.roundtrip(kernel, DataRef::OutOfBand(handle)).await?;
-        let output = match resp.result? {
-            DataRef::OutOfBand(h) => shm.take(h).await.ok_or(InvokeError::BadHandle)?,
-            DataRef::InBand(v) => {
-                sleep(self.serialization.time(v.wire_bytes())).await;
-                v
-            }
-        };
-        Ok(Invocation {
-            output,
-            report: resp.report.ok_or(InvokeError::Disconnected)?,
-            latency: now() - start,
-        })
+        self.call(kernel).arg(input).out_of_band().send().await
     }
 
-    async fn roundtrip(&mut self, kernel: &str, data: DataRef) -> Result<Response, InvokeError> {
-        let id = self.next_id;
-        self.next_id += 1;
-        let req = Request {
-            id,
-            kernel: kernel.to_owned(),
-            data,
-            tenant: self.tenant.clone(),
-        };
+    async fn roundtrip(&mut self, req: Request) -> Result<Response, InvokeError> {
+        let id = req.id;
+        let span = req.span;
         let bytes = req.wire_bytes();
         self.conn
-            .send(req, bytes)
+            .send_traced(req, bytes, span)
             .await
             .map_err(|_| InvokeError::Disconnected)?;
         loop {
@@ -169,5 +190,185 @@ impl KaasClient {
             }
             // A response to an older (abandoned) request: drop it.
         }
+    }
+}
+
+/// A pending invocation under construction; create via
+/// [`KaasClient::call`], dispatch with [`send`](InvokeBuilder::send).
+#[must_use = "an invocation does nothing until .send() is awaited"]
+#[derive(Debug)]
+pub struct InvokeBuilder<'c> {
+    client: &'c mut KaasClient,
+    kernel: String,
+    input: Value,
+    tenant: Option<String>,
+    deadline: Option<Duration>,
+    trace: bool,
+    out_of_band: bool,
+}
+
+impl<'c> InvokeBuilder<'c> {
+    /// Sets the kernel input (default: [`Value::Unit`]).
+    pub fn arg(mut self, input: Value) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Overrides the client's tenant identity for this call only.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Gives the server a deadline (relative to send time) for
+    /// *starting* device work; requests still undispatched past it are
+    /// shed with [`InvokeError::DeadlineExceeded`].
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Opts this call in or out of span recording (default: on, a no-op
+    /// unless a sink was attached via [`KaasClient::with_tracer`]).
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Passes the input **out-of-band** through shared memory: only a
+    /// small handle crosses the connection ("transferring larger data
+    /// without copying over the network", §4.1). Requires
+    /// [`KaasClient::with_shared_memory`].
+    pub fn out_of_band(mut self) -> Self {
+        self.out_of_band = true;
+        self
+    }
+
+    /// Runs the invocation: serializes (or shm-puts) the input, does the
+    /// round trip, and materializes the output.
+    ///
+    /// # Errors
+    ///
+    /// Any [`InvokeError`] the server reports;
+    /// [`InvokeError::Disconnected`] if the connection closed;
+    /// [`InvokeError::BadHandle`] in out-of-band mode without an
+    /// attached shared-memory region.
+    pub async fn send(self) -> Result<Invocation, InvokeError> {
+        let InvokeBuilder {
+            client,
+            kernel,
+            input,
+            tenant,
+            deadline,
+            trace,
+            out_of_band,
+        } = self;
+        let tracer = if trace { client.tracer.clone() } else { None };
+        let track = format!("client{}", client.id);
+        let seq = client.next_seq;
+        client.next_seq += 1;
+        let id = (client.id << 32) | (seq & 0xffff_ffff);
+
+        let start = now();
+        let mut root = tracer.as_ref().map(|t| {
+            let mut s = t.open(&track, "invoke", None);
+            s.push_arg("kernel", &kernel);
+            s.push_arg("request", id.to_string());
+            s
+        });
+
+        // Stage 1: put the input on the wire (serialize in-band, shm-put
+        // out-of-band).
+        let shm = if out_of_band {
+            Some(client.shm.as_ref().ok_or(InvokeError::BadHandle)?.clone())
+        } else {
+            None
+        };
+        let t0 = now();
+        let data = match &shm {
+            Some(shm) => {
+                let bytes = input.wire_bytes();
+                let handle = shm.put(input, bytes).await;
+                if let (Some(t), Some(root)) = (&tracer, &root) {
+                    t.record(&track, "shm_put", t0, now(), Some(root.id()), vec![]);
+                }
+                DataRef::OutOfBand(handle)
+            }
+            None => {
+                sleep(client.serialization.time(input.wire_bytes())).await;
+                if let (Some(t), Some(root)) = (&tracer, &root) {
+                    t.record(&track, "serialize", t0, now(), Some(root.id()), vec![]);
+                }
+                DataRef::InBand(input)
+            }
+        };
+
+        // Stage 2: the network round trip. The server parents its spans
+        // under this span's pre-allocated id, carried in the request.
+        let rt = tracer
+            .as_ref()
+            .zip(root.as_ref())
+            .map(|(t, root)| t.open(&track, "roundtrip", Some(root.id())));
+        let req = Request {
+            id,
+            kernel,
+            data,
+            tenant: tenant.or_else(|| client.tenant.clone()),
+            deadline: deadline.map(|d| now() + d),
+            span: rt.as_ref().map(|s| s.id()),
+        };
+        let resp = match client.roundtrip(req).await {
+            Ok(resp) => resp,
+            Err(e) => {
+                if let Some(rt) = rt {
+                    rt.finish();
+                }
+                if let Some(root) = root.take() {
+                    root.finish();
+                }
+                return Err(e);
+            }
+        };
+        if let Some(rt) = rt {
+            rt.finish();
+        }
+        let result = match resp.result {
+            Ok(data) => data,
+            Err(e) => {
+                if let Some(root) = root.take() {
+                    root.finish();
+                }
+                return Err(e);
+            }
+        };
+
+        // Stage 3: materialize the output the way it came back.
+        let t2 = now();
+        let output = match result {
+            DataRef::InBand(v) => {
+                sleep(client.serialization.time(v.wire_bytes())).await;
+                if let (Some(t), Some(root)) = (&tracer, &root) {
+                    t.record(&track, "deserialize", t2, now(), Some(root.id()), vec![]);
+                }
+                v
+            }
+            DataRef::OutOfBand(h) => {
+                let shm = client.shm.as_ref().ok_or(InvokeError::BadHandle)?;
+                let v = shm.take(h).await.ok_or(InvokeError::BadHandle)?;
+                if let (Some(t), Some(root)) = (&tracer, &root) {
+                    t.record(&track, "shm_take", t2, now(), Some(root.id()), vec![]);
+                }
+                v
+            }
+        };
+
+        if let Some(root) = root {
+            root.finish();
+        }
+        Ok(Invocation {
+            output,
+            report: resp.report.ok_or(InvokeError::Disconnected)?,
+            latency: now() - start,
+        })
     }
 }

@@ -2,15 +2,15 @@
 //! policies ([`Scheduler`], [`AutoscalePolicy`]).
 //!
 //! `ServerConfig` stays [`Default`]-constructible and clonable; policy
-//! fields hold trait objects, set either from the built-in shims
-//! ([`SchedulerKind`](crate::SchedulerKind), [`NoScale`]
-//! (crate::NoScale), …) or from custom implementations:
+//! fields hold trait objects, set from the built-in policy structs
+//! ([`WarmFirst`](crate::WarmFirst), [`NoScale`](crate::NoScale), …) or
+//! from custom implementations:
 //!
 //! ```
-//! use kaas_core::{SchedulerKind, ServerConfig, TargetUtilization};
+//! use kaas_core::{ServerConfig, TargetUtilization, WarmFirst};
 //!
 //! let config = ServerConfig::default()
-//!     .with_scheduler(SchedulerKind::WarmFirst)
+//!     .with_scheduler(WarmFirst)
 //!     .with_autoscaler(TargetUtilization { target: 0.8 })
 //!     .with_tenant_quota(4);
 //! ```
@@ -18,6 +18,7 @@
 use std::time::Duration;
 
 use kaas_net::SerializationProfile;
+use kaas_simtime::SpanSink;
 
 use crate::admission::AdmissionConfig;
 use crate::autoscaler::{AutoscalePolicy, InFlightThreshold, NoScale};
@@ -45,6 +46,10 @@ pub struct ServerConfig {
     pub admission: AdmissionConfig,
     /// Serializer for in-band payloads.
     pub serialization: SerializationProfile,
+    /// Span sink for server-side invocation tracing (`None` disables
+    /// recording). Share one sink between clients and the server to see
+    /// a whole invocation across every hop.
+    pub tracer: Option<SpanSink>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +62,7 @@ impl Default for ServerConfig {
             idle_timeout: None,
             admission: AdmissionConfig::default(),
             serialization: SerializationProfile::python_pickle(),
+            tracer: None,
         }
     }
 }
@@ -74,8 +80,9 @@ impl ServerConfig {
         self
     }
 
-    /// Sets the placement policy — a [`SchedulerKind`]
-    /// (crate::SchedulerKind), a built-in policy struct, or any custom
+    /// Sets the placement policy — a built-in policy struct
+    /// ([`FillFirst`](crate::FillFirst),
+    /// [`RoundRobin`][crate::RoundRobin], …) or any custom
     /// [`Scheduler`] implementation.
     pub fn with_scheduler(mut self, scheduler: impl Into<Box<dyn Scheduler>>) -> Self {
         self.scheduler = scheduler.into();
@@ -112,8 +119,8 @@ impl ServerConfig {
     }
 
     /// Sets (or clears, with `None`) the server-wide admitted-request
-    /// ceiling; excess requests fail with [`InvokeError::Overloaded`]
-    /// (crate::InvokeError::Overloaded).
+    /// ceiling; excess requests fail with
+    /// [`InvokeError::Overloaded`][crate::InvokeError::Overloaded].
     pub fn with_max_in_flight(mut self, max: impl Into<Option<usize>>) -> Self {
         self.admission.max_in_flight = max.into();
         self
@@ -124,12 +131,21 @@ impl ServerConfig {
         self.serialization = serialization;
         self
     }
+
+    /// Attaches a span sink for server-side tracing: admission, dispatch,
+    /// queueing, cold starts, and device phases record spans into it.
+    pub fn with_tracer(mut self, tracer: SpanSink) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::{SchedCtx, SchedulerKind, SlotChoice};
+    #[allow(deprecated)]
+    use crate::scheduler::SchedulerKind;
+    use crate::scheduler::{SchedCtx, SlotChoice};
 
     #[test]
     fn default_matches_the_paper_setup() {
@@ -142,6 +158,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn builders_compose() {
         let c = ServerConfig::default()
             .with_scheduler(SchedulerKind::RoundRobin)

@@ -4,13 +4,23 @@
 //! Split from [`server`](crate::server) so the orchestration skeleton
 //! (lifecycle, accept loop, accessors) stays separate from the hot
 //! path every request walks.
+//!
+//! When a tracer is configured ([`ServerConfig::with_tracer`]
+//! (crate::ServerConfig::with_tracer)) the hot path records a span per
+//! stage — `admission`, `dispatch`, `deserialize`/`shm_take`,
+//! `queue_wait`, then `copy_in`/`kernel_exec`/`copy_out` on the
+//! serving runner's track, and finally `reply` — all parented under the
+//! client's `roundtrip` span carried in [`Request::span`]. Every
+//! invocation also feeds the [`MetricsRegistry`]
+//! (crate::MetricsRegistry): counters (`invocations`, `cold_starts`,
+//! `errors.*`), latency histograms, and level gauges.
 
 use std::rc::Rc;
 use std::time::Duration;
 
 use kaas_accel::DeviceId;
 use kaas_kernels::{Kernel, Value};
-use kaas_simtime::{now, sleep};
+use kaas_simtime::{now, sleep, SimTime};
 
 use crate::autoscaler::{ScaleCtx, ScaleDecision};
 use crate::metrics::{InvocationReport, RunnerId};
@@ -24,17 +34,25 @@ impl KaasServer {
     /// tests; network callers go through [`KaasServer::serve`]).
     pub async fn handle(&self, req: Request) -> Response {
         let id = req.id;
+        let kernel = req.kernel.clone();
         match self.handle_inner(req).await {
             Ok((data, report)) => Response {
                 id,
                 result: Ok(data),
                 report: Some(report),
             },
-            Err(e) => Response {
-                id,
-                result: Err(e),
-                report: None,
-            },
+            Err(e) => {
+                if kernel != DISCOVERY_KERNEL {
+                    let m = &self.inner().metrics_registry;
+                    m.inc("errors");
+                    m.inc(&format!("errors.{}", e.kind()));
+                }
+                Response {
+                    id,
+                    result: Err(e),
+                    report: None,
+                }
+            }
         }
     }
 
@@ -45,12 +63,22 @@ impl KaasServer {
             return Ok(self.discovery_response());
         }
         let inner = self.inner();
+        let tracer = inner.config.tracer.clone();
+        let parent = req.span;
+        let span = |name: &str, start: SimTime, end: SimTime| {
+            if let Some(t) = &tracer {
+                t.record("server", name, start, end, parent, vec![]);
+            }
+        };
         let submitted = now();
         let _permit = inner.admission.admit(req.tenant.as_deref()).await?;
+        span("admission", submitted, now());
+        let t_dispatch = now();
         {
             let _router = inner.dispatch_lock.acquire(1).await;
             sleep(inner.config.dispatch_overhead).await;
         }
+        span("dispatch", t_dispatch, now());
         let kernel = inner
             .registry
             .lookup(&req.kernel)
@@ -58,20 +86,33 @@ impl KaasServer {
 
         // Materialize the input.
         let oob = matches!(req.data, DataRef::OutOfBand(_));
+        let t_input = now();
         let input = match req.data {
             DataRef::InBand(v) => {
                 // Runner-side deserialization of the in-band payload.
                 sleep(inner.config.serialization.time(v.wire_bytes())).await;
+                span("deserialize", t_input, now());
                 v
             }
-            DataRef::OutOfBand(h) => inner.shm.take(h).await.ok_or(InvokeError::BadHandle)?,
+            DataRef::OutOfBand(h) => {
+                let v = inner.shm.take(h).await.ok_or(InvokeError::BadHandle)?;
+                span("shm_take", t_input, now());
+                v
+            }
         };
         let enveloped = matches!(input, Value::Sized { .. });
+
+        // The deadline bounds time-to-start: shed rather than dispatch
+        // work the client has already given up on.
+        if req.deadline.is_some_and(|d| now() > d) {
+            return Err(InvokeError::DeadlineExceeded);
+        }
 
         // Dispatch with retries if the chosen runner died.
         let mut attempts = 0;
         let (output, timings, runner_id, device_id, started) = loop {
             attempts += 1;
+            let t_wait = now();
             let slot = self.place(&req.kernel, &kernel)?;
             // RAII claim: released on every exit path below, including
             // kernel errors and retries.
@@ -86,9 +127,41 @@ impl KaasServer {
             }
             match result {
                 Ok((output, timings)) => {
-                    break (output, timings, runner.id(), runner.device_id(), started)
+                    if let Some(t) = &tracer {
+                        // Device phases ran back to back ending now;
+                        // tile them backwards from the finish time and
+                        // charge everything before them to queueing.
+                        let t_done = now();
+                        let device_start = t_done.saturating_sub(
+                            timings.copy_in + timings.kernel_exec + timings.copy_out,
+                        );
+                        t.record("server", "queue_wait", t_wait, device_start, parent, vec![]);
+                        let track = runner.id().to_string();
+                        let mut at = device_start;
+                        for (name, d) in [
+                            ("copy_in", timings.copy_in),
+                            ("kernel_exec", timings.kernel_exec),
+                            ("copy_out", timings.copy_out),
+                        ] {
+                            t.record(track.clone(), name, at, at + d, parent, vec![]);
+                            at += d;
+                        }
+                    }
+                    break (output, timings, runner.id(), runner.device_id(), started);
                 }
-                Err(InvokeError::RunnerFailed(_)) if attempts < 3 => slot.retire(),
+                Err(InvokeError::RunnerFailed(_)) if attempts < 3 => {
+                    if let Some(t) = &tracer {
+                        t.record(
+                            "server",
+                            "attempt_failed",
+                            t_wait,
+                            now(),
+                            parent,
+                            vec![("runner".into(), runner.id().to_string())],
+                        );
+                    }
+                    slot.retire();
+                }
                 Err(e) => return Err(e),
             }
         };
@@ -107,6 +180,7 @@ impl KaasServer {
             copy_out: timings.copy_out,
         };
         inner.metrics.record(report.clone());
+        self.record_registry(&report);
 
         // Descriptor-mode requests get descriptor-sized responses: the
         // logical result size is the kernel's device→host volume.
@@ -121,6 +195,7 @@ impl KaasServer {
             output
         };
         // Return the output the same way the input came in.
+        let t_reply = now();
         let data = if oob {
             let bytes = output.wire_bytes();
             DataRef::OutOfBand(inner.shm.put(output, bytes).await)
@@ -128,7 +203,43 @@ impl KaasServer {
             sleep(inner.config.serialization.time(output.wire_bytes())).await;
             DataRef::InBand(output)
         };
+        span("reply", t_reply, now());
         Ok((data, report))
+    }
+
+    /// Feeds one successful invocation into the structured registry:
+    /// event counters, stage-latency histograms (global and per-kernel),
+    /// and current-level gauges.
+    fn record_registry(&self, report: &InvocationReport) {
+        let inner = self.inner();
+        let m = &inner.metrics_registry;
+        let k = &report.kernel;
+        m.inc("invocations");
+        m.inc(&format!("invocations.{k}"));
+        if report.cold_start {
+            m.inc("cold_starts");
+        }
+        for (name, v) in [
+            ("latency.server", report.server_latency()),
+            ("latency.queue", report.queue_time()),
+            ("copy_in", report.copy_in),
+            ("kernel_exec", report.kernel_exec),
+            ("copy_out", report.copy_out),
+        ] {
+            m.observe(name, v.as_secs_f64());
+            m.observe(&format!("{name}.{k}"), v.as_secs_f64());
+        }
+        m.set_gauge("in_flight", inner.pool.total_in_flight() as f64);
+        m.set_gauge("runners", inner.pool.total_runners() as f64);
+        let elapsed = now().as_secs_f64();
+        if elapsed > 0.0 {
+            for d in inner.pool.devices() {
+                m.set_gauge(
+                    &format!("{}.utilization", d.id()),
+                    (d.busy_seconds() / elapsed).min(1.0),
+                );
+            }
+        }
     }
 
     /// Chooses (or starts) a runner slot for `kernel`: scheduler first,

@@ -132,10 +132,11 @@ impl FederatedClient {
             .route(kernel)
             .ok_or_else(|| InvokeError::UnknownKernel(kernel.to_owned()))?;
         let site = &mut self.sites[index];
+        let call = site.client.call(kernel).arg(input);
         if site.spec.shm.is_some() {
-            site.client.invoke_oob(kernel, input).await
+            call.out_of_band().send().await
         } else {
-            site.client.invoke(kernel, input).await
+            call.send().await
         }
     }
 
@@ -173,7 +174,7 @@ impl FederatedClient {
 
 /// Queries a site's kernel list through the reserved discovery endpoint.
 async fn discover(client: &mut KaasClient) -> Vec<String> {
-    match client.invoke(DISCOVERY_KERNEL, Value::Unit).await {
+    match client.call(DISCOVERY_KERNEL).send().await {
         Ok(inv) => match inv.output.payload() {
             Value::List(items) => items
                 .iter()

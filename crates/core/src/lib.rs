@@ -6,8 +6,9 @@
 //! * Developers [`register`](KernelRegistry::register) kernels.
 //! * A [`KaasServer`] wraps them in [`TaskRunner`]s on a shared pool of
 //!   devices, cold-starting runners on demand and keeping them warm.
-//! * Applications [`invoke`](KaasClient::invoke) kernels over the network
-//!   with in-band or out-of-band data transfer.
+//! * Applications [`call`](KaasClient::call) kernels over the network
+//!   with in-band or out-of-band data transfer, via a builder-style
+//!   invoke API ([`InvokeBuilder`]).
 //! * [`baseline`] provides the time-sharing / space-sharing / CPU-only
 //!   delivery models the paper compares against.
 //!
@@ -30,7 +31,7 @@
 //! ([`ServerConfig::idle_timeout`]).
 //!
 //! Built-in schedulers: [`FillFirst`], [`RoundRobin`], [`LeastLoaded`],
-//! [`WarmFirst`] (enum shim: [`SchedulerKind`]). Built-in autoscalers:
+//! [`WarmFirst`]. Built-in autoscalers:
 //! [`InFlightThreshold`] (the paper's §5.5 policy), [`NoScale`],
 //! [`TargetUtilization`]. Custom policies implement the trait and plug
 //! in through [`ServerConfig::with_scheduler`] /
@@ -71,6 +72,7 @@ mod registry;
 mod runner;
 pub mod scheduler;
 mod server;
+pub mod trace;
 mod workflow;
 
 pub use admission::AdmissionConfig;
@@ -78,20 +80,24 @@ pub use autoscaler::{
     AutoscalePolicy, InFlightThreshold, NoScale, ScaleCtx, ScaleDecision, TargetUtilization,
 };
 pub use baseline::{run_cpu_only, run_space_sharing, run_time_sharing, BaselineReport};
-pub use client::{Invocation, KaasClient};
+pub use client::{Invocation, InvokeBuilder, KaasClient};
 pub use config::ServerConfig;
 pub use federation::{FederatedClient, SiteSpec};
 pub use fusion::{fuse, FusedKernel, FusionError};
+pub use metrics::histogram::{Histogram, HistogramSummary};
+pub use metrics::registry::MetricsRegistry;
 pub use metrics::{mean_ci95, percentile, InvocationReport, MeanCi, MetricsSink, RunnerId};
 pub use pool::{RunnerPool, RunnerSlot};
 pub use protocol::{DataRef, InvokeError, Request, Response, FRAME_BYTES};
 pub use registry::{KernelRegistry, RegistryError};
 pub use runner::{RunnerConfig, RunnerTimings, TaskRunner};
+#[allow(deprecated)]
+pub use scheduler::SchedulerKind;
 pub use scheduler::{
-    FillFirst, LeastLoaded, RoundRobin, SchedCtx, Scheduler, SchedulerKind, SlotChoice, SlotView,
-    WarmFirst,
+    FillFirst, LeastLoaded, RoundRobin, SchedCtx, Scheduler, SlotChoice, SlotView, WarmFirst,
 };
-pub use server::{KaasServer, DISCOVERY_KERNEL};
+pub use server::{KaasServer, KernelStats, ServerSnapshot, DISCOVERY_KERNEL};
+pub use trace::{Span, SpanId, SpanSink};
 pub use workflow::{TransferMode, Workflow, WorkflowRun};
 
 /// The network type used between KaaS clients and servers.

@@ -1,4 +1,16 @@
 //! Invocation reports and metric aggregation.
+//!
+//! Two layers live here:
+//!
+//! * [`InvocationReport`] / [`MetricsSink`] — the raw per-invocation
+//!   record stream, returned with every response.
+//! * [`MetricsRegistry`](registry::MetricsRegistry) — the structured
+//!   store (counters, gauges, [`Histogram`](histogram::Histogram)
+//!   latency distributions) the server feeds on every invocation and
+//!   the experiment figures read from.
+
+pub mod histogram;
+pub mod registry;
 
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -9,14 +9,16 @@
 //! TPUs).
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
 use kaas_accel::{Device, DeviceClass, DeviceId};
 use kaas_kernels::Kernel;
 use kaas_simtime::sync::Event;
-use kaas_simtime::{now, sleep, spawn, SimTime};
+use kaas_simtime::{now, sleep, spawn, SimTime, SpanSink};
+
+use crate::server::KernelStats;
 
 use crate::metrics::RunnerId;
 use crate::protocol::InvokeError;
@@ -130,6 +132,7 @@ pub struct RunnerPool {
     slots: RefCell<HashMap<String, Vec<Rc<RunnerSlot>>>>,
     next_runner: Cell<u32>,
     reaped: Cell<usize>,
+    tracer: Option<SpanSink>,
 }
 
 impl std::fmt::Debug for RunnerPool {
@@ -150,7 +153,14 @@ impl RunnerPool {
             slots: RefCell::new(HashMap::new()),
             next_runner: Cell::new(0),
             reaped: Cell::new(0),
+            tracer: None,
         }
+    }
+
+    /// Attaches a span sink: every cold start records a `cold_start`
+    /// span on its runner's `runner{N}` track.
+    pub fn set_tracer(&mut self, tracer: SpanSink) {
+        self.tracer = Some(tracer);
     }
 
     /// The managed devices.
@@ -200,6 +210,45 @@ impl RunnerPool {
     /// Number of runners reaped by the idle timeout so far.
     pub fn reaped(&self) -> usize {
         self.reaped.get()
+    }
+
+    /// Per-kernel `(runners, in_flight)` stats for every kernel the pool
+    /// has seen, in sorted name order.
+    pub fn per_kernel_stats(&self) -> BTreeMap<String, KernelStats> {
+        self.slots
+            .borrow()
+            .iter()
+            .map(|(name, slots)| {
+                let usable = slots.iter().filter(|s| s.is_usable());
+                (
+                    name.clone(),
+                    KernelStats {
+                        runners: usable.clone().count(),
+                        in_flight: usable.map(|s| s.claimed.get()).sum(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// In-flight invocations across every kernel.
+    pub fn total_in_flight(&self) -> usize {
+        self.slots
+            .borrow()
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|s| s.claimed.get())
+            .sum()
+    }
+
+    /// Usable runner slots across every kernel.
+    pub fn total_runners(&self) -> usize {
+        self.slots
+            .borrow()
+            .values()
+            .flat_map(|v| v.iter())
+            .filter(|s| s.is_usable())
+            .count()
     }
 
     /// Usable slots for `kernel` in start order, plus their
@@ -281,8 +330,21 @@ impl RunnerPool {
         self.next_runner.set(id.0 + 1);
         let kernel = Rc::clone(kernel);
         let slot2 = Rc::clone(&slot);
+        let tracer = self.tracer.clone();
+        let kernel_name = name.to_owned();
         spawn(async move {
+            let t0 = now();
             let runner = TaskRunner::cold_start(id, kernel, device, chip, config).await;
+            if let Some(tracer) = &tracer {
+                tracer.record(
+                    id.to_string(),
+                    "cold_start",
+                    t0,
+                    now(),
+                    None,
+                    vec![("kernel".into(), kernel_name)],
+                );
+            }
             *slot2.runner.borrow_mut() = Some(Rc::new(runner));
             slot2.ready.set();
         });

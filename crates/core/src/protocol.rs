@@ -4,6 +4,7 @@
 
 use kaas_kernels::Value;
 use kaas_net::{ShmHandle, HANDLE_WIRE_BYTES};
+use kaas_simtime::{SimTime, SpanId};
 
 use crate::metrics::InvocationReport;
 
@@ -51,6 +52,13 @@ pub struct Request {
     /// Tenant identity for fairness accounting (§3.1: "fairness, data
     /// isolation, scheduling, and service-level agreements").
     pub tenant: Option<String>,
+    /// Absolute virtual-time deadline for *starting* device work: the
+    /// server sheds the request with [`InvokeError::DeadlineExceeded`]
+    /// if it is still undispatched past this instant.
+    pub deadline: Option<SimTime>,
+    /// Client-side trace context: the span the server should parent its
+    /// own spans under (the client's `roundtrip` span).
+    pub span: Option<SpanId>,
 }
 
 impl Request {
@@ -78,6 +86,26 @@ pub enum InvokeError {
     /// The server shed the request: its admitted-request ceiling
     /// (`AdmissionConfig::max_in_flight`) was already reached.
     Overloaded,
+    /// The server shed the request: its [`Request::deadline`] passed
+    /// before device work could start.
+    DeadlineExceeded,
+}
+
+impl InvokeError {
+    /// Short kebab-case name of the error variant (stable across
+    /// payloads; used as a metrics label, e.g. `errors.overloaded`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InvokeError::UnknownKernel(_) => "unknown-kernel",
+            InvokeError::BadInput(_) => "bad-input",
+            InvokeError::NoDevice(_) => "no-device",
+            InvokeError::RunnerFailed(_) => "runner-failed",
+            InvokeError::Disconnected => "disconnected",
+            InvokeError::BadHandle => "bad-handle",
+            InvokeError::Overloaded => "overloaded",
+            InvokeError::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
 }
 
 impl std::fmt::Display for InvokeError {
@@ -90,6 +118,9 @@ impl std::fmt::Display for InvokeError {
             InvokeError::Disconnected => write!(f, "server disconnected"),
             InvokeError::BadHandle => write!(f, "shared-memory handle did not resolve"),
             InvokeError::Overloaded => write!(f, "server overloaded; request shed"),
+            InvokeError::DeadlineExceeded => {
+                write!(f, "deadline passed before dispatch; request shed")
+            }
         }
     }
 }
@@ -129,8 +160,20 @@ mod tests {
             kernel: "matmul".into(),
             data: DataRef::InBand(Value::F64s(vec![0.0; 1000])),
             tenant: None,
+            deadline: None,
+            span: None,
         };
         assert!(req.wire_bytes() > 8000);
+    }
+
+    #[test]
+    fn error_kinds_are_stable_labels() {
+        assert_eq!(InvokeError::Overloaded.kind(), "overloaded");
+        assert_eq!(InvokeError::DeadlineExceeded.kind(), "deadline-exceeded");
+        assert_eq!(
+            InvokeError::UnknownKernel("x".into()).kind(),
+            "unknown-kernel"
+        );
     }
 
     #[test]

@@ -63,8 +63,8 @@ pub struct SchedCtx<'a> {
     pub kernel: &'a str,
     /// Usable (non-dead) slots for this kernel, in start order.
     pub slots: &'a [SlotView],
-    /// Per-runner in-flight cap ([`RunnerConfig::max_inflight`]
-    /// (crate::RunnerConfig::max_inflight)).
+    /// Per-runner in-flight cap
+    /// ([`RunnerConfig::max_inflight`][crate::RunnerConfig::max_inflight]).
     pub cap: usize,
 }
 
@@ -217,10 +217,13 @@ impl Scheduler for WarmFirst {
 /// Enum-style configuration for the built-in policies — a thin compat
 /// shim that constructs the corresponding trait object, so configs can
 /// still say `.with_scheduler(SchedulerKind::RoundRobin)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[deprecated(
+    note = "pass the policy struct directly: `.with_scheduler(RoundRobin::default())` \
+            or any custom `impl Scheduler`"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// [`FillFirst`].
-    #[default]
     FillFirst,
     /// [`RoundRobin`].
     RoundRobin,
@@ -230,6 +233,16 @@ pub enum SchedulerKind {
     WarmFirst,
 }
 
+// Not derived: `#[derive(Default)]` would reference the deprecated
+// variant and warn at the declaration itself.
+#[allow(deprecated, clippy::derivable_impls)]
+impl Default for SchedulerKind {
+    fn default() -> Self {
+        SchedulerKind::FillFirst
+    }
+}
+
+#[allow(deprecated)]
 impl From<SchedulerKind> for Box<dyn Scheduler> {
     fn from(kind: SchedulerKind) -> Self {
         match kind {
@@ -319,6 +332,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn identical_runs_produce_identical_placement_sequences() {
         // Same policy state + same contexts ⇒ same choices, for every
         // built-in policy (the determinism contract).

@@ -10,6 +10,7 @@
 //! The data path itself lives in the `dispatch` module; this module
 //! holds construction, lifecycle, and the accept loop.
 
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use kaas_accel::{Device, DeviceClass, DeviceId};
@@ -19,6 +20,7 @@ use kaas_simtime::sync::Semaphore;
 
 use crate::admission::AdmissionController;
 use crate::config::ServerConfig;
+use crate::metrics::registry::MetricsRegistry;
 use crate::metrics::MetricsSink;
 use crate::pool::RunnerPool;
 use crate::protocol::{InvokeError, Request, Response};
@@ -35,6 +37,7 @@ pub(crate) struct ServerInner {
     pub(crate) pool: Rc<RunnerPool>,
     pub(crate) admission: AdmissionController,
     pub(crate) metrics: MetricsSink,
+    pub(crate) metrics_registry: MetricsRegistry,
     /// The router runs on one server thread: dispatch work serializes
     /// (the Fig. 12b weak-scaling offset of ≈35 µs per invocation).
     pub(crate) dispatch_lock: Semaphore,
@@ -64,7 +67,7 @@ pub(crate) struct ServerInner {
 ///     let mut client = KaasClient::connect(&net, "kaas", LinkProfile::loopback())
 ///         .await
 ///         .unwrap();
-///     client.invoke("mci", Value::U64(10_000)).await.unwrap().output
+///     client.call("mci").arg(Value::U64(10_000)).send().await.unwrap().output
 /// });
 /// assert!(matches!(out, kaas_kernels::Value::F64(_)));
 /// ```
@@ -91,13 +94,18 @@ impl KaasServer {
         shm: SharedMemory,
         config: ServerConfig,
     ) -> Self {
+        let mut pool = RunnerPool::new(devices);
+        if let Some(tracer) = &config.tracer {
+            pool.set_tracer(tracer.clone());
+        }
         KaasServer {
             inner: Rc::new(ServerInner {
                 registry,
                 shm,
-                pool: Rc::new(RunnerPool::new(devices)),
+                pool: Rc::new(pool),
                 admission: AdmissionController::new(config.admission),
                 metrics: MetricsSink::new(),
+                metrics_registry: MetricsRegistry::new(),
                 dispatch_lock: Semaphore::new(1),
                 config,
             }),
@@ -108,9 +116,30 @@ impl KaasServer {
         &self.inner
     }
 
-    /// The server's metric sink.
+    /// The server's metric sink (raw per-invocation reports).
     pub fn metrics(&self) -> MetricsSink {
         self.inner.metrics.clone()
+    }
+
+    /// The server's structured metric store: counters (`invocations`,
+    /// `cold_starts`, `errors.*`), gauges (`in_flight`, `runners`,
+    /// `device{N}.utilization`), and latency histograms
+    /// (`latency.server`, `latency.queue`, `copy_in`, `kernel_exec`,
+    /// `copy_out`, each also per-kernel as `<name>.<kernel>`).
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        self.inner.metrics_registry.clone()
+    }
+
+    /// A consistent point-in-time view of the control plane: per-kernel
+    /// runner/in-flight counts, reap totals, and device classes.
+    /// Replaces the one-getter-per-stat surface
+    /// ([`runner_count`](KaasServer::runner_count) and friends).
+    pub fn snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot {
+            kernels: self.inner.pool.per_kernel_stats(),
+            reaped: self.inner.pool.reaped(),
+            device_classes: self.inner.pool.device_classes(),
+        }
     }
 
     /// The managed devices.
@@ -129,16 +158,19 @@ impl KaasServer {
     }
 
     /// Number of runner slots (starting or ready) for `kernel`.
+    #[deprecated(note = "use `server.snapshot().runners(kernel)`")]
     pub fn runner_count(&self, kernel: &str) -> usize {
         self.inner.pool.runner_count(kernel)
     }
 
     /// Total in-flight (claimed) invocations for `kernel`.
+    #[deprecated(note = "use `server.snapshot().in_flight(kernel)`")]
     pub fn in_flight(&self, kernel: &str) -> usize {
         self.inner.pool.in_flight(kernel)
     }
 
     /// Number of runners reaped by the idle timeout so far.
+    #[deprecated(note = "use `server.snapshot().reaped`")]
     pub fn reaped(&self) -> usize {
         self.inner.pool.reaped()
     }
@@ -150,6 +182,7 @@ impl KaasServer {
     }
 
     /// Device classes available in this deployment.
+    #[deprecated(note = "use `server.snapshot().device_classes`")]
     pub fn device_classes(&self) -> Vec<DeviceClass> {
         self.inner.pool.device_classes()
     }
@@ -191,12 +224,69 @@ impl KaasServer {
                     let server = server.clone();
                     let tx = tx.clone();
                     spawn(async move {
+                        let parent = frame.body.span;
                         let resp = server.handle(frame.body).await;
                         let bytes = resp.wire_bytes();
-                        let _ = tx.send(Frame::new(resp, bytes)).await;
+                        let t0 = kaas_simtime::now();
+                        let sent = tx.send(Frame::new(resp, bytes)).await;
+                        if let (Some(tracer), Ok(())) = (&server.inner.config.tracer, sent) {
+                            // The reply transmission, parented under the
+                            // client's roundtrip span.
+                            tracer.record(
+                                "server",
+                                "net_send",
+                                t0,
+                                kaas_simtime::now(),
+                                parent,
+                                vec![("bytes".into(), bytes.to_string())],
+                            );
+                        }
                     });
                 }
             });
         }
+    }
+}
+
+/// Point-in-time control-plane statistics for one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Usable runner slots (starting or ready).
+    pub runners: usize,
+    /// In-flight (claimed) invocations.
+    pub in_flight: usize,
+}
+
+/// A consistent point-in-time view of a server's control plane, taken
+/// with [`KaasServer::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerSnapshot {
+    /// Per-kernel stats, keyed by kernel name (sorted).
+    pub kernels: BTreeMap<String, KernelStats>,
+    /// Runners reaped by the idle timeout so far.
+    pub reaped: usize,
+    /// Device classes present in the deployment (sorted, deduplicated).
+    pub device_classes: Vec<DeviceClass>,
+}
+
+impl ServerSnapshot {
+    /// Usable runner slots for `kernel` (0 if never started).
+    pub fn runners(&self, kernel: &str) -> usize {
+        self.kernels.get(kernel).map_or(0, |k| k.runners)
+    }
+
+    /// In-flight invocations for `kernel` (0 if never started).
+    pub fn in_flight(&self, kernel: &str) -> usize {
+        self.kernels.get(kernel).map_or(0, |k| k.in_flight)
+    }
+
+    /// Runner slots across every kernel.
+    pub fn total_runners(&self) -> usize {
+        self.kernels.values().map(|k| k.runners).sum()
+    }
+
+    /// In-flight invocations across every kernel.
+    pub fn total_in_flight(&self) -> usize {
+        self.kernels.values().map(|k| k.in_flight).sum()
     }
 }

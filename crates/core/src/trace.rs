@@ -1,0 +1,37 @@
+//! End-to-end invocation tracing: the span model.
+//!
+//! Tracing is runtime-opt-in: create one [`SpanSink`], attach it to
+//! clients ([`KaasClient::with_tracer`](crate::KaasClient::with_tracer))
+//! and the server
+//! ([`ServerConfig::with_tracer`][crate::ServerConfig::with_tracer]),
+//! then run the workload and export
+//! with [`SpanSink::to_chrome_json`]. Identical runs produce
+//! byte-identical JSON.
+//!
+//! One traced invocation becomes this span tree (tracks in
+//! parentheses):
+//!
+//! ```text
+//! invoke (client{N})
+//! ├── serialize | shm_put        (client{N})
+//! ├── roundtrip                  (client{N})
+//! │   ├── net_send               (client{N})  request transmission
+//! │   ├── admission              (server)
+//! │   ├── dispatch               (server)
+//! │   ├── deserialize | shm_take (server)
+//! │   ├── queue_wait             (server)     placement → device start
+//! │   ├── copy_in                (runner{M})
+//! │   ├── kernel_exec            (runner{M})
+//! │   ├── copy_out               (runner{M})
+//! │   ├── reply                  (server)     response serialization
+//! │   └── net_send               (server)     reply transmission
+//! └── deserialize | shm_take     (client{N})
+//! ```
+//!
+//! `cold_start` spans appear on `runner{M}` tracks as roots (a cold
+//! start can serve many queued invocations, so it belongs to no single
+//! request). The root's direct client-side children tile it exactly:
+//! their durations sum to the client-observed
+//! [`Invocation::latency`][crate::Invocation::latency].
+
+pub use kaas_simtime::trace::{OpenSpan, Span, SpanId, SpanSink};

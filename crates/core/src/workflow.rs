@@ -127,9 +127,10 @@ impl KaasClient {
         let mut current = input;
         let mut reports = Vec::with_capacity(workflow.len());
         for step in workflow.steps() {
+            let call = self.call(step).arg(current);
             let inv = match workflow.mode {
-                TransferMode::OutOfBand => self.invoke_oob(step, current).await?,
-                TransferMode::InBand => self.invoke(step, current).await?,
+                TransferMode::OutOfBand => call.out_of_band().send().await?,
+                TransferMode::InBand => call.send().await?,
             };
             current = inv.output;
             reports.push(inv.report);

@@ -7,7 +7,8 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use kaas_simtime::channel::{self, Receiver, Sender};
-use kaas_simtime::sleep;
+use kaas_simtime::trace::{SpanId, SpanSink};
+use kaas_simtime::{now, sleep};
 
 use crate::profile::LinkProfile;
 use crate::wire::{wire, Disconnected, Frame, WireReceiver, WireSender};
@@ -18,6 +19,7 @@ use crate::wire::{wire, Disconnected, Frame, WireReceiver, WireSender};
 pub struct Connection<Out, In> {
     tx: WireSender<Out>,
     rx: WireReceiver<In>,
+    tracer: Option<(SpanSink, String)>,
 }
 
 impl<Out: 'static, In: 'static> Connection<Out, In> {
@@ -29,6 +31,44 @@ impl<Out: 'static, In: 'static> Connection<Out, In> {
     /// Returns [`Disconnected`] if the peer is gone.
     pub async fn send(&self, body: Out, bytes: u64) -> Result<(), Disconnected> {
         self.tx.send(Frame::new(body, bytes)).await
+    }
+
+    /// Attaches a span sink: every traced send records a `net_send` span
+    /// on `track` covering the transmission time (see
+    /// [`send_traced`](Connection::send_traced)).
+    pub fn set_tracer(&mut self, sink: SpanSink, track: impl Into<String>) {
+        self.tracer = Some((sink, track.into()));
+    }
+
+    /// Like [`send`](Connection::send), but records a `net_send` span
+    /// (child of `parent`, annotated with the frame size) when a tracer
+    /// is attached via [`set_tracer`](Connection::set_tracer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] if the peer is gone.
+    pub async fn send_traced(
+        &self,
+        body: Out,
+        bytes: u64,
+        parent: Option<SpanId>,
+    ) -> Result<(), Disconnected> {
+        match &self.tracer {
+            Some((sink, track)) => {
+                let t0 = now();
+                let result = self.tx.send(Frame::new(body, bytes)).await;
+                sink.record(
+                    track.clone(),
+                    "net_send",
+                    t0,
+                    now(),
+                    parent,
+                    vec![("bytes".into(), bytes.to_string())],
+                );
+                result
+            }
+            None => self.send(body, bytes).await,
+        }
     }
 
     /// Receives the next frame; `None` when the peer hung up.
@@ -58,8 +98,16 @@ pub fn pair<A: 'static, B: 'static>(profile: LinkProfile) -> (Connection<A, B>, 
     let (atx, arx) = wire::<A>(profile);
     let (btx, brx) = wire::<B>(profile);
     (
-        Connection { tx: atx, rx: brx },
-        Connection { tx: btx, rx: arx },
+        Connection {
+            tx: atx,
+            rx: brx,
+            tracer: None,
+        },
+        Connection {
+            tx: btx,
+            rx: arx,
+            tracer: None,
+        },
     )
 }
 
@@ -90,6 +138,7 @@ type ServerConn<Req, Resp> = Connection<Resp, Req>;
 
 struct NetState<Req, Resp> {
     listeners: HashMap<String, Sender<ServerConn<Req, Resp>>>,
+    next_client: u64,
 }
 
 /// A named-endpoint network for one request/response protocol.
@@ -152,8 +201,23 @@ impl<Req: 'static, Resp: 'static> Network<Req, Resp> {
         Network {
             state: Rc::new(RefCell::new(NetState {
                 listeners: HashMap::new(),
+                next_client: 0,
             })),
         }
+    }
+
+    /// Hands out the next client identity on this network (0, 1, 2, …).
+    ///
+    /// Protocols use this to namespace per-client sequence numbers:
+    /// two clients of the same network that both start counting requests
+    /// from zero would otherwise collide in merged traces. Allocation is
+    /// per-network state, so identical simulation runs hand out
+    /// identical ids.
+    pub fn alloc_client_id(&self) -> u64 {
+        let mut s = self.state.borrow_mut();
+        let id = s.next_client;
+        s.next_client += 1;
+        id
     }
 
     /// Binds a listener to `addr`.
@@ -302,6 +366,18 @@ mod tests {
             c.recv().await.unwrap().body
         });
         assert_eq!(reply, 42);
+    }
+
+    #[test]
+    fn client_ids_are_sequential_per_network() {
+        let a: Network<u8, u8> = Network::new();
+        let b: Network<u8, u8> = Network::new();
+        assert_eq!(a.alloc_client_id(), 0);
+        assert_eq!(a.alloc_client_id(), 1);
+        // A fresh network starts over — ids are per-network state.
+        assert_eq!(b.alloc_client_id(), 0);
+        // Clones share the counter.
+        assert_eq!(a.clone().alloc_client_id(), 2);
     }
 
     #[test]

@@ -68,5 +68,6 @@ pub use executor::{now, spawn, Handle, Simulation};
 pub use join::JoinHandle;
 pub use sleep::{sleep, sleep_until, timeout, yield_now, Elapsed, Sleep, Timeout, YieldNow};
 pub use time::SimTime;
+pub use trace::{OpenSpan, Span, SpanId, SpanSink};
 
 pub use std::time::Duration;

@@ -74,6 +74,11 @@ impl SimTime {
     pub fn saturating_add(self, d: Duration) -> SimTime {
         SimTime(self.0.saturating_add(duration_to_nanos(d)))
     }
+
+    /// Subtracts a duration, saturating at [`SimTime::ZERO`].
+    pub fn saturating_sub(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_sub(duration_to_nanos(d)))
+    }
 }
 
 fn duration_to_nanos(d: Duration) -> u64 {
@@ -185,6 +190,18 @@ mod tests {
         assert_eq!(
             SimTime::MAX.saturating_add(Duration::from_secs(1)),
             SimTime::MAX
+        );
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        assert_eq!(
+            SimTime::from_secs(1).saturating_sub(Duration::from_secs(2)),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            SimTime::from_secs(3).saturating_sub(Duration::from_secs(1)),
+            SimTime::from_secs(2)
         );
     }
 

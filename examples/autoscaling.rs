@@ -7,8 +7,8 @@
 
 use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
 use kaas::core::{
-    KaasClient, KaasNetwork, KaasServer, KernelRegistry, SchedulerKind, ServerConfig,
-    TargetUtilization,
+    KaasClient, KaasNetwork, KaasServer, KernelRegistry, LeastLoaded, Scheduler, ServerConfig,
+    TargetUtilization, WarmFirst,
 };
 use kaas::kernels::{MonteCarlo, Value};
 use kaas::net::{LinkProfile, SharedMemory};
@@ -36,14 +36,11 @@ fn main() {
     // but still cold-starting — slot and eats the cold start, while
     // WarmFirst keeps placing on the warm runner.
     println!("scheduler     cold_starts  mean_latency(ms)");
-    for scheduler in [SchedulerKind::LeastLoaded, SchedulerKind::WarmFirst] {
+    let schedulers: [Box<dyn Scheduler>; 2] = [Box::new(LeastLoaded), Box::new(WarmFirst)];
+    for scheduler in schedulers {
+        let name = scheduler.name();
         let (cold, mean_ms) = scheduler_burst(scheduler);
-        println!(
-            "{:<12}  {:>11}  {:>16.2}",
-            format!("{scheduler:?}"),
-            cold,
-            mean_ms
-        );
+        println!("{name:<12}  {cold:>11}  {mean_ms:>16.2}");
     }
     println!("\nWarmFirst trades load balance for warm hits — fewer cold starts.");
 }
@@ -51,7 +48,7 @@ fn main() {
 /// One prewarmed runner and a proactive autoscaler (scale out at 25%
 /// utilization), then two clients issuing four invocations each.
 /// Returns (cold-started invocations, mean latency).
-fn scheduler_burst(scheduler: SchedulerKind) -> (usize, f64) {
+fn scheduler_burst(scheduler: Box<dyn Scheduler>) -> (usize, f64) {
     let mut sim = Simulation::new();
     sim.block_on(async move {
         let registry = KernelRegistry::new();
@@ -80,7 +77,12 @@ fn scheduler_burst(scheduler: SchedulerKind) -> (usize, f64) {
                 let mut cold = 0;
                 let mut total = std::time::Duration::ZERO;
                 for _ in 0..4 {
-                    let inv = client.invoke("mci", Value::U64(1_000_000)).await.unwrap();
+                    let inv = client
+                        .call("mci")
+                        .arg(Value::U64(1_000_000))
+                        .send()
+                        .await
+                        .unwrap();
                     cold += usize::from(inv.report.cold_start);
                     total += inv.latency;
                 }

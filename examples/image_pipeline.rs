@@ -61,7 +61,10 @@ fn main() {
         let t0 = now();
         // Stage 1: CPU preprocessing (resize to 224²).
         let pre = client
-            .invoke_oob("preprocess", frame)
+            .call("preprocess")
+            .arg(frame)
+            .out_of_band()
+            .send()
             .await
             .expect("preprocess");
         let resized = pre.output;
@@ -73,7 +76,13 @@ fn main() {
         );
 
         // Stage 2: FPGA bitmap conversion of the resized frame.
-        let bm = client.invoke_oob("bitmap", resized).await.expect("bitmap");
+        let bm = client
+            .call("bitmap")
+            .arg(resized)
+            .out_of_band()
+            .send()
+            .await
+            .expect("bitmap");
         let bitmap = bm.output;
         if let Value::Image { pixels, .. } = &bitmap {
             let whites = pixels.iter().filter(|&&p| p == 1).count();
@@ -88,7 +97,10 @@ fn main() {
 
         // Stage 3: GPU inference on the processed batch.
         let inf = client
-            .invoke_oob("resnet50", Value::U64(8))
+            .call("resnet50")
+            .arg(Value::U64(8))
+            .out_of_band()
+            .send()
             .await
             .expect("inference");
         println!(

@@ -59,7 +59,10 @@ fn main() {
         let energy = loop {
             for params in pending.drain(..) {
                 let inv = client
-                    .invoke_oob("vqe-estimator", Value::F64s(params.clone()))
+                    .call("vqe-estimator")
+                    .arg(Value::F64s(params.clone()))
+                    .out_of_band()
+                    .send()
                     .await
                     .expect("estimator call");
                 let e = match inv.output {

@@ -21,6 +21,12 @@ if [[ $quick -eq 0 ]]; then
     cargo test -q --release --workspace --all-features
 fi
 
+echo "==> cargo build --features trace --examples"
+cargo build --release --features trace --examples
+
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

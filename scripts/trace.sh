@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Export chrome://tracing span dumps from the traced examples into
+# results/trace_*.json. Load them in chrome://tracing or
+# https://ui.perfetto.dev.
+#
+# Usage: scripts/trace.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo run --release --features trace --example quickstart"
+cargo run --release --features trace --example quickstart >/dev/null
+
+ls -l results/trace_*.json
+echo "trace export OK"

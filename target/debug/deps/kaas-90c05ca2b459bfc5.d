@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kaas-90c05ca2b459bfc5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libkaas-90c05ca2b459bfc5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libkaas-90c05ca2b459bfc5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/kaas_accel-4b430e078f0b19d2.d: crates/accel/src/lib.rs crates/accel/src/cpu.rs crates/accel/src/device.rs crates/accel/src/fpga.rs crates/accel/src/gpu.rs crates/accel/src/power.rs crates/accel/src/ps.rs crates/accel/src/qpu.rs crates/accel/src/tpu.rs crates/accel/src/work.rs crates/accel/src/xfer.rs
+
+/root/repo/target/debug/deps/libkaas_accel-4b430e078f0b19d2.rmeta: crates/accel/src/lib.rs crates/accel/src/cpu.rs crates/accel/src/device.rs crates/accel/src/fpga.rs crates/accel/src/gpu.rs crates/accel/src/power.rs crates/accel/src/ps.rs crates/accel/src/qpu.rs crates/accel/src/tpu.rs crates/accel/src/work.rs crates/accel/src/xfer.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/cpu.rs:
+crates/accel/src/device.rs:
+crates/accel/src/fpga.rs:
+crates/accel/src/gpu.rs:
+crates/accel/src/power.rs:
+crates/accel/src/ps.rs:
+crates/accel/src/qpu.rs:
+crates/accel/src/tpu.rs:
+crates/accel/src/work.rs:
+crates/accel/src/xfer.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/kaas_kernels-ea351dd3297a66e6.d: crates/kernels/src/lib.rs crates/kernels/src/conv2d.rs crates/kernels/src/dtw.rs crates/kernels/src/fpga.rs crates/kernels/src/ga.rs crates/kernels/src/gnn.rs crates/kernels/src/image.rs crates/kernels/src/kernel.rs crates/kernels/src/matmul.rs crates/kernels/src/mci.rs crates/kernels/src/qc.rs crates/kernels/src/resnet.rs crates/kernels/src/value.rs
+
+/root/repo/target/debug/deps/libkaas_kernels-ea351dd3297a66e6.rmeta: crates/kernels/src/lib.rs crates/kernels/src/conv2d.rs crates/kernels/src/dtw.rs crates/kernels/src/fpga.rs crates/kernels/src/ga.rs crates/kernels/src/gnn.rs crates/kernels/src/image.rs crates/kernels/src/kernel.rs crates/kernels/src/matmul.rs crates/kernels/src/mci.rs crates/kernels/src/qc.rs crates/kernels/src/resnet.rs crates/kernels/src/value.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/conv2d.rs:
+crates/kernels/src/dtw.rs:
+crates/kernels/src/fpga.rs:
+crates/kernels/src/ga.rs:
+crates/kernels/src/gnn.rs:
+crates/kernels/src/image.rs:
+crates/kernels/src/kernel.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/mci.rs:
+crates/kernels/src/qc.rs:
+crates/kernels/src/resnet.rs:
+crates/kernels/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kaas_net-08c155ba5bf05933.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libkaas_net-08c155ba5bf05933.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/profile.rs crates/net/src/shm.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/conn.rs:
+crates/net/src/profile.rs:
+crates/net/src/shm.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/kaas_quantum-bb26319519a7cd64.d: crates/quantum/src/lib.rs crates/quantum/src/circuit.rs crates/quantum/src/complex.rs crates/quantum/src/estimator.rs crates/quantum/src/gate.rs crates/quantum/src/optimize.rs crates/quantum/src/pauli.rs crates/quantum/src/state.rs crates/quantum/src/transpile.rs crates/quantum/src/vqe.rs
+
+/root/repo/target/debug/deps/libkaas_quantum-bb26319519a7cd64.rmeta: crates/quantum/src/lib.rs crates/quantum/src/circuit.rs crates/quantum/src/complex.rs crates/quantum/src/estimator.rs crates/quantum/src/gate.rs crates/quantum/src/optimize.rs crates/quantum/src/pauli.rs crates/quantum/src/state.rs crates/quantum/src/transpile.rs crates/quantum/src/vqe.rs
+
+crates/quantum/src/lib.rs:
+crates/quantum/src/circuit.rs:
+crates/quantum/src/complex.rs:
+crates/quantum/src/estimator.rs:
+crates/quantum/src/gate.rs:
+crates/quantum/src/optimize.rs:
+crates/quantum/src/pauli.rs:
+crates/quantum/src/state.rs:
+crates/quantum/src/transpile.rs:
+crates/quantum/src/vqe.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/kaas_simtime-16f66a0eece3ff79.d: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs
+
+/root/repo/target/debug/deps/libkaas_simtime-16f66a0eece3ff79.rmeta: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/channel.rs:
+crates/simtime/src/combinators.rs:
+crates/simtime/src/executor.rs:
+crates/simtime/src/join.rs:
+crates/simtime/src/rng.rs:
+crates/simtime/src/sleep.rs:
+crates/simtime/src/sync.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracing-5f060b07b748251d.d: tests/tracing.rs
+
+/root/repo/target/debug/deps/tracing-5f060b07b748251d: tests/tracing.rs
+
+tests/tracing.rs:

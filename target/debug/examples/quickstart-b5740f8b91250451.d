@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b5740f8b91250451.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b5740f8b91250451: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["kaas_accel",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"kaas_accel/enum.DeviceClass.html\" title=\"enum kaas_accel::DeviceClass\">DeviceClass</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"kaas_accel/struct.DeviceId.html\" title=\"struct kaas_accel::DeviceId\">DeviceId</a>",0]]],["kaas_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"kaas_core/struct.RunnerId.html\" title=\"struct kaas_core::RunnerId\">RunnerId</a>",0]]],["kaas_simtime",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"kaas_simtime/struct.SimTime.html\" title=\"struct kaas_simtime::SimTime\">SimTime</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"kaas_simtime/trace/struct.SpanId.html\" title=\"struct kaas_simtime::trace::SpanId\">SpanId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[521,265,533]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["kaas_quantum",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Sub.html\" title=\"trait core::ops::arith::Sub\">Sub</a> for <a class=\"struct\" href=\"kaas_quantum/struct.C64.html\" title=\"struct kaas_quantum::C64\">C64</a>",0]]],["kaas_simtime",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Sub.html\" title=\"trait core::ops::arith::Sub\">Sub</a> for <a class=\"struct\" href=\"kaas_simtime/struct.SimTime.html\" title=\"struct kaas_simtime::SimTime\">SimTime</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[271,284]}

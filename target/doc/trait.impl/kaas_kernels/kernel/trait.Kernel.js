@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["kaas_core",[["impl <a class=\"trait\" href=\"kaas_kernels/kernel/trait.Kernel.html\" title=\"trait kaas_kernels::kernel::Kernel\">Kernel</a> for <a class=\"struct\" href=\"kaas_core/struct.FusedKernel.html\" title=\"struct kaas_core::FusedKernel\">FusedKernel</a>",0]]],["kaas_core",[["impl Kernel for <a class=\"struct\" href=\"kaas_core/struct.FusedKernel.html\" title=\"struct kaas_core::FusedKernel\">FusedKernel</a>",0]]],["kaas_kernels",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[271,157,20]}

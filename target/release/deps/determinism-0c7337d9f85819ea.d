@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-0c7337d9f85819ea.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-0c7337d9f85819ea: tests/determinism.rs
+
+tests/determinism.rs:

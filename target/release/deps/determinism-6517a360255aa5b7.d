@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-6517a360255aa5b7.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-6517a360255aa5b7.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-cbb3cbe64e371261.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-cbb3cbe64e371261.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

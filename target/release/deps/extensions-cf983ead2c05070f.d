@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-cf983ead2c05070f.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-cf983ead2c05070f: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_and_errors-2fceeae2b2384809.d: tests/failure_and_errors.rs
+
+/root/repo/target/release/deps/failure_and_errors-2fceeae2b2384809: tests/failure_and_errors.rs
+
+tests/failure_and_errors.rs:

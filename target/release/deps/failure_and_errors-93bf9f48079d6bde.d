@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/failure_and_errors-93bf9f48079d6bde.d: tests/failure_and_errors.rs Cargo.toml
+
+/root/repo/target/release/deps/libfailure_and_errors-93bf9f48079d6bde.rmeta: tests/failure_and_errors.rs Cargo.toml
+
+tests/failure_and_errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/federation-25942f812ca4ff68.d: tests/federation.rs Cargo.toml
+
+/root/repo/target/release/deps/libfederation-25942f812ca4ff68.rmeta: tests/federation.rs Cargo.toml
+
+tests/federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

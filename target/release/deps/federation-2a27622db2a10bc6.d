@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/federation-2a27622db2a10bc6.d: tests/federation.rs
+
+/root/repo/target/release/deps/federation-2a27622db2a10bc6: tests/federation.rs
+
+tests/federation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heterogeneous-25914b320ac372a2.d: tests/heterogeneous.rs
+
+/root/repo/target/release/deps/heterogeneous-25914b320ac372a2: tests/heterogeneous.rs
+
+tests/heterogeneous.rs:

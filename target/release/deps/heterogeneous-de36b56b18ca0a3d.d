@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/heterogeneous-de36b56b18ca0a3d.d: tests/heterogeneous.rs Cargo.toml
+
+/root/repo/target/release/deps/libheterogeneous-de36b56b18ca0a3d.rmeta: tests/heterogeneous.rs Cargo.toml
+
+tests/heterogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

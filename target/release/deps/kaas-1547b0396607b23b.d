@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kaas-1547b0396607b23b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libkaas-1547b0396607b23b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

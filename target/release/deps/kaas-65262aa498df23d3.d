@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kaas-65262aa498df23d3.d: src/lib.rs
+
+/root/repo/target/release/deps/kaas-65262aa498df23d3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kaas-74761cb62f3f0b80.d: src/lib.rs
+
+/root/repo/target/release/deps/libkaas-74761cb62f3f0b80.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libkaas-74761cb62f3f0b80.rmeta: src/lib.rs
+
+src/lib.rs:

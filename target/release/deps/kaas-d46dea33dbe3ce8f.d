@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kaas-d46dea33dbe3ce8f.d: src/lib.rs
+
+/root/repo/target/release/deps/libkaas-d46dea33dbe3ce8f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libkaas-d46dea33dbe3ce8f.rmeta: src/lib.rs
+
+src/lib.rs:

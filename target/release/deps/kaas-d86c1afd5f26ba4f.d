@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kaas-d86c1afd5f26ba4f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libkaas-d86c1afd5f26ba4f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

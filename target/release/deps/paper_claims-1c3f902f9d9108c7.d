@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paper_claims-1c3f902f9d9108c7.d: tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/release/deps/libpaper_claims-1c3f902f9d9108c7.rmeta: tests/paper_claims.rs Cargo.toml
+
+tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-b95360a80c391b4e.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-b95360a80c391b4e: tests/paper_claims.rs
+
+tests/paper_claims.rs:

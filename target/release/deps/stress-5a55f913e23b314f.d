@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-5a55f913e23b314f.d: tests/stress.rs
+
+/root/repo/target/release/deps/stress-5a55f913e23b314f: tests/stress.rs
+
+tests/stress.rs:

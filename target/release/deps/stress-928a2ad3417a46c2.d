@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stress-928a2ad3417a46c2.d: tests/stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libstress-928a2ad3417a46c2.rmeta: tests/stress.rs Cargo.toml
+
+tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

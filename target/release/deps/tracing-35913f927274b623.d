@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tracing-35913f927274b623.d: tests/tracing.rs Cargo.toml
+
+/root/repo/target/release/deps/libtracing-35913f927274b623.rmeta: tests/tracing.rs Cargo.toml
+
+tests/tracing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

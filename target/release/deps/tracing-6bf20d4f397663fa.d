@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tracing-6bf20d4f397663fa.d: tests/tracing.rs
+
+/root/repo/target/release/deps/tracing-6bf20d4f397663fa: tests/tracing.rs
+
+tests/tracing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tracing-b05d2a990c4ed647.d: tests/tracing.rs Cargo.toml
+
+/root/repo/target/release/deps/libtracing-b05d2a990c4ed647.rmeta: tests/tracing.rs Cargo.toml
+
+tests/tracing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

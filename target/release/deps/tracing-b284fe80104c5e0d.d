@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tracing-b284fe80104c5e0d.d: tests/tracing.rs
+
+/root/repo/target/release/deps/tracing-b284fe80104c5e0d: tests/tracing.rs
+
+tests/tracing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autoscaling-4085ffee0d9db7f3.d: examples/autoscaling.rs
+
+/root/repo/target/release/examples/autoscaling-4085ffee0d9db7f3: examples/autoscaling.rs
+
+examples/autoscaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/autoscaling-82493012c08aa70e.d: examples/autoscaling.rs Cargo.toml
+
+/root/repo/target/release/examples/libautoscaling-82493012c08aa70e.rmeta: examples/autoscaling.rs Cargo.toml
+
+examples/autoscaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autoscaling-d3e5bac7aa331a35.d: examples/autoscaling.rs
+
+/root/repo/target/release/examples/autoscaling-d3e5bac7aa331a35: examples/autoscaling.rs
+
+examples/autoscaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/federated_workflow-049e08d48dcec689.d: examples/federated_workflow.rs
+
+/root/repo/target/release/examples/federated_workflow-049e08d48dcec689: examples/federated_workflow.rs
+
+examples/federated_workflow.rs:

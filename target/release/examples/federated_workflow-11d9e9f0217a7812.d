@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/federated_workflow-11d9e9f0217a7812.d: examples/federated_workflow.rs
+
+/root/repo/target/release/examples/federated_workflow-11d9e9f0217a7812: examples/federated_workflow.rs
+
+examples/federated_workflow.rs:

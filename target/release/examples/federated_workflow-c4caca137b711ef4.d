@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/federated_workflow-c4caca137b711ef4.d: examples/federated_workflow.rs Cargo.toml
+
+/root/repo/target/release/examples/libfederated_workflow-c4caca137b711ef4.rmeta: examples/federated_workflow.rs Cargo.toml
+
+examples/federated_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

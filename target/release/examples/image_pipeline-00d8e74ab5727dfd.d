@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_pipeline-00d8e74ab5727dfd.d: examples/image_pipeline.rs
+
+/root/repo/target/release/examples/image_pipeline-00d8e74ab5727dfd: examples/image_pipeline.rs
+
+examples/image_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_pipeline-b8cf9897434f86df.d: examples/image_pipeline.rs
+
+/root/repo/target/release/examples/image_pipeline-b8cf9897434f86df: examples/image_pipeline.rs
+
+examples/image_pipeline.rs:

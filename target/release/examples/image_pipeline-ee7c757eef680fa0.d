@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/image_pipeline-ee7c757eef680fa0.d: examples/image_pipeline.rs Cargo.toml
+
+/root/repo/target/release/examples/libimage_pipeline-ee7c757eef680fa0.rmeta: examples/image_pipeline.rs Cargo.toml
+
+examples/image_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-20621f513a6c97fe.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-20621f513a6c97fe: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8a7a18ce06a0ed48.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8a7a18ce06a0ed48: examples/quickstart.rs
+
+examples/quickstart.rs:

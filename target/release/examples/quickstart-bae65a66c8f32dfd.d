@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-bae65a66c8f32dfd.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-bae65a66c8f32dfd.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/remote_offload-2bc2d20e92f2aa59.d: examples/remote_offload.rs Cargo.toml
+
+/root/repo/target/release/examples/libremote_offload-2bc2d20e92f2aa59.rmeta: examples/remote_offload.rs Cargo.toml
+
+examples/remote_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/remote_offload-6a65567af692a46b.d: examples/remote_offload.rs
+
+/root/repo/target/release/examples/remote_offload-6a65567af692a46b: examples/remote_offload.rs
+
+examples/remote_offload.rs:

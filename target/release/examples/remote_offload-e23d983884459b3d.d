@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/remote_offload-e23d983884459b3d.d: examples/remote_offload.rs
+
+/root/repo/target/release/examples/remote_offload-e23d983884459b3d: examples/remote_offload.rs
+
+examples/remote_offload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/vqe_chemistry-438e0e8c29bb3a07.d: examples/vqe_chemistry.rs Cargo.toml
+
+/root/repo/target/release/examples/libvqe_chemistry-438e0e8c29bb3a07.rmeta: examples/vqe_chemistry.rs Cargo.toml
+
+examples/vqe_chemistry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/vqe_chemistry-49a59c704a15920b.d: examples/vqe_chemistry.rs
+
+/root/repo/target/release/examples/vqe_chemistry-49a59c704a15920b: examples/vqe_chemistry.rs
+
+examples/vqe_chemistry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/vqe_chemistry-64d84e224869ca09.d: examples/vqe_chemistry.rs
+
+/root/repo/target/release/examples/vqe_chemistry-64d84e224869ca09: examples/vqe_chemistry.rs
+
+examples/vqe_chemistry.rs:

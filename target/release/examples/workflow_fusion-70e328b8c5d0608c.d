@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/workflow_fusion-70e328b8c5d0608c.d: examples/workflow_fusion.rs Cargo.toml
+
+/root/repo/target/release/examples/libworkflow_fusion-70e328b8c5d0608c.rmeta: examples/workflow_fusion.rs Cargo.toml
+
+examples/workflow_fusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

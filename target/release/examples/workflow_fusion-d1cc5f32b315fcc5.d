@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/workflow_fusion-d1cc5f32b315fcc5.d: examples/workflow_fusion.rs
+
+/root/repo/target/release/examples/workflow_fusion-d1cc5f32b315fcc5: examples/workflow_fusion.rs
+
+examples/workflow_fusion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/workflow_fusion-d53939af424dd755.d: examples/workflow_fusion.rs
+
+/root/repo/target/release/examples/workflow_fusion-d53939af424dd755: examples/workflow_fusion.rs
+
+examples/workflow_fusion.rs:

@@ -7,8 +7,8 @@ use std::time::Duration;
 
 use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
 use kaas::core::{
-    fuse, KaasClient, KaasNetwork, KaasServer, KernelRegistry, SchedulerKind, ServerConfig,
-    TransferMode, Workflow,
+    fuse, FillFirst, KaasClient, KaasNetwork, KaasServer, KernelRegistry, RoundRobin, Scheduler,
+    ServerConfig, TransferMode, Workflow,
 };
 use kaas::kernels::{GaGeneration, Kernel, MatMul, Value, GENERATIONS};
 use kaas::net::{LinkProfile, SharedMemory};
@@ -96,7 +96,14 @@ fn fused_kernels_cut_invocation_and_copy_overhead() {
             let mut pop = Value::U64(2048);
             let rounds = if fused { GENERATIONS / 2 } else { GENERATIONS };
             for _ in 0..rounds {
-                pop = c.invoke_oob(name, pop).await.unwrap().output;
+                pop = c
+                    .call(name)
+                    .arg(pop)
+                    .out_of_band()
+                    .send()
+                    .await
+                    .unwrap()
+                    .output;
             }
             (now() - t0).as_secs_f64()
         })
@@ -119,19 +126,37 @@ fn idle_runners_are_reaped_and_cold_start_again() {
         };
         let (server, net, shm) = boot_with(vec![Rc::new(MatMul::new())], config);
         let mut c = client(&net, shm).await;
-        let first = c.invoke_oob("matmul", Value::U64(128)).await.unwrap();
+        let first = c
+            .call("matmul")
+            .arg(Value::U64(128))
+            .out_of_band()
+            .send()
+            .await
+            .unwrap();
         assert!(first.report.cold_start);
         // Stay active: short gaps keep the runner warm.
         for _ in 0..3 {
             sleep(Duration::from_secs(10)).await;
-            let inv = c.invoke_oob("matmul", Value::U64(128)).await.unwrap();
+            let inv = c
+                .call("matmul")
+                .arg(Value::U64(128))
+                .out_of_band()
+                .send()
+                .await
+                .unwrap();
             assert!(!inv.report.cold_start, "active runner must stay warm");
         }
-        assert_eq!(server.reaped(), 0);
+        assert_eq!(server.snapshot().reaped, 0);
         // Go idle past the timeout: the runner is reaped.
         sleep(Duration::from_secs(40)).await;
-        assert_eq!(server.reaped(), 1);
-        let again = c.invoke_oob("matmul", Value::U64(128)).await.unwrap();
+        assert_eq!(server.snapshot().reaped, 1);
+        let again = c
+            .call("matmul")
+            .arg(Value::U64(128))
+            .out_of_band()
+            .send()
+            .await
+            .unwrap();
         assert!(again.report.cold_start, "post-reap invocation cold-starts");
     });
 }
@@ -150,7 +175,7 @@ fn rdma_transport_cuts_remote_invocation_latency() {
             let t0 = now();
             let mut pop = Value::U64(2048);
             for _ in 0..GENERATIONS {
-                pop = c.invoke("ga", pop).await.unwrap().output;
+                pop = c.call("ga").arg(pop).send().await.unwrap().output;
             }
             (now() - t0).as_secs_f64()
         })
@@ -166,7 +191,7 @@ fn rdma_transport_cuts_remote_invocation_latency() {
 #[test]
 fn scheduler_policies_trade_consolidation_for_balance() {
     // FillFirst packs work onto few runners; RoundRobin spreads it.
-    let distinct_runners = |scheduler: SchedulerKind| {
+    let distinct_runners = |scheduler: Box<dyn Scheduler>| {
         let mut sim = Simulation::new();
         sim.block_on(async move {
             let config = ServerConfig::default().with_scheduler(scheduler);
@@ -175,14 +200,20 @@ fn scheduler_policies_trade_consolidation_for_balance() {
             let mut c = client(&net, shm).await;
             let mut runners = std::collections::BTreeSet::new();
             for _ in 0..6 {
-                let inv = c.invoke_oob("matmul", Value::U64(64)).await.unwrap();
+                let inv = c
+                    .call("matmul")
+                    .arg(Value::U64(64))
+                    .out_of_band()
+                    .send()
+                    .await
+                    .unwrap();
                 runners.insert(inv.report.runner);
             }
             runners.len()
         })
     };
-    assert_eq!(distinct_runners(SchedulerKind::FillFirst), 1);
-    assert_eq!(distinct_runners(SchedulerKind::RoundRobin), 2);
+    assert_eq!(distinct_runners(Box::new(FillFirst)), 1);
+    assert_eq!(distinct_runners(RoundRobin::default().into()), 2);
 }
 
 #[test]
@@ -212,13 +243,24 @@ fn tenant_quotas_protect_polite_tenants_from_floods() {
             for _ in 0..8 {
                 let mut greedy = client(&net, shm.clone()).await.with_tenant("greedy");
                 spawn(async move {
-                    let _ = greedy.invoke_oob("matmul", Value::U64(8_000)).await;
+                    let _ = greedy
+                        .call("matmul")
+                        .arg(Value::U64(8_000))
+                        .out_of_band()
+                        .send()
+                        .await;
                 });
             }
             // Give the flood a moment to arrive first.
             sleep(Duration::from_millis(10)).await;
             let mut polite = client(&net, shm).await.with_tenant("polite");
-            let inv = polite.invoke_oob("matmul", Value::U64(256)).await.unwrap();
+            let inv = polite
+                .call("matmul")
+                .arg(Value::U64(256))
+                .out_of_band()
+                .send()
+                .await
+                .unwrap();
             inv.latency.as_secs_f64()
         })
     };

@@ -43,7 +43,9 @@ fn unknown_kernel_is_reported() {
         let (_s, net, shm) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
         let mut client = connect(&net, shm).await;
         let err = client
-            .invoke("nonexistent", Value::U64(1))
+            .call("nonexistent")
+            .arg(Value::U64(1))
+            .send()
             .await
             .unwrap_err();
         assert_eq!(err, InvokeError::UnknownKernel("nonexistent".into()));
@@ -56,10 +58,15 @@ fn bad_input_is_reported_not_fatal() {
     sim.block_on(async {
         let (_s, net, shm) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
         let mut client = connect(&net, shm).await;
-        let err = client.invoke("matmul", Value::Unit).await.unwrap_err();
+        let err = client
+            .call("matmul")
+            .arg(Value::Unit)
+            .send()
+            .await
+            .unwrap_err();
         assert!(matches!(err, InvokeError::BadInput(_)), "got {err:?}");
         // The server keeps serving after a bad request.
-        let ok = client.invoke("matmul", Value::U64(64)).await;
+        let ok = client.call("matmul").arg(Value::U64(64)).send().await;
         assert!(ok.is_ok());
     });
 }
@@ -76,7 +83,12 @@ fn missing_device_class_is_reported() {
         .into();
         let (_s, net, shm) = boot(vec![cpu], vec![Rc::new(MatMul::new())]);
         let mut client = connect(&net, shm).await;
-        let err = client.invoke("matmul", Value::U64(64)).await.unwrap_err();
+        let err = client
+            .call("matmul")
+            .arg(Value::U64(64))
+            .send()
+            .await
+            .unwrap_err();
         assert_eq!(err, InvokeError::NoDevice("GPU".into()));
     });
 }
@@ -87,12 +99,24 @@ fn killed_runner_is_replaced_transparently() {
     sim.block_on(async {
         let (server, net, shm) = boot(gpus(2), vec![Rc::new(MonteCarlo::default())]);
         let mut client = connect(&net, shm).await;
-        let first = client.invoke_oob("mci", Value::U64(10_000)).await.unwrap();
+        let first = client
+            .call("mci")
+            .arg(Value::U64(10_000))
+            .out_of_band()
+            .send()
+            .await
+            .unwrap();
         let dev0 = first.report.device;
         // Crash the runner that served us.
         assert!(server.kill_runner("mci", dev0));
         // The next invocation is retried onto a fresh runner and succeeds.
-        let second = client.invoke_oob("mci", Value::U64(10_000)).await.unwrap();
+        let second = client
+            .call("mci")
+            .arg(Value::U64(10_000))
+            .out_of_band()
+            .send()
+            .await
+            .unwrap();
         assert!(second.report.cold_start, "replacement runner cold-starts");
         assert_ne!(
             second.report.runner, first.report.runner,
@@ -109,19 +133,34 @@ fn failed_invocation_releases_in_flight() {
         let mut client = connect(&net, shm).await;
         // Bad-input path: the kernel rejects its argument after a slot
         // was claimed.
-        let err = client.invoke("matmul", Value::Unit).await.unwrap_err();
+        let err = client
+            .call("matmul")
+            .arg(Value::Unit)
+            .send()
+            .await
+            .unwrap_err();
         assert!(matches!(err, InvokeError::BadInput(_)));
         assert_eq!(
-            server.in_flight("matmul"),
+            server.snapshot().in_flight("matmul"),
             0,
             "failed invocation must release its in-flight claim"
         );
         // Crash path: a runner dying mid-service must not leak claims
         // either, even after the transparent retries.
-        let first = client.invoke("matmul", Value::U64(64)).await.unwrap();
+        let first = client
+            .call("matmul")
+            .arg(Value::U64(64))
+            .send()
+            .await
+            .unwrap();
         assert!(server.kill_runner("matmul", first.report.device));
-        client.invoke("matmul", Value::U64(64)).await.unwrap();
-        assert_eq!(server.in_flight("matmul"), 0);
+        client
+            .call("matmul")
+            .arg(Value::U64(64))
+            .send()
+            .await
+            .unwrap();
+        assert_eq!(server.snapshot().in_flight("matmul"), 0);
     });
 }
 
@@ -140,7 +179,12 @@ fn autoscaler_never_exceeds_device_count() {
             let net = net.clone();
             handles.push(spawn(async move {
                 let mut client = connect(&net, shm).await;
-                client.invoke("mci", Value::U64(10_000)).await.unwrap();
+                client
+                    .call("mci")
+                    .arg(Value::U64(10_000))
+                    .send()
+                    .await
+                    .unwrap();
             }));
         }
         let watcher = {
@@ -148,7 +192,7 @@ fn autoscaler_never_exceeds_device_count() {
             spawn(async move {
                 let mut peak = 0;
                 for _ in 0..1000 {
-                    peak = peak.max(server.runner_count("mci"));
+                    peak = peak.max(server.snapshot().runners("mci"));
                     kaas::simtime::sleep(std::time::Duration::from_micros(50)).await;
                 }
                 peak
@@ -176,12 +220,20 @@ fn oob_without_shared_memory_fails_cleanly() {
             .await
             .expect("listening");
         let err = client
-            .invoke_oob("matmul", Value::U64(8))
+            .call("matmul")
+            .arg(Value::U64(8))
+            .out_of_band()
+            .send()
             .await
             .unwrap_err();
         assert_eq!(err, InvokeError::BadHandle);
         // In-band still works for remote clients.
-        assert!(client.invoke("matmul", Value::U64(8)).await.is_ok());
+        assert!(client
+            .call("matmul")
+            .arg(Value::U64(8))
+            .send()
+            .await
+            .is_ok());
     });
 }
 
@@ -191,8 +243,19 @@ fn in_band_and_out_of_band_produce_identical_outputs() {
     sim.block_on(async {
         let (_s, net, shm) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
         let mut client = connect(&net, shm).await;
-        let a = client.invoke("matmul", Value::U64(100)).await.unwrap();
-        let b = client.invoke_oob("matmul", Value::U64(100)).await.unwrap();
+        let a = client
+            .call("matmul")
+            .arg(Value::U64(100))
+            .send()
+            .await
+            .unwrap();
+        let b = client
+            .call("matmul")
+            .arg(Value::U64(100))
+            .out_of_band()
+            .send()
+            .await
+            .unwrap();
         assert_eq!(a.output, b.output);
     });
 }
@@ -204,7 +267,13 @@ fn sized_envelopes_round_trip() {
         let (_s, net, shm) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
         let mut client = connect(&net, shm).await;
         let input = Value::sized(2 * 8 * 2000 * 2000, Value::U64(2000));
-        let inv = client.invoke_oob("matmul", input).await.unwrap();
+        let inv = client
+            .call("matmul")
+            .arg(input)
+            .out_of_band()
+            .send()
+            .await
+            .unwrap();
         // The response mirrors the descriptor size (result matrix bytes).
         assert_eq!(inv.output.wire_bytes(), 8 * 2000 * 2000);
         assert!(matches!(inv.output.payload(), Value::F64(_)));

@@ -58,7 +58,10 @@ fn one_server_serves_all_five_device_classes() {
         ];
         for (kernel, input, device) in calls {
             let inv = client
-                .invoke_oob(kernel, input)
+                .call(kernel)
+                .arg(input)
+                .out_of_band()
+                .send()
                 .await
                 .unwrap_or_else(|e| panic!("{kernel} failed: {e}"));
             assert_eq!(
@@ -78,7 +81,7 @@ fn one_server_serves_all_five_device_classes() {
             "conv2d",
             "vqe-estimator",
         ] {
-            assert_eq!(server.runner_count(kernel), 1);
+            assert_eq!(server.snapshot().runners(kernel), 1);
         }
     });
 }
@@ -101,8 +104,20 @@ fn warm_runners_are_reused_across_clients() {
 
         let mut c1 = connect(&net, shm.clone()).await;
         let mut c2 = connect(&net, shm).await;
-        let a = c1.invoke_oob("matmul", Value::U64(128)).await.unwrap();
-        let b = c2.invoke_oob("matmul", Value::U64(128)).await.unwrap();
+        let a = c1
+            .call("matmul")
+            .arg(Value::U64(128))
+            .out_of_band()
+            .send()
+            .await
+            .unwrap();
+        let b = c2
+            .call("matmul")
+            .arg(Value::U64(128))
+            .out_of_band()
+            .send()
+            .await
+            .unwrap();
         assert!(a.report.cold_start);
         assert!(!b.report.cold_start, "second client must hit the warm copy");
         assert_eq!(a.report.runner, b.report.runner);
@@ -134,12 +149,26 @@ fn kernels_are_transparently_polyglot() {
         let mut client = connect(&net, shm).await;
 
         let frame = Value::image(vec![200u8; 64 * 64 * 3], 64, 64, 3);
-        let resized = client.invoke_oob("preprocess", frame).await.unwrap().output;
+        let resized = client
+            .call("preprocess")
+            .arg(frame)
+            .out_of_band()
+            .send()
+            .await
+            .unwrap()
+            .output;
         match &resized {
             Value::Image { width, height, .. } => assert_eq!((*width, *height), (224, 224)),
             other => panic!("expected an image, got {other:?}"),
         }
-        let bitmap = client.invoke_oob("bitmap", resized).await.unwrap().output;
+        let bitmap = client
+            .call("bitmap")
+            .arg(resized)
+            .out_of_band()
+            .send()
+            .await
+            .unwrap()
+            .output;
         match bitmap {
             Value::Image {
                 pixels, channels, ..

@@ -60,7 +60,14 @@ fn run_chaos() -> (usize, usize, usize) {
                         2 => ("histogram", Value::U64(200_000)),
                         _ => ("vqe-estimator", Value::F64s(vec![0.1 * round as f64; 4])),
                     };
-                    if client.invoke_oob(kernel, input).await.is_ok() {
+                    if client
+                        .call(kernel)
+                        .arg(input)
+                        .out_of_band()
+                        .send()
+                        .await
+                        .is_ok()
+                    {
                         ok += 1;
                     }
                     sleep(Duration::from_millis(350 * (w as u64 + 1))).await;
