@@ -73,6 +73,7 @@ struct CpuInner {
     id: DeviceId,
     profile: CpuProfile,
     compute: SharedProcessor,
+    online: std::cell::Cell<bool>,
 }
 
 /// A simulated CPU with processor-sharing cores.
@@ -111,6 +112,7 @@ impl CpuDevice {
             inner: Rc::new(CpuInner {
                 id,
                 compute: SharedProcessor::new(profile.effective_flops),
+                online: std::cell::Cell::new(true),
                 profile,
             }),
         }
@@ -119,6 +121,17 @@ impl CpuDevice {
     /// Device identity.
     pub fn id(&self) -> DeviceId {
         self.inner.id
+    }
+
+    /// Whether the device is online (fault injection can flip this).
+    pub fn is_online(&self) -> bool {
+        self.inner.online.get()
+    }
+
+    /// Takes the device offline (or back online) — the fault-injection
+    /// hook; an offline device serves no new work.
+    pub fn set_online(&self, online: bool) {
+        self.inner.online.set(online);
     }
 
     /// Static profile.

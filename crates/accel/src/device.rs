@@ -123,6 +123,33 @@ impl Device {
         }
     }
 
+    /// Whether the device is online. Offline devices (see
+    /// [`set_online`](Device::set_online)) host no new runners and fail
+    /// in-flight work — the fault-injection model of a device dropping
+    /// off the bus / out of the cluster.
+    pub fn is_online(&self) -> bool {
+        match self {
+            Device::Cpu(d) => d.is_online(),
+            Device::Gpu(d) => d.is_online(),
+            Device::Fpga(d) => d.is_online(),
+            Device::Tpu(d) => d.is_online(),
+            Device::Qpu(d) => d.is_online(),
+        }
+    }
+
+    /// Takes the device offline (or back online). Shared across every
+    /// clone of the handle: the fault-injection hook used to simulate
+    /// device flaps.
+    pub fn set_online(&self, online: bool) {
+        match self {
+            Device::Cpu(d) => d.set_online(online),
+            Device::Gpu(d) => d.set_online(online),
+            Device::Fpga(d) => d.set_online(online),
+            Device::Tpu(d) => d.set_online(online),
+            Device::Qpu(d) => d.set_online(online),
+        }
+    }
+
     /// Accumulated utilization-weighted busy time, in device-seconds
     /// (dispatches to each family's own accounting). Divide by elapsed
     /// virtual time for a utilization fraction.
@@ -267,6 +294,18 @@ mod tests {
             if d.class() != DeviceClass::Cpu {
                 assert!(d.runtime_init() > Duration::ZERO, "{}", d.class());
             }
+        }
+    }
+
+    #[test]
+    fn online_flag_is_shared_across_clones() {
+        for d in all_devices() {
+            let clone = d.clone();
+            assert!(d.is_online());
+            clone.set_online(false);
+            assert!(!d.is_online(), "{}", d.class());
+            d.set_online(true);
+            assert!(clone.is_online());
         }
     }
 

@@ -90,6 +90,7 @@ struct FpgaInner {
     lock: Semaphore,
     dma: TransferEngine,
     busy: std::cell::Cell<f64>,
+    online: std::cell::Cell<bool>,
 }
 
 /// A simulated FPGA: one kernel at a time (PyLog offers no spatial
@@ -134,6 +135,7 @@ impl FpgaDevice {
                 lock: Semaphore::new(1),
                 dma: TransferEngine::new(profile.dma_bps),
                 busy: std::cell::Cell::new(0.0),
+                online: std::cell::Cell::new(true),
                 profile,
             }),
         }
@@ -142,6 +144,17 @@ impl FpgaDevice {
     /// Device identity.
     pub fn id(&self) -> DeviceId {
         self.inner.id
+    }
+
+    /// Whether the device is online (fault injection can flip this).
+    pub fn is_online(&self) -> bool {
+        self.inner.online.get()
+    }
+
+    /// Takes the device offline (or back online) — the fault-injection
+    /// hook; an offline device serves no new work.
+    pub fn set_online(&self, online: bool) {
+        self.inner.online.set(online);
     }
 
     /// Static profile.

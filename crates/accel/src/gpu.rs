@@ -168,6 +168,7 @@ struct GpuInner {
     pcie: TransferEngine,
     exclusive: Semaphore,
     contexts: Cell<u32>,
+    online: Cell<bool>,
 }
 
 /// A simulated GPU: demand-weighted spatially shared compute (MPS model)
@@ -212,6 +213,7 @@ impl GpuDevice {
                 pcie: TransferEngine::new(profile.pcie_pinned_bps),
                 exclusive: Semaphore::new(1),
                 contexts: Cell::new(0),
+                online: Cell::new(true),
                 profile,
             }),
         }
@@ -220,6 +222,17 @@ impl GpuDevice {
     /// Device identity.
     pub fn id(&self) -> DeviceId {
         self.inner.id
+    }
+
+    /// Whether the device is online (fault injection can flip this).
+    pub fn is_online(&self) -> bool {
+        self.inner.online.get()
+    }
+
+    /// Takes the device offline (or back online) — the fault-injection
+    /// hook; an offline device serves no new work.
+    pub fn set_online(&self, online: bool) {
+        self.inner.online.set(online);
     }
 
     /// Static profile.

@@ -157,6 +157,7 @@ struct QpuInner {
     profile: QpuProfile,
     lock: Semaphore,
     busy: std::cell::Cell<f64>,
+    online: std::cell::Cell<bool>,
 }
 
 /// A simulated quantum backend executing one job at a time.
@@ -196,6 +197,7 @@ impl QpuDevice {
                 id,
                 lock: Semaphore::new(1),
                 busy: std::cell::Cell::new(0.0),
+                online: std::cell::Cell::new(true),
                 profile,
             }),
         }
@@ -204,6 +206,17 @@ impl QpuDevice {
     /// Device identity.
     pub fn id(&self) -> DeviceId {
         self.inner.id
+    }
+
+    /// Whether the device is online (fault injection can flip this).
+    pub fn is_online(&self) -> bool {
+        self.inner.online.get()
+    }
+
+    /// Takes the device offline (or back online) — the fault-injection
+    /// hook; an offline device serves no new work.
+    pub fn set_online(&self, online: bool) {
+        self.inner.online.set(online);
     }
 
     /// Static profile.

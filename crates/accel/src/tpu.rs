@@ -65,6 +65,7 @@ struct TpuInner {
     board: Semaphore,
     exclusive_busy: std::cell::Cell<f64>,
     next_chip: std::cell::Cell<u32>,
+    online: std::cell::Cell<bool>,
 }
 
 /// A simulated TPU board: per-chip compute plus a board-exclusive mode.
@@ -110,9 +111,21 @@ impl TpuDevice {
                 board: Semaphore::new(profile.chips as usize),
                 exclusive_busy: std::cell::Cell::new(0.0),
                 next_chip: std::cell::Cell::new(0),
+                online: std::cell::Cell::new(true),
                 profile,
             }),
         }
+    }
+
+    /// Whether the device is online (fault injection can flip this).
+    pub fn is_online(&self) -> bool {
+        self.inner.online.get()
+    }
+
+    /// Takes the device offline (or back online) — the fault-injection
+    /// hook; an offline device serves no new work.
+    pub fn set_online(&self, online: bool) {
+        self.inner.online.set(online);
     }
 
     /// Device identity.

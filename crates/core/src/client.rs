@@ -28,8 +28,10 @@
 use std::time::Duration;
 
 use kaas_kernels::Value;
-use kaas_net::{Connection, LinkProfile, NetError, Network, SerializationProfile, SharedMemory};
-use kaas_simtime::{now, sleep, SpanSink};
+use kaas_net::{
+    Connection, LinkFault, LinkProfile, NetError, Network, SerializationProfile, SharedMemory,
+};
+use kaas_simtime::{now, sleep, timeout, SpanSink};
 
 use crate::metrics::InvocationReport;
 use crate::protocol::{DataRef, InvokeError, Request, Response};
@@ -102,6 +104,14 @@ impl KaasClient {
         self.id
     }
 
+    /// The fault-injection handle of this client's **sending** wire
+    /// direction (request frames). Dropping frames here loses requests
+    /// past the NIC; pair with [`InvokeBuilder::timeout`] so lost
+    /// requests resolve as [`InvokeError::TimedOut`].
+    pub fn link_fault(&self) -> LinkFault {
+        self.conn.fault()
+    }
+
     /// Uses `shm` for out-of-band transfer (same-host deployments only).
     pub fn with_shared_memory(mut self, shm: SharedMemory) -> Self {
         self.shm = Some(shm);
@@ -141,6 +151,7 @@ impl KaasClient {
             input: Value::Unit,
             tenant: None,
             deadline: None,
+            timeout: None,
             trace: true,
             out_of_band: false,
             client: self,
@@ -203,6 +214,7 @@ pub struct InvokeBuilder<'c> {
     input: Value,
     tenant: Option<String>,
     deadline: Option<Duration>,
+    timeout: Option<Duration>,
     trace: bool,
     out_of_band: bool,
 }
@@ -225,6 +237,16 @@ impl<'c> InvokeBuilder<'c> {
     /// shed with [`InvokeError::DeadlineExceeded`].
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds the network round trip: if no response arrives within
+    /// `timeout` of the request hitting the wire, the call resolves with
+    /// [`InvokeError::TimedOut`]. This is the client-side recovery path
+    /// for lost frames (link faults): without it a dropped request or
+    /// response would block the caller forever.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
         self
     }
 
@@ -260,6 +282,7 @@ impl<'c> InvokeBuilder<'c> {
             input,
             tenant,
             deadline,
+            timeout: rt_timeout,
             trace,
             out_of_band,
         } = self;
@@ -317,7 +340,13 @@ impl<'c> InvokeBuilder<'c> {
             deadline: deadline.map(|d| now() + d),
             span: rt.as_ref().map(|s| s.id()),
         };
-        let resp = match client.roundtrip(req).await {
+        let resp = match rt_timeout {
+            Some(d) => timeout(d, client.roundtrip(req))
+                .await
+                .unwrap_or(Err(InvokeError::TimedOut)),
+            None => client.roundtrip(req).await,
+        };
+        let resp = match resp {
             Ok(resp) => resp,
             Err(e) => {
                 if let Some(rt) = rt {

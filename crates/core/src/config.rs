@@ -22,6 +22,7 @@ use kaas_simtime::SpanSink;
 
 use crate::admission::AdmissionConfig;
 use crate::autoscaler::{AutoscalePolicy, InFlightThreshold, NoScale};
+use crate::resilience::{BreakerConfig, EvictionConfig, FallbackConfig, RetryConfig};
 use crate::runner::RunnerConfig;
 use crate::scheduler::Scheduler;
 
@@ -50,6 +51,17 @@ pub struct ServerConfig {
     /// recording). Share one sink between clients and the server to see
     /// a whole invocation across every hop.
     pub tracer: Option<SpanSink>,
+    /// Retry behaviour of the dispatch path (default: three immediate
+    /// attempts — the historical hard-coded behaviour).
+    pub retry: RetryConfig,
+    /// Per-device circuit breakers (default: `None`, disabled).
+    pub breaker: Option<BreakerConfig>,
+    /// Health-driven runner eviction (default: quarantine on the first
+    /// failure — the historical behaviour).
+    pub eviction: EvictionConfig,
+    /// Degraded fallback routing between device classes (default: no
+    /// routes; placement failures surface as errors).
+    pub fallback: FallbackConfig,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +75,10 @@ impl Default for ServerConfig {
             admission: AdmissionConfig::default(),
             serialization: SerializationProfile::python_pickle(),
             tracer: None,
+            retry: RetryConfig::default(),
+            breaker: None,
+            eviction: EvictionConfig::default(),
+            fallback: FallbackConfig::none(),
         }
     }
 }
@@ -138,6 +154,30 @@ impl ServerConfig {
         self.tracer = Some(tracer);
         self
     }
+
+    /// Sets the dispatch retry policy (attempts, backoff, budget).
+    pub fn with_retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables per-device circuit breakers with the given tuning.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Sets the health-driven runner eviction threshold.
+    pub fn with_eviction(mut self, eviction: EvictionConfig) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Sets degraded fallback routes between device classes.
+    pub fn with_fallback(mut self, fallback: FallbackConfig) -> Self {
+        self.fallback = fallback;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +195,11 @@ mod tests {
         assert_eq!(c.autoscaler.name(), "in-flight-threshold");
         assert_eq!(c.admission, AdmissionConfig::default());
         assert!(c.idle_timeout.is_none());
+        // Resilience defaults reproduce the pre-resilience behaviour.
+        assert_eq!(c.retry.max_attempts, 3);
+        assert!(c.breaker.is_none());
+        assert_eq!(c.eviction.failure_threshold, 1);
+        assert!(c.fallback.is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
-use kaas_accel::DeviceId;
+use kaas_accel::{DeviceClass, DeviceId};
 use kaas_kernels::{Kernel, Value};
 use kaas_simtime::{now, sleep, SimTime};
 
@@ -26,6 +26,7 @@ use crate::autoscaler::{ScaleCtx, ScaleDecision};
 use crate::metrics::{InvocationReport, RunnerId};
 use crate::pool::{InFlightGuard, RunnerPool, RunnerSlot};
 use crate::protocol::{DataRef, InvokeError, Request, Response};
+use crate::resilience::BreakerState;
 use crate::scheduler::SchedCtx;
 use crate::server::{KaasServer, DISCOVERY_KERNEL};
 
@@ -108,12 +109,21 @@ impl KaasServer {
             return Err(InvokeError::DeadlineExceeded);
         }
 
-        // Dispatch with retries if the chosen runner died.
-        let mut attempts = 0;
-        let (output, timings, runner_id, device_id, started) = loop {
+        // Dispatch with retries if the chosen runner died. Attempt
+        // count, backoff, and budget come from the retry policy
+        // (`ServerConfig::retry`); failures feed the per-device circuit
+        // breaker and the slot's eviction accounting.
+        let retry = &inner.config.retry;
+        let m = &inner.metrics_registry;
+        let mut attempts = 0u32;
+        let mut backoff_spent = Duration::ZERO;
+        let (output, timings, runner_id, device_id, started, degraded) = loop {
             attempts += 1;
+            if attempts > 1 {
+                m.inc("retries.attempted");
+            }
             let t_wait = now();
-            let slot = self.place(&req.kernel, &kernel)?;
+            let (slot, degraded) = self.place(&req.kernel, &kernel)?;
             // RAII claim: released on every exit path below, including
             // kernel errors and retries.
             let claim = InFlightGuard::claim(&slot);
@@ -127,6 +137,8 @@ impl KaasServer {
             }
             match result {
                 Ok((output, timings)) => {
+                    slot.record_success();
+                    self.note_breaker(slot.device(), true);
                     if let Some(t) = &tracer {
                         // Device phases ran back to back ending now;
                         // tile them backwards from the finish time and
@@ -147,9 +159,21 @@ impl KaasServer {
                             at += d;
                         }
                     }
-                    break (output, timings, runner.id(), runner.device_id(), started);
+                    break (
+                        output,
+                        timings,
+                        runner.id(),
+                        runner.device_id(),
+                        started,
+                        degraded,
+                    );
                 }
-                Err(InvokeError::RunnerFailed(_)) if attempts < 3 => {
+                Err(InvokeError::RunnerFailed(reason)) => {
+                    self.note_breaker(slot.device(), false);
+                    if slot.record_failure(inner.config.eviction.failure_threshold) {
+                        inner.pool.quarantine(&slot);
+                        m.inc("evictions");
+                    }
                     if let Some(t) = &tracer {
                         t.record(
                             "server",
@@ -160,7 +184,23 @@ impl KaasServer {
                             vec![("runner".into(), runner.id().to_string())],
                         );
                     }
-                    slot.retire();
+                    if attempts >= retry.max_attempts {
+                        return Err(InvokeError::RunnerFailed(reason));
+                    }
+                    let mut wait = retry.backoff.backoff(attempts, req.id);
+                    if let Some(budget) = retry.budget {
+                        let remaining = budget.saturating_sub(backoff_spent);
+                        if remaining.is_zero() && !wait.is_zero() {
+                            // Budget exhausted: give up rather than
+                            // retry hot with no wait.
+                            return Err(InvokeError::RunnerFailed(reason));
+                        }
+                        wait = wait.min(remaining);
+                    }
+                    if !wait.is_zero() {
+                        sleep(wait).await;
+                        backoff_spent += wait;
+                    }
                 }
                 Err(e) => return Err(e),
             }
@@ -178,6 +218,7 @@ impl KaasServer {
             copy_in: timings.copy_in,
             kernel_exec: timings.kernel_exec,
             copy_out: timings.copy_out,
+            degraded,
         };
         inner.metrics.record(report.clone());
         self.record_registry(&report);
@@ -219,6 +260,9 @@ impl KaasServer {
         if report.cold_start {
             m.inc("cold_starts");
         }
+        if report.degraded {
+            m.inc("degraded.served");
+        }
         for (name, v) in [
             ("latency.server", report.server_latency()),
             ("latency.queue", report.queue_time()),
@@ -242,32 +286,93 @@ impl KaasServer {
         }
     }
 
-    /// Chooses (or starts) a runner slot for `kernel`: scheduler first,
-    /// autoscaler on cold/saturated fleets, queueing as the fallback.
-    /// Claims nothing — the caller takes the in-flight guard.
-    fn place(&self, name: &str, kernel: &Rc<dyn Kernel>) -> Result<Rc<RunnerSlot>, InvokeError> {
+    /// Feeds one invocation outcome into the device's circuit breaker
+    /// (no-op when breakers are disabled) and publishes the resulting
+    /// state as a `breaker.<device>.state` gauge (0 closed, 1 half-open,
+    /// 2 open).
+    fn note_breaker(&self, device: DeviceId, success: bool) {
+        let inner = self.inner();
+        if let Some(breaker) = inner.breakers.for_device(device) {
+            if success {
+                breaker.record_success();
+            } else {
+                breaker.record_failure();
+            }
+            let level = match breaker.state() {
+                BreakerState::Closed => 0.0,
+                BreakerState::HalfOpen => 1.0,
+                BreakerState::Open => 2.0,
+            };
+            inner
+                .metrics_registry
+                .set_gauge(&format!("breaker.{device}.state"), level);
+        }
+    }
+
+    /// Chooses (or starts) a runner slot for `kernel` on its preferred
+    /// device class, degrading to a configured fallback class when the
+    /// preferred one has no usable device. Returns the slot and whether
+    /// the placement was degraded.
+    fn place(
+        &self,
+        name: &str,
+        kernel: &Rc<dyn Kernel>,
+    ) -> Result<(Rc<RunnerSlot>, bool), InvokeError> {
+        let preferred = kernel.device_class();
+        match self.place_on(name, kernel, preferred) {
+            Ok(slot) => Ok((slot, false)),
+            Err(e @ (InvokeError::NoDevice(_) | InvokeError::CircuitOpen(_))) => {
+                if let Some(fallback) = self.inner().config.fallback.next(preferred) {
+                    if let Ok(slot) = self.place_on(name, kernel, fallback) {
+                        return Ok((slot, true));
+                    }
+                }
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Chooses (or starts) a runner slot for `kernel` on `class`:
+    /// scheduler first, autoscaler on cold/saturated fleets, queueing as
+    /// the fallback. Only slots on online devices of `class` whose
+    /// circuit breaker allows placements are eligible. Claims nothing —
+    /// the caller takes the in-flight guard.
+    fn place_on(
+        &self,
+        name: &str,
+        kernel: &Rc<dyn Kernel>,
+        class: DeviceClass,
+    ) -> Result<Rc<RunnerSlot>, InvokeError> {
         let inner = self.inner();
         let pool = &inner.pool;
         let config = &inner.config;
+        let breakers = &inner.breakers;
+        let slot_ok = |s: &RunnerSlot| {
+            pool.device(s.device())
+                .is_some_and(|d| d.class() == class && d.is_online())
+                && breakers.allows(s.device())
+        };
+        let dev_ok = |d: &kaas_accel::Device| breakers.allows(d.id());
         let scale_ctx = |pool: &RunnerPool| ScaleCtx {
             kernel: name,
             runners: pool.runner_count(name),
             in_flight: pool.in_flight(name),
             cap_per_runner: config.runner.max_inflight,
-            device_capacity: pool.class_capacity(kernel.device_class()),
+            device_capacity: pool.class_capacity(class),
         };
         if pool.runner_count(name) == 0 {
             // Bootstrap: a cold deployment always starts its first
             // runner, whatever the policy says.
-            if let Ok(slot) = pool.spawn_runner(name, kernel, config.runner) {
+            if let Ok(slot) = pool.spawn_runner_where(name, kernel, config.runner, class, dev_ok) {
                 return Ok(slot);
             }
         } else {
             // Proactive policies may grow the fleet before placement.
             if config.autoscaler.on_invocation(&scale_ctx(pool)) == ScaleDecision::ScaleUp {
-                let _ = pool.spawn_runner(name, kernel, config.runner);
+                let _ = pool.spawn_runner_where(name, kernel, config.runner, class, dev_ok);
             }
-            let (slots, views) = pool.usable_slots(name);
+            let (slots, views) = pool.usable_slots_where(name, slot_ok);
             if !slots.is_empty() {
                 let ctx = SchedCtx {
                     kernel: name,
@@ -279,15 +384,46 @@ impl KaasServer {
                 }
                 // Every eligible runner is saturated: ask the autoscaler.
                 if config.autoscaler.on_saturated(&scale_ctx(pool)) == ScaleDecision::ScaleUp {
-                    if let Ok(slot) = pool.spawn_runner(name, kernel, config.runner) {
+                    if let Ok(slot) =
+                        pool.spawn_runner_where(name, kernel, config.runner, class, dev_ok)
+                    {
                         return Ok(slot);
                     }
                 }
+            } else {
+                // The kernel has runners, but none on an eligible device
+                // of this class (offline / breaker-open / fallback class
+                // not yet started): try starting one.
+                if let Ok(slot) =
+                    pool.spawn_runner_where(name, kernel, config.runner, class, dev_ok)
+                {
+                    return Ok(slot);
+                }
             }
         }
-        // Fall back to queueing on the least-claimed usable slot.
-        pool.least_claimed(name)
-            .ok_or_else(|| InvokeError::NoDevice(kernel.device_class().to_string()))
+        // Fall back to queueing on the least-claimed eligible slot.
+        pool.least_claimed_where(name, slot_ok)
+            .ok_or_else(|| self.placement_error(class))
+    }
+
+    /// The error reported when no placement on `class` was possible:
+    /// [`InvokeError::CircuitOpen`] when online devices of the class
+    /// exist but every breaker is open, [`InvokeError::NoDevice`]
+    /// otherwise (none deployed, or all offline).
+    fn placement_error(&self, class: DeviceClass) -> InvokeError {
+        let inner = self.inner();
+        let online: Vec<DeviceId> = inner
+            .pool
+            .devices()
+            .iter()
+            .filter(|d| d.class() == class && d.is_online())
+            .map(|d| d.id())
+            .collect();
+        if !online.is_empty() && online.iter().all(|id| !inner.breakers.allows(*id)) {
+            InvokeError::CircuitOpen(class.to_string())
+        } else {
+            InvokeError::NoDevice(class.to_string())
+        }
     }
 
     fn discovery_response(&self) -> (DataRef, InvocationReport) {
@@ -309,6 +445,7 @@ impl KaasServer {
             copy_in: Duration::ZERO,
             kernel_exec: Duration::ZERO,
             copy_out: Duration::ZERO,
+            degraded: false,
         };
         (DataRef::InBand(Value::List(names)), report)
     }

@@ -63,12 +63,14 @@ pub mod baseline;
 mod client;
 mod config;
 mod dispatch;
+pub mod fault;
 mod federation;
 mod fusion;
 mod metrics;
 pub mod pool;
 mod protocol;
 mod registry;
+pub mod resilience;
 mod runner;
 pub mod scheduler;
 mod server;
@@ -82,6 +84,7 @@ pub use autoscaler::{
 pub use baseline::{run_cpu_only, run_space_sharing, run_time_sharing, BaselineReport};
 pub use client::{Invocation, InvokeBuilder, KaasClient};
 pub use config::ServerConfig;
+pub use fault::{AppliedFault, Fault, FaultEvent, FaultInjector, FaultLog, FaultPlan, StormConfig};
 pub use federation::{FederatedClient, SiteSpec};
 pub use fusion::{fuse, FusedKernel, FusionError};
 pub use metrics::histogram::{Histogram, HistogramSummary};
@@ -90,6 +93,10 @@ pub use metrics::{mean_ci95, percentile, InvocationReport, MeanCi, MetricsSink, 
 pub use pool::{RunnerPool, RunnerSlot};
 pub use protocol::{DataRef, InvokeError, Request, Response, FRAME_BYTES};
 pub use registry::{KernelRegistry, RegistryError};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, EvictionConfig, ExponentialBackoff,
+    FallbackConfig, FixedBackoff, NoBackoff, RetryConfig, RetryPolicy,
+};
 pub use runner::{RunnerConfig, RunnerTimings, TaskRunner};
 #[allow(deprecated)]
 pub use scheduler::SchedulerKind;

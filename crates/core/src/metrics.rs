@@ -53,6 +53,9 @@ pub struct InvocationReport {
     pub kernel_exec: Duration,
     /// Device→host copy time.
     pub copy_out: Duration,
+    /// Whether the invocation was served on a fallback device class
+    /// (degraded mode) rather than the kernel's preferred class.
+    pub degraded: bool,
 }
 
 impl InvocationReport {
@@ -184,6 +187,7 @@ mod tests {
             copy_in: Duration::from_millis(1),
             kernel_exec: Duration::from_millis(10),
             copy_out: Duration::from_millis(2),
+            degraded: false,
         }
     }
 

@@ -34,6 +34,7 @@ pub struct RunnerSlot {
     runner: RefCell<Option<Rc<TaskRunner>>>,
     dead: Cell<bool>,
     last_used: Cell<SimTime>,
+    consecutive_failures: Cell<u32>,
 }
 
 impl std::fmt::Debug for RunnerSlot {
@@ -92,6 +93,19 @@ impl RunnerSlot {
         self.last_used.set(now());
     }
 
+    /// Records a successful invocation: resets the failure streak.
+    pub(crate) fn record_success(&self) {
+        self.consecutive_failures.set(0);
+    }
+
+    /// Records a failed invocation; returns `true` when the streak
+    /// reached `threshold` and the slot should be quarantined.
+    pub(crate) fn record_failure(&self, threshold: u32) -> bool {
+        let n = self.consecutive_failures.get() + 1;
+        self.consecutive_failures.set(n);
+        n >= threshold
+    }
+
     /// A scheduler-facing snapshot of this slot.
     fn view(&self, index: usize) -> SlotView {
         SlotView {
@@ -132,6 +146,8 @@ pub struct RunnerPool {
     slots: RefCell<HashMap<String, Vec<Rc<RunnerSlot>>>>,
     next_runner: Cell<u32>,
     reaped: Cell<usize>,
+    quarantined: Cell<usize>,
+    slow_start: Cell<Duration>,
     tracer: Option<SpanSink>,
 }
 
@@ -153,6 +169,8 @@ impl RunnerPool {
             slots: RefCell::new(HashMap::new()),
             next_runner: Cell::new(0),
             reaped: Cell::new(0),
+            quarantined: Cell::new(0),
+            slow_start: Cell::new(Duration::ZERO),
             tracer: None,
         }
     }
@@ -212,6 +230,33 @@ impl RunnerPool {
         self.reaped.get()
     }
 
+    /// Number of runner slots quarantined for persistent failure so far
+    /// (see [`EvictionConfig`](crate::EvictionConfig)).
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.get()
+    }
+
+    /// Quarantines a failing slot: retires it (no further placements)
+    /// and counts the eviction.
+    pub(crate) fn quarantine(&self, slot: &RunnerSlot) {
+        if slot.is_usable() {
+            slot.retire();
+            self.quarantined.set(self.quarantined.get() + 1);
+        }
+    }
+
+    /// The device with identity `id`, if this pool manages it.
+    pub fn device(&self, id: DeviceId) -> Option<&Device> {
+        self.devices.iter().find(|d| d.id() == id)
+    }
+
+    /// Fault injection: the next cold start pays an extra `extra` of
+    /// process-spawn time (a slow-starting runner — contended host,
+    /// cold page cache). One-shot; consumed by the next spawn.
+    pub fn slow_start_next(&self, extra: Duration) {
+        self.slow_start.set(self.slow_start.get() + extra);
+    }
+
     /// Per-kernel `(runners, in_flight)` stats for every kernel the pool
     /// has seen, in sorted name order.
     pub fn per_kernel_stats(&self) -> BTreeMap<String, KernelStats> {
@@ -251,25 +296,40 @@ impl RunnerPool {
             .count()
     }
 
-    /// Usable slots for `kernel` in start order, plus their
-    /// scheduler-facing views (same indices in both).
-    pub(crate) fn usable_slots(&self, kernel: &str) -> (Vec<Rc<RunnerSlot>>, Vec<SlotView>) {
+    /// Usable slots for `kernel` in start order, additionally filtered
+    /// by `pred` (resilience: skip offline devices and open breakers),
+    /// plus their scheduler-facing views. Views are built over the
+    /// filtered list so their indices stay valid.
+    pub(crate) fn usable_slots_where(
+        &self,
+        kernel: &str,
+        pred: impl Fn(&RunnerSlot) -> bool,
+    ) -> (Vec<Rc<RunnerSlot>>, Vec<SlotView>) {
         let slots: Vec<Rc<RunnerSlot>> = self
             .slots
             .borrow()
             .get(kernel)
-            .map(|v| v.iter().filter(|s| s.is_usable()).cloned().collect())
+            .map(|v| {
+                v.iter()
+                    .filter(|s| s.is_usable() && pred(s))
+                    .cloned()
+                    .collect()
+            })
             .unwrap_or_default();
         let views = slots.iter().enumerate().map(|(i, s)| s.view(i)).collect();
         (slots, views)
     }
 
-    /// The usable slot with the fewest claims (queueing fallback when
-    /// scale-out is denied or impossible).
-    pub(crate) fn least_claimed(&self, kernel: &str) -> Option<Rc<RunnerSlot>> {
+    /// The usable slot passing `pred` with the fewest claims (queueing
+    /// fallback when scale-out is denied or impossible).
+    pub(crate) fn least_claimed_where(
+        &self,
+        kernel: &str,
+        pred: impl Fn(&RunnerSlot) -> bool,
+    ) -> Option<Rc<RunnerSlot>> {
         self.slots.borrow().get(kernel).and_then(|v| {
             v.iter()
-                .filter(|s| s.is_usable())
+                .filter(|s| s.is_usable() && pred(s))
                 .min_by_key(|s| s.claimed.get())
                 .cloned()
         })
@@ -288,14 +348,30 @@ impl RunnerPool {
         kernel: &Rc<dyn Kernel>,
         config: RunnerConfig,
     ) -> Result<Rc<RunnerSlot>, InvokeError> {
-        let class = kernel.device_class();
+        self.spawn_runner_where(name, kernel, config, kernel.device_class(), |_| true)
+    }
+
+    /// Like [`spawn_runner`](RunnerPool::spawn_runner), but targeting an
+    /// explicit device `class` (degraded fallback may differ from the
+    /// kernel's preferred class) and only considering online devices for
+    /// which `pred` holds (resilience: skip open breakers).
+    pub fn spawn_runner_where(
+        &self,
+        name: &str,
+        kernel: &Rc<dyn Kernel>,
+        config: RunnerConfig,
+        class: DeviceClass,
+        pred: impl Fn(&Device) -> bool,
+    ) -> Result<Rc<RunnerSlot>, InvokeError> {
+        let mut config = config;
+        config.spawn_process += self.slow_start.replace(Duration::ZERO);
         let mut slots = self.slots.borrow_mut();
         let list = slots.entry(name.to_owned()).or_default();
         let device = self
             .devices
             .iter()
             .find(|d| {
-                if d.class() != class {
+                if d.class() != class || !d.is_online() || !pred(d) {
                     return false;
                 }
                 let occupied = list
@@ -322,6 +398,7 @@ impl RunnerPool {
             runner: RefCell::new(None),
             dead: Cell::new(false),
             last_used: Cell::new(now()),
+            consecutive_failures: Cell::new(0),
         });
         list.push(Rc::clone(&slot));
         drop(slots);
@@ -393,6 +470,46 @@ impl RunnerPool {
             }
         }
         false
+    }
+
+    /// Crashes the first warm usable runner of `kernel` (fault
+    /// injection): the process dies, in-flight invocations on it fail
+    /// with `RunnerFailed`. Returns the crashed runner's id.
+    pub fn crash_runner(&self, kernel: &str) -> Option<RunnerId> {
+        let slots = self.slots.borrow();
+        let list = slots.get(kernel)?;
+        for slot in list {
+            if slot.is_usable() {
+                if let Some(runner) = slot.runner.borrow().as_ref() {
+                    runner.kill();
+                    return Some(runner.id());
+                }
+            }
+        }
+        None
+    }
+
+    /// Crashes every runner hosted on `device` and quarantines their
+    /// slots (fault injection: the device dropped off the bus). Kernels
+    /// are visited in sorted name order so identical simulations crash
+    /// identically. Returns the number of runners taken down.
+    pub fn crash_device(&self, device: DeviceId) -> usize {
+        let slots = self.slots.borrow();
+        let mut names: Vec<&String> = slots.keys().collect();
+        names.sort();
+        let mut killed = 0;
+        for name in names {
+            for slot in &slots[name] {
+                if slot.device == device && slot.is_usable() {
+                    if let Some(runner) = slot.runner.borrow().as_ref() {
+                        runner.kill();
+                    }
+                    slot.retire();
+                    killed += 1;
+                }
+            }
+        }
+        killed
     }
 }
 

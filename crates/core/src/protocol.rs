@@ -89,9 +89,32 @@ pub enum InvokeError {
     /// The server shed the request: its [`Request::deadline`] passed
     /// before device work could start.
     DeadlineExceeded,
+    /// Every device that could serve the kernel has its circuit breaker
+    /// open (recent failures tripped it); the request was rejected fast
+    /// rather than queued onto failing hardware.
+    CircuitOpen(String),
+    /// The client-side response timeout elapsed (e.g. the request or
+    /// response frame was lost on the wire).
+    TimedOut,
 }
 
 impl InvokeError {
+    /// Every stable [`kind`](InvokeError::kind) label, in declaration
+    /// order — lets tests and dashboards enumerate the error space
+    /// without constructing each variant.
+    pub const KINDS: [&'static str; 10] = [
+        "unknown-kernel",
+        "bad-input",
+        "no-device",
+        "runner-failed",
+        "disconnected",
+        "bad-handle",
+        "overloaded",
+        "deadline-exceeded",
+        "circuit-open",
+        "timed-out",
+    ];
+
     /// Short kebab-case name of the error variant (stable across
     /// payloads; used as a metrics label, e.g. `errors.overloaded`).
     pub fn kind(&self) -> &'static str {
@@ -104,6 +127,8 @@ impl InvokeError {
             InvokeError::BadHandle => "bad-handle",
             InvokeError::Overloaded => "overloaded",
             InvokeError::DeadlineExceeded => "deadline-exceeded",
+            InvokeError::CircuitOpen(_) => "circuit-open",
+            InvokeError::TimedOut => "timed-out",
         }
     }
 }
@@ -121,6 +146,10 @@ impl std::fmt::Display for InvokeError {
             InvokeError::DeadlineExceeded => {
                 write!(f, "deadline passed before dispatch; request shed")
             }
+            InvokeError::CircuitOpen(c) => {
+                write!(f, "circuit breaker open for every {c} device")
+            }
+            InvokeError::TimedOut => write!(f, "response timed out"),
         }
     }
 }
@@ -174,6 +203,31 @@ mod tests {
             InvokeError::UnknownKernel("x".into()).kind(),
             "unknown-kernel"
         );
+        assert_eq!(
+            InvokeError::CircuitOpen("GPU".into()).kind(),
+            "circuit-open"
+        );
+        assert_eq!(InvokeError::TimedOut.kind(), "timed-out");
+    }
+
+    #[test]
+    fn kinds_table_covers_every_variant() {
+        let variants = [
+            InvokeError::UnknownKernel(String::new()),
+            InvokeError::BadInput(String::new()),
+            InvokeError::NoDevice(String::new()),
+            InvokeError::RunnerFailed(String::new()),
+            InvokeError::Disconnected,
+            InvokeError::BadHandle,
+            InvokeError::Overloaded,
+            InvokeError::DeadlineExceeded,
+            InvokeError::CircuitOpen(String::new()),
+            InvokeError::TimedOut,
+        ];
+        assert_eq!(variants.len(), InvokeError::KINDS.len());
+        for (v, label) in variants.iter().zip(InvokeError::KINDS) {
+            assert_eq!(v.kind(), label, "table order matches declaration order");
+        }
     }
 
     #[test]

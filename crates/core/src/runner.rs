@@ -150,13 +150,9 @@ impl TaskRunner {
     /// [`InvokeError::RunnerFailed`] if the runner was killed;
     /// [`InvokeError::BadInput`] if the kernel rejects `input`.
     pub async fn invoke(&self, input: &Value) -> Result<(Value, RunnerTimings), InvokeError> {
-        if !self.alive.get() {
-            return Err(InvokeError::RunnerFailed(format!("{} is dead", self.id)));
-        }
+        self.check_healthy()?;
         let _permit = self.admission.acquire(1).await;
-        if !self.alive.get() {
-            return Err(InvokeError::RunnerFailed(format!("{} is dead", self.id)));
-        }
+        self.check_healthy()?;
         // Transport envelopes are a framing concern; kernels see content.
         let input = input.payload();
         let work = self
@@ -209,6 +205,10 @@ impl TaskRunner {
             }
         };
 
+        // A crash or device flap during the device work above means the
+        // result never made it back to the server process.
+        self.check_healthy()?;
+
         // The real computation (costless in virtual time — its cost is
         // the device model above).
         let output = self
@@ -216,6 +216,23 @@ impl TaskRunner {
             .execute(input)
             .map_err(|e| InvokeError::BadInput(e.to_string()))?;
         Ok((output, timings))
+    }
+
+    /// Fails fast when the runner process is dead or its device is
+    /// offline — checked at entry, after admission, and again after the
+    /// device work so mid-flight faults surface as `RunnerFailed`.
+    fn check_healthy(&self) -> Result<(), InvokeError> {
+        if !self.alive.get() {
+            return Err(InvokeError::RunnerFailed(format!("{} is dead", self.id)));
+        }
+        if !self.device.is_online() {
+            return Err(InvokeError::RunnerFailed(format!(
+                "{} lost its device ({} offline)",
+                self.id,
+                self.device.id()
+            )));
+        }
+        Ok(())
     }
 }
 

@@ -25,6 +25,7 @@ use crate::metrics::MetricsSink;
 use crate::pool::RunnerPool;
 use crate::protocol::{InvokeError, Request, Response};
 use crate::registry::KernelRegistry;
+use crate::resilience::{BreakerBank, BreakerState};
 
 /// Reserved kernel name answering with the site's registered kernel
 /// list (used by federated clients for discovery).
@@ -41,6 +42,9 @@ pub(crate) struct ServerInner {
     /// The router runs on one server thread: dispatch work serializes
     /// (the Fig. 12b weak-scaling offset of ≈35 µs per invocation).
     pub(crate) dispatch_lock: Semaphore,
+    /// Per-device circuit breakers (disabled unless
+    /// [`ServerConfig::breaker`] is set).
+    pub(crate) breakers: BreakerBank,
 }
 
 /// The KaaS server (Fig. 3: registration target and invocation router).
@@ -107,6 +111,10 @@ impl KaasServer {
                 metrics: MetricsSink::new(),
                 metrics_registry: MetricsRegistry::new(),
                 dispatch_lock: Semaphore::new(1),
+                breakers: config
+                    .breaker
+                    .map(BreakerBank::new)
+                    .unwrap_or_else(BreakerBank::disabled),
                 config,
             }),
         }
@@ -139,6 +147,8 @@ impl KaasServer {
             kernels: self.inner.pool.per_kernel_stats(),
             reaped: self.inner.pool.reaped(),
             device_classes: self.inner.pool.device_classes(),
+            quarantined: self.inner.pool.quarantined(),
+            breakers: self.inner.breakers.states(),
         }
     }
 
@@ -267,6 +277,11 @@ pub struct ServerSnapshot {
     pub reaped: usize,
     /// Device classes present in the deployment (sorted, deduplicated).
     pub device_classes: Vec<DeviceClass>,
+    /// Runner slots quarantined for persistent failure so far.
+    pub quarantined: usize,
+    /// Current circuit-breaker state per device (empty when breakers are
+    /// disabled or no device has been placed on yet).
+    pub breakers: BTreeMap<DeviceId, BreakerState>,
 }
 
 impl ServerSnapshot {

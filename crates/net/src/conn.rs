@@ -11,7 +11,7 @@ use kaas_simtime::trace::{SpanId, SpanSink};
 use kaas_simtime::{now, sleep};
 
 use crate::profile::LinkProfile;
-use crate::wire::{wire, Disconnected, Frame, WireReceiver, WireSender};
+use crate::wire::{wire, Disconnected, Frame, LinkFault, WireReceiver, WireSender};
 
 /// One side of a bidirectional connection: sends `Out` frames, receives
 /// `In` frames.
@@ -79,6 +79,12 @@ impl<Out: 'static, In: 'static> Connection<Out, In> {
     /// The link profile of the sending direction.
     pub fn profile(&self) -> LinkProfile {
         self.tx.profile()
+    }
+
+    /// The fault-injection handle for the sending direction (shared with
+    /// every clone of the underlying wire — see [`LinkFault`]).
+    pub fn fault(&self) -> LinkFault {
+        self.tx.fault()
     }
 
     /// Whether the peer's receiving half still exists.

@@ -45,4 +45,4 @@ mod wire;
 pub use conn::{pair, Connection, Listener, NetError, Network};
 pub use profile::{size, LinkProfile, MemcpyProfile, SerializationProfile};
 pub use shm::{SharedMemory, ShmHandle, HANDLE_WIRE_BYTES};
-pub use wire::{wire, Disconnected, Frame, WireReceiver, WireSender};
+pub use wire::{wire, Disconnected, Frame, LinkFault, WireReceiver, WireSender};

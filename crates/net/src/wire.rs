@@ -6,11 +6,80 @@
 //! flight" (transmitted but still propagating) simultaneously, so long
 //! fat pipes behave correctly.
 
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
 use kaas_simtime::channel::{self, Receiver, Sender};
 use kaas_simtime::sync::Semaphore;
 use kaas_simtime::{sleep, spawn};
 
 use crate::profile::LinkProfile;
+
+#[derive(Debug, Default)]
+struct LinkFaultState {
+    extra_delay: Cell<Duration>,
+    drop_next: Cell<u32>,
+    dropped: Cell<u64>,
+}
+
+/// A shared fault-injection handle for one wire direction.
+///
+/// Every [`WireSender`] owns one; clones share state, so a handle taken
+/// from a connection keeps steering the link afterwards. Two fault
+/// modes, both deterministic:
+///
+/// * **delay spike** — [`set_extra_delay`](LinkFault::set_extra_delay)
+///   adds a fixed extra propagation delay to every frame until cleared.
+/// * **drop** — [`drop_next`](LinkFault::drop_next) silently discards
+///   the next *n* frames after transmission (the sender still pays the
+///   transmission time, like a packet lost past the NIC). The receiver
+///   never sees them; recovery is the caller's timeout.
+#[derive(Debug, Clone, Default)]
+pub struct LinkFault {
+    state: Rc<LinkFaultState>,
+}
+
+impl LinkFault {
+    /// Creates an inert handle (no delay, no drops).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the extra propagation delay added to every subsequent frame
+    /// (pass [`Duration::ZERO`] to end the spike).
+    pub fn set_extra_delay(&self, extra: Duration) {
+        self.state.extra_delay.set(extra);
+    }
+
+    /// The currently injected extra delay.
+    pub fn extra_delay(&self) -> Duration {
+        self.state.extra_delay.get()
+    }
+
+    /// Arms the link to drop the next `n` frames.
+    pub fn drop_next(&self, n: u32) {
+        self.state.drop_next.set(self.state.drop_next.get() + n);
+    }
+
+    /// Total frames dropped by this handle so far.
+    pub fn dropped(&self) -> u64 {
+        self.state.dropped.get()
+    }
+
+    /// Consumes one armed drop, returning whether the frame should be
+    /// discarded.
+    fn take_drop(&self) -> bool {
+        let n = self.state.drop_next.get();
+        if n > 0 {
+            self.state.drop_next.set(n - 1);
+            self.state.dropped.set(self.state.dropped.get() + 1);
+            true
+        } else {
+            false
+        }
+    }
+}
 
 /// A message travelling over a wire: an application value annotated with
 /// its on-wire size.
@@ -34,6 +103,7 @@ pub struct WireSender<T> {
     profile: LinkProfile,
     link: Semaphore,
     tx: Sender<Frame<T>>,
+    fault: LinkFault,
 }
 
 impl<T> std::fmt::Debug for WireSender<T> {
@@ -50,6 +120,7 @@ impl<T> Clone for WireSender<T> {
             profile: self.profile,
             link: self.link.clone(),
             tx: self.tx.clone(),
+            fault: self.fault.clone(),
         }
     }
 }
@@ -73,6 +144,7 @@ pub fn wire<T: 'static>(profile: LinkProfile) -> (WireSender<T>, WireReceiver<T>
             profile,
             link: Semaphore::new(1),
             tx,
+            fault: LinkFault::new(),
         },
         WireReceiver { rx },
     )
@@ -109,7 +181,12 @@ impl<T: 'static> WireSender<T> {
         }
         let _guard = self.link.acquire(1).await;
         sleep(self.profile.transmission_time(frame.bytes)).await;
-        let latency = self.profile.latency;
+        if self.fault.take_drop() {
+            // The frame is lost past the NIC: the sender already paid the
+            // transmission time, the receiver never hears about it.
+            return Ok(());
+        }
+        let latency = self.profile.latency + self.fault.extra_delay();
         let tx = self.tx.clone();
         // Propagation happens off the sender's critical path so the link
         // can pipeline subsequent transmissions.
@@ -130,13 +207,23 @@ impl<T: 'static> WireSender<T> {
             return Err(Disconnected);
         }
         let _guard = self.link.acquire(1).await;
-        sleep(self.profile.transfer_time(frame.bytes)).await;
+        sleep(self.profile.transmission_time(frame.bytes)).await;
+        if self.fault.take_drop() {
+            return Ok(());
+        }
+        sleep(self.profile.latency + self.fault.extra_delay()).await;
         self.tx.send(frame).await.map_err(|_| Disconnected)
     }
 
     /// The link timing profile.
     pub fn profile(&self) -> LinkProfile {
         self.profile
+    }
+
+    /// The fault-injection handle steering this wire direction (shared
+    /// across clones of the sender).
+    pub fn fault(&self) -> LinkFault {
+        self.fault.clone()
     }
 
     /// Whether the receiving endpoint still exists.
@@ -242,6 +329,42 @@ mod tests {
             tx.send(Frame::new(1, 10)).await
         });
         assert_eq!(out, Err(Disconnected));
+    }
+
+    #[test]
+    fn dropped_frames_cost_transmission_but_never_arrive() {
+        let mut sim = Simulation::new();
+        let (got, dropped, t) = sim.block_on(async {
+            let (tx, mut rx) = wire::<u32>(test_link());
+            tx.fault().drop_next(1);
+            tx.send(Frame::new(1, 1_000_000)).await.unwrap();
+            let t_after_drop = now();
+            // The dropped frame still held the link for its 1 s
+            // transmission time.
+            assert!((t_after_drop.as_secs_f64() - 1.0).abs() < 1e-9);
+            tx.send(Frame::new(2, 1_000_000)).await.unwrap();
+            let got = rx.recv().await.unwrap().body;
+            (got, tx.fault().dropped(), now())
+        });
+        assert_eq!(got, 2, "the dropped frame is never delivered");
+        assert_eq!(dropped, 1);
+        assert!((t.as_secs_f64() - 2.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extra_delay_spikes_propagation() {
+        let mut sim = Simulation::new();
+        let t = sim.block_on(async {
+            let (tx, mut rx) = wire::<u8>(test_link());
+            tx.fault().set_extra_delay(Duration::from_millis(90));
+            spawn(async move {
+                tx.send(Frame::new(1, 1_000_000)).await.unwrap();
+            });
+            rx.recv().await.unwrap();
+            now()
+        });
+        // 1 s transmission + 10 ms latency + 90 ms injected delay.
+        assert!((t.as_secs_f64() - 1.1).abs() < 1e-9, "t={t:?}");
     }
 
     #[test]

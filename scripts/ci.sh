@@ -21,6 +21,18 @@ if [[ $quick -eq 0 ]]; then
     cargo test -q --release --workspace --all-features
 fi
 
+echo "==> chaos stage: seeded fault storm + determinism replay"
+cargo test -q --release --test chaos
+# Replay check: the same seeded storm twice; the example's recovery
+# timeline (and everything else it prints) must be byte-identical.
+chaos_a="$(cargo run -q --release --example chaos)"
+chaos_b="$(cargo run -q --release --example chaos)"
+if [[ "$chaos_a" != "$chaos_b" ]]; then
+    echo "chaos replay diverged between two same-seed runs" >&2
+    diff <(printf '%s\n' "$chaos_a") <(printf '%s\n' "$chaos_b") >&2 || true
+    exit 1
+fi
+
 echo "==> cargo build --features trace --examples"
 cargo build --release --features trace --examples
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-3c4aa1e10b2465f8.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-3c4aa1e10b2465f8: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

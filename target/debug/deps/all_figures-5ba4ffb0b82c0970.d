@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-5ba4ffb0b82c0970.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-5ba4ffb0b82c0970: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-171d74bdf986e1cc.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-171d74bdf986e1cc: tests/chaos.rs
+
+tests/chaos.rs:

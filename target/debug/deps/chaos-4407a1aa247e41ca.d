@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-4407a1aa247e41ca.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-4407a1aa247e41ca.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

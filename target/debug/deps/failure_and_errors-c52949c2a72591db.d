@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_and_errors-c52949c2a72591db.d: tests/failure_and_errors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_and_errors-c52949c2a72591db.rmeta: tests/failure_and_errors.rs Cargo.toml
+
+tests/failure_and_errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

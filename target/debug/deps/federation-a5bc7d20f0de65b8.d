@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/federation-a5bc7d20f0de65b8.d: tests/federation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfederation-a5bc7d20f0de65b8.rmeta: tests/federation.rs Cargo.toml
+
+tests/federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

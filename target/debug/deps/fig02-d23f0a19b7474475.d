@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-d23f0a19b7474475.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-d23f0a19b7474475: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

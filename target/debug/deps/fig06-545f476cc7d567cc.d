@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06-545f476cc7d567cc.d: crates/bench/src/bin/fig06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06-545f476cc7d567cc.rmeta: crates/bench/src/bin/fig06.rs Cargo.toml
+
+crates/bench/src/bin/fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-b3c2186523c92416.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-b3c2186523c92416: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

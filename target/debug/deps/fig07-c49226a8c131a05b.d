@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-c49226a8c131a05b.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-c49226a8c131a05b: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

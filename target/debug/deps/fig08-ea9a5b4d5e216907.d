@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08-ea9a5b4d5e216907.d: crates/bench/src/bin/fig08.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08-ea9a5b4d5e216907.rmeta: crates/bench/src/bin/fig08.rs Cargo.toml
+
+crates/bench/src/bin/fig08.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-f96d027917fcaa3c.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/debug/deps/fig08-f96d027917fcaa3c: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09-3780728c0295ad6b.d: crates/bench/src/bin/fig09.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09-3780728c0295ad6b.rmeta: crates/bench/src/bin/fig09.rs Cargo.toml
+
+crates/bench/src/bin/fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

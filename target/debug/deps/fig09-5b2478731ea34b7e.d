@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-5b2478731ea34b7e.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-5b2478731ea34b7e: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-c98d1d0375149ffa.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-c98d1d0375149ffa: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

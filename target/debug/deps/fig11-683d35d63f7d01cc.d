@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-683d35d63f7d01cc.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-683d35d63f7d01cc: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

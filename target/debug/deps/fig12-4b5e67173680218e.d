@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-4b5e67173680218e.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-4b5e67173680218e: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-a8aec9d6b229d9ca.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-a8aec9d6b229d9ca: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

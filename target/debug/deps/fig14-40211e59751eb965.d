@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-40211e59751eb965.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-40211e59751eb965: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15-5d7a2922c9cd8188.d: crates/bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15-5d7a2922c9cd8188.rmeta: crates/bench/src/bin/fig15.rs Cargo.toml
+
+crates/bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-ac0d00ea19766a05.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-ac0d00ea19766a05: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15-af2f9a5714e0a0b5.d: crates/bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15-af2f9a5714e0a0b5.rmeta: crates/bench/src/bin/fig15.rs Cargo.toml
+
+crates/bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

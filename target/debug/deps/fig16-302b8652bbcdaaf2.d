@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-302b8652bbcdaaf2.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-302b8652bbcdaaf2: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16-623164d719279c1d.d: crates/bench/src/bin/fig16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16-623164d719279c1d.rmeta: crates/bench/src/bin/fig16.rs Cargo.toml
+
+crates/bench/src/bin/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

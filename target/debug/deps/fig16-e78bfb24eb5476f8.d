@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16-e78bfb24eb5476f8.d: crates/bench/src/bin/fig16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16-e78bfb24eb5476f8.rmeta: crates/bench/src/bin/fig16.rs Cargo.toml
+
+crates/bench/src/bin/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

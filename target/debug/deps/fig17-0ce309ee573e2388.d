@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-0ce309ee573e2388.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-0ce309ee573e2388: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

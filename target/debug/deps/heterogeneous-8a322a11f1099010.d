@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heterogeneous-8a322a11f1099010.d: tests/heterogeneous.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheterogeneous-8a322a11f1099010.rmeta: tests/heterogeneous.rs Cargo.toml
+
+tests/heterogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kaas-68bc08dc8734a8c2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkaas-68bc08dc8734a8c2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

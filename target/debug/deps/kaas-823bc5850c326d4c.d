@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kaas-823bc5850c326d4c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkaas-823bc5850c326d4c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/kaas_accel-9a070cabaff21bfa.d: crates/accel/src/lib.rs crates/accel/src/cpu.rs crates/accel/src/device.rs crates/accel/src/fpga.rs crates/accel/src/gpu.rs crates/accel/src/power.rs crates/accel/src/ps.rs crates/accel/src/qpu.rs crates/accel/src/tpu.rs crates/accel/src/work.rs crates/accel/src/xfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkaas_accel-9a070cabaff21bfa.rmeta: crates/accel/src/lib.rs crates/accel/src/cpu.rs crates/accel/src/device.rs crates/accel/src/fpga.rs crates/accel/src/gpu.rs crates/accel/src/power.rs crates/accel/src/ps.rs crates/accel/src/qpu.rs crates/accel/src/tpu.rs crates/accel/src/work.rs crates/accel/src/xfer.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/cpu.rs:
+crates/accel/src/device.rs:
+crates/accel/src/fpga.rs:
+crates/accel/src/gpu.rs:
+crates/accel/src/power.rs:
+crates/accel/src/ps.rs:
+crates/accel/src/qpu.rs:
+crates/accel/src/tpu.rs:
+crates/accel/src/work.rs:
+crates/accel/src/xfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

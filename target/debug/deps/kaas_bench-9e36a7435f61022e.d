@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/kaas_bench-9e36a7435f61022e.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/fig02.rs crates/bench/src/fig06.rs crates/bench/src/fig07.rs crates/bench/src/fig08.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/fig16.rs crates/bench/src/fig17.rs crates/bench/src/sharing.rs crates/bench/src/trace_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkaas_bench-9e36a7435f61022e.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/common.rs crates/bench/src/fig02.rs crates/bench/src/fig06.rs crates/bench/src/fig07.rs crates/bench/src/fig08.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/fig16.rs crates/bench/src/fig17.rs crates/bench/src/sharing.rs crates/bench/src/trace_replay.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/common.rs:
+crates/bench/src/fig02.rs:
+crates/bench/src/fig06.rs:
+crates/bench/src/fig07.rs:
+crates/bench/src/fig08.rs:
+crates/bench/src/fig09.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig14.rs:
+crates/bench/src/fig15.rs:
+crates/bench/src/fig16.rs:
+crates/bench/src/fig17.rs:
+crates/bench/src/sharing.rs:
+crates/bench/src/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,30 @@
+/root/repo/target/debug/deps/kaas_core-942b5b356c463db2.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/fault.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkaas_core-942b5b356c463db2.rmeta: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/fault.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/autoscaler.rs:
+crates/core/src/baseline.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/fault.rs:
+crates/core/src/federation.rs:
+crates/core/src/fusion.rs:
+crates/core/src/metrics.rs:
+crates/core/src/metrics/histogram.rs:
+crates/core/src/metrics/registry.rs:
+crates/core/src/pool.rs:
+crates/core/src/protocol.rs:
+crates/core/src/registry.rs:
+crates/core/src/resilience.rs:
+crates/core/src/runner.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/server.rs:
+crates/core/src/trace.rs:
+crates/core/src/workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/kaas_kernels-8a0c21aee1bea797.d: crates/kernels/src/lib.rs crates/kernels/src/conv2d.rs crates/kernels/src/dtw.rs crates/kernels/src/fpga.rs crates/kernels/src/ga.rs crates/kernels/src/gnn.rs crates/kernels/src/image.rs crates/kernels/src/kernel.rs crates/kernels/src/matmul.rs crates/kernels/src/mci.rs crates/kernels/src/qc.rs crates/kernels/src/resnet.rs crates/kernels/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkaas_kernels-8a0c21aee1bea797.rmeta: crates/kernels/src/lib.rs crates/kernels/src/conv2d.rs crates/kernels/src/dtw.rs crates/kernels/src/fpga.rs crates/kernels/src/ga.rs crates/kernels/src/gnn.rs crates/kernels/src/image.rs crates/kernels/src/kernel.rs crates/kernels/src/matmul.rs crates/kernels/src/mci.rs crates/kernels/src/qc.rs crates/kernels/src/resnet.rs crates/kernels/src/value.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/conv2d.rs:
+crates/kernels/src/dtw.rs:
+crates/kernels/src/fpga.rs:
+crates/kernels/src/ga.rs:
+crates/kernels/src/gnn.rs:
+crates/kernels/src/image.rs:
+crates/kernels/src/kernel.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/mci.rs:
+crates/kernels/src/qc.rs:
+crates/kernels/src/resnet.rs:
+crates/kernels/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

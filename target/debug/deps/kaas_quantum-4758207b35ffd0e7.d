@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/kaas_quantum-4758207b35ffd0e7.d: crates/quantum/src/lib.rs crates/quantum/src/circuit.rs crates/quantum/src/complex.rs crates/quantum/src/estimator.rs crates/quantum/src/gate.rs crates/quantum/src/optimize.rs crates/quantum/src/pauli.rs crates/quantum/src/state.rs crates/quantum/src/transpile.rs crates/quantum/src/vqe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkaas_quantum-4758207b35ffd0e7.rmeta: crates/quantum/src/lib.rs crates/quantum/src/circuit.rs crates/quantum/src/complex.rs crates/quantum/src/estimator.rs crates/quantum/src/gate.rs crates/quantum/src/optimize.rs crates/quantum/src/pauli.rs crates/quantum/src/state.rs crates/quantum/src/transpile.rs crates/quantum/src/vqe.rs Cargo.toml
+
+crates/quantum/src/lib.rs:
+crates/quantum/src/circuit.rs:
+crates/quantum/src/complex.rs:
+crates/quantum/src/estimator.rs:
+crates/quantum/src/gate.rs:
+crates/quantum/src/optimize.rs:
+crates/quantum/src/pauli.rs:
+crates/quantum/src/state.rs:
+crates/quantum/src/transpile.rs:
+crates/quantum/src/vqe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/kaas_simtime-46c87e335de4a1c4.d: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkaas_simtime-46c87e335de4a1c4.rmeta: crates/simtime/src/lib.rs crates/simtime/src/channel.rs crates/simtime/src/combinators.rs crates/simtime/src/executor.rs crates/simtime/src/join.rs crates/simtime/src/rng.rs crates/simtime/src/sleep.rs crates/simtime/src/sync.rs crates/simtime/src/time.rs crates/simtime/src/trace.rs Cargo.toml
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/channel.rs:
+crates/simtime/src/combinators.rs:
+crates/simtime/src/executor.rs:
+crates/simtime/src/join.rs:
+crates/simtime/src/rng.rs:
+crates/simtime/src/sleep.rs:
+crates/simtime/src/sync.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-1e5a2a015675a798.d: crates/quantum/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-1e5a2a015675a798.rmeta: crates/quantum/tests/proptests.rs Cargo.toml
+
+crates/quantum/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6515b7adb4d6100a.d: crates/accel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6515b7adb4d6100a.rmeta: crates/accel/tests/proptests.rs Cargo.toml
+
+crates/accel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

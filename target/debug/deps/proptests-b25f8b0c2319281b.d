@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-b25f8b0c2319281b.d: crates/kernels/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-b25f8b0c2319281b.rmeta: crates/kernels/tests/proptests.rs Cargo.toml
+
+crates/kernels/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-21cc62205b0bd030.d: tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-21cc62205b0bd030.rmeta: tests/stress.rs Cargo.toml
+
+tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

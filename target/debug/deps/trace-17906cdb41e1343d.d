@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-17906cdb41e1343d.d: crates/bench/src/bin/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-17906cdb41e1343d.rmeta: crates/bench/src/bin/trace.rs Cargo.toml
+
+crates/bench/src/bin/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

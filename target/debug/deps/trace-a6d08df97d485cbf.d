@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-a6d08df97d485cbf.d: crates/bench/src/bin/trace.rs
+
+/root/repo/target/debug/deps/trace-a6d08df97d485cbf: crates/bench/src/bin/trace.rs
+
+crates/bench/src/bin/trace.rs:

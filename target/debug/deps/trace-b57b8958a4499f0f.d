@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-b57b8958a4499f0f.d: crates/bench/src/bin/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-b57b8958a4499f0f.rmeta: crates/bench/src/bin/trace.rs Cargo.toml
+
+crates/bench/src/bin/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracing-6095703455ff990e.d: tests/tracing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracing-6095703455ff990e.rmeta: tests/tracing.rs Cargo.toml
+
+tests/tracing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

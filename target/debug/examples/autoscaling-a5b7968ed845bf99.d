@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autoscaling-a5b7968ed845bf99.d: examples/autoscaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautoscaling-a5b7968ed845bf99.rmeta: examples/autoscaling.rs Cargo.toml
+
+examples/autoscaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos-6275eb7022baea99.d: examples/chaos.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos-6275eb7022baea99.rmeta: examples/chaos.rs Cargo.toml
+
+examples/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos-d6dc0916627281a0.d: examples/chaos.rs
+
+/root/repo/target/debug/examples/chaos-d6dc0916627281a0: examples/chaos.rs
+
+examples/chaos.rs:

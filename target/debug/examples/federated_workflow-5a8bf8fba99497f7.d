@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/federated_workflow-5a8bf8fba99497f7.d: examples/federated_workflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfederated_workflow-5a8bf8fba99497f7.rmeta: examples/federated_workflow.rs Cargo.toml
+
+examples/federated_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

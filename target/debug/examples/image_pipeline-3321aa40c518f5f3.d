@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_pipeline-3321aa40c518f5f3.d: examples/image_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_pipeline-3321aa40c518f5f3.rmeta: examples/image_pipeline.rs Cargo.toml
+
+examples/image_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/remote_offload-e1ef95d09245fbff.d: examples/remote_offload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libremote_offload-e1ef95d09245fbff.rmeta: examples/remote_offload.rs Cargo.toml
+
+examples/remote_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vqe_chemistry-6f6ddaefc71ac41b.d: examples/vqe_chemistry.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvqe_chemistry-6f6ddaefc71ac41b.rmeta: examples/vqe_chemistry.rs Cargo.toml
+
+examples/vqe_chemistry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

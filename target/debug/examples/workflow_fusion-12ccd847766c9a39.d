@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/workflow_fusion-12ccd847766c9a39.d: examples/workflow_fusion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkflow_fusion-12ccd847766c9a39.rmeta: examples/workflow_fusion.rs Cargo.toml
+
+examples/workflow_fusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

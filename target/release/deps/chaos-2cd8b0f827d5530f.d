@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-2cd8b0f827d5530f.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-2cd8b0f827d5530f: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-5efe717af079e19a.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-5efe717af079e19a: tests/chaos.rs
+
+tests/chaos.rs:

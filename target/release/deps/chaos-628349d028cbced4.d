@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/chaos-628349d028cbced4.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/release/deps/libchaos-628349d028cbced4.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/kaas_core-06490a1dc03d7881.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs
+/root/repo/target/release/deps/kaas_core-06490a1dc03d7881.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/fault.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs
 
-/root/repo/target/release/deps/libkaas_core-06490a1dc03d7881.rlib: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs
+/root/repo/target/release/deps/libkaas_core-06490a1dc03d7881.rlib: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/fault.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs
 
-/root/repo/target/release/deps/libkaas_core-06490a1dc03d7881.rmeta: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs
+/root/repo/target/release/deps/libkaas_core-06490a1dc03d7881.rmeta: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/fault.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs
 
 crates/core/src/lib.rs:
 crates/core/src/admission.rs:
@@ -11,6 +11,7 @@ crates/core/src/baseline.rs:
 crates/core/src/client.rs:
 crates/core/src/config.rs:
 crates/core/src/dispatch.rs:
+crates/core/src/fault.rs:
 crates/core/src/federation.rs:
 crates/core/src/fusion.rs:
 crates/core/src/metrics.rs:
@@ -19,6 +20,7 @@ crates/core/src/metrics/registry.rs:
 crates/core/src/pool.rs:
 crates/core/src/protocol.rs:
 crates/core/src/registry.rs:
+crates/core/src/resilience.rs:
 crates/core/src/runner.rs:
 crates/core/src/scheduler.rs:
 crates/core/src/server.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/release/deps/kaas_core-89c1481a6788fedd.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs
+/root/repo/target/release/deps/kaas_core-89c1481a6788fedd.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/fault.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs
 
-/root/repo/target/release/deps/kaas_core-89c1481a6788fedd: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs
+/root/repo/target/release/deps/kaas_core-89c1481a6788fedd: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/autoscaler.rs crates/core/src/baseline.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/fault.rs crates/core/src/federation.rs crates/core/src/fusion.rs crates/core/src/metrics.rs crates/core/src/metrics/histogram.rs crates/core/src/metrics/registry.rs crates/core/src/pool.rs crates/core/src/protocol.rs crates/core/src/registry.rs crates/core/src/resilience.rs crates/core/src/runner.rs crates/core/src/scheduler.rs crates/core/src/server.rs crates/core/src/trace.rs crates/core/src/workflow.rs
 
 crates/core/src/lib.rs:
 crates/core/src/admission.rs:
@@ -9,6 +9,7 @@ crates/core/src/baseline.rs:
 crates/core/src/client.rs:
 crates/core/src/config.rs:
 crates/core/src/dispatch.rs:
+crates/core/src/fault.rs:
 crates/core/src/federation.rs:
 crates/core/src/fusion.rs:
 crates/core/src/metrics.rs:
@@ -17,6 +18,7 @@ crates/core/src/metrics/registry.rs:
 crates/core/src/pool.rs:
 crates/core/src/protocol.rs:
 crates/core/src/registry.rs:
+crates/core/src/resilience.rs:
 crates/core/src/runner.rs:
 crates/core/src/scheduler.rs:
 crates/core/src/server.rs:

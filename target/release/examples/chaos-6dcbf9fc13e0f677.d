@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos-6dcbf9fc13e0f677.d: examples/chaos.rs
+
+/root/repo/target/release/examples/chaos-6dcbf9fc13e0f677: examples/chaos.rs
+
+examples/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos-774ecdfa71bbda1b.d: examples/chaos.rs
+
+/root/repo/target/release/examples/chaos-774ecdfa71bbda1b: examples/chaos.rs
+
+examples/chaos.rs:

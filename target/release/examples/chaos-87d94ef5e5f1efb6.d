@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/chaos-87d94ef5e5f1efb6.d: examples/chaos.rs Cargo.toml
+
+/root/repo/target/release/examples/libchaos-87d94ef5e5f1efb6.rmeta: examples/chaos.rs Cargo.toml
+
+examples/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

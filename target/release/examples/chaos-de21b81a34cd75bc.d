@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos-de21b81a34cd75bc.d: examples/chaos.rs
+
+/root/repo/target/release/examples/chaos-de21b81a34cd75bc: examples/chaos.rs
+
+examples/chaos.rs:

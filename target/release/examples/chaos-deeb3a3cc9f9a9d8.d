@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/chaos-deeb3a3cc9f9a9d8.d: examples/chaos.rs Cargo.toml
+
+/root/repo/target/release/examples/libchaos-deeb3a3cc9f9a9d8.rmeta: examples/chaos.rs Cargo.toml
+
+examples/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,287 @@
+//! Integration: seeded chaos. A deterministic fault storm — runner
+//! crashes, device flaps, link delay spikes, dropped frames — runs over
+//! 1 000 invocations. Every request must resolve (Ok or a typed
+//! [`InvokeError`]), the control plane must end clean (no leaked
+//! in-flight claims, no breaker stuck open), and the whole run must
+//! replay byte-identically from the same seed.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use kaas::accel::{CpuDevice, CpuProfile, Device, DeviceId, GpuDevice, GpuProfile};
+use kaas::core::{
+    BreakerConfig, BreakerState, EvictionConfig, ExponentialBackoff, FallbackConfig, Fault,
+    FaultInjector, FaultPlan, InvokeError, KaasClient, KaasNetwork, KaasServer, KernelRegistry,
+    RetryConfig, ServerConfig, StormConfig,
+};
+use kaas::kernels::{MonteCarlo, Value};
+use kaas::net::{LinkProfile, SharedMemory};
+use kaas::simtime::{sleep, spawn, Simulation, SpanSink};
+
+const SEED: u64 = 2026;
+const CLIENTS: usize = 8;
+const PER_CLIENT: usize = 125;
+
+/// Everything observable about one chaos run; two same-seed runs must
+/// compare equal field for field (including the rendered trace).
+#[derive(Debug, PartialEq, Eq)]
+struct ChaosSummary {
+    ok: usize,
+    errors: BTreeMap<&'static str, usize>,
+    faults_applied: usize,
+    breakers: BTreeMap<DeviceId, BreakerState>,
+    in_flight: usize,
+    quarantined: usize,
+    registry: String,
+    trace: String,
+}
+
+fn resilient_config(seed: u64, tracer: SpanSink) -> ServerConfig {
+    ServerConfig::default()
+        .with_tracer(tracer)
+        .with_retry(
+            RetryConfig::default()
+                .with_max_attempts(4)
+                .with_backoff(
+                    ExponentialBackoff::new(Duration::from_millis(1)).with_jitter(0.5, seed),
+                )
+                .with_budget(Duration::from_millis(100)),
+        )
+        .with_breaker(
+            BreakerConfig::default()
+                .with_failure_threshold(3)
+                .with_cooldown(Duration::from_millis(200)),
+        )
+        .with_eviction(EvictionConfig::default().with_failure_threshold(2))
+        .with_fallback(FallbackConfig::gpu_to_cpu())
+}
+
+fn run_chaos(seed: u64) -> ChaosSummary {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let tracer = SpanSink::new();
+        let devices: Vec<Device> = vec![
+            GpuDevice::new(DeviceId(0), GpuProfile::p100()).into(),
+            GpuDevice::new(DeviceId(1), GpuProfile::p100()).into(),
+            CpuDevice::new(DeviceId(2), CpuProfile::xeon_e5_2698v4_dual()).into(),
+        ];
+        let registry = KernelRegistry::new();
+        registry.register(MonteCarlo::default()).unwrap();
+        let shm = SharedMemory::host();
+        let server = KaasServer::new(
+            devices,
+            registry,
+            shm,
+            resilient_config(seed, tracer.clone()),
+        );
+        let net: KaasNetwork = KaasNetwork::new();
+        spawn(server.clone().serve(net.listen("kaas").unwrap()));
+
+        // Connect every client up front so their link-fault handles can
+        // be registered with the injector.
+        let mut clients = Vec::new();
+        for _ in 0..CLIENTS {
+            clients.push(
+                KaasClient::connect(&net, "kaas", LinkProfile::loopback())
+                    .await
+                    .unwrap(),
+            );
+        }
+
+        let storm = StormConfig {
+            devices: vec![DeviceId(0), DeviceId(1)],
+            horizon: Duration::from_secs(5),
+            ..StormConfig::default()
+        };
+        let plan = FaultPlan::storm(seed, &storm);
+        let mut injector = FaultInjector::new(&server, plan);
+        for client in &clients {
+            injector = injector.with_link(client.link_fault());
+        }
+        let fault_log = injector.log();
+        let storm_done = injector.run();
+
+        let mut workers = Vec::new();
+        for (idx, mut client) in clients.into_iter().enumerate() {
+            workers.push(spawn(async move {
+                let mut ok = 0usize;
+                let mut errors: BTreeMap<&'static str, usize> = BTreeMap::new();
+                sleep(Duration::from_millis(idx as u64 * 7)).await;
+                for _ in 0..PER_CLIENT {
+                    let result = client
+                        .call("mci")
+                        .arg(Value::U64(5_000))
+                        .timeout(Duration::from_secs(3))
+                        .send()
+                        .await;
+                    match result {
+                        Ok(_) => ok += 1,
+                        Err(e) => *errors.entry(e.kind()).or_default() += 1,
+                    }
+                    sleep(Duration::from_millis(30)).await;
+                }
+                (ok, errors)
+            }));
+        }
+
+        let mut ok = 0usize;
+        let mut errors: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for w in workers {
+            let (o, errs) = w.await;
+            ok += o;
+            for (k, n) in errs {
+                *errors.entry(k).or_default() += n;
+            }
+        }
+        storm_done.await;
+        // Let pending restorations (devices coming back online, delay
+        // spikes expiring) land and breaker cooldowns elapse.
+        sleep(Duration::from_secs(1)).await;
+
+        let snapshot = server.snapshot();
+        ChaosSummary {
+            ok,
+            errors,
+            faults_applied: fault_log.len(),
+            breakers: snapshot.breakers.clone(),
+            in_flight: snapshot.total_in_flight(),
+            quarantined: snapshot.quarantined,
+            registry: server.metrics_registry().render(),
+            trace: tracer.to_chrome_json(),
+        }
+    })
+}
+
+#[test]
+fn seeded_fault_storm_loses_zero_requests() {
+    let s = run_chaos(SEED);
+    let resolved = s.ok + s.errors.values().sum::<usize>();
+    assert_eq!(
+        resolved,
+        CLIENTS * PER_CLIENT,
+        "every invocation must resolve Ok or with a typed error: {s:?}"
+    );
+    assert!(s.ok > 0, "a healthy majority should still succeed: {s:?}");
+    assert!(s.faults_applied > 0, "the storm must actually fire");
+    // The control plane ends clean: nothing in flight, no breaker stuck
+    // open after the cooldown window.
+    assert_eq!(s.in_flight, 0, "leaked in-flight claims: {s:?}");
+    assert!(
+        s.breakers.values().all(|b| *b != BreakerState::Open),
+        "breakers must recover to closed/half-open: {:?}",
+        s.breakers
+    );
+}
+
+#[test]
+fn chaos_replays_byte_identically_from_the_same_seed() {
+    let a = run_chaos(SEED);
+    let b = run_chaos(SEED);
+    assert_eq!(
+        a.trace, b.trace,
+        "same seed must produce a byte-identical trace"
+    );
+    assert_eq!(a, b, "same seed must replay the whole run identically");
+}
+
+#[test]
+fn gpu_outage_degrades_to_cpu_and_recovers() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let tracer = SpanSink::new();
+        let devices: Vec<Device> = vec![
+            GpuDevice::new(DeviceId(0), GpuProfile::p100()).into(),
+            CpuDevice::new(DeviceId(1), CpuProfile::xeon_e5_2698v4_dual()).into(),
+        ];
+        let registry = KernelRegistry::new();
+        registry.register(MonteCarlo::default()).unwrap();
+        let shm = SharedMemory::host();
+        let server = KaasServer::new(devices, registry, shm, resilient_config(7, tracer));
+        let net: KaasNetwork = KaasNetwork::new();
+        spawn(server.clone().serve(net.listen("kaas").unwrap()));
+        let mut client = KaasClient::connect(&net, "kaas", LinkProfile::loopback())
+            .await
+            .unwrap();
+
+        // Warm the GPU path first.
+        let warm = client
+            .call("mci")
+            .arg(Value::U64(5_000))
+            .send()
+            .await
+            .unwrap();
+        assert!(!warm.report.degraded);
+        assert_eq!(warm.report.device, DeviceId(0));
+
+        // Take the only GPU down for two seconds.
+        let plan = FaultPlan::new(0).push(
+            Duration::ZERO,
+            Fault::DeviceOffline {
+                device: DeviceId(0),
+                down_for: Duration::from_secs(2),
+            },
+        );
+        FaultInjector::new(&server, plan).run().await;
+
+        // Served anyway — degraded onto the CPU.
+        let deg = client
+            .call("mci")
+            .arg(Value::U64(5_000))
+            .send()
+            .await
+            .unwrap();
+        assert!(deg.report.degraded, "expected a degraded placement");
+        assert_eq!(deg.report.device, DeviceId(1));
+        assert!(server.metrics_registry().counter("degraded.served") >= 1);
+
+        // After the outage the GPU serves again, undegraded.
+        sleep(Duration::from_secs(3)).await;
+        let back = client
+            .call("mci")
+            .arg(Value::U64(5_000))
+            .send()
+            .await
+            .unwrap();
+        assert!(!back.report.degraded);
+        assert_eq!(back.report.device, DeviceId(0));
+    });
+}
+
+#[test]
+fn dropped_request_times_out_as_a_typed_error() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let devices: Vec<Device> = vec![GpuDevice::new(DeviceId(0), GpuProfile::p100()).into()];
+        let registry = KernelRegistry::new();
+        registry.register(MonteCarlo::default()).unwrap();
+        let shm = SharedMemory::host();
+        let server = KaasServer::new(devices, registry, shm, ServerConfig::default());
+        let net: KaasNetwork = KaasNetwork::new();
+        spawn(server.clone().serve(net.listen("kaas").unwrap()));
+        let mut client = KaasClient::connect(&net, "kaas", LinkProfile::loopback())
+            .await
+            .unwrap();
+
+        // Swallow the next request frame on the client's uplink.
+        client.link_fault().drop_next(1);
+        let err = client
+            .call("mci")
+            .arg(Value::U64(5_000))
+            .timeout(Duration::from_millis(50))
+            .send()
+            .await
+            .unwrap_err();
+        assert_eq!(err, InvokeError::TimedOut);
+        assert_eq!(client.link_fault().dropped(), 1);
+
+        // The link is healthy again: the next call goes through.
+        assert!(client
+            .call("mci")
+            .arg(Value::U64(5_000))
+            .send()
+            .await
+            .is_ok());
+        // Nothing leaked server-side.
+        assert_eq!(server.snapshot().total_in_flight(), 0);
+    });
+}

@@ -1,12 +1,17 @@
 //! Integration: failure injection and error paths across the stack.
 
+use std::collections::BTreeSet;
 use std::rc::Rc;
+use std::time::Duration;
 
 use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
-use kaas::core::{InvokeError, KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig};
+use kaas::core::{
+    BreakerConfig, DataRef, InvokeError, KaasClient, KaasNetwork, KaasServer, KernelRegistry,
+    Request, RetryConfig, ServerConfig,
+};
 use kaas::kernels::{Kernel, MatMul, MonteCarlo, Value};
 use kaas::net::{LinkProfile, SharedMemory};
-use kaas::simtime::{spawn, Simulation};
+use kaas::simtime::{sleep, spawn, timeout, Simulation};
 
 fn gpus(n: u32) -> Vec<Device> {
     (0..n)
@@ -14,19 +19,27 @@ fn gpus(n: u32) -> Vec<Device> {
         .collect()
 }
 
-fn boot(
+fn boot_with(
     devices: Vec<Device>,
     kernels: Vec<Rc<dyn Kernel>>,
+    config: ServerConfig,
 ) -> (KaasServer, KaasNetwork, SharedMemory) {
     let registry = KernelRegistry::new();
     for k in kernels {
         registry.register_rc(k).unwrap();
     }
     let shm = SharedMemory::host();
-    let server = KaasServer::new(devices, registry, shm.clone(), ServerConfig::default());
+    let server = KaasServer::new(devices, registry, shm.clone(), config);
     let net: KaasNetwork = KaasNetwork::new();
     spawn(server.clone().serve(net.listen("kaas").unwrap()));
     (server, net, shm)
+}
+
+fn boot(
+    devices: Vec<Device>,
+    kernels: Vec<Rc<dyn Kernel>>,
+) -> (KaasServer, KaasNetwork, SharedMemory) {
+    boot_with(devices, kernels, ServerConfig::default())
 }
 
 async fn connect(net: &KaasNetwork, shm: SharedMemory) -> KaasClient {
@@ -161,6 +174,303 @@ fn failed_invocation_releases_in_flight() {
             .await
             .unwrap();
         assert_eq!(server.snapshot().in_flight("matmul"), 0);
+    });
+}
+
+#[test]
+fn deadline_shed_releases_the_admission_slot() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        // A server-wide cap of one admitted request: any leaked
+        // admission permit wedges the server permanently.
+        let (server, net, shm) = boot_with(
+            gpus(1),
+            vec![Rc::new(MatMul::new())],
+            ServerConfig::default().with_max_in_flight(1),
+        );
+        let mut client = connect(&net, shm).await;
+        let err = client
+            .call("matmul")
+            .arg(Value::U64(64))
+            .deadline(Duration::ZERO)
+            .send()
+            .await
+            .unwrap_err();
+        assert_eq!(err, InvokeError::DeadlineExceeded);
+        assert_eq!(server.snapshot().total_in_flight(), 0);
+        // The shed request released its slot: the next one is admitted.
+        assert!(client
+            .call("matmul")
+            .arg(Value::U64(64))
+            .send()
+            .await
+            .is_ok());
+    });
+}
+
+#[test]
+fn disconnect_mid_flight_does_not_wedge_the_server() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let (server, net, shm) = boot_with(
+            gpus(1),
+            vec![Rc::new(MonteCarlo::default())],
+            ServerConfig::default().with_max_in_flight(1),
+        );
+        // A client that gives up mid-flight and hangs up: the send
+        // future is dropped while the server is still working, then the
+        // connection itself is dropped with it.
+        {
+            let shm = shm.clone();
+            let net = net.clone();
+            spawn(async move {
+                let mut client = connect(&net, shm).await;
+                let _ = timeout(
+                    Duration::from_millis(1),
+                    client.call("mci").arg(Value::U64(10_000)).send(),
+                )
+                .await;
+            })
+            .await;
+        }
+        // Let the server finish the abandoned invocation (cold start
+        // plus execution) and fail its reply send.
+        sleep(Duration::from_secs(2)).await;
+        assert_eq!(
+            server.snapshot().total_in_flight(),
+            0,
+            "abandoned invocation leaked an in-flight claim"
+        );
+        // Both the admission slot and the pool claim are free again.
+        let mut client = connect(&net, shm).await;
+        assert!(client
+            .call("mci")
+            .arg(Value::U64(10_000))
+            .send()
+            .await
+            .is_ok());
+    });
+}
+
+#[test]
+fn exhausted_retries_surface_the_failure_and_release_claims() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        // One attempt only: a crashed runner surfaces as RunnerFailed
+        // instead of being retried onto a replacement.
+        let (server, net, shm) = boot_with(
+            gpus(1),
+            vec![Rc::new(MonteCarlo::default())],
+            ServerConfig::default().with_retry(RetryConfig::default().with_max_attempts(1)),
+        );
+        let mut client = connect(&net, shm).await;
+        let first = client
+            .call("mci")
+            .arg(Value::U64(10_000))
+            .send()
+            .await
+            .unwrap();
+        assert!(server.kill_runner("mci", first.report.device));
+        let err = client
+            .call("mci")
+            .arg(Value::U64(10_000))
+            .send()
+            .await
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::RunnerFailed(_)), "got {err:?}");
+        let snapshot = server.snapshot();
+        assert_eq!(
+            snapshot.total_in_flight(),
+            0,
+            "failed attempt leaked a claim"
+        );
+        assert_eq!(snapshot.quarantined, 1, "dead slot should be quarantined");
+        let m = server.metrics_registry();
+        assert!(m.counter("errors.runner-failed") >= 1);
+        assert!(m.counter("evictions") >= 1);
+        // The quarantined slot is replaced on the next invocation.
+        assert!(client
+            .call("mci")
+            .arg(Value::U64(10_000))
+            .send()
+            .await
+            .is_ok());
+    });
+}
+
+#[test]
+fn every_error_kind_is_inducible_and_counted() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let mut induced: BTreeSet<&'static str> = BTreeSet::new();
+
+        // Server A: one GPU, retry disabled, hair-trigger breaker that
+        // never cools down — covers the placement/runtime error kinds.
+        let (server, net, shm) = boot_with(
+            gpus(1),
+            vec![Rc::new(MatMul::new()), Rc::new(MonteCarlo::default())],
+            ServerConfig::default()
+                .with_retry(RetryConfig::default().with_max_attempts(1))
+                .with_breaker(
+                    BreakerConfig::default()
+                        .with_failure_threshold(1)
+                        .with_cooldown(Duration::from_secs(3600)),
+                ),
+        );
+        let mut client = connect(&net, shm.clone()).await;
+
+        let err = client.call("nope").send().await.unwrap_err();
+        induced.insert(err.kind());
+        let err = client
+            .call("matmul")
+            .arg(Value::Unit)
+            .send()
+            .await
+            .unwrap_err();
+        induced.insert(err.kind());
+        let err = client
+            .call("matmul")
+            .arg(Value::U64(64))
+            .deadline(Duration::ZERO)
+            .send()
+            .await
+            .unwrap_err();
+        induced.insert(err.kind());
+
+        // A stale shared-memory handle, fed straight into the server's
+        // request handler (the client API never produces one).
+        let stale = shm.put(Value::U64(1), 8).await;
+        shm.take(stale).await.unwrap();
+        let resp = server
+            .handle(Request {
+                id: u64::MAX,
+                kernel: "matmul".into(),
+                data: DataRef::OutOfBand(stale),
+                tenant: None,
+                deadline: None,
+                span: None,
+            })
+            .await;
+        let err = resp.result.unwrap_err();
+        induced.insert(err.kind());
+
+        // Crash the only runner: one attempt means the failure surfaces,
+        // and the failure trips the device's breaker permanently.
+        let first = client
+            .call("mci")
+            .arg(Value::U64(10_000))
+            .send()
+            .await
+            .unwrap();
+        assert!(server.kill_runner("mci", first.report.device));
+        let err = client
+            .call("mci")
+            .arg(Value::U64(10_000))
+            .send()
+            .await
+            .unwrap_err();
+        induced.insert(err.kind());
+        let err = client
+            .call("mci")
+            .arg(Value::U64(10_000))
+            .send()
+            .await
+            .unwrap_err();
+        assert_eq!(err, InvokeError::CircuitOpen("GPU".into()));
+        induced.insert(err.kind());
+
+        // Client-side kind: a dropped request frame times out.
+        client.link_fault().drop_next(1);
+        let err = client
+            .call("matmul")
+            .arg(Value::U64(64))
+            .timeout(Duration::from_millis(20))
+            .send()
+            .await
+            .unwrap_err();
+        assert_eq!(err, InvokeError::TimedOut);
+        induced.insert(err.kind());
+
+        // Every server-side kind induced so far is counted in the
+        // registry under its stable label.
+        let m = server.metrics_registry();
+        for kind in [
+            "unknown-kernel",
+            "bad-input",
+            "deadline-exceeded",
+            "bad-handle",
+            "runner-failed",
+            "circuit-open",
+        ] {
+            assert!(
+                m.counter(&format!("errors.{kind}")) >= 1,
+                "errors.{kind} missing from registry:\n{}",
+                m.render()
+            );
+        }
+
+        // Server B: zero admission slots — everything is shed.
+        let (_b, net_b, shm_b) = boot_with(
+            gpus(1),
+            vec![Rc::new(MatMul::new())],
+            ServerConfig::default().with_max_in_flight(0),
+        );
+        let mut client_b = connect(&net_b, shm_b).await;
+        let err = client_b
+            .call("matmul")
+            .arg(Value::U64(8))
+            .send()
+            .await
+            .unwrap_err();
+        assert_eq!(err, InvokeError::Overloaded);
+        induced.insert(err.kind());
+        assert!(_b.metrics_registry().counter("errors.overloaded") >= 1);
+
+        // Server C: CPU-only deployment asked for a GPU kernel.
+        let cpu: Device = kaas::accel::CpuDevice::new(
+            DeviceId(0),
+            kaas::accel::CpuProfile::xeon_e5_2698v4_dual(),
+        )
+        .into();
+        let (_c, net_c, shm_c) = boot(vec![cpu], vec![Rc::new(MatMul::new())]);
+        let mut client_c = connect(&net_c, shm_c).await;
+        let err = client_c
+            .call("matmul")
+            .arg(Value::U64(8))
+            .send()
+            .await
+            .unwrap_err();
+        assert_eq!(err, InvokeError::NoDevice("GPU".into()));
+        induced.insert(err.kind());
+        assert!(_c.metrics_registry().counter("errors.no-device") >= 1);
+
+        // Client-side kind: the server hangs up before answering.
+        let net_d: KaasNetwork = KaasNetwork::new();
+        let mut listener = net_d.listen("kaas").unwrap();
+        let hangup = spawn(async move {
+            let conn = listener.accept().await;
+            drop(conn);
+            drop(listener);
+        });
+        let mut client_d = KaasClient::connect(&net_d, "kaas", LinkProfile::loopback())
+            .await
+            .expect("listening");
+        hangup.await;
+        let err = client_d
+            .call("matmul")
+            .arg(Value::U64(8))
+            .send()
+            .await
+            .unwrap_err();
+        assert_eq!(err, InvokeError::Disconnected);
+        induced.insert(err.kind());
+
+        // Exhaustiveness: every variant in the stable KINDS table was
+        // induced somewhere above.
+        for kind in InvokeError::KINDS {
+            assert!(induced.contains(kind), "error kind {kind} never induced");
+        }
+        assert_eq!(induced.len(), InvokeError::KINDS.len());
     });
 }
 
