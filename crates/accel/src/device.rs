@@ -150,6 +150,23 @@ impl Device {
         }
     }
 
+    /// Device memory capacity in bytes — the budget the data plane's
+    /// per-device [`MemoryManager`](crate::MemoryManager) manages. GPUs
+    /// report their profile's HBM size; the other families use fixed
+    /// representative capacities (host DRAM for CPUs, on-card DDR for
+    /// FPGAs, per-board HBM for TPUs, a small classical staging buffer
+    /// for QPU control stacks).
+    pub fn mem_bytes(&self) -> u64 {
+        const GIB: u64 = 1 << 30;
+        match self {
+            Device::Cpu(_) => 256 * GIB,
+            Device::Gpu(d) => d.profile().mem_bytes,
+            Device::Fpga(_) => 64 * GIB,
+            Device::Tpu(_) => 128 * GIB,
+            Device::Qpu(_) => GIB,
+        }
+    }
+
     /// Accumulated utilization-weighted busy time, in device-seconds
     /// (dispatches to each family's own accounting). Divide by elapsed
     /// virtual time for a utilization fraction.
@@ -314,6 +331,15 @@ mod tests {
     fn wrong_downcast_panics() {
         let d: Device = CpuDevice::new(DeviceId(0), CpuProfile::epyc_7513_dual()).into();
         let _ = d.as_gpu();
+    }
+
+    #[test]
+    fn every_family_reports_memory_capacity() {
+        for d in all_devices() {
+            assert!(d.mem_bytes() > 0, "{}", d.class());
+        }
+        let gpu: Device = GpuDevice::new(DeviceId(1), GpuProfile::p100()).into();
+        assert_eq!(gpu.mem_bytes(), 16 * (1u64 << 30));
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod cpu;
 mod device;
 mod fpga;
 mod gpu;
+mod memory;
 mod power;
 mod ps;
 mod qpu;
@@ -48,6 +49,7 @@ pub use cpu::{CpuDevice, CpuProfile};
 pub use device::{Device, DeviceClass, DeviceId};
 pub use fpga::{FpgaDevice, FpgaProfile, FpgaTimings};
 pub use gpu::{GpuDevice, GpuProfile, GpuTimings};
+pub use memory::{MemoryManager, OomError};
 pub use power::PowerProfile;
 pub use ps::SharedProcessor;
 pub use qpu::{QpuDevice, QpuKind, QpuProfile};

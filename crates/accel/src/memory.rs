@@ -1,0 +1,410 @@
+//! [`MemoryManager`]: runtime-managed device memory residency.
+//!
+//! Once accelerator memory is decoupled from the application (the KaaS
+//! runner owns the device, not the client process), *something* must
+//! decide which uploaded objects stay resident and which get evicted
+//! under pressure. The manager tracks one device's capacity and the set
+//! of content-addressed objects currently resident on it, serving the
+//! data plane's cache decisions:
+//!
+//! * [`insert`](MemoryManager::insert) admits an object, evicting
+//!   least-recently-used victims until it fits — or fails with
+//!   [`OomError`] when pinned/in-use objects block the space.
+//! * [`pin`](MemoryManager::pin) protects an object from eviction
+//!   permanently; [`retain`](MemoryManager::retain) /
+//!   [`release`](MemoryManager::release) refcount objects while an
+//!   invocation reads them, so in-flight operands are never evicted.
+//! * [`clear`](MemoryManager::clear) models the total loss of device
+//!   state when the owning runner process dies.
+//!
+//! Recency is a logical clock (bumped per touch), not wall time, so
+//! identical operation sequences evict identically — the determinism
+//! contract the rest of the simulation relies on. Ties (same clock
+//! value, impossible through the public API but cheap to defend) break
+//! by object hash.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+/// Why an object could not be admitted into device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OomError {
+    /// Bytes the rejected object needed.
+    pub requested: u64,
+    /// Total device memory capacity.
+    pub capacity: u64,
+    /// Bytes that could have been freed by evicting unpinned, idle
+    /// objects (everything else is pinned or referenced in flight).
+    pub evictable: u64,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "need {} B but only {} B evictable of {} B capacity",
+            self.requested, self.evictable, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    bytes: u64,
+    pinned: bool,
+    refs: u32,
+    last_use: u64,
+}
+
+/// Tracks which content-addressed objects are resident in one device's
+/// memory: capacity accounting, LRU eviction, pinning, and in-flight
+/// refcounts.
+///
+/// # Examples
+///
+/// ```
+/// use kaas_accel::MemoryManager;
+///
+/// let mm = MemoryManager::new(100);
+/// mm.insert(1, 60).unwrap();
+/// mm.insert(2, 60).unwrap(); // evicts object 1 (LRU)
+/// assert!(!mm.contains(1));
+/// assert!(mm.contains(2));
+/// assert_eq!(mm.evictions(), 1);
+/// ```
+#[derive(Debug)]
+pub struct MemoryManager {
+    capacity: u64,
+    objects: RefCell<BTreeMap<u64, Resident>>,
+    bytes_resident: Cell<u64>,
+    clock: Cell<u64>,
+    evictions: Cell<u64>,
+}
+
+impl MemoryManager {
+    /// Creates a manager for a device with `capacity` bytes of memory.
+    pub fn new(capacity: u64) -> Self {
+        MemoryManager {
+            capacity,
+            objects: RefCell::new(BTreeMap::new()),
+            bytes_resident: Cell::new(0),
+            clock: Cell::new(0),
+            evictions: Cell::new(0),
+        }
+    }
+
+    /// Total device memory capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident. Never exceeds
+    /// [`capacity`](MemoryManager::capacity).
+    pub fn bytes_resident(&self) -> u64 {
+        self.bytes_resident.get()
+    }
+
+    /// Objects evicted under pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Whether the object is resident.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.objects.borrow().contains_key(&hash)
+    }
+
+    /// Number of resident objects.
+    pub fn len(&self) -> usize {
+        self.objects.borrow().len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.objects.borrow().is_empty()
+    }
+
+    /// Resident object hashes in ascending order.
+    pub fn resident(&self) -> Vec<u64> {
+        self.objects.borrow().keys().copied().collect()
+    }
+
+    fn tick(&self) -> u64 {
+        let t = self.clock.get() + 1;
+        self.clock.set(t);
+        t
+    }
+
+    /// Marks the object most-recently-used (a cache hit). Returns
+    /// whether it was resident.
+    pub fn touch(&self, hash: u64) -> bool {
+        let mut objects = self.objects.borrow_mut();
+        match objects.get_mut(&hash) {
+            Some(o) => {
+                o.last_use = self.tick();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Admits an object of `bytes`, evicting least-recently-used
+    /// unpinned, unreferenced objects until it fits. Returns the evicted
+    /// hashes (oldest first). Inserting an already-resident object just
+    /// touches it.
+    ///
+    /// # Errors
+    ///
+    /// [`OomError`] when the object exceeds capacity outright or every
+    /// candidate victim is pinned or referenced in flight. Nothing is
+    /// evicted on failure.
+    pub fn insert(&self, hash: u64, bytes: u64) -> Result<Vec<u64>, OomError> {
+        if self.touch(hash) {
+            return Ok(Vec::new());
+        }
+        let oom = |evictable| OomError {
+            requested: bytes,
+            capacity: self.capacity,
+            evictable,
+        };
+        if bytes > self.capacity {
+            return Err(oom(self.evictable_bytes()));
+        }
+        // Plan the evictions first so a failed admission changes nothing.
+        let mut victims = Vec::new();
+        {
+            let objects = self.objects.borrow();
+            let mut need = (self.bytes_resident.get() + bytes).saturating_sub(self.capacity);
+            let mut candidates: Vec<(&u64, &Resident)> = objects
+                .iter()
+                .filter(|(_, o)| !o.pinned && o.refs == 0)
+                .collect();
+            candidates.sort_by_key(|(h, o)| (o.last_use, **h));
+            for (h, o) in candidates {
+                if need == 0 {
+                    break;
+                }
+                victims.push(*h);
+                need = need.saturating_sub(o.bytes);
+            }
+            if need > 0 {
+                return Err(oom(self.evictable_bytes()));
+            }
+        }
+        for victim in &victims {
+            let o = self
+                .objects
+                .borrow_mut()
+                .remove(victim)
+                .expect("planned victim is resident");
+            self.bytes_resident.set(self.bytes_resident.get() - o.bytes);
+            self.evictions.set(self.evictions.get() + 1);
+        }
+        self.objects.borrow_mut().insert(
+            hash,
+            Resident {
+                bytes,
+                pinned: false,
+                refs: 0,
+                last_use: self.tick(),
+            },
+        );
+        self.bytes_resident.set(self.bytes_resident.get() + bytes);
+        Ok(victims)
+    }
+
+    fn evictable_bytes(&self) -> u64 {
+        self.objects
+            .borrow()
+            .values()
+            .filter(|o| !o.pinned && o.refs == 0)
+            .map(|o| o.bytes)
+            .sum()
+    }
+
+    /// Pins a resident object: it is never chosen as an eviction victim
+    /// until [`unpin`](MemoryManager::unpin). Returns whether the object
+    /// was resident.
+    pub fn pin(&self, hash: u64) -> bool {
+        match self.objects.borrow_mut().get_mut(&hash) {
+            Some(o) => {
+                o.pinned = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a pin. Returns whether the object was resident.
+    pub fn unpin(&self, hash: u64) -> bool {
+        match self.objects.borrow_mut().get_mut(&hash) {
+            Some(o) => {
+                o.pinned = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Takes an in-flight reference: the object cannot be evicted while
+    /// any reference is held. Returns whether the object was resident.
+    pub fn retain(&self, hash: u64) -> bool {
+        match self.objects.borrow_mut().get_mut(&hash) {
+            Some(o) => {
+                o.refs += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases an in-flight reference taken with
+    /// [`retain`](MemoryManager::retain). A release for an object that
+    /// was since invalidated (runner crash) is a no-op.
+    pub fn release(&self, hash: u64) {
+        if let Some(o) = self.objects.borrow_mut().get_mut(&hash) {
+            o.refs = o.refs.saturating_sub(1);
+        }
+    }
+
+    /// Drops one object regardless of recency (a failed upload must not
+    /// look resident). Pins and references do not protect against an
+    /// explicit remove. Returns whether it was resident.
+    pub fn remove(&self, hash: u64) -> bool {
+        match self.objects.borrow_mut().remove(&hash) {
+            Some(o) => {
+                self.bytes_resident.set(self.bytes_resident.get() - o.bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops everything — the device's memory contents are gone (owning
+    /// runner crashed, device fell off the bus). Pins and refcounts do
+    /// not survive: the physical allocations no longer exist. Returns
+    /// the number of objects invalidated.
+    pub fn clear(&self) -> usize {
+        let n = self.objects.borrow().len();
+        self.objects.borrow_mut().clear();
+        self.bytes_resident.set(0);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_tracks_bytes_and_dedupes() {
+        let mm = MemoryManager::new(100);
+        assert_eq!(mm.insert(1, 40).unwrap(), Vec::<u64>::new());
+        assert_eq!(mm.bytes_resident(), 40);
+        // Re-inserting is a touch, not a second copy.
+        assert_eq!(mm.insert(1, 40).unwrap(), Vec::<u64>::new());
+        assert_eq!(mm.bytes_resident(), 40);
+        assert_eq!(mm.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let mm = MemoryManager::new(100);
+        mm.insert(1, 40).unwrap();
+        mm.insert(2, 40).unwrap();
+        mm.touch(1); // 2 is now the LRU victim
+        assert_eq!(mm.insert(3, 40).unwrap(), vec![2]);
+        assert!(mm.contains(1) && mm.contains(3) && !mm.contains(2));
+        assert_eq!(mm.evictions(), 1);
+        assert!(mm.bytes_resident() <= mm.capacity());
+    }
+
+    #[test]
+    fn eviction_can_take_multiple_victims() {
+        let mm = MemoryManager::new(100);
+        mm.insert(1, 30).unwrap();
+        mm.insert(2, 30).unwrap();
+        mm.insert(3, 30).unwrap();
+        assert_eq!(mm.insert(4, 70).unwrap(), vec![1, 2]);
+        assert_eq!(mm.bytes_resident(), 100);
+    }
+
+    #[test]
+    fn pinned_objects_are_never_victims() {
+        let mm = MemoryManager::new(100);
+        mm.insert(1, 60).unwrap();
+        assert!(mm.pin(1));
+        let err = mm.insert(2, 60).unwrap_err();
+        assert_eq!(err.evictable, 0);
+        assert!(mm.contains(1));
+        // Unpinning frees it for eviction again.
+        mm.unpin(1);
+        assert_eq!(mm.insert(2, 60).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn referenced_objects_are_never_victims() {
+        let mm = MemoryManager::new(100);
+        mm.insert(1, 60).unwrap();
+        assert!(mm.retain(1));
+        assert!(mm.insert(2, 60).is_err());
+        mm.release(1);
+        assert_eq!(mm.insert(2, 60).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn oversized_object_is_oom() {
+        let mm = MemoryManager::new(100);
+        let err = mm.insert(1, 101).unwrap_err();
+        assert_eq!(err.requested, 101);
+        assert_eq!(err.capacity, 100);
+        assert!(err.to_string().contains("101"));
+    }
+
+    #[test]
+    fn failed_insert_evicts_nothing() {
+        let mm = MemoryManager::new(100);
+        mm.insert(1, 40).unwrap();
+        mm.insert(2, 40).unwrap();
+        mm.pin(2);
+        // Needs 80 free, only 40 evictable: fail without touching 1.
+        assert!(mm.insert(3, 100).is_err());
+        assert!(mm.contains(1) && mm.contains(2));
+        assert_eq!(mm.evictions(), 0);
+    }
+
+    #[test]
+    fn clear_drops_pins_and_refs() {
+        let mm = MemoryManager::new(100);
+        mm.insert(1, 40).unwrap();
+        mm.pin(1);
+        mm.retain(1);
+        assert_eq!(mm.clear(), 1);
+        assert_eq!(mm.bytes_resident(), 0);
+        assert!(mm.is_empty());
+        // Stale release after invalidation is harmless.
+        mm.release(1);
+    }
+
+    #[test]
+    fn remove_ignores_protection() {
+        let mm = MemoryManager::new(100);
+        mm.insert(1, 40).unwrap();
+        mm.pin(1);
+        assert!(mm.remove(1));
+        assert!(!mm.remove(1));
+        assert_eq!(mm.bytes_resident(), 0);
+        // No eviction counted: removal is not memory pressure.
+        assert_eq!(mm.evictions(), 0);
+    }
+
+    #[test]
+    fn resident_lists_sorted_hashes() {
+        let mm = MemoryManager::new(100);
+        mm.insert(9, 10).unwrap();
+        mm.insert(3, 10).unwrap();
+        assert_eq!(mm.resident(), vec![3, 9]);
+    }
+}

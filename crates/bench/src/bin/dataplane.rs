@@ -1,0 +1,11 @@
+//! Runs the device-resident data-plane experiments (GA reference reuse,
+//! ResNet batch re-scoring, LRU eviction pressure). Pass `--quick` for
+//! a reduced sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for fig in kaas_bench::dataplane::run(quick) {
+        fig.print();
+        println!();
+    }
+}

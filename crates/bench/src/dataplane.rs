@@ -1,0 +1,358 @@
+//! Data-plane benchmark: repeated-argument workloads with and without
+//! device-resident operands.
+//!
+//! The paper's out-of-band path (§4.1) removes serialization but not
+//! the host→device copy: iterative workloads — the Fig. 11 GA shipping
+//! its population every generation, ResNet batches re-scoring the same
+//! evaluation set — re-upload identical bytes on every invocation. The
+//! `kaas-core` data plane stores the operand once (`put` + `seal`),
+//! passes a 24-byte content address (`arg_ref`), and serves repeat
+//! invocations from device memory with zero `copy_in`.
+//!
+//! Three experiments:
+//!
+//! 1. **GA, 10 generations** against a fixed reference population —
+//!    total task time per transfer mode, over population size.
+//! 2. **ResNet-50 batch re-scoring** — mean per-invocation latency as
+//!    the same batch is re-scored K times (the upload amortizes).
+//! 3. **Eviction pressure** — hit rate as the round-robin working set
+//!    grows past device memory (a capacity-limited GPU), with the
+//!    eviction count alongside.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use kaas_accel::{Device, DeviceId, GpuDevice, GpuProfile};
+use kaas_core::{InvokeError, KaasClient};
+use kaas_kernels::{GaGeneration, Kernel, ResNet50, Value, GENERATIONS, IMAGE_BYTES};
+use kaas_simtime::{now, Simulation};
+
+use crate::common::{deploy, experiment_server_config, p100_cluster, Figure, Series};
+
+/// How the repeated operand travels to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transfer {
+    /// Serialized with the request on every invocation.
+    InBand,
+    /// Through shared memory on every invocation (no serialization,
+    /// full host→device copy each time).
+    OutOfBand,
+    /// Stored once in the object store, sealed, and referenced by
+    /// content address; resident in device memory after the first use.
+    DataPlaneRef,
+}
+
+impl Transfer {
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Transfer::InBand => "Local (in-band)",
+            Transfer::OutOfBand => "Local (out-of-band)",
+            Transfer::DataPlaneRef => "Data plane (arg_ref)",
+        }
+    }
+
+    /// All modes in legend order.
+    pub fn all() -> [Transfer; 3] {
+        [
+            Transfer::InBand,
+            Transfer::OutOfBand,
+            Transfer::DataPlaneRef,
+        ]
+    }
+}
+
+/// Invokes `kernel` `repeats` times with the same operand under the
+/// given transfer mode, returning (total seconds, summed `copy_in`).
+async fn repeat_invoke(
+    client: &mut KaasClient,
+    kernel: &str,
+    operand: Value,
+    repeats: usize,
+    transfer: Transfer,
+) -> Result<(f64, Duration), InvokeError> {
+    let t0 = now();
+    let mut copy_in = Duration::ZERO;
+    let r = match transfer {
+        Transfer::DataPlaneRef => {
+            let r = client.put(operand.clone()).await?;
+            client.seal(r).await?;
+            Some(r)
+        }
+        _ => None,
+    };
+    for _ in 0..repeats {
+        let inv = match transfer {
+            Transfer::InBand => client.call(kernel).arg(operand.clone()).send().await?,
+            Transfer::OutOfBand => {
+                client
+                    .call(kernel)
+                    .arg(operand.clone())
+                    .out_of_band()
+                    .send()
+                    .await?
+            }
+            // `.out_of_band()` on a ref call returns the (large) output
+            // through shared memory, matching the OutOfBand baseline.
+            Transfer::DataPlaneRef => {
+                client
+                    .call(kernel)
+                    .arg_ref(r.unwrap())
+                    .out_of_band()
+                    .send()
+                    .await?
+            }
+        };
+        copy_in += inv.report.copy_in;
+    }
+    Ok(((now() - t0).as_secs_f64(), copy_in))
+}
+
+/// Ten GA generations against a fixed reference population of size `n`:
+/// total task time for one transfer mode.
+pub fn run_ga(transfer: Transfer, n: u64) -> (f64, Duration) {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let dep = deploy(
+            p100_cluster(),
+            vec![Rc::new(GaGeneration::default()) as Rc<dyn Kernel>],
+            experiment_server_config(),
+        );
+        dep.server.prewarm("ga", 1).await.expect("prewarm");
+        let mut client = dep.local_client().await;
+        repeat_invoke(
+            &mut client,
+            "ga",
+            Value::U64(n),
+            GENERATIONS as usize,
+            transfer,
+        )
+        .await
+        .expect("ga runs")
+    })
+}
+
+/// Re-scores one fixed 8-image ResNet batch `repeats` times: mean
+/// per-invocation latency (ms) for one transfer mode.
+pub fn run_resnet(transfer: Transfer, repeats: usize) -> f64 {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let dep = deploy(
+            p100_cluster(),
+            vec![Rc::new(ResNet50::new()) as Rc<dyn Kernel>],
+            experiment_server_config(),
+        );
+        dep.server.prewarm("resnet50", 1).await.expect("prewarm");
+        let mut client = dep.local_client().await;
+        // The batch as a sized envelope: eight preprocessed images.
+        let batch = Value::sized(8 * IMAGE_BYTES, Value::U64(8));
+        let (total, _) = repeat_invoke(&mut client, "resnet50", batch, repeats, transfer)
+            .await
+            .expect("resnet runs");
+        total * 1e3 / repeats as f64
+    })
+}
+
+/// Round-robin over `objects` distinct sealed operands on a GPU that
+/// holds at most [`EVICT_CAPACITY_OBJECTS`] of them: returns
+/// (hit rate, evictions) over `rounds` full cycles.
+pub fn run_eviction(objects: usize, rounds: usize) -> (f64, u64) {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        // Every operand is a 2 MiB reference matrix; the device holds
+        // four (8 MiB + a little).
+        const OBJ_BYTES: u64 = 2 << 20;
+        let gpu: Device = GpuDevice::new(
+            DeviceId(0),
+            GpuProfile {
+                mem_bytes: EVICT_CAPACITY_OBJECTS * OBJ_BYTES + (OBJ_BYTES / 2),
+                ..GpuProfile::p100()
+            },
+        )
+        .into();
+        let dep = deploy(
+            vec![gpu],
+            vec![Rc::new(GaGeneration::default()) as Rc<dyn Kernel>],
+            experiment_server_config(),
+        );
+        dep.server.prewarm("ga", 1).await.expect("prewarm");
+        let mut client = dep.local_client().await;
+        let mut refs = Vec::new();
+        for i in 0..objects {
+            // Distinct content, identical cost: same declared size,
+            // different population seed.
+            let r = client
+                .put(Value::sized(OBJ_BYTES, Value::U64(1024 + i as u64)))
+                .await
+                .expect("put");
+            client.seal(r).await.expect("seal");
+            refs.push(r);
+        }
+        for _ in 0..rounds {
+            for r in &refs {
+                client.call("ga").arg_ref(*r).send().await.expect("ga runs");
+            }
+        }
+        let m = dep.server.metrics_registry();
+        let hits = m.counter("dataplane.hits") as f64;
+        let misses = m.counter("dataplane.misses") as f64;
+        (hits / (hits + misses), m.counter("dataplane.evictions"))
+    })
+}
+
+/// Device capacity of the eviction experiment, in operands.
+pub const EVICT_CAPACITY_OBJECTS: u64 = 4;
+
+/// Runs the three data-plane experiments.
+pub fn run(quick: bool) -> Vec<Figure> {
+    let mut figures = Vec::new();
+
+    // 1. GA: 10 generations, fixed reference population.
+    let sizes: &[u64] = if quick {
+        &[512, 4096]
+    } else {
+        &[128, 512, 2048, 4096, 8192]
+    };
+    let mut ga = Figure::new(
+        "dataplane-ga",
+        "GA, 10 generations on a fixed reference population",
+        "population size N",
+        "task completion time (s)",
+    );
+    let mut ga_ref_copy_in = Duration::ZERO;
+    for transfer in Transfer::all() {
+        let mut series = Series::new(transfer.label());
+        for &n in sizes {
+            let (total, copy_in) = run_ga(transfer, n);
+            series.push(n as f64, total);
+            if transfer == Transfer::DataPlaneRef {
+                ga_ref_copy_in = copy_in;
+            }
+        }
+        ga.series.push(series);
+    }
+    let oob = ga.series(Transfer::OutOfBand.label()).unwrap().last_y();
+    let dp = ga.series(Transfer::DataPlaneRef.label()).unwrap().last_y();
+    ga.note(format!(
+        "arg_ref removes {:.1}% of the out-of-band task time at N={} \
+         (1 upload, {} cache hits)",
+        crate::common::reduction_pct(oob, dp),
+        sizes.last().unwrap(),
+        GENERATIONS - 1,
+    ));
+    ga.note(format!(
+        "total copy_in across 10 ref generations: {:.3} ms (miss upload only)",
+        ga_ref_copy_in.as_secs_f64() * 1e3
+    ));
+    figures.push(ga);
+
+    // 2. ResNet: amortization of the one-time upload.
+    let repeat_counts: &[usize] = if quick {
+        &[1, 8, 32]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
+    let mut rn = Figure::new(
+        "dataplane-resnet",
+        "ResNet-50: re-scoring one 8-image batch",
+        "invocations of the same batch",
+        "mean per-invocation latency (ms)",
+    );
+    for transfer in [Transfer::OutOfBand, Transfer::DataPlaneRef] {
+        let mut series = Series::new(transfer.label());
+        for &k in repeat_counts {
+            series.push(k as f64, run_resnet(transfer, k));
+        }
+        rn.series.push(series);
+    }
+    let oob1 = rn.series(Transfer::OutOfBand.label()).unwrap().last_y();
+    let dp1 = rn.series(Transfer::DataPlaneRef.label()).unwrap().last_y();
+    rn.note(format!(
+        "steady-state per-batch latency drops {:.1}% once the batch is resident",
+        crate::common::reduction_pct(oob1, dp1)
+    ));
+    figures.push(rn);
+
+    // 3. Eviction: hit rate over working-set size.
+    let rounds = if quick { 3 } else { 8 };
+    let set_sizes: &[usize] = if quick {
+        &[2, 4, 6]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 8]
+    };
+    let mut ev = Figure::new(
+        "dataplane-evict",
+        "LRU eviction under working-set pressure (device holds 4 operands)",
+        "distinct operands in round-robin",
+        "cache hit rate",
+    );
+    let mut hit_series = Series::new("hit rate");
+    let mut evict_series = Series::new("evictions");
+    for &objects in set_sizes {
+        let (hit_rate, evictions) = run_eviction(objects, rounds);
+        hit_series.push(objects as f64, hit_rate);
+        evict_series.push(objects as f64, evictions as f64);
+    }
+    ev.series.push(hit_series);
+    ev.series.push(evict_series);
+    ev.note(format!(
+        "within capacity the steady-state hit rate is 1; past {} operands \
+         round-robin + LRU thrashes to 0 with every access a miss+eviction",
+        EVICT_CAPACITY_OBJECTS
+    ));
+    figures.push(ev);
+
+    figures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_path_beats_oob_for_iterative_ga() {
+        let (oob, oob_copy) = run_ga(Transfer::OutOfBand, 4096);
+        let (dp, dp_copy) = run_ga(Transfer::DataPlaneRef, 4096);
+        assert!(dp < oob, "arg_ref {dp}s must beat out-of-band {oob}s");
+        // Nine of ten copies are eliminated (only the upload remains).
+        assert!(
+            dp_copy < oob_copy / 5,
+            "ref copy_in {dp_copy:?} vs oob {oob_copy:?}"
+        );
+    }
+
+    #[test]
+    fn resnet_upload_amortizes() {
+        let single = run_resnet(Transfer::DataPlaneRef, 1);
+        let steady = run_resnet(Transfer::DataPlaneRef, 32);
+        let oob = run_resnet(Transfer::OutOfBand, 32);
+        assert!(
+            steady < single,
+            "mean latency must fall as the upload amortizes"
+        );
+        assert!(steady < oob, "resident batch must beat per-call copies");
+    }
+
+    #[test]
+    fn eviction_kicks_in_past_capacity() {
+        let (fit_rate, fit_evictions) = run_eviction(EVICT_CAPACITY_OBJECTS as usize, 3);
+        let (over_rate, over_evictions) = run_eviction(EVICT_CAPACITY_OBJECTS as usize + 2, 3);
+        assert_eq!(fit_evictions, 0, "a fitting working set never evicts");
+        assert!(fit_rate > 0.6, "fitting set mostly hits: {fit_rate}");
+        assert!(over_evictions > 0, "over-capacity set must evict");
+        assert!(over_rate < fit_rate, "thrashing must hurt the hit rate");
+    }
+
+    #[test]
+    fn quick_run_is_deterministic() {
+        let csv = |figs: Vec<Figure>| {
+            figs.iter()
+                .map(|f| f.to_csv())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let a = csv(run(true));
+        let b = csv(run(true));
+        assert_eq!(a, b, "bench must replay byte-identically");
+    }
+}

@@ -9,6 +9,7 @@
 
 pub mod ablation;
 pub mod common;
+pub mod dataplane;
 pub mod fig02;
 pub mod fig06;
 pub mod fig07;

@@ -33,6 +33,9 @@ use kaas_net::{
 };
 use kaas_simtime::{now, sleep, timeout, SpanSink};
 
+use crate::dataplane::{
+    ObjectRef, DATA_GET_KERNEL, DATA_PIN_KERNEL, DATA_PUT_KERNEL, DATA_SEAL_KERNEL,
+};
 use crate::metrics::InvocationReport;
 use crate::protocol::{DataRef, InvokeError, Request, Response};
 
@@ -149,6 +152,7 @@ impl KaasClient {
         InvokeBuilder {
             kernel: kernel.to_owned(),
             input: Value::Unit,
+            object: None,
             tenant: None,
             deadline: None,
             timeout: None,
@@ -156,6 +160,62 @@ impl KaasClient {
             out_of_band: false,
             client: self,
         }
+    }
+
+    /// Stores `value` in the server's object store and returns its
+    /// content address, to be passed to later invocations with
+    /// [`InvokeBuilder::arg_ref`]. The payload travels through shared
+    /// memory when attached (the fast path), in-band otherwise;
+    /// identical content deduplicates to the same ref server-side.
+    ///
+    /// # Errors
+    ///
+    /// Any transport-level [`InvokeError`].
+    pub async fn put(&mut self, value: Value) -> Result<ObjectRef, InvokeError> {
+        let oob = self.shm.is_some();
+        let mut call = self.call(DATA_PUT_KERNEL).arg(value);
+        if oob {
+            call = call.out_of_band();
+        }
+        let inv = call.send().await?;
+        ObjectRef::from_value(&inv.output).ok_or(InvokeError::BadHandle)
+    }
+
+    /// Fetches a stored object back from the server.
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::BadHandle`] when `r` does not resolve.
+    pub async fn get(&mut self, r: ObjectRef) -> Result<Value, InvokeError> {
+        let oob = self.shm.is_some();
+        let mut call = self.call(DATA_GET_KERNEL).arg(r.to_value());
+        if oob {
+            call = call.out_of_band();
+        }
+        Ok(call.send().await?.output)
+    }
+
+    /// Seals a stored object: declares it immutable, making it eligible
+    /// for device-resident caching (repeat invocations referencing it
+    /// skip the host→device copy once uploaded).
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::BadHandle`] when `r` does not resolve.
+    pub async fn seal(&mut self, r: ObjectRef) -> Result<(), InvokeError> {
+        self.call(DATA_SEAL_KERNEL).arg(r.to_value()).send().await?;
+        Ok(())
+    }
+
+    /// Pins a stored object: its device-resident copies are never
+    /// evicted under memory pressure.
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::BadHandle`] when `r` does not resolve.
+    pub async fn pin(&mut self, r: ObjectRef) -> Result<(), InvokeError> {
+        self.call(DATA_PIN_KERNEL).arg(r.to_value()).send().await?;
+        Ok(())
     }
 
     /// Invokes `kernel` with `input` sent **in-band**.
@@ -212,6 +272,7 @@ pub struct InvokeBuilder<'c> {
     client: &'c mut KaasClient,
     kernel: String,
     input: Value,
+    object: Option<ObjectRef>,
     tenant: Option<String>,
     deadline: Option<Duration>,
     timeout: Option<Duration>,
@@ -223,6 +284,18 @@ impl<'c> InvokeBuilder<'c> {
     /// Sets the kernel input (default: [`Value::Unit`]).
     pub fn arg(mut self, input: Value) -> Self {
         self.input = input;
+        self.object = None;
+        self
+    }
+
+    /// Sets the kernel input to a stored object by content address
+    /// (see [`KaasClient::put`]): only the 24-byte ref crosses the
+    /// wire, and — once the object is sealed and uploaded — repeat
+    /// invocations on the same device skip the host→device copy
+    /// entirely. Overrides any previous [`arg`](InvokeBuilder::arg).
+    pub fn arg_ref(mut self, r: ObjectRef) -> Self {
+        self.object = Some(r);
+        self.input = Value::Unit;
         self
     }
 
@@ -259,8 +332,11 @@ impl<'c> InvokeBuilder<'c> {
 
     /// Passes the input **out-of-band** through shared memory: only a
     /// small handle crosses the connection ("transferring larger data
-    /// without copying over the network", §4.1). Requires
-    /// [`KaasClient::with_shared_memory`].
+    /// without copying over the network", §4.1), and the output comes
+    /// back the same way. With [`arg_ref`](InvokeBuilder::arg_ref) the
+    /// input is already just a content address, so this mode applies to
+    /// the reply — pair them whenever the kernel's output is large.
+    /// Requires [`KaasClient::with_shared_memory`].
     pub fn out_of_band(mut self) -> Self {
         self.out_of_band = true;
         self
@@ -280,6 +356,7 @@ impl<'c> InvokeBuilder<'c> {
             client,
             kernel,
             input,
+            object,
             tenant,
             deadline,
             timeout: rt_timeout,
@@ -300,29 +377,37 @@ impl<'c> InvokeBuilder<'c> {
             s
         });
 
-        // Stage 1: put the input on the wire (serialize in-band, shm-put
-        // out-of-band).
+        // Stage 1: put the input on the wire (a 24-byte content address
+        // for stored objects, serialize in-band, shm-put out-of-band).
+        // Out-of-band mode needs the region even for ref inputs: the
+        // reply comes back through it.
         let shm = if out_of_band {
             Some(client.shm.as_ref().ok_or(InvokeError::BadHandle)?.clone())
         } else {
             None
         };
         let t0 = now();
-        let data = match &shm {
-            Some(shm) => {
-                let bytes = input.wire_bytes();
-                let handle = shm.put(input, bytes).await;
-                if let (Some(t), Some(root)) = (&tracer, &root) {
-                    t.record(&track, "shm_put", t0, now(), Some(root.id()), vec![]);
+        let data = if let Some(r) = object {
+            // A content address is part of the request frame itself —
+            // no payload to serialize, nothing to stage in shm.
+            DataRef::Object(r)
+        } else {
+            match &shm {
+                Some(shm) => {
+                    let bytes = input.wire_bytes();
+                    let handle = shm.put(input, bytes).await;
+                    if let (Some(t), Some(root)) = (&tracer, &root) {
+                        t.record(&track, "shm_put", t0, now(), Some(root.id()), vec![]);
+                    }
+                    DataRef::OutOfBand(handle)
                 }
-                DataRef::OutOfBand(handle)
-            }
-            None => {
-                sleep(client.serialization.time(input.wire_bytes())).await;
-                if let (Some(t), Some(root)) = (&tracer, &root) {
-                    t.record(&track, "serialize", t0, now(), Some(root.id()), vec![]);
+                None => {
+                    sleep(client.serialization.time(input.wire_bytes())).await;
+                    if let (Some(t), Some(root)) = (&tracer, &root) {
+                        t.record(&track, "serialize", t0, now(), Some(root.id()), vec![]);
+                    }
+                    DataRef::InBand(input)
                 }
-                DataRef::InBand(input)
             }
         };
 
@@ -339,6 +424,7 @@ impl<'c> InvokeBuilder<'c> {
             tenant: tenant.or_else(|| client.tenant.clone()),
             deadline: deadline.map(|d| now() + d),
             span: rt.as_ref().map(|s| s.id()),
+            reply_out_of_band: out_of_band,
         };
         let resp = match rt_timeout {
             Some(d) => timeout(d, client.roundtrip(req))
@@ -389,6 +475,8 @@ impl<'c> InvokeBuilder<'c> {
                 }
                 v
             }
+            // Servers never answer with a bare content address.
+            DataRef::Object(_) => return Err(InvokeError::BadHandle),
         };
 
         if let Some(root) = root {

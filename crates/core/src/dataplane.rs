@@ -1,0 +1,547 @@
+//! The device-resident data plane: a content-addressed object store
+//! with per-device memory residency.
+//!
+//! The paper's out-of-band path (§4.1) only avoids *serialization*;
+//! every invocation still pays the host→device copy, even when the same
+//! bytes (GA populations, model weights, reference matrices) were
+//! uploaded moments ago by the previous warm invocation. The data plane
+//! closes that gap:
+//!
+//! * Clients [`put`](crate::KaasClient::put) a [`Value`] once and get
+//!   back an [`ObjectRef`] — a content address (hash + length). Repeat
+//!   invocations pass the 24-byte ref
+//!   ([`InvokeBuilder::arg_ref`](crate::InvokeBuilder::arg_ref))
+//!   instead of re-shipping the payload.
+//! * [`seal`](crate::KaasClient::seal)ing a ref declares the object
+//!   immutable, which makes device-side caching safe: the dispatcher
+//!   tracks which devices already hold a sealed object (a
+//!   [`MemoryManager`] per device) and serves cache hits with **zero
+//!   `copy_in` cost**.
+//! * Under memory pressure the device manager evicts least-recently-used
+//!   objects; [`pin`](crate::KaasClient::pin)ned objects and operands of
+//!   in-flight invocations are never victims. When nothing can be
+//!   freed, the invocation fails with
+//!   [`InvokeError::DeviceOom`](crate::InvokeError::DeviceOom).
+//! * Device memory contents die with the runner process that owns them:
+//!   runner crashes, device flaps, and idle reaps invalidate the
+//!   device's residency, so a post-fault retry re-uploads instead of
+//!   reading a stale device pointer.
+//!
+//! The store itself is host-side and unbounded (host RAM is the paper's
+//! shared-memory region); only *device* residency is capacity-managed.
+//!
+//! On the wire the data plane reuses the reserved control-kernel idiom
+//! (like [`DISCOVERY_KERNEL`](crate::DISCOVERY_KERNEL)): `put`/`get`/
+//! `seal`/`pin` travel as invocations of `_kaas/data/*` kernels, with
+//! payloads in-band or through shared memory (the fast path).
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use kaas_accel::{Device, DeviceId, MemoryManager, OomError};
+use kaas_kernels::Value;
+
+/// Prefix of the reserved data-plane control kernels.
+pub const DATA_KERNEL_PREFIX: &str = "_kaas/data/";
+/// Control kernel storing a payload in the server's object store.
+pub const DATA_PUT_KERNEL: &str = "_kaas/data/put";
+/// Control kernel fetching a stored object back to the client.
+pub const DATA_GET_KERNEL: &str = "_kaas/data/get";
+/// Control kernel marking a stored object immutable (cacheable).
+pub const DATA_SEAL_KERNEL: &str = "_kaas/data/seal";
+/// Control kernel protecting a stored object from device eviction.
+pub const DATA_PIN_KERNEL: &str = "_kaas/data/pin";
+
+/// On-wire size of an [`ObjectRef`]: hash + length + framing tag.
+pub const OBJECT_REF_WIRE_BYTES: u64 = 24;
+
+const REF_TAG: &str = "kaas.ref";
+
+/// A content address into the server's object store: the FNV-1a hash of
+/// the object's canonical encoding plus its logical length. Obtained
+/// from [`KaasClient::put`](crate::KaasClient::put); passed to
+/// invocations with
+/// [`InvokeBuilder::arg_ref`](crate::InvokeBuilder::arg_ref).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectRef {
+    /// Content hash (FNV-1a over the canonical [`Value`] encoding).
+    pub hash: u64,
+    /// Logical payload size in bytes (the object's wire size).
+    pub bytes: u64,
+}
+
+impl std::fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj:{:016x}/{}B", self.hash, self.bytes)
+    }
+}
+
+impl ObjectRef {
+    /// Encodes the ref as a [`Value`] for transport through the existing
+    /// request/response payload channel.
+    pub fn to_value(self) -> Value {
+        Value::List(vec![
+            Value::Text(REF_TAG.to_owned()),
+            Value::U64(self.hash),
+            Value::U64(self.bytes),
+        ])
+    }
+
+    /// Decodes a ref previously encoded with
+    /// [`to_value`](ObjectRef::to_value).
+    pub fn from_value(v: &Value) -> Option<ObjectRef> {
+        match v.payload() {
+            Value::List(items) => match items.as_slice() {
+                [Value::Text(tag), Value::U64(hash), Value::U64(bytes)] if tag == REF_TAG => {
+                    Some(ObjectRef {
+                        hash: *hash,
+                        bytes: *bytes,
+                    })
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// FNV-1a over a canonical byte encoding of `value` — the content
+/// address of the data plane. Deterministic across runs (no hasher
+/// randomization) so identical simulations produce identical refs.
+pub fn content_hash(value: &Value) -> u64 {
+    let mut h = Fnv::new();
+    hash_value(value, &mut h);
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.write(&n.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_value(value: &Value, h: &mut Fnv) {
+    match value {
+        Value::Unit => h.write(&[0]),
+        Value::U64(n) => {
+            h.write(&[1]);
+            h.write_u64(*n);
+        }
+        Value::F64(x) => {
+            h.write(&[2]);
+            h.write_u64(x.to_bits());
+        }
+        Value::F64s(v) => {
+            h.write(&[3]);
+            h.write_u64(v.len() as u64);
+            for x in v {
+                h.write_u64(x.to_bits());
+            }
+        }
+        Value::Bytes(b) => {
+            h.write(&[4]);
+            h.write_u64(b.len() as u64);
+            h.write(b);
+        }
+        Value::Matrix { data, rows, cols } => {
+            h.write(&[5]);
+            h.write_u64(*rows as u64);
+            h.write_u64(*cols as u64);
+            for x in data {
+                h.write_u64(x.to_bits());
+            }
+        }
+        Value::Image {
+            pixels,
+            width,
+            height,
+            channels,
+        } => {
+            h.write(&[6]);
+            h.write_u64(*width as u64);
+            h.write_u64(*height as u64);
+            h.write_u64(*channels as u64);
+            h.write(pixels);
+        }
+        Value::Text(s) => {
+            h.write(&[7]);
+            h.write_u64(s.len() as u64);
+            h.write(s.as_bytes());
+        }
+        Value::List(items) => {
+            h.write(&[8]);
+            h.write_u64(items.len() as u64);
+            for item in items {
+                hash_value(item, h);
+            }
+        }
+        Value::Sized { bytes, body } => {
+            // The declared size is part of the content: two envelopes
+            // with the same body but different logical sizes are
+            // different objects (they cost differently to copy).
+            h.write(&[9]);
+            h.write_u64(*bytes);
+            hash_value(body, h);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Stored {
+    value: Value,
+    bytes: u64,
+    sealed: Cell<bool>,
+    pinned: Cell<bool>,
+}
+
+/// The host-side content-addressed object store: deduplicated by
+/// content hash, unbounded (host RAM), with seal/pin markers consulted
+/// by the device-residency layer.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    objects: RefCell<BTreeMap<u64, Stored>>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `value`, returning its content address. Identical content
+    /// deduplicates to the same ref.
+    pub fn put(&self, value: Value) -> ObjectRef {
+        let hash = content_hash(&value);
+        let bytes = value.wire_bytes();
+        self.objects.borrow_mut().entry(hash).or_insert(Stored {
+            value,
+            bytes,
+            sealed: Cell::new(false),
+            pinned: Cell::new(false),
+        });
+        ObjectRef { hash, bytes }
+    }
+
+    /// The stored object for `r`, if present (and the ref's length
+    /// matches — a mismatched length means a forged or stale ref).
+    pub fn get(&self, r: &ObjectRef) -> Option<Value> {
+        self.objects
+            .borrow()
+            .get(&r.hash)
+            .filter(|s| s.bytes == r.bytes)
+            .map(|s| s.value.clone())
+    }
+
+    /// Marks the object immutable, making it eligible for device-side
+    /// caching. Returns whether the object exists.
+    pub fn seal(&self, hash: u64) -> bool {
+        match self.objects.borrow().get(&hash) {
+            Some(s) => {
+                s.sealed.set(true);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks the object pinned: device residency of this object is
+    /// never evicted. Returns whether the object exists.
+    pub fn pin(&self, hash: u64) -> bool {
+        match self.objects.borrow().get(&hash) {
+            Some(s) => {
+                s.pinned.set(true);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the object is sealed (immutable, cacheable).
+    pub fn is_sealed(&self, hash: u64) -> bool {
+        self.objects
+            .borrow()
+            .get(&hash)
+            .is_some_and(|s| s.sealed.get())
+    }
+
+    /// Whether the object is pinned against device eviction.
+    pub fn is_pinned(&self, hash: u64) -> bool {
+        self.objects
+            .borrow()
+            .get(&hash)
+            .is_some_and(|s| s.pinned.get())
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.borrow().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.borrow().is_empty()
+    }
+
+    /// Total logical bytes stored.
+    pub fn bytes_stored(&self) -> u64 {
+        self.objects.borrow().values().map(|s| s.bytes).sum()
+    }
+}
+
+/// The server's data plane: the host [`ObjectStore`] plus one
+/// [`MemoryManager`] per managed device tracking which objects are
+/// resident in that device's memory.
+///
+/// Owned by the [`KaasServer`](crate::KaasServer) and consulted on the
+/// dispatch hot path; reachable for inspection via
+/// [`KaasServer::dataplane`](crate::KaasServer::dataplane).
+#[derive(Debug)]
+pub struct DataPlane {
+    store: ObjectStore,
+    devices: BTreeMap<DeviceId, Rc<MemoryManager>>,
+}
+
+impl DataPlane {
+    /// Creates a data plane for `devices`, sizing each device's memory
+    /// manager from [`Device::mem_bytes`].
+    pub fn new(devices: &[Device]) -> Self {
+        DataPlane {
+            store: ObjectStore::new(),
+            devices: devices
+                .iter()
+                .map(|d| (d.id(), Rc::new(MemoryManager::new(d.mem_bytes()))))
+                .collect(),
+        }
+    }
+
+    /// The host-side object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Stores `value` in the host object store.
+    pub fn put(&self, value: Value) -> ObjectRef {
+        self.store.put(value)
+    }
+
+    /// Resolves `r` to its stored value.
+    pub fn resolve(&self, r: &ObjectRef) -> Option<Value> {
+        self.store.get(r)
+    }
+
+    /// The memory manager of `device`, if this plane manages it.
+    pub fn manager(&self, device: DeviceId) -> Option<&Rc<MemoryManager>> {
+        self.devices.get(&device)
+    }
+
+    /// Whether object `hash` is resident in `device`'s memory.
+    pub fn is_resident(&self, device: DeviceId, hash: u64) -> bool {
+        self.devices.get(&device).is_some_and(|m| m.contains(hash))
+    }
+
+    /// Marks the object pinned in the store and in every device where it
+    /// is currently resident (future admissions pin on upload). Returns
+    /// whether the object exists.
+    pub fn pin(&self, hash: u64) -> bool {
+        if !self.store.pin(hash) {
+            return false;
+        }
+        for mgr in self.devices.values() {
+            mgr.pin(hash);
+        }
+        true
+    }
+
+    /// Marks the object sealed (immutable, device-cacheable). Returns
+    /// whether the object exists.
+    pub fn seal(&self, hash: u64) -> bool {
+        self.store.seal(hash)
+    }
+
+    /// Admits object `r` into `device`'s memory (the caller pays the
+    /// upload as its `copy_in`), evicting LRU victims as needed and
+    /// preserving the object's pin. Returns the evicted hashes.
+    ///
+    /// # Errors
+    ///
+    /// [`OomError`] when the device cannot free enough memory.
+    pub fn admit(&self, device: DeviceId, r: &ObjectRef) -> Result<Vec<u64>, OomError> {
+        let mgr = self.devices.get(&device).ok_or(OomError {
+            requested: r.bytes,
+            capacity: 0,
+            evictable: 0,
+        })?;
+        let evicted = mgr.insert(r.hash, r.bytes)?;
+        if self.store.is_pinned(r.hash) {
+            mgr.pin(r.hash);
+        }
+        Ok(evicted)
+    }
+
+    /// Drops a single residency entry (a failed upload must not look
+    /// resident).
+    pub fn unmark(&self, device: DeviceId, hash: u64) {
+        if let Some(mgr) = self.devices.get(&device) {
+            mgr.remove(hash);
+        }
+    }
+
+    /// Invalidates every residency entry of `device`: its memory
+    /// contents died with the runner process that owned them (crash,
+    /// device flap, idle reap). Returns the number of objects dropped.
+    pub fn invalidate_device(&self, device: DeviceId) -> usize {
+        self.devices.get(&device).map_or(0, |m| m.clear())
+    }
+
+    /// Total bytes resident across every device.
+    pub fn bytes_resident(&self) -> u64 {
+        self.devices.values().map(|m| m.bytes_resident()).sum()
+    }
+
+    /// Total evictions across every device.
+    pub fn evictions(&self) -> u64 {
+        self.devices.values().map(|m| m.evictions()).sum()
+    }
+
+    /// Per-device `(device, bytes_resident)` in device order.
+    pub fn residency(&self) -> Vec<(DeviceId, u64)> {
+        self.devices
+            .iter()
+            .map(|(id, m)| (*id, m.bytes_resident()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaas_accel::{GpuDevice, GpuProfile};
+
+    fn tiny_gpu(id: u32, mem: u64) -> Device {
+        GpuDevice::new(
+            DeviceId(id),
+            GpuProfile {
+                mem_bytes: mem,
+                ..GpuProfile::p100()
+            },
+        )
+        .into()
+    }
+
+    #[test]
+    fn content_hash_is_deterministic_and_collision_aware() {
+        let a = Value::F64s(vec![1.0, 2.0, 3.0]);
+        assert_eq!(content_hash(&a), content_hash(&a.clone()));
+        assert_ne!(
+            content_hash(&Value::F64s(vec![1.0, 2.0])),
+            content_hash(&Value::F64s(vec![2.0, 1.0]))
+        );
+        assert_ne!(content_hash(&Value::U64(1)), content_hash(&Value::F64(1.0)));
+        // Envelope size is content: same body, different declared size.
+        assert_ne!(
+            content_hash(&Value::sized(10, Value::U64(1))),
+            content_hash(&Value::sized(20, Value::U64(1)))
+        );
+    }
+
+    #[test]
+    fn put_dedupes_identical_content() {
+        let store = ObjectStore::new();
+        let a = store.put(Value::F64s(vec![1.0; 100]));
+        let b = store.put(Value::F64s(vec![1.0; 100]));
+        assert_eq!(a, b);
+        assert_eq!(store.len(), 1);
+        assert_eq!(a.bytes, 816);
+        assert_eq!(store.get(&a), Some(Value::F64s(vec![1.0; 100])));
+    }
+
+    #[test]
+    fn get_rejects_mismatched_length() {
+        let store = ObjectStore::new();
+        let r = store.put(Value::U64(7));
+        let forged = ObjectRef {
+            hash: r.hash,
+            bytes: r.bytes + 1,
+        };
+        assert!(store.get(&forged).is_none());
+    }
+
+    #[test]
+    fn ref_value_roundtrip() {
+        let r = ObjectRef {
+            hash: 0xdead_beef,
+            bytes: 4096,
+        };
+        assert_eq!(ObjectRef::from_value(&r.to_value()), Some(r));
+        assert!(ObjectRef::from_value(&Value::U64(1)).is_none());
+        assert!(ObjectRef::from_value(&Value::List(vec![])).is_none());
+    }
+
+    #[test]
+    fn admit_and_invalidate_track_residency() {
+        let dp = DataPlane::new(&[tiny_gpu(0, 1000), tiny_gpu(1, 1000)]);
+        let r = dp.put(Value::F64s(vec![0.0; 10]));
+        assert_eq!(dp.admit(DeviceId(0), &r).unwrap(), Vec::<u64>::new());
+        assert!(dp.is_resident(DeviceId(0), r.hash));
+        assert!(!dp.is_resident(DeviceId(1), r.hash));
+        assert_eq!(dp.bytes_resident(), r.bytes);
+        assert_eq!(dp.invalidate_device(DeviceId(0)), 1);
+        assert!(!dp.is_resident(DeviceId(0), r.hash));
+        assert_eq!(dp.bytes_resident(), 0);
+    }
+
+    #[test]
+    fn pin_applies_to_resident_and_future_devices() {
+        let dp = DataPlane::new(&[tiny_gpu(0, 200), tiny_gpu(1, 200)]);
+        let heavy = dp.put(Value::F64s(vec![1.0; 20])); // 176 B
+        let small = dp.put(Value::U64(1)); // 16 B
+        dp.admit(DeviceId(0), &heavy).unwrap();
+        assert!(dp.pin(heavy.hash));
+        // Already-resident copy is pinned: nothing can evict it.
+        assert!(dp.admit(DeviceId(0), &heavy).is_ok());
+        let err = dp.admit(DeviceId(0), &dp.put(Value::F64s(vec![2.0; 20])));
+        assert!(err.is_err(), "pinned resident blocks a same-size admit");
+        // A later admit on another device inherits the pin.
+        dp.admit(DeviceId(1), &heavy).unwrap();
+        dp.admit(DeviceId(1), &small).unwrap();
+        assert!(dp
+            .admit(DeviceId(1), &dp.put(Value::F64s(vec![3.0; 20])))
+            .is_err());
+        assert!(dp.is_resident(DeviceId(1), heavy.hash));
+    }
+
+    #[test]
+    fn seal_is_a_store_marker() {
+        let dp = DataPlane::new(&[tiny_gpu(0, 100)]);
+        let r = dp.put(Value::U64(5));
+        assert!(!dp.store().is_sealed(r.hash));
+        assert!(dp.seal(r.hash));
+        assert!(dp.store().is_sealed(r.hash));
+        assert!(!dp.seal(0xbad));
+    }
+
+    #[test]
+    fn unknown_device_admit_is_oom() {
+        let dp = DataPlane::new(&[]);
+        let r = dp.put(Value::U64(5));
+        assert!(dp.admit(DeviceId(9), &r).is_err());
+    }
+}

@@ -23,6 +23,7 @@ use kaas_kernels::{Kernel, Value};
 use kaas_simtime::{now, sleep, SimTime};
 
 use crate::autoscaler::{ScaleCtx, ScaleDecision};
+use crate::dataplane::{ObjectRef, DATA_KERNEL_PREFIX};
 use crate::metrics::{InvocationReport, RunnerId};
 use crate::pool::{InFlightGuard, RunnerPool, RunnerSlot};
 use crate::protocol::{DataRef, InvokeError, Request, Response};
@@ -63,6 +64,11 @@ impl KaasServer {
         if req.kernel == DISCOVERY_KERNEL {
             return Ok(self.discovery_response());
         }
+        // Reserved data-plane endpoints: put/get/seal/pin against the
+        // content-addressed object store.
+        if req.kernel.starts_with(DATA_KERNEL_PREFIX) {
+            return self.dataplane_op(req).await;
+        }
         let inner = self.inner();
         let tracer = inner.config.tracer.clone();
         let parent = req.span;
@@ -86,7 +92,11 @@ impl KaasServer {
             .ok_or_else(|| InvokeError::UnknownKernel(req.kernel.clone()))?;
 
         // Materialize the input.
-        let oob = matches!(req.data, DataRef::OutOfBand(_));
+        let oob = matches!(req.data, DataRef::OutOfBand(_)) || req.reply_out_of_band;
+        let object = match &req.data {
+            DataRef::Object(r) => Some(*r),
+            _ => None,
+        };
         let t_input = now();
         let input = match req.data {
             DataRef::InBand(v) => {
@@ -100,8 +110,19 @@ impl KaasServer {
                 span("shm_take", t_input, now());
                 v
             }
+            DataRef::Object(r) => {
+                // A content address resolves against the host object
+                // store — no deserialization at all.
+                let v = inner.dataplane.resolve(&r).ok_or(InvokeError::BadHandle)?;
+                span("ref_resolve", t_input, now());
+                v
+            }
         };
         let enveloped = matches!(input, Value::Sized { .. });
+        // Only sealed (immutable) objects may be cached in device
+        // memory; an unsealed ref still resolves but re-uploads every
+        // time.
+        let cacheable = object.filter(|r| inner.dataplane.store().is_sealed(r.hash));
 
         // The deadline bounds time-to-start: shed rather than dispatch
         // work the client has already given up on.
@@ -123,13 +144,75 @@ impl KaasServer {
                 m.inc("retries.attempted");
             }
             let t_wait = now();
-            let (slot, degraded) = self.place(&req.kernel, &kernel)?;
+            let (slot, degraded) = self.place(&req.kernel, &kernel, cacheable.as_ref())?;
+            // Data-plane cache step: a sealed operand either already
+            // sits in the chosen device's memory (hit — the host→device
+            // copy is skipped) or is admitted now (miss — this
+            // invocation's copy_in is the upload, evicting LRU objects
+            // under pressure).
+            let mut hit = false;
+            let mut admitted = false;
+            let mut guard_object = None;
+            if let Some(r) = &cacheable {
+                let t_cache = now();
+                if let Some(mgr) = inner.dataplane.manager(slot.device()) {
+                    hit = mgr.touch(r.hash);
+                    if hit {
+                        m.inc("dataplane.hits");
+                    } else {
+                        m.inc("dataplane.misses");
+                        match inner.dataplane.admit(slot.device(), r) {
+                            Ok(evicted) => {
+                                admitted = true;
+                                m.add("dataplane.evictions", evicted.len() as u64);
+                                if let Some(t) = &tracer {
+                                    for h in evicted {
+                                        t.record(
+                                            "server",
+                                            "evict",
+                                            t_cache,
+                                            now(),
+                                            parent,
+                                            vec![
+                                                ("object".into(), format!("{h:016x}")),
+                                                ("device".into(), slot.device().to_string()),
+                                            ],
+                                        );
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                return Err(InvokeError::DeviceOom(format!(
+                                    "{} cannot hold {r}: {e}",
+                                    slot.device()
+                                )));
+                            }
+                        }
+                    }
+                    guard_object = Some((Rc::clone(mgr), r.hash));
+                }
+                if let Some(t) = &tracer {
+                    t.record(
+                        "server",
+                        "cache_lookup",
+                        t_cache,
+                        now(),
+                        parent,
+                        vec![("outcome".into(), if hit { "hit" } else { "miss" }.into())],
+                    );
+                }
+            }
             // RAII claim: released on every exit path below, including
-            // kernel errors and retries.
-            let claim = InFlightGuard::claim(&slot);
+            // kernel errors and retries. Also holds the operand's
+            // in-flight reference so it cannot be evicted mid-read.
+            let claim = InFlightGuard::claim_with_object(&slot, guard_object);
             let runner = slot.runner().await;
             let started = now();
-            let result = runner.invoke(&input).await;
+            let result = if hit {
+                runner.invoke_cached(&input).await
+            } else {
+                runner.invoke(&input).await
+            };
             drop(claim);
             slot.touch();
             if let Some(timeout) = inner.config.idle_timeout {
@@ -148,6 +231,18 @@ impl KaasServer {
                             timings.copy_in + timings.kernel_exec + timings.copy_out,
                         );
                         t.record("server", "queue_wait", t_wait, device_start, parent, vec![]);
+                        if admitted {
+                            // The host→device copy doubled as the object
+                            // upload into the device cache.
+                            t.record(
+                                "server",
+                                "upload",
+                                device_start,
+                                device_start + timings.copy_in,
+                                parent,
+                                vec![("device".into(), slot.device().to_string())],
+                            );
+                        }
                         let track = runner.id().to_string();
                         let mut at = device_start;
                         for (name, d) in [
@@ -169,6 +264,13 @@ impl KaasServer {
                     );
                 }
                 Err(InvokeError::RunnerFailed(reason)) => {
+                    if admitted {
+                        if let Some(r) = &cacheable {
+                            // The upload never completed (it died with
+                            // the runner): do not claim residency.
+                            inner.dataplane.unmark(slot.device(), r.hash);
+                        }
+                    }
                     self.note_breaker(slot.device(), false);
                     if slot.record_failure(inner.config.eviction.failure_threshold) {
                         inner.pool.quarantine(&slot);
@@ -202,7 +304,14 @@ impl KaasServer {
                         backoff_spent += wait;
                     }
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if admitted {
+                        if let Some(r) = &cacheable {
+                            inner.dataplane.unmark(slot.device(), r.hash);
+                        }
+                    }
+                    return Err(e);
+                }
             }
         };
 
@@ -222,6 +331,15 @@ impl KaasServer {
         };
         inner.metrics.record(report.clone());
         self.record_registry(&report);
+        if object.is_some() {
+            m.set_gauge(
+                "dataplane.bytes_resident",
+                inner.dataplane.bytes_resident() as f64,
+            );
+            for (dev, bytes) in inner.dataplane.residency() {
+                m.set_gauge(&format!("dataplane.{dev}.bytes_resident"), bytes as f64);
+            }
+        }
 
         // Descriptor-mode requests get descriptor-sized responses: the
         // logical result size is the kernel's device→host volume.
@@ -311,19 +429,22 @@ impl KaasServer {
 
     /// Chooses (or starts) a runner slot for `kernel` on its preferred
     /// device class, degrading to a configured fallback class when the
-    /// preferred one has no usable device. Returns the slot and whether
-    /// the placement was degraded.
+    /// preferred one has no usable device. `operand` is the request's
+    /// sealed object ref, if any — the data-plane residency hint passed
+    /// through to the scheduler. Returns the slot and whether the
+    /// placement was degraded.
     fn place(
         &self,
         name: &str,
         kernel: &Rc<dyn Kernel>,
+        operand: Option<&ObjectRef>,
     ) -> Result<(Rc<RunnerSlot>, bool), InvokeError> {
         let preferred = kernel.device_class();
-        match self.place_on(name, kernel, preferred) {
+        match self.place_on(name, kernel, preferred, operand) {
             Ok(slot) => Ok((slot, false)),
             Err(e @ (InvokeError::NoDevice(_) | InvokeError::CircuitOpen(_))) => {
                 if let Some(fallback) = self.inner().config.fallback.next(preferred) {
-                    if let Ok(slot) = self.place_on(name, kernel, fallback) {
+                    if let Ok(slot) = self.place_on(name, kernel, fallback, operand) {
                         return Ok((slot, true));
                     }
                 }
@@ -343,6 +464,7 @@ impl KaasServer {
         name: &str,
         kernel: &Rc<dyn Kernel>,
         class: DeviceClass,
+        operand: Option<&ObjectRef>,
     ) -> Result<Rc<RunnerSlot>, InvokeError> {
         let inner = self.inner();
         let pool = &inner.pool;
@@ -372,8 +494,16 @@ impl KaasServer {
             if config.autoscaler.on_invocation(&scale_ctx(pool)) == ScaleDecision::ScaleUp {
                 let _ = pool.spawn_runner_where(name, kernel, config.runner, class, dev_ok);
             }
-            let (slots, views) = pool.usable_slots_where(name, slot_ok);
+            let (slots, mut views) = pool.usable_slots_where(name, slot_ok);
             if !slots.is_empty() {
+                // Overlay the data-plane residency hint so cache-aware
+                // schedulers ([`WarmFirst`](crate::WarmFirst)) can route
+                // to the device that already holds the operand.
+                if let Some(r) = operand {
+                    for v in &mut views {
+                        v.resident = inner.dataplane.is_resident(v.device, r.hash);
+                    }
+                }
                 let ctx = SchedCtx {
                     kernel: name,
                     slots: &views,
@@ -434,8 +564,17 @@ impl KaasServer {
             .into_iter()
             .map(Value::Text)
             .collect();
-        let report = InvocationReport {
-            kernel: DISCOVERY_KERNEL.to_owned(),
+        (
+            DataRef::InBand(Value::List(names)),
+            self.control_report(DISCOVERY_KERNEL),
+        )
+    }
+
+    /// The synthetic report attached to control-kernel responses
+    /// (discovery, data-plane ops): no runner or device was involved.
+    fn control_report(&self, kernel: &str) -> InvocationReport {
+        InvocationReport {
+            kernel: kernel.to_owned(),
             runner: RunnerId(u32::MAX),
             device: DeviceId(u32::MAX),
             cold_start: false,
@@ -446,7 +585,68 @@ impl KaasServer {
             kernel_exec: Duration::ZERO,
             copy_out: Duration::ZERO,
             degraded: false,
+        }
+    }
+
+    /// Serves one `_kaas/data/*` control operation (put/get/seal/pin)
+    /// against the object store. Control operations bypass placement —
+    /// no device work happens — but pay the same transport costs as any
+    /// request (serialization in-band, a memcpy through shared memory
+    /// out-of-band: the fast path for large objects).
+    async fn dataplane_op(&self, req: Request) -> Result<(DataRef, InvocationReport), InvokeError> {
+        let inner = self.inner();
+        let oob = matches!(req.data, DataRef::OutOfBand(_)) || req.reply_out_of_band;
+        let input = match req.data {
+            DataRef::InBand(v) => {
+                sleep(inner.config.serialization.time(v.wire_bytes())).await;
+                v
+            }
+            DataRef::OutOfBand(h) => inner.shm.take(h).await.ok_or(InvokeError::BadHandle)?,
+            DataRef::Object(r) => inner.dataplane.resolve(&r).ok_or(InvokeError::BadHandle)?,
         };
-        (DataRef::InBand(Value::List(names)), report)
+        let dp = &inner.dataplane;
+        let m = &inner.metrics_registry;
+        let parse_ref = |v: &Value| {
+            ObjectRef::from_value(v)
+                .ok_or_else(|| InvokeError::BadInput("expected an object ref".into()))
+        };
+        let op = req.kernel.strip_prefix(DATA_KERNEL_PREFIX).unwrap_or("");
+        let output = match op {
+            "put" => {
+                let r = dp.put(input);
+                m.inc("dataplane.puts");
+                m.set_gauge("dataplane.objects", dp.store().len() as f64);
+                m.set_gauge("dataplane.bytes_stored", dp.store().bytes_stored() as f64);
+                r.to_value()
+            }
+            "get" => {
+                let r = parse_ref(&input)?;
+                dp.resolve(&r).ok_or(InvokeError::BadHandle)?
+            }
+            "seal" => {
+                let r = parse_ref(&input)?;
+                if !dp.seal(r.hash) {
+                    return Err(InvokeError::BadHandle);
+                }
+                Value::Unit
+            }
+            "pin" => {
+                let r = parse_ref(&input)?;
+                if !dp.pin(r.hash) {
+                    return Err(InvokeError::BadHandle);
+                }
+                Value::Unit
+            }
+            _ => return Err(InvokeError::UnknownKernel(req.kernel.clone())),
+        };
+        let report = self.control_report(&req.kernel);
+        let data = if oob {
+            let bytes = output.wire_bytes();
+            DataRef::OutOfBand(inner.shm.put(output, bytes).await)
+        } else {
+            sleep(inner.config.serialization.time(output.wire_bytes())).await;
+            DataRef::InBand(output)
+        };
+        Ok((data, report))
     }
 }

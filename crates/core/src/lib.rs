@@ -9,6 +9,10 @@
 //! * Applications [`call`](KaasClient::call) kernels over the network
 //!   with in-band or out-of-band data transfer, via a builder-style
 //!   invoke API ([`InvokeBuilder`]).
+//! * The [`dataplane`] keeps content-addressed objects
+//!   ([`KaasClient::put`] / [`InvokeBuilder::arg_ref`]) resident in
+//!   device memory across invocations, eliminating repeat host→device
+//!   copies and evicting LRU-first under memory pressure.
 //! * [`baseline`] provides the time-sharing / space-sharing / CPU-only
 //!   delivery models the paper compares against.
 //!
@@ -62,6 +66,7 @@ pub mod autoscaler;
 pub mod baseline;
 mod client;
 mod config;
+pub mod dataplane;
 mod dispatch;
 pub mod fault;
 mod federation;
@@ -84,6 +89,10 @@ pub use autoscaler::{
 pub use baseline::{run_cpu_only, run_space_sharing, run_time_sharing, BaselineReport};
 pub use client::{Invocation, InvokeBuilder, KaasClient};
 pub use config::ServerConfig;
+pub use dataplane::{
+    content_hash, DataPlane, ObjectRef, ObjectStore, DATA_GET_KERNEL, DATA_KERNEL_PREFIX,
+    DATA_PIN_KERNEL, DATA_PUT_KERNEL, DATA_SEAL_KERNEL, OBJECT_REF_WIRE_BYTES,
+};
 pub use fault::{AppliedFault, Fault, FaultEvent, FaultInjector, FaultLog, FaultPlan, StormConfig};
 pub use federation::{FederatedClient, SiteSpec};
 pub use fusion::{fuse, FusedKernel, FusionError};

@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
-use kaas_accel::{Device, DeviceClass, DeviceId};
+use kaas_accel::{Device, DeviceClass, DeviceId, MemoryManager};
 use kaas_kernels::Kernel;
 use kaas_simtime::sync::Event;
 use kaas_simtime::{now, sleep, spawn, SimTime, SpanSink};
@@ -106,13 +106,16 @@ impl RunnerSlot {
         n >= threshold
     }
 
-    /// A scheduler-facing snapshot of this slot.
+    /// A scheduler-facing snapshot of this slot. `resident` starts
+    /// false; the dispatcher overlays data-plane residency when the
+    /// request references a sealed object.
     fn view(&self, index: usize) -> SlotView {
         SlotView {
             index,
             claimed: self.claimed.get(),
             device: self.device,
             warm: self.is_warm(),
+            resident: false,
         }
     }
 }
@@ -120,16 +123,34 @@ impl RunnerSlot {
 /// RAII claim on a slot's in-flight budget: increments `claimed` on
 /// construction and decrements on drop, so the count is released on
 /// *every* exit path (success, kernel error, retry, panic).
+///
+/// When the invocation reads a device-resident object, the guard also
+/// holds an in-flight reference on it in the device's memory manager
+/// ([`MemoryManager::retain`]) so the operand cannot be evicted while
+/// the kernel reads it; the reference releases on the same drop.
 #[derive(Debug)]
 pub(crate) struct InFlightGuard {
     slot: Rc<RunnerSlot>,
+    object: Option<(Rc<MemoryManager>, u64)>,
 }
 
 impl InFlightGuard {
+    #[cfg(test)]
     pub(crate) fn claim(slot: &Rc<RunnerSlot>) -> Self {
+        Self::claim_with_object(slot, None)
+    }
+
+    pub(crate) fn claim_with_object(
+        slot: &Rc<RunnerSlot>,
+        object: Option<(Rc<MemoryManager>, u64)>,
+    ) -> Self {
         slot.claimed.set(slot.claimed.get() + 1);
+        if let Some((mgr, hash)) = &object {
+            mgr.retain(*hash);
+        }
         InFlightGuard {
             slot: Rc::clone(slot),
+            object,
         }
     }
 }
@@ -137,8 +158,15 @@ impl InFlightGuard {
 impl Drop for InFlightGuard {
     fn drop(&mut self) {
         self.slot.claimed.set(self.slot.claimed.get() - 1);
+        if let Some((mgr, hash)) = &self.object {
+            mgr.release(*hash);
+        }
     }
 }
+
+/// Callback dropping a device's cached residency set (see
+/// [`RunnerPool::set_residency_invalidator`]).
+type ResidencyInvalidator = Rc<dyn Fn(DeviceId)>;
 
 /// Owns every runner slot in a deployment, keyed by kernel name.
 pub struct RunnerPool {
@@ -149,6 +177,10 @@ pub struct RunnerPool {
     quarantined: Cell<usize>,
     slow_start: Cell<Duration>,
     tracer: Option<SpanSink>,
+    /// Called whenever a device's runner process dies (crash, kill,
+    /// reap): device memory allocations die with the process, so the
+    /// data plane must drop its residency for that device.
+    residency_invalidator: RefCell<Option<ResidencyInvalidator>>,
 }
 
 impl std::fmt::Debug for RunnerPool {
@@ -172,6 +204,24 @@ impl RunnerPool {
             quarantined: Cell::new(0),
             slow_start: Cell::new(Duration::ZERO),
             tracer: None,
+            residency_invalidator: RefCell::new(None),
+        }
+    }
+
+    /// Registers the hook invoked with a device's id whenever a runner
+    /// process on it dies — the data plane clears that device's
+    /// residency so post-fault retries re-upload instead of reading
+    /// stale device pointers.
+    pub fn set_residency_invalidator(&self, f: impl Fn(DeviceId) + 'static) {
+        *self.residency_invalidator.borrow_mut() = Some(Rc::new(f));
+    }
+
+    /// Reports the loss of every memory allocation on `device` (its
+    /// owning runner process died).
+    fn note_device_lost(&self, device: DeviceId) {
+        let hook = self.residency_invalidator.borrow().clone();
+        if let Some(f) = hook {
+            f(device);
         }
     }
 
@@ -451,6 +501,7 @@ impl RunnerPool {
             if let Some(runner) = slot.runner.borrow().as_ref() {
                 runner.kill();
             }
+            pool.note_device_lost(slot.device);
             pool.reaped.set(pool.reaped.get() + 1);
         });
     }
@@ -464,6 +515,7 @@ impl RunnerPool {
                 if slot.device == device && slot.is_usable() {
                     if let Some(runner) = slot.runner.borrow().as_ref() {
                         runner.kill();
+                        self.note_device_lost(device);
                         return true;
                     }
                 }
@@ -482,6 +534,7 @@ impl RunnerPool {
             if slot.is_usable() {
                 if let Some(runner) = slot.runner.borrow().as_ref() {
                     runner.kill();
+                    self.note_device_lost(slot.device);
                     return Some(runner.id());
                 }
             }
@@ -508,6 +561,9 @@ impl RunnerPool {
                     killed += 1;
                 }
             }
+        }
+        if killed > 0 {
+            self.note_device_lost(device);
         }
         killed
     }

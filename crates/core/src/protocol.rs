@@ -6,6 +6,7 @@ use kaas_kernels::Value;
 use kaas_net::{ShmHandle, HANDLE_WIRE_BYTES};
 use kaas_simtime::{SimTime, SpanId};
 
+use crate::dataplane::{ObjectRef, OBJECT_REF_WIRE_BYTES};
 use crate::metrics::InvocationReport;
 
 /// How a payload travels between client and kernel.
@@ -15,16 +16,21 @@ pub enum DataRef {
     InBand(Value),
     /// A pointer into a host shared-memory region.
     OutOfBand(ShmHandle<Value>),
+    /// A content address into the server's object store (the data
+    /// plane): the payload was [`put`](crate::KaasClient::put) earlier
+    /// and only its 24-byte ref crosses the wire.
+    Object(ObjectRef),
 }
 
 impl DataRef {
     /// On-wire size of this reference (payload bytes in-band, a fixed
     /// small handle out-of-band — the entire point of §4.1's out-of-band
-    /// mode).
+    /// mode — and a fixed content address for stored objects).
     pub fn wire_bytes(&self) -> u64 {
         match self {
             DataRef::InBand(v) => v.wire_bytes(),
             DataRef::OutOfBand(_) => HANDLE_WIRE_BYTES,
+            DataRef::Object(_) => OBJECT_REF_WIRE_BYTES,
         }
     }
 
@@ -33,6 +39,7 @@ impl DataRef {
         match self {
             DataRef::InBand(v) => v.wire_bytes(),
             DataRef::OutOfBand(h) => h.bytes(),
+            DataRef::Object(r) => r.bytes,
         }
     }
 }
@@ -59,6 +66,12 @@ pub struct Request {
     /// Client-side trace context: the span the server should parent its
     /// own spans under (the client's `roundtrip` span).
     pub span: Option<SpanId>,
+    /// The client wants the *output* returned through shared memory
+    /// even when the input did not travel that way — the common case
+    /// for [`DataRef::Object`] requests, where the input is a 24-byte
+    /// content address but the result can be arbitrarily large.
+    /// Out-of-band inputs always get out-of-band replies regardless.
+    pub reply_out_of_band: bool,
 }
 
 impl Request {
@@ -96,13 +109,17 @@ pub enum InvokeError {
     /// The client-side response timeout elapsed (e.g. the request or
     /// response frame was lost on the wire).
     TimedOut,
+    /// The target device could not hold the invocation's referenced
+    /// object: its memory manager found nothing evictable (everything
+    /// pinned or in flight) or the object exceeds device capacity.
+    DeviceOom(String),
 }
 
 impl InvokeError {
     /// Every stable [`kind`](InvokeError::kind) label, in declaration
     /// order — lets tests and dashboards enumerate the error space
     /// without constructing each variant.
-    pub const KINDS: [&'static str; 10] = [
+    pub const KINDS: [&'static str; 11] = [
         "unknown-kernel",
         "bad-input",
         "no-device",
@@ -113,6 +130,7 @@ impl InvokeError {
         "deadline-exceeded",
         "circuit-open",
         "timed-out",
+        "device-oom",
     ];
 
     /// Short kebab-case name of the error variant (stable across
@@ -129,6 +147,7 @@ impl InvokeError {
             InvokeError::DeadlineExceeded => "deadline-exceeded",
             InvokeError::CircuitOpen(_) => "circuit-open",
             InvokeError::TimedOut => "timed-out",
+            InvokeError::DeviceOom(_) => "device-oom",
         }
     }
 }
@@ -150,6 +169,7 @@ impl std::fmt::Display for InvokeError {
                 write!(f, "circuit breaker open for every {c} device")
             }
             InvokeError::TimedOut => write!(f, "response timed out"),
+            InvokeError::DeviceOom(m) => write!(f, "device out of memory: {m}"),
         }
     }
 }
@@ -191,6 +211,7 @@ mod tests {
             tenant: None,
             deadline: None,
             span: None,
+            reply_out_of_band: false,
         };
         assert!(req.wire_bytes() > 8000);
     }
@@ -223,6 +244,7 @@ mod tests {
             InvokeError::DeadlineExceeded,
             InvokeError::CircuitOpen(String::new()),
             InvokeError::TimedOut,
+            InvokeError::DeviceOom(String::new()),
         ];
         assert_eq!(variants.len(), InvokeError::KINDS.len());
         for (v, label) in variants.iter().zip(InvokeError::KINDS) {
@@ -247,6 +269,16 @@ mod tests {
                 .put(Value::U64(1), 1_000_000)
                 .await
         })
+    }
+
+    #[test]
+    fn object_ref_wire_size_is_constant() {
+        let r = ObjectRef {
+            hash: 1,
+            bytes: 1_000_000,
+        };
+        assert_eq!(DataRef::Object(r).wire_bytes(), OBJECT_REF_WIRE_BYTES);
+        assert_eq!(DataRef::Object(r).payload_bytes(), 1_000_000);
     }
 
     #[test]

@@ -150,15 +150,41 @@ impl TaskRunner {
     /// [`InvokeError::RunnerFailed`] if the runner was killed;
     /// [`InvokeError::BadInput`] if the kernel rejects `input`.
     pub async fn invoke(&self, input: &Value) -> Result<(Value, RunnerTimings), InvokeError> {
+        self.invoke_inner(input, false).await
+    }
+
+    /// Serves one invocation whose input is already resident in this
+    /// runner's device memory (a data-plane cache hit): the host→device
+    /// copy is skipped entirely, so `copy_in` comes back zero.
+    ///
+    /// # Errors
+    ///
+    /// As for [`invoke`](TaskRunner::invoke).
+    pub async fn invoke_cached(
+        &self,
+        input: &Value,
+    ) -> Result<(Value, RunnerTimings), InvokeError> {
+        self.invoke_inner(input, true).await
+    }
+
+    async fn invoke_inner(
+        &self,
+        input: &Value,
+        input_resident: bool,
+    ) -> Result<(Value, RunnerTimings), InvokeError> {
         self.check_healthy()?;
         let _permit = self.admission.acquire(1).await;
         self.check_healthy()?;
         // Transport envelopes are a framing concern; kernels see content.
         let input = input.payload();
-        let work = self
+        let mut work = self
             .kernel
             .work(input)
             .map_err(|e| InvokeError::BadInput(e.to_string()))?;
+        if input_resident {
+            // The operand never crosses the host↔device boundary.
+            work.bytes_in = 0;
+        }
         let first = self.invocations.get() == 0;
         self.invocations.set(self.invocations.get() + 1);
 
@@ -302,6 +328,30 @@ mod tests {
             let (_, b) = runner.invoke(&Value::U64(500)).await.unwrap();
             assert!(a.first_invocation);
             assert!(!b.first_invocation);
+        });
+    }
+
+    #[test]
+    fn cached_invocation_skips_copy_in() {
+        let mut sim = Simulation::new();
+        sim.block_on(async {
+            let runner = TaskRunner::cold_start(
+                RunnerId(0),
+                Rc::new(MatMul::new()),
+                gpu_device(),
+                0,
+                RunnerConfig::default(),
+            )
+            .await;
+            let (_, miss) = runner.invoke(&Value::U64(500)).await.unwrap();
+            let (_, hit) = runner.invoke_cached(&Value::U64(500)).await.unwrap();
+            assert!(miss.copy_in > Duration::ZERO);
+            assert_eq!(hit.copy_in, Duration::ZERO);
+            assert!(
+                hit.copy_out > Duration::ZERO,
+                "only the inbound copy is cached"
+            );
+            assert_eq!(hit.kernel_exec, miss.kernel_exec);
         });
     }
 

@@ -54,6 +54,10 @@ pub struct SlotView {
     /// Whether the runner finished its cold start (a cold slot can be
     /// picked — the invocation waits for readiness).
     pub warm: bool,
+    /// Whether the invocation's referenced operand is already resident
+    /// in this slot's device memory (data-plane cache hint; always
+    /// `false` when the request carries no sealed object ref).
+    pub resident: bool,
 }
 
 /// Everything a scheduler may consult for one placement decision.
@@ -184,13 +188,16 @@ impl Scheduler for LeastLoaded {
     }
 }
 
-/// Prefer runners that finished their cold start: the first warm slot
-/// under the cap wins; otherwise queue on the first cold slot under
-/// the cap (its cold start is already underway, which beats paying a
-/// fresh one). Declines only when everything is saturated.
+/// Prefer runners that finished their cold start, and among the warm
+/// ones, runners whose device already holds the invocation's operands
+/// ([`SlotView::resident`], the data-plane cache hint — a resident hit
+/// skips the host→device copy entirely). Order: warm + resident →
+/// warm → cold (its cold start is already underway, which beats paying
+/// a fresh one). Declines only when everything is saturated.
 ///
 /// Compared to [`FillFirst`] this avoids stacking invocations behind a
-/// still-starting runner while warm capacity sits idle.
+/// still-starting runner while warm capacity sits idle, and avoids
+/// re-uploading operands another device already holds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WarmFirst;
 
@@ -203,8 +210,9 @@ impl Scheduler for WarmFirst {
         let under_cap = |s: &&SlotView| s.claimed < ctx.cap;
         ctx.slots
             .iter()
-            .filter(|s| s.warm)
+            .filter(|s| s.warm && s.resident)
             .find(under_cap)
+            .or_else(|| ctx.slots.iter().filter(|s| s.warm).find(under_cap))
             .or_else(|| ctx.slots.iter().filter(|s| !s.warm).find(under_cap))
             .map(|s| SlotChoice { index: s.index })
     }
@@ -268,6 +276,7 @@ mod tests {
                 claimed,
                 device: DeviceId(index as u32),
                 warm,
+                resident: false,
             })
             .collect()
     }
@@ -329,6 +338,31 @@ mod tests {
         // Everything saturated: decline so the autoscaler can act.
         let slots = views(&[4, 4], &[false, true]);
         assert_eq!(WarmFirst.pick(&ctx(&slots, 4)), None);
+    }
+
+    #[test]
+    fn warm_first_prefers_resident_operands() {
+        // Slots 0 and 1 are warm; only 1 holds the operand.
+        let mut slots = views(&[0, 0, 0], &[true, true, false]);
+        slots[1].resident = true;
+        assert_eq!(
+            WarmFirst.pick(&ctx(&slots, 4)),
+            Some(SlotChoice { index: 1 })
+        );
+        // Resident slot saturated: fall back to any warm slot.
+        slots[1].claimed = 4;
+        assert_eq!(
+            WarmFirst.pick(&ctx(&slots, 4)),
+            Some(SlotChoice { index: 0 })
+        );
+        // A resident-but-cold slot never beats a warm one: the cold
+        // start would cost more than the copy it saves.
+        let mut slots = views(&[0, 0], &[false, true]);
+        slots[0].resident = true;
+        assert_eq!(
+            WarmFirst.pick(&ctx(&slots, 4)),
+            Some(SlotChoice { index: 1 })
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use kaas_simtime::sync::Semaphore;
 
 use crate::admission::AdmissionController;
 use crate::config::ServerConfig;
+use crate::dataplane::DataPlane;
 use crate::metrics::registry::MetricsRegistry;
 use crate::metrics::MetricsSink;
 use crate::pool::RunnerPool;
@@ -45,6 +46,9 @@ pub(crate) struct ServerInner {
     /// Per-device circuit breakers (disabled unless
     /// [`ServerConfig::breaker`] is set).
     pub(crate) breakers: BreakerBank,
+    /// The device-resident data plane: content-addressed object store +
+    /// per-device memory managers.
+    pub(crate) dataplane: Rc<DataPlane>,
 }
 
 /// The KaaS server (Fig. 3: registration target and invocation router).
@@ -98,15 +102,27 @@ impl KaasServer {
         shm: SharedMemory,
         config: ServerConfig,
     ) -> Self {
+        let dataplane = Rc::new(DataPlane::new(&devices));
         let mut pool = RunnerPool::new(devices);
         if let Some(tracer) = &config.tracer {
             pool.set_tracer(tracer.clone());
         }
+        // Device memory dies with the runner process that owns it: any
+        // runner death (crash, kill, idle reap) drops that device's
+        // residency so retries re-upload instead of reading stale
+        // pointers.
+        pool.set_residency_invalidator({
+            let dataplane = Rc::clone(&dataplane);
+            move |device| {
+                dataplane.invalidate_device(device);
+            }
+        });
         KaasServer {
             inner: Rc::new(ServerInner {
                 registry,
                 shm,
                 pool: Rc::new(pool),
+                dataplane,
                 admission: AdmissionController::new(config.admission),
                 metrics: MetricsSink::new(),
                 metrics_registry: MetricsRegistry::new(),
@@ -165,6 +181,13 @@ impl KaasServer {
     /// The runner pool (lifecycle state: counts, reaps, kills).
     pub fn pool(&self) -> &RunnerPool {
         &self.inner.pool
+    }
+
+    /// The data plane: the content-addressed object store and per-device
+    /// residency state (hit/miss/eviction inspection for tests and
+    /// experiments).
+    pub fn dataplane(&self) -> &DataPlane {
+        &self.inner.dataplane
     }
 
     /// Number of runner slots (starting or ready) for `kernel`.

@@ -33,6 +33,17 @@ if [[ "$chaos_a" != "$chaos_b" ]]; then
     exit 1
 fi
 
+echo "==> dataplane stage: cache/eviction tests + bench determinism"
+cargo test -q --release --test dataplane
+# The data-plane bench must replay byte-identically run to run.
+dp_a="$(cargo run -q --release -p kaas-bench --bin dataplane -- --quick)"
+dp_b="$(cargo run -q --release -p kaas-bench --bin dataplane -- --quick)"
+if [[ "$dp_a" != "$dp_b" ]]; then
+    echo "dataplane bench diverged between two runs" >&2
+    diff <(printf '%s\n' "$dp_a") <(printf '%s\n' "$dp_b") >&2 || true
+    exit 1
+fi
+
 echo "==> cargo build --features trace --examples"
 cargo build --release --features trace --examples
 

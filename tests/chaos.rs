@@ -247,6 +247,83 @@ fn gpu_outage_degrades_to_cpu_and_recovers() {
     });
 }
 
+/// Device memory dies with the runner process: every crash path —
+/// direct runner crash, whole-device crash, injector-driven storm
+/// faults — must invalidate the device's data-plane residency so the
+/// post-fault retry re-uploads instead of reading a stale pointer.
+#[test]
+fn crashes_invalidate_residency_so_retries_reupload() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let devices: Vec<Device> = vec![GpuDevice::new(DeviceId(0), GpuProfile::p100()).into()];
+        let registry = KernelRegistry::new();
+        registry.register(kaas::kernels::MatMul::new()).unwrap();
+        let shm = SharedMemory::host();
+        let server = KaasServer::new(
+            devices,
+            registry,
+            shm.clone(),
+            ServerConfig::default().with_retry(RetryConfig::default().with_max_attempts(3)),
+        );
+        let net: KaasNetwork = KaasNetwork::new();
+        spawn(server.clone().serve(net.listen("kaas").unwrap()));
+        let mut client = KaasClient::connect(&net, "kaas", LinkProfile::loopback())
+            .await
+            .unwrap()
+            .with_shared_memory(shm);
+
+        let r = client.put(Value::U64(128)).await.unwrap();
+        client.seal(r).await.unwrap();
+        let dp = server.dataplane();
+        let dev = DeviceId(0);
+        let m = server.metrics_registry();
+
+        client.call("matmul").arg_ref(r).send().await.unwrap();
+        assert!(dp.is_resident(dev, r.hash));
+        assert_eq!(m.counter("dataplane.misses"), 1);
+
+        // 1. Direct runner crash.
+        assert!(server.pool().crash_runner("matmul").is_some());
+        assert!(
+            !dp.is_resident(dev, r.hash),
+            "crash must drop the device's residency"
+        );
+        assert_eq!(dp.bytes_resident(), 0);
+        // The transparent retry re-uploads (fresh misses — one per
+        // attempt, the first of which may land on the dead slot — and
+        // never a stale hit).
+        client.call("matmul").arg_ref(r).send().await.unwrap();
+        assert!(dp.is_resident(dev, r.hash));
+        assert!(m.counter("dataplane.misses") >= 2);
+        assert_eq!(m.counter("dataplane.hits"), 0);
+
+        // 2. Whole-device crash.
+        let misses = m.counter("dataplane.misses");
+        assert!(server.pool().crash_device(dev) >= 1);
+        assert!(!dp.is_resident(dev, r.hash));
+        client.call("matmul").arg_ref(r).send().await.unwrap();
+        assert!(m.counter("dataplane.misses") > misses);
+
+        // 3. Composed with the fault injector (the PR-3 chaos layer).
+        let misses = m.counter("dataplane.misses");
+        let plan = FaultPlan::new(0).push(
+            Duration::ZERO,
+            Fault::RunnerCrash {
+                kernel: "matmul".into(),
+            },
+        );
+        FaultInjector::new(&server, plan).run().await;
+        assert!(
+            !dp.is_resident(dev, r.hash),
+            "injected crashes must invalidate residency too"
+        );
+        client.call("matmul").arg_ref(r).send().await.unwrap();
+        assert!(m.counter("dataplane.misses") > misses);
+        assert!(dp.is_resident(dev, r.hash));
+        assert_eq!(m.counter("dataplane.hits"), 0, "no stale hit anywhere");
+    });
+}
+
 #[test]
 fn dropped_request_times_out_as_a_typed_error() {
     let mut sim = Simulation::new();

@@ -349,6 +349,7 @@ fn every_error_kind_is_inducible_and_counted() {
                 tenant: None,
                 deadline: None,
                 span: None,
+                reply_out_of_band: false,
             })
             .await;
         let err = resp.result.unwrap_err();
@@ -464,6 +465,34 @@ fn every_error_kind_is_inducible_and_counted() {
             .unwrap_err();
         assert_eq!(err, InvokeError::Disconnected);
         induced.insert(err.kind());
+
+        // Server E: a GPU too small to hold the operand — a sealed
+        // object larger than device memory can never be admitted, and
+        // evicting everything else would not help.
+        let tiny: Device = GpuDevice::new(
+            DeviceId(0),
+            GpuProfile {
+                mem_bytes: 1 << 20,
+                ..GpuProfile::p100()
+            },
+        )
+        .into();
+        let (_e, net_e, shm_e) = boot(vec![tiny], vec![Rc::new(MatMul::new())]);
+        let mut client_e = connect(&net_e, shm_e).await;
+        let big = client_e
+            .put(Value::sized(8 << 20, Value::U64(64)))
+            .await
+            .unwrap();
+        client_e.seal(big).await.unwrap();
+        let err = client_e
+            .call("matmul")
+            .arg_ref(big)
+            .send()
+            .await
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::DeviceOom(_)), "got {err:?}");
+        induced.insert(err.kind());
+        assert!(_e.metrics_registry().counter("errors.device-oom") >= 1);
 
         // Exhaustiveness: every variant in the stable KINDS table was
         // induced somewhere above.
