@@ -81,6 +81,7 @@ pub struct MemoryManager {
     bytes_resident: Cell<u64>,
     clock: Cell<u64>,
     evictions: Cell<u64>,
+    ref_underflows: Cell<u64>,
 }
 
 impl MemoryManager {
@@ -92,6 +93,7 @@ impl MemoryManager {
             bytes_resident: Cell::new(0),
             clock: Cell::new(0),
             evictions: Cell::new(0),
+            ref_underflows: Cell::new(0),
         }
     }
 
@@ -265,8 +267,69 @@ impl MemoryManager {
     /// was since invalidated (runner crash) is a no-op.
     pub fn release(&self, hash: u64) {
         if let Some(o) = self.objects.borrow_mut().get_mut(&hash) {
+            if o.refs == 0 {
+                // A release with no matching retain on a still-resident
+                // object is an accounting bug; the saturating arithmetic
+                // keeps the simulation alive but the underflow is
+                // recorded so the sanitizer can fail the run.
+                self.ref_underflows.set(self.ref_underflows.get() + 1);
+            }
             o.refs = o.refs.saturating_sub(1);
         }
+    }
+
+    /// Unmatched [`release`](MemoryManager::release) calls observed on
+    /// still-resident objects (each one is a refcount underflow the
+    /// saturating arithmetic papered over). Always zero in a correct
+    /// run.
+    pub fn ref_underflows(&self) -> u64 {
+        self.ref_underflows.get()
+    }
+
+    /// Total in-flight references currently held across resident
+    /// objects.
+    pub fn refs_in_flight(&self) -> u64 {
+        self.objects.borrow().values().map(|o| o.refs as u64).sum()
+    }
+
+    /// Checks the manager's internal invariants, returning a description
+    /// of the first violation:
+    ///
+    /// * the `bytes_resident` running total equals the sum of resident
+    ///   object sizes (two independent accountings of the same memory),
+    /// * residency never exceeds capacity,
+    /// * recency stamps are unique (the LRU order is a total order, so
+    ///   eviction is deterministic),
+    /// * no refcount underflow has ever been observed.
+    pub fn validate(&self) -> Result<(), String> {
+        let objects = self.objects.borrow();
+        let summed: u64 = objects.values().map(|o| o.bytes).sum();
+        if summed != self.bytes_resident.get() {
+            return Err(format!(
+                "bytes_resident {} != sum of resident object sizes {}",
+                self.bytes_resident.get(),
+                summed
+            ));
+        }
+        if self.bytes_resident.get() > self.capacity {
+            return Err(format!(
+                "bytes_resident {} exceeds capacity {}",
+                self.bytes_resident.get(),
+                self.capacity
+            ));
+        }
+        let mut stamps: Vec<u64> = objects.values().map(|o| o.last_use).collect();
+        stamps.sort_unstable();
+        if stamps.windows(2).any(|w| w[0] == w[1]) {
+            return Err("duplicate LRU recency stamps: eviction order is ambiguous".into());
+        }
+        if self.ref_underflows.get() > 0 {
+            return Err(format!(
+                "{} refcount underflow(s): release without a matching retain",
+                self.ref_underflows.get()
+            ));
+        }
+        Ok(())
     }
 
     /// Drops one object regardless of recency (a failed upload must not

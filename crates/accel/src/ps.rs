@@ -19,7 +19,7 @@
 //! device's aggregate peak of `capacity / d`.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -40,7 +40,7 @@ struct Job {
 
 struct PsState {
     capacity: f64,
-    jobs: HashMap<u64, Job>,
+    jobs: BTreeMap<u64, Job>,
     total_demand: f64,
     next_id: u64,
     last_settle: SimTime,
@@ -132,7 +132,7 @@ impl SharedProcessor {
         SharedProcessor {
             state: Rc::new(RefCell::new(PsState {
                 capacity,
-                jobs: HashMap::new(),
+                jobs: BTreeMap::new(),
                 total_demand: 0.0,
                 next_id: 0,
                 last_settle: SimTime::ZERO,

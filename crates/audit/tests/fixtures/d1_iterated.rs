@@ -1,0 +1,15 @@
+//! Fixture: rule D1 fires exactly once — a properly annotated `HashMap`
+//! whose iteration order nevertheless leaks into an observable result.
+//! (Not compiled; scanned by `kaas-audit --files`.)
+
+use std::collections::HashMap; // audit:allow(unordered): import only, keyed access below
+
+pub struct State {
+    slots: HashMap<u64, u64>, // audit:allow(unordered): keyed lookups only
+}
+
+impl State {
+    pub fn total(&self) -> u64 {
+        self.slots.values().sum()
+    }
+}

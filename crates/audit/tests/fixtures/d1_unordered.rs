@@ -1,0 +1,6 @@
+//! Fixture: rule D1 fires exactly once — an unannotated `HashMap` in
+//! deterministic code. (Not compiled; scanned by `kaas-audit --files`.)
+
+pub struct State {
+    pub slots: std::collections::HashMap<u64, u64>,
+}

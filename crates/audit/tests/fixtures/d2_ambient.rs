@@ -1,0 +1,7 @@
+//! Fixture: rule D2 fires exactly once — wall-clock time in simulation
+//! code. (Not compiled; scanned by `kaas-audit --files`.)
+
+pub fn stamp() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}

@@ -1,0 +1,4 @@
+//! Fixture: rule D3 fires exactly once — mutable global state outside
+//! `simtime`. (Not compiled; scanned by `kaas-audit --files`.)
+
+pub static mut COUNTER: u64 = 0;

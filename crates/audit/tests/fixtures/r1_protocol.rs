@@ -1,0 +1,12 @@
+//! Fixture: rule R1 fires exactly once — `Overloaded` is declared and
+//! listed in KINDS, but the failure test never exercises it.
+//! (Not compiled; scanned by `kaas-audit --r1`.)
+
+pub enum InvokeError {
+    UnknownKernel(String),
+    Overloaded,
+}
+
+impl InvokeError {
+    pub const KINDS: [&'static str; 2] = ["unknown-kernel", "overloaded"];
+}

@@ -1,0 +1,8 @@
+//! Fixture companion for `r1_protocol.rs`: covers `UnknownKernel` but
+//! not `Overloaded`. (Not compiled; scanned by `kaas-audit --r1`.)
+
+#[test]
+fn unknown_kernel_is_reported() {
+    let e = InvokeError::UnknownKernel("nope".into());
+    assert_eq!(e.kind(), "unknown-kernel");
+}

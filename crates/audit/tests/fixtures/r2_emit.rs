@@ -1,0 +1,8 @@
+//! Fixture: rule R2 fires exactly once — `hitz` is a typo'd metric name
+//! not declared in the inventory. (Not compiled; scanned by
+//! `kaas-audit --r2`.)
+
+pub fn record(m: &Registry) {
+    m.inc("hits");
+    m.inc("hitz");
+}

@@ -8,7 +8,7 @@
 //! with: `cargo bench -p kaas-bench --features bench-harness`.
 
 use std::rc::Rc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant}; // audit:allow(ambient): wall-clock micro-bench harness, not simulation code
 
 use kaas_bench::common::{deploy, experiment_server_config, p100_cluster};
 use kaas_kernels::{matmul, soft_dtw, Kernel, MatMul, MonteCarlo, Value};
@@ -20,12 +20,12 @@ use kaas_simtime::{sleep, spawn, Simulation};
 /// prints mean per-iteration latency.
 fn bench(name: &str, mut f: impl FnMut()) {
     // Warm-up and calibration.
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // audit:allow(ambient): measures real elapsed time by design
     f();
     let once = t0.elapsed().max(Duration::from_nanos(1));
     let iters = (Duration::from_millis(500).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
 
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // audit:allow(ambient): measures real elapsed time by design
     for _ in 0..iters {
         f();
     }

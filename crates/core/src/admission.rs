@@ -13,7 +13,7 @@
 //!   queue. Off by default.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use kaas_simtime::sync::{Semaphore, SemaphoreGuard};
@@ -36,7 +36,7 @@ pub struct AdmissionConfig {
 /// Applies [`AdmissionConfig`] to incoming requests.
 pub(crate) struct AdmissionController {
     config: AdmissionConfig,
-    tenants: std::cell::RefCell<HashMap<String, Semaphore>>,
+    tenants: std::cell::RefCell<BTreeMap<String, Semaphore>>,
     admitted: Rc<Cell<usize>>,
 }
 
@@ -67,7 +67,7 @@ impl AdmissionController {
     pub(crate) fn new(config: AdmissionConfig) -> Self {
         AdmissionController {
             config,
-            tenants: std::cell::RefCell::new(HashMap::new()),
+            tenants: std::cell::RefCell::new(BTreeMap::new()),
             admitted: Rc::new(Cell::new(0)),
         }
     }

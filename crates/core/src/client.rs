@@ -218,34 +218,6 @@ impl KaasClient {
         Ok(())
     }
 
-    /// Invokes `kernel` with `input` sent **in-band**.
-    ///
-    /// # Errors
-    ///
-    /// Any [`InvokeError`] the server reports, or
-    /// [`InvokeError::Disconnected`].
-    #[deprecated(note = "use the builder: `client.call(kernel).arg(input).send()`")]
-    pub async fn invoke(&mut self, kernel: &str, input: Value) -> Result<Invocation, InvokeError> {
-        self.call(kernel).arg(input).send().await
-    }
-
-    /// Invokes `kernel` with `input` passed **out-of-band** through
-    /// shared memory.
-    ///
-    /// # Errors
-    ///
-    /// [`InvokeError::BadHandle`] if no shared-memory region was attached
-    /// via [`KaasClient::with_shared_memory`]; otherwise any
-    /// [`InvokeError`] the server reports.
-    #[deprecated(note = "use the builder: `client.call(kernel).arg(input).out_of_band().send()`")]
-    pub async fn invoke_oob(
-        &mut self,
-        kernel: &str,
-        input: Value,
-    ) -> Result<Invocation, InvokeError> {
-        self.call(kernel).arg(input).out_of_band().send().await
-    }
-
     async fn roundtrip(&mut self, req: Request) -> Result<Response, InvokeError> {
         let id = req.id;
         let span = req.span;

@@ -183,9 +183,7 @@ impl ServerConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    #[allow(deprecated)]
-    use crate::scheduler::SchedulerKind;
-    use crate::scheduler::{SchedCtx, SlotChoice};
+    use crate::scheduler::{RoundRobin, SchedCtx, SlotChoice};
 
     #[test]
     fn default_matches_the_paper_setup() {
@@ -203,10 +201,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn builders_compose() {
         let c = ServerConfig::default()
-            .with_scheduler(SchedulerKind::RoundRobin)
+            .with_scheduler(RoundRobin::default())
             .with_autoscale(false)
             .with_tenant_quota(3)
             .with_max_in_flight(64)

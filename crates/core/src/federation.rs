@@ -8,7 +8,7 @@
 //! Workflows may hop sites between steps; intermediate data travels
 //! through the client (the data-shipping architecture §6 discusses).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use kaas_kernels::Value;
 use kaas_net::{LinkProfile, NetError, SharedMemory};
@@ -59,7 +59,7 @@ struct Site {
 /// A client spanning multiple KaaS sites with kernel-based routing.
 pub struct FederatedClient {
     sites: Vec<Site>,
-    routes: HashMap<String, usize>,
+    routes: BTreeMap<String, usize>,
 }
 
 impl std::fmt::Debug for FederatedClient {
@@ -84,7 +84,7 @@ impl FederatedClient {
         specs: Vec<SiteSpec>,
     ) -> Result<FederatedClient, NetError> {
         let mut sites = Vec::with_capacity(specs.len());
-        let mut routes = HashMap::new();
+        let mut routes = BTreeMap::new();
         for (index, spec) in specs.into_iter().enumerate() {
             let mut client = KaasClient::connect(net, &spec.addr, spec.link).await?;
             if let Some(shm) = &spec.shm {

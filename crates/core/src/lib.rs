@@ -77,6 +77,8 @@ mod protocol;
 mod registry;
 pub mod resilience;
 mod runner;
+#[cfg(feature = "sim-sanitizer")]
+mod sanitize;
 pub mod scheduler;
 mod server;
 pub mod trace;
@@ -107,8 +109,6 @@ pub use resilience::{
     FallbackConfig, FixedBackoff, NoBackoff, RetryConfig, RetryPolicy,
 };
 pub use runner::{RunnerConfig, RunnerTimings, TaskRunner};
-#[allow(deprecated)]
-pub use scheduler::SchedulerKind;
 pub use scheduler::{
     FillFirst, LeastLoaded, RoundRobin, SchedCtx, Scheduler, SlotChoice, SlotView, WarmFirst,
 };

@@ -9,7 +9,7 @@
 //! TPUs).
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -35,6 +35,11 @@ pub struct RunnerSlot {
     dead: Cell<bool>,
     last_used: Cell<SimTime>,
     consecutive_failures: Cell<u32>,
+    /// Shared per-device claim ledger: every guard on any slot of this
+    /// device moves the same signed counter, giving the sanitizer an
+    /// independent balance to cross-check against the per-slot counts.
+    #[cfg(feature = "sim-sanitizer")]
+    device_ledger: Rc<Cell<i64>>,
 }
 
 impl std::fmt::Debug for RunnerSlot {
@@ -145,6 +150,8 @@ impl InFlightGuard {
         object: Option<(Rc<MemoryManager>, u64)>,
     ) -> Self {
         slot.claimed.set(slot.claimed.get() + 1);
+        #[cfg(feature = "sim-sanitizer")]
+        slot.device_ledger.set(slot.device_ledger.get() + 1);
         if let Some((mgr, hash)) = &object {
             mgr.retain(*hash);
         }
@@ -158,6 +165,10 @@ impl InFlightGuard {
 impl Drop for InFlightGuard {
     fn drop(&mut self) {
         self.slot.claimed.set(self.slot.claimed.get() - 1);
+        #[cfg(feature = "sim-sanitizer")]
+        self.slot
+            .device_ledger
+            .set(self.slot.device_ledger.get() - 1);
         if let Some((mgr, hash)) = &self.object {
             mgr.release(*hash);
         }
@@ -171,7 +182,10 @@ type ResidencyInvalidator = Rc<dyn Fn(DeviceId)>;
 /// Owns every runner slot in a deployment, keyed by kernel name.
 pub struct RunnerPool {
     devices: Vec<Device>,
-    slots: RefCell<HashMap<String, Vec<Rc<RunnerSlot>>>>,
+    /// Keyed by kernel name. Deliberately a `BTreeMap`: the pool is
+    /// iterated on several paths (stats, device crashes) and replay
+    /// determinism requires a stable visit order.
+    slots: RefCell<BTreeMap<String, Vec<Rc<RunnerSlot>>>>,
     next_runner: Cell<u32>,
     reaped: Cell<usize>,
     quarantined: Cell<usize>,
@@ -181,6 +195,10 @@ pub struct RunnerPool {
     /// reap): device memory allocations die with the process, so the
     /// data plane must drop its residency for that device.
     residency_invalidator: RefCell<Option<ResidencyInvalidator>>,
+    /// One signed claim counter per device, shared with every slot
+    /// spawned on that device (see [`RunnerSlot::device_ledger`]).
+    #[cfg(feature = "sim-sanitizer")]
+    claim_ledgers: RefCell<BTreeMap<DeviceId, Rc<Cell<i64>>>>,
 }
 
 impl std::fmt::Debug for RunnerPool {
@@ -198,14 +216,44 @@ impl RunnerPool {
     pub fn new(devices: Vec<Device>) -> Self {
         RunnerPool {
             devices,
-            slots: RefCell::new(HashMap::new()),
+            slots: RefCell::new(BTreeMap::new()),
             next_runner: Cell::new(0),
             reaped: Cell::new(0),
             quarantined: Cell::new(0),
             slow_start: Cell::new(Duration::ZERO),
             tracer: None,
             residency_invalidator: RefCell::new(None),
+            #[cfg(feature = "sim-sanitizer")]
+            claim_ledgers: RefCell::new(BTreeMap::new()),
         }
+    }
+
+    /// The shared claim ledger for `device`, created on first use.
+    #[cfg(feature = "sim-sanitizer")]
+    fn device_ledger(&self, device: DeviceId) -> Rc<Cell<i64>> {
+        Rc::clone(self.claim_ledgers.borrow_mut().entry(device).or_default())
+    }
+
+    /// Sanitizer view: per-device `(device, ledger, per-slot sum)` claim
+    /// balances. In a correct run the two counts agree and are never
+    /// negative — the ledger moves only through [`InFlightGuard`], the
+    /// per-slot counts through the slots themselves.
+    #[cfg(feature = "sim-sanitizer")]
+    pub fn claim_balances(&self) -> Vec<(DeviceId, i64, i64)> {
+        let slots = self.slots.borrow();
+        self.claim_ledgers
+            .borrow()
+            .iter()
+            .map(|(dev, ledger)| {
+                let counted: i64 = slots
+                    .values()
+                    .flat_map(|v| v.iter())
+                    .filter(|s| s.device == *dev)
+                    .map(|s| s.claimed.get() as i64)
+                    .sum();
+                (*dev, ledger.get(), counted)
+            })
+            .collect()
     }
 
     /// Registers the hook invoked with a device's id whenever a runner
@@ -449,6 +497,8 @@ impl RunnerPool {
             dead: Cell::new(false),
             last_used: Cell::new(now()),
             consecutive_failures: Cell::new(0),
+            #[cfg(feature = "sim-sanitizer")]
+            device_ledger: self.device_ledger(device.id()),
         });
         list.push(Rc::clone(&slot));
         drop(slots);
@@ -544,15 +594,14 @@ impl RunnerPool {
 
     /// Crashes every runner hosted on `device` and quarantines their
     /// slots (fault injection: the device dropped off the bus). Kernels
-    /// are visited in sorted name order so identical simulations crash
-    /// identically. Returns the number of runners taken down.
+    /// are visited in sorted name order (the map is a `BTreeMap`) so
+    /// identical simulations crash identically. Returns the number of
+    /// runners taken down.
     pub fn crash_device(&self, device: DeviceId) -> usize {
         let slots = self.slots.borrow();
-        let mut names: Vec<&String> = slots.keys().collect();
-        names.sort();
         let mut killed = 0;
-        for name in names {
-            for slot in &slots[name] {
+        for list in slots.values() {
+            for slot in list {
                 if slot.device == device && slot.is_usable() {
                     if let Some(runner) = slot.runner.borrow().as_ref() {
                         runner.kill();

@@ -21,7 +21,7 @@
 //!   via [`InvocationReport::degraded`](crate::InvocationReport).
 
 use std::cell::Cell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
@@ -383,7 +383,7 @@ impl CircuitBreaker {
 #[derive(Debug, Default)]
 pub struct BreakerBank {
     config: Option<BreakerConfig>,
-    breakers: std::cell::RefCell<HashMap<DeviceId, Rc<CircuitBreaker>>>,
+    breakers: std::cell::RefCell<BTreeMap<DeviceId, Rc<CircuitBreaker>>>,
 }
 
 impl BreakerBank {

@@ -9,8 +9,7 @@
 //!
 //! Four policies ship in-tree — [`FillFirst`], [`RoundRobin`],
 //! [`LeastLoaded`] (the paper's §5.4–§5.5 behaviours) and
-//! [`WarmFirst`] (prefers runners that finished cold-starting) — and
-//! the [`SchedulerKind`] enum keeps enum-style configuration working.
+//! [`WarmFirst`] (prefers runners that finished cold-starting).
 //! Custom policies implement the trait:
 //!
 //! ```
@@ -222,46 +221,6 @@ impl Scheduler for WarmFirst {
     }
 }
 
-/// Enum-style configuration for the built-in policies — a thin compat
-/// shim that constructs the corresponding trait object, so configs can
-/// still say `.with_scheduler(SchedulerKind::RoundRobin)`.
-#[deprecated(
-    note = "pass the policy struct directly: `.with_scheduler(RoundRobin::default())` \
-            or any custom `impl Scheduler`"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SchedulerKind {
-    /// [`FillFirst`].
-    FillFirst,
-    /// [`RoundRobin`].
-    RoundRobin,
-    /// [`LeastLoaded`].
-    LeastLoaded,
-    /// [`WarmFirst`].
-    WarmFirst,
-}
-
-// Not derived: `#[derive(Default)]` would reference the deprecated
-// variant and warn at the declaration itself.
-#[allow(deprecated, clippy::derivable_impls)]
-impl Default for SchedulerKind {
-    fn default() -> Self {
-        SchedulerKind::FillFirst
-    }
-}
-
-#[allow(deprecated)]
-impl From<SchedulerKind> for Box<dyn Scheduler> {
-    fn from(kind: SchedulerKind) -> Self {
-        match kind {
-            SchedulerKind::FillFirst => Box::new(FillFirst),
-            SchedulerKind::RoundRobin => Box::<RoundRobin>::default(),
-            SchedulerKind::LeastLoaded => Box::new(LeastLoaded),
-            SchedulerKind::WarmFirst => Box::new(WarmFirst),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,19 +325,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn identical_runs_produce_identical_placement_sequences() {
         // Same policy state + same contexts ⇒ same choices, for every
         // built-in policy (the determinism contract).
-        let kinds = [
-            SchedulerKind::FillFirst,
-            SchedulerKind::RoundRobin,
-            SchedulerKind::LeastLoaded,
-            SchedulerKind::WarmFirst,
+        let policies: [fn() -> Box<dyn Scheduler>; 4] = [
+            || Box::new(FillFirst),
+            || Box::<RoundRobin>::default(),
+            || Box::new(LeastLoaded),
+            || Box::new(WarmFirst),
         ];
-        for kind in kinds {
-            let a: Box<dyn Scheduler> = kind.into();
-            let b: Box<dyn Scheduler> = kind.into();
+        for make in policies {
+            let a: Box<dyn Scheduler> = make();
+            let b: Box<dyn Scheduler> = make();
             let mut claims = vec![0usize, 2, 1, 3];
             let warm = [true, false, true, true];
             for step in 0..32 {
@@ -386,7 +344,7 @@ mod tests {
                 let c = ctx(&slots, 4);
                 let pa = a.pick(&c).map(|s| s.index);
                 let pb = b.pick(&c).map(|s| s.index);
-                assert_eq!(pa, pb, "{kind:?} diverged at step {step}");
+                assert_eq!(pa, pb, "{} diverged at step {step}", a.name());
                 if let Some(i) = pa {
                     claims[i] = (claims[i] + step) % 5;
                 }

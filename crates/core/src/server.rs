@@ -117,23 +117,30 @@ impl KaasServer {
                 dataplane.invalidate_device(device);
             }
         });
-        KaasServer {
-            inner: Rc::new(ServerInner {
-                registry,
-                shm,
-                pool: Rc::new(pool),
-                dataplane,
-                admission: AdmissionController::new(config.admission),
-                metrics: MetricsSink::new(),
-                metrics_registry: MetricsRegistry::new(),
-                dispatch_lock: Semaphore::new(1),
-                breakers: config
-                    .breaker
-                    .map(BreakerBank::new)
-                    .unwrap_or_else(BreakerBank::disabled),
-                config,
-            }),
+        let inner = Rc::new(ServerInner {
+            registry,
+            shm,
+            pool: Rc::new(pool),
+            dataplane,
+            admission: AdmissionController::new(config.admission),
+            metrics: MetricsSink::new(),
+            metrics_registry: MetricsRegistry::new(),
+            dispatch_lock: Semaphore::new(1),
+            breakers: config
+                .breaker
+                .map(BreakerBank::new)
+                .unwrap_or_else(BreakerBank::disabled),
+            config,
+        });
+        // Under the sanitizer, re-check this server's cross-module
+        // invariants after every executor step. The auditor holds a weak
+        // reference, so a dropped server retires its hook.
+        #[cfg(feature = "sim-sanitizer")]
+        if let Some(handle) = kaas_simtime::Handle::try_current() {
+            let auditor = Rc::new(crate::sanitize::Auditor::new(Rc::downgrade(&inner)));
+            handle.add_step_hook(Rc::new(move || auditor.check_step()));
         }
+        KaasServer { inner }
     }
 
     pub(crate) fn inner(&self) -> &ServerInner {
@@ -156,8 +163,6 @@ impl KaasServer {
 
     /// A consistent point-in-time view of the control plane: per-kernel
     /// runner/in-flight counts, reap totals, and device classes.
-    /// Replaces the one-getter-per-stat surface
-    /// ([`runner_count`](KaasServer::runner_count) and friends).
     pub fn snapshot(&self) -> ServerSnapshot {
         ServerSnapshot {
             kernels: self.inner.pool.per_kernel_stats(),
@@ -190,34 +195,10 @@ impl KaasServer {
         &self.inner.dataplane
     }
 
-    /// Number of runner slots (starting or ready) for `kernel`.
-    #[deprecated(note = "use `server.snapshot().runners(kernel)`")]
-    pub fn runner_count(&self, kernel: &str) -> usize {
-        self.inner.pool.runner_count(kernel)
-    }
-
-    /// Total in-flight (claimed) invocations for `kernel`.
-    #[deprecated(note = "use `server.snapshot().in_flight(kernel)`")]
-    pub fn in_flight(&self, kernel: &str) -> usize {
-        self.inner.pool.in_flight(kernel)
-    }
-
-    /// Number of runners reaped by the idle timeout so far.
-    #[deprecated(note = "use `server.snapshot().reaped`")]
-    pub fn reaped(&self) -> usize {
-        self.inner.pool.reaped()
-    }
-
     /// Kills the runner currently serving `kernel` on `device` (failure
     /// injection for tests).
     pub fn kill_runner(&self, kernel: &str, device: DeviceId) -> bool {
         self.inner.pool.kill_runner(kernel, device)
-    }
-
-    /// Device classes available in this deployment.
-    #[deprecated(note = "use `server.snapshot().device_classes`")]
-    pub fn device_classes(&self) -> Vec<DeviceClass> {
-        self.inner.pool.device_classes()
     }
 
     /// Pre-starts `count` runners for `kernel` and waits until they are
@@ -278,6 +259,20 @@ impl KaasServer {
                 }
             });
         }
+    }
+}
+
+#[cfg(feature = "sim-sanitizer")]
+impl Drop for ServerInner {
+    fn drop(&mut self) {
+        // Only check leaks on a clean shutdown: during an unwind the
+        // invariants are expected to be mid-violation already, and a
+        // panic-in-panic would abort and mask the original report.
+        // audit:allow(ambient): unwind detection only, no time or threads
+        if std::thread::panicking() {
+            return;
+        }
+        crate::sanitize::check_shutdown(self);
     }
 }
 

@@ -3,7 +3,7 @@
 //! builds on (§4.1: client ↔ KaaS server ↔ task runners all speak TCP).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use kaas_simtime::channel::{self, Receiver, Sender};
@@ -143,7 +143,7 @@ impl std::error::Error for NetError {}
 type ServerConn<Req, Resp> = Connection<Resp, Req>;
 
 struct NetState<Req, Resp> {
-    listeners: HashMap<String, Sender<ServerConn<Req, Resp>>>,
+    listeners: BTreeMap<String, Sender<ServerConn<Req, Resp>>>,
     next_client: u64,
 }
 
@@ -206,7 +206,7 @@ impl<Req: 'static, Resp: 'static> Network<Req, Resp> {
     pub fn new() -> Self {
         Network {
             state: Rc::new(RefCell::new(NetState {
-                listeners: HashMap::new(),
+                listeners: BTreeMap::new(),
                 next_client: 0,
             })),
         }

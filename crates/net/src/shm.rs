@@ -8,7 +8,7 @@
 
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::HashMap; // audit:allow(unordered): keyed get/insert/remove only, never iterated
 use std::marker::PhantomData;
 use std::rc::Rc;
 
@@ -51,7 +51,7 @@ impl<T> ShmHandle<T> {
 }
 
 struct ShmState {
-    slots: HashMap<u64, Box<dyn Any>>,
+    slots: HashMap<u64, Box<dyn Any>>, // audit:allow(unordered): keyed lookups only; iteration order never observed
     next_key: u64,
     bytes_stored: u64,
 }
@@ -98,7 +98,7 @@ impl SharedMemory {
     pub fn with_profile(memcpy: MemcpyProfile) -> Self {
         SharedMemory {
             state: Rc::new(RefCell::new(ShmState {
-                slots: HashMap::new(),
+                slots: HashMap::new(), // audit:allow(unordered): keyed lookups only; iteration order never observed
                 next_key: 0,
                 bytes_stored: 0,
             })),

@@ -95,6 +95,11 @@ pub(crate) struct Core {
     tasks: Vec<Option<LocalFuture>>,
     free: Vec<usize>,
     live: usize,
+    /// Sanitizer hooks run after every task poll (an "executor step").
+    /// Only compiled under the `sim-sanitizer` feature so the hot loop
+    /// stays hook-free in normal builds.
+    #[cfg(feature = "sim-sanitizer")]
+    step_hooks: Vec<Rc<dyn Fn()>>,
 }
 
 impl Core {
@@ -106,6 +111,8 @@ impl Core {
             tasks: Vec::new(),
             free: Vec::new(),
             live: 0,
+            #[cfg(feature = "sim-sanitizer")]
+            step_hooks: Vec::new(),
         }
     }
 
@@ -238,6 +245,14 @@ impl Handle {
     /// Number of tasks that have been spawned and not yet completed.
     pub fn live_tasks(&self) -> usize {
         self.core.borrow().live
+    }
+
+    /// Registers a sanitizer hook run after every executor step (each
+    /// task poll). Hooks must be cheap and must panic on invariant
+    /// violation — that is their whole job.
+    #[cfg(feature = "sim-sanitizer")]
+    pub fn add_step_hook(&self, hook: Rc<dyn Fn()>) {
+        self.core.borrow_mut().step_hooks.push(hook);
     }
 }
 
@@ -416,6 +431,16 @@ impl Simulation {
             }
             Poll::Pending => {
                 self.handle.core.borrow_mut().tasks[id] = Some(fut);
+            }
+        }
+        // Every task poll is an executor step: give the sanitizer a
+        // chance to check cross-module invariants at a quiescent point
+        // (no task mid-poll, core unborrowed).
+        #[cfg(feature = "sim-sanitizer")]
+        {
+            let hooks = self.handle.core.borrow().step_hooks.clone();
+            for hook in hooks {
+                hook();
             }
         }
     }

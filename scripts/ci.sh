@@ -10,6 +10,13 @@ cd "$(dirname "$0")/.."
 quick=0
 [[ "${1:-}" == "--quick" ]] && quick=1
 
+echo "==> audit stage: kaas-audit static pass + sim-sanitizer test run"
+# Static determinism/resource-safety lint over the whole workspace.
+cargo run -q --release -p kaas-audit
+# The full suite again with the runtime invariant auditor attached to
+# every server (chaos + dataplane included): zero violations expected.
+cargo test -q --release --workspace --features sim-sanitizer
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 

@@ -37,6 +37,95 @@ fn quantum_vqe_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// Regression for the unordered-collection hazards `kaas-audit` rules
+/// D1–D3 exist to keep out: a run that exercises idle reaping across
+/// several kernels and LRU eviction under device-memory pressure must
+/// replay byte-identically. Each `HashMap` instance in one process gets
+/// its own hash seed, so a same-process double run like this one *does*
+/// catch visit-order leaking into reap order, eviction order, or float
+/// accumulation order — with `BTreeMap` state it cannot.
+#[test]
+fn reap_and_evict_order_replays_identically() {
+    use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
+    use kaas::core::{KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig};
+    use kaas::kernels::{MatMul, MonteCarlo, Value};
+    use kaas::net::{LinkProfile, SharedMemory};
+
+    let run = || {
+        let mut sim = Simulation::new();
+        sim.block_on(async {
+            let registry = KernelRegistry::new();
+            registry.register(MatMul::new()).unwrap();
+            registry.register(MonteCarlo::default()).unwrap();
+            // Tiny device memory so repeated puts force LRU evictions.
+            let devices: Vec<Device> = (0..2)
+                .map(|i| {
+                    GpuDevice::new(
+                        DeviceId(i),
+                        GpuProfile {
+                            mem_bytes: 2048,
+                            ..GpuProfile::p100()
+                        },
+                    )
+                    .into()
+                })
+                .collect();
+            let shm = SharedMemory::host();
+            let config = ServerConfig::default().with_idle_timeout(Duration::from_millis(50));
+            let server = KaasServer::new(devices, registry, shm.clone(), config);
+            let net: KaasNetwork = KaasNetwork::new();
+            spawn(server.clone().serve(net.listen("kaas").unwrap()));
+            let mut client = KaasClient::connect(&net, "kaas", LinkProfile::loopback())
+                .await
+                .unwrap()
+                .with_shared_memory(shm);
+
+            // Several rounds of sealed-object traffic under memory
+            // pressure, with idle gaps long enough to reap runners of
+            // both kernels between rounds.
+            for round in 0..4u64 {
+                for i in 0..6u64 {
+                    // A sized envelope makes the object's device
+                    // footprint large without changing the payload the
+                    // kernel sees; distinct content per (round, i) keeps
+                    // every put a fresh object.
+                    let r = client
+                        .put(Value::sized(700 + 50 * i, Value::U64(16 + round)))
+                        .await
+                        .unwrap();
+                    client.seal(r).await.unwrap();
+                    client.call("matmul").arg_ref(r).send().await.unwrap();
+                }
+                client
+                    .call("mci")
+                    .arg(Value::U64(1000))
+                    .send()
+                    .await
+                    .unwrap();
+                sleep(Duration::from_millis(200)).await; // reap both kernels
+            }
+
+            let snap = server.snapshot();
+            (
+                server.metrics_registry().render(),
+                snap.reaped,
+                snap.kernels,
+                server.dataplane().residency(),
+                server.dataplane().evictions(),
+            )
+        })
+    };
+    let a = run();
+    let b = run();
+    assert!(
+        a.4 > 0,
+        "scenario must actually evict (got {} evictions)",
+        a.4
+    );
+    assert!(a.1 > 0, "scenario must actually reap (got {} reaps)", a.1);
+    assert_eq!(a, b, "reap/evict visit order must replay identically");
+}
+
 #[test]
 fn thousands_of_interleaved_tasks_settle_identically() {
     let run = || {

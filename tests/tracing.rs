@@ -316,10 +316,11 @@ fn snapshot_captures_fleet_state_in_one_call() {
     });
 }
 
-/// The pre-builder entry points keep working while deprecated.
+/// The deprecated `invoke`/`invoke_oob` shims are gone (removed after
+/// PR 2 migrated every call site): the builder covers both transfer
+/// modes with identical results.
 #[test]
-#[allow(deprecated)]
-fn deprecated_invoke_shims_still_work() {
+fn builder_covers_in_band_and_out_of_band() {
     let mut sim = Simulation::new();
     sim.block_on(async {
         let registry = KernelRegistry::new();
@@ -332,10 +333,22 @@ fn deprecated_invoke_shims_still_work() {
             .await
             .unwrap()
             .with_shared_memory(shm);
-        let a = client.invoke("matmul", Value::U64(100)).await.unwrap();
-        let b = client.invoke_oob("matmul", Value::U64(100)).await.unwrap();
+        let a = client
+            .call("matmul")
+            .arg(Value::U64(100))
+            .send()
+            .await
+            .unwrap();
+        let b = client
+            .call("matmul")
+            .arg(Value::U64(100))
+            .out_of_band()
+            .send()
+            .await
+            .unwrap();
         assert_eq!(a.output, b.output);
-        assert_eq!(server.runner_count("matmul"), 1);
-        assert_eq!(server.in_flight("matmul"), 0);
+        let snap = server.snapshot();
+        assert_eq!(snap.runners("matmul"), 1);
+        assert_eq!(snap.in_flight("matmul"), 0);
     });
 }
