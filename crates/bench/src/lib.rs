@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cluster;
 pub mod common;
 pub mod dataplane;
 pub mod fig02;

@@ -31,13 +31,13 @@ use kaas_kernels::Value;
 use kaas_net::{
     Connection, LinkFault, LinkProfile, NetError, Network, SerializationProfile, SharedMemory,
 };
-use kaas_simtime::{now, sleep, timeout, SpanSink};
+use kaas_simtime::{now, sleep, timeout, SpanId, SpanSink};
 
 use crate::dataplane::{
     ObjectRef, DATA_GET_KERNEL, DATA_PIN_KERNEL, DATA_PUT_KERNEL, DATA_SEAL_KERNEL,
 };
 use crate::metrics::InvocationReport;
-use crate::protocol::{DataRef, InvokeError, Request, Response};
+use crate::protocol::{DataRef, InvokeError, Request, RequestFrame, Response, ResponseFrame};
 
 /// Result of a successful invocation, as observed by the client.
 #[derive(Debug)]
@@ -53,7 +53,7 @@ pub struct Invocation {
 
 /// A connected KaaS client.
 pub struct KaasClient {
-    conn: Connection<Request, Response>,
+    conn: Connection<RequestFrame, ResponseFrame>,
     serialization: SerializationProfile,
     shm: Option<SharedMemory>,
     tenant: Option<String>,
@@ -84,7 +84,7 @@ impl KaasClient {
     ///
     /// Propagates [`NetError`] when nothing listens at `addr`.
     pub async fn connect(
-        net: &Network<Request, Response>,
+        net: &Network<RequestFrame, ResponseFrame>,
         addr: &str,
         profile: LinkProfile,
     ) -> Result<KaasClient, NetError> {
@@ -218,20 +218,63 @@ impl KaasClient {
         Ok(())
     }
 
+    /// Opens a batch scope: calls added to it coalesce into **one**
+    /// request frame with one frame header and one serialization pass —
+    /// the wire-level analogue of "several invocations in the same
+    /// simtime tick". Replies coalesce symmetrically; each member still
+    /// succeeds or fails on its own. Finish with
+    /// [`BatchBuilder::send`].
+    pub fn batch(&mut self) -> BatchBuilder<'_> {
+        BatchBuilder {
+            client: self,
+            calls: Vec::new(),
+            timeout: None,
+        }
+    }
+
     async fn roundtrip(&mut self, req: Request) -> Result<Response, InvokeError> {
         let id = req.id;
         let span = req.span;
-        let bytes = req.wire_bytes();
+        let frame = RequestFrame::One(req);
+        let bytes = frame.wire_bytes();
         self.conn
-            .send_traced(req, bytes, span)
+            .send_traced(frame, bytes, span)
             .await
             .map_err(|_| InvokeError::Disconnected)?;
         loop {
             let frame = self.conn.recv().await.ok_or(InvokeError::Disconnected)?;
-            if frame.body.id == id {
-                return Ok(frame.body);
+            match frame.body {
+                ResponseFrame::One(resp) if resp.id == id => return Ok(resp),
+                // A response to an older (abandoned) request or to a
+                // timed-out batch: drop it.
+                _ => {}
             }
-            // A response to an older (abandoned) request: drop it.
+        }
+    }
+
+    /// Sends a coalesced batch frame and waits for its coalesced reply,
+    /// correlated by the first member's id.
+    async fn batch_roundtrip(
+        &mut self,
+        reqs: Vec<Request>,
+        span: Option<SpanId>,
+    ) -> Result<Vec<Response>, InvokeError> {
+        let first = reqs[0].id;
+        let frame = RequestFrame::Batch(reqs);
+        let bytes = frame.wire_bytes();
+        self.conn
+            .send_traced(frame, bytes, span)
+            .await
+            .map_err(|_| InvokeError::Disconnected)?;
+        loop {
+            let frame = self.conn.recv().await.ok_or(InvokeError::Disconnected)?;
+            match frame.body {
+                ResponseFrame::Batch(resps) if resps.first().is_some_and(|r| r.id == first) => {
+                    return Ok(resps)
+                }
+                // A stale single response or an abandoned batch's reply.
+                _ => {}
+            }
         }
     }
 }
@@ -459,5 +502,241 @@ impl<'c> InvokeBuilder<'c> {
             report: resp.report.ok_or(InvokeError::Disconnected)?,
             latency: now() - start,
         })
+    }
+}
+
+/// One member of a batched invocation (see [`KaasClient::batch`]):
+/// kernel name, input, and per-member overrides. Built standalone so a
+/// batch can be assembled before the client is borrowed.
+#[derive(Debug, Clone)]
+pub struct BatchCall {
+    kernel: String,
+    input: Value,
+    object: Option<ObjectRef>,
+    tenant: Option<String>,
+    deadline: Option<Duration>,
+}
+
+impl BatchCall {
+    /// Starts a batch member invoking `kernel` (input defaults to
+    /// [`Value::Unit`]).
+    pub fn new(kernel: &str) -> Self {
+        BatchCall {
+            kernel: kernel.to_owned(),
+            input: Value::Unit,
+            object: None,
+            tenant: None,
+            deadline: None,
+        }
+    }
+
+    /// Sets the member's in-band input.
+    pub fn arg(mut self, input: Value) -> Self {
+        self.input = input;
+        self.object = None;
+        self
+    }
+
+    /// Sets the member's input to a stored object by content address
+    /// (overrides any previous [`arg`](BatchCall::arg)).
+    pub fn arg_ref(mut self, r: ObjectRef) -> Self {
+        self.object = Some(r);
+        self.input = Value::Unit;
+        self
+    }
+
+    /// Overrides the client's tenant identity for this member.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Gives this member a server-side start deadline (relative to
+    /// send time), like [`InvokeBuilder::deadline`].
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A batch of invocations under construction; create via
+/// [`KaasClient::batch`], dispatch with [`send`](BatchBuilder::send).
+///
+/// All members ride **one** request frame: one [`FRAME_BYTES`](crate::FRAME_BYTES)
+/// header plus a small per-member sub-header, and
+/// one serialization pass over the concatenated in-band payloads — the
+/// §4.1 per-call wire costs are paid once per batch instead of once per
+/// call. Replies coalesce symmetrically. Server-side, members execute
+/// concurrently and independently: retry, circuit breaking, and
+/// admission all see ordinary individual invocations.
+#[must_use = "a batch does nothing until .send() is awaited"]
+#[derive(Debug)]
+pub struct BatchBuilder<'c> {
+    client: &'c mut KaasClient,
+    calls: Vec<BatchCall>,
+    timeout: Option<Duration>,
+}
+
+impl BatchBuilder<'_> {
+    /// Appends one member.
+    pub fn call(mut self, call: BatchCall) -> Self {
+        self.calls.push(call);
+        self
+    }
+
+    /// Bounds the whole frame's round trip: if the coalesced reply does
+    /// not arrive in time, **every** member resolves individually as
+    /// [`InvokeError::TimedOut`] (the outer result stays `Ok`).
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Members added so far.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether the batch is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Runs the batch: one coalesced serialization, one round trip, one
+    /// coalesced deserialization. Returns per-member results in call
+    /// order — members succeed or fail independently.
+    ///
+    /// # Errors
+    ///
+    /// The outer `Err` is transport-level only
+    /// ([`InvokeError::Disconnected`]); everything else — including a
+    /// frame-level timeout — lands in the per-member results.
+    pub async fn send(self) -> Result<Vec<Result<Invocation, InvokeError>>, InvokeError> {
+        let BatchBuilder {
+            client,
+            calls,
+            timeout: rt_timeout,
+        } = self;
+        if calls.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = calls.len();
+        let tracer = client.tracer.clone();
+        let track = format!("client{}", client.id);
+        let start = now();
+        let mut root = tracer.as_ref().map(|t| {
+            let mut s = t.open(&track, "batch", None);
+            s.push_arg("members", n.to_string());
+            s
+        });
+
+        // One serialization pass covers every in-band member payload
+        // (object refs travel as part of the frame itself).
+        let t0 = now();
+        let in_band: u64 = calls
+            .iter()
+            .filter(|c| c.object.is_none())
+            .map(|c| c.input.wire_bytes())
+            .sum();
+        if in_band > 0 {
+            sleep(client.serialization.time(in_band)).await;
+        }
+        if let (Some(t), Some(root)) = (&tracer, &root) {
+            t.record(&track, "serialize", t0, now(), Some(root.id()), vec![]);
+        }
+
+        let reqs: Vec<Request> = calls
+            .into_iter()
+            .map(|c| {
+                let seq = client.next_seq;
+                client.next_seq += 1;
+                Request {
+                    id: (client.id << 32) | (seq & 0xffff_ffff),
+                    kernel: c.kernel,
+                    data: match c.object {
+                        Some(r) => DataRef::Object(r),
+                        None => DataRef::InBand(c.input),
+                    },
+                    tenant: c.tenant.or_else(|| client.tenant.clone()),
+                    deadline: c.deadline.map(|d| now() + d),
+                    // Members carry no span parent: they execute
+                    // concurrently server-side, and concurrent siblings
+                    // under one parent would break the trace tiling
+                    // contract. The batch records its own client-side
+                    // span tree instead.
+                    span: None,
+                    reply_out_of_band: false,
+                }
+            })
+            .collect();
+
+        let t1 = now();
+        let rt_span = root.as_ref().map(|r| r.id());
+        let resps = match rt_timeout {
+            Some(d) => match timeout(d, client.batch_roundtrip(reqs, rt_span)).await {
+                Ok(resps) => resps,
+                Err(_) => {
+                    // The frame (or its reply) is lost past the
+                    // deadline: the members failed individually.
+                    if let (Some(t), Some(root)) = (&tracer, &root) {
+                        t.record(&track, "roundtrip", t1, now(), Some(root.id()), vec![]);
+                    }
+                    if let Some(root) = root.take() {
+                        root.finish();
+                    }
+                    return Ok((0..n).map(|_| Err(InvokeError::TimedOut)).collect());
+                }
+            },
+            None => client.batch_roundtrip(reqs, rt_span).await,
+        };
+        let resps = match resps {
+            Ok(resps) => resps,
+            Err(e) => {
+                if let Some(root) = root.take() {
+                    root.finish();
+                }
+                return Err(e);
+            }
+        };
+        if let (Some(t), Some(root)) = (&tracer, &root) {
+            t.record(&track, "roundtrip", t1, now(), Some(root.id()), vec![]);
+        }
+
+        // One coalesced deserialization pass over the in-band replies.
+        let t2 = now();
+        let reply_bytes: u64 = resps
+            .iter()
+            .filter_map(|r| match &r.result {
+                Ok(DataRef::InBand(v)) => Some(v.wire_bytes()),
+                _ => None,
+            })
+            .sum();
+        if reply_bytes > 0 {
+            sleep(client.serialization.time(reply_bytes)).await;
+        }
+        if let (Some(t), Some(root)) = (&tracer, &root) {
+            t.record(&track, "deserialize", t2, now(), Some(root.id()), vec![]);
+        }
+
+        let latency = now() - start;
+        let out = resps
+            .into_iter()
+            .map(|resp| {
+                let output = match resp.result? {
+                    DataRef::InBand(v) => v,
+                    // Batch members never request out-of-band replies.
+                    _ => return Err(InvokeError::BadHandle),
+                };
+                Ok(Invocation {
+                    output,
+                    report: resp.report.ok_or(InvokeError::Disconnected)?,
+                    latency,
+                })
+            })
+            .collect();
+        if let Some(root) = root {
+            root.finish();
+        }
+        Ok(out)
     }
 }

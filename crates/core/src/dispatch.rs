@@ -1,9 +1,24 @@
-//! The per-invocation data path: admission → serialized dispatch →
-//! placement (scheduler + autoscaler) → execution with retry.
+//! The per-invocation data path: admission → dispatch (front door +
+//! shard queues, or the serialized A/B baseline) → placement
+//! (scheduler + autoscaler) → execution with retry.
 //!
 //! Split from [`server`](crate::server) so the orchestration skeleton
 //! (lifecycle, accept loop, accessors) stays separate from the hot
 //! path every request walks.
+//!
+//! ## Dispatch engines
+//!
+//! Under [`DispatchMode::Sharded`] (the default) the front door only
+//! admits, parses, and enqueues — a short serialized section of
+//! [`ShardConfig::front_door_overhead`] — then hands the job to one of
+//! several per-shard worker tasks. Each worker serializes the full
+//! [`dispatch_overhead`](crate::ServerConfig::dispatch_overhead) for
+//! its own queue but overlaps it with every other shard, so aggregate
+//! dispatch throughput scales with the shard count. Workers are
+//! ordinary simtime tasks and every tie-break is seeded, so same-seed
+//! replay stays byte-identical. [`DispatchMode::Serialized`] keeps the
+//! historical single-lock router for A/B experiments (the `cluster`
+//! bench reproduces the paper's router-contention knee with it).
 //!
 //! When a tracer is configured ([`ServerConfig::with_tracer`]
 //! (crate::ServerConfig::with_tracer)) the hot path records a span per
@@ -15,14 +30,20 @@
 //! (crate::MetricsRegistry): counters (`invocations`, `cold_starts`,
 //! `errors.*`), latency histograms, and level gauges.
 
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Duration;
 
 use kaas_accel::{DeviceClass, DeviceId};
 use kaas_kernels::{Kernel, Value};
-use kaas_simtime::{now, sleep, SimTime};
+use kaas_simtime::channel::{self, OneshotSender, Receiver};
+use kaas_simtime::rng::DetRng;
+use kaas_simtime::sync::Semaphore;
+use kaas_simtime::{now, sleep, spawn, SimTime};
 
+use crate::admission::AdmissionPermit;
 use crate::autoscaler::{ScaleCtx, ScaleDecision};
+use crate::config::{DispatchMode, ServerConfig, ShardConfig, ShardPolicy};
 use crate::dataplane::{ObjectRef, DATA_KERNEL_PREFIX};
 use crate::metrics::{InvocationReport, RunnerId};
 use crate::pool::{InFlightGuard, RunnerPool, RunnerSlot};
@@ -30,6 +51,231 @@ use crate::protocol::{DataRef, InvokeError, Request, Response};
 use crate::resilience::BreakerState;
 use crate::scheduler::SchedCtx;
 use crate::server::{KaasServer, DISCOVERY_KERNEL};
+
+/// An admitted, parsed invocation: everything the execution pipeline
+/// needs, carried from the front door to wherever it runs (inline under
+/// the serialized engine, a shard worker under the sharded one).
+pub(crate) struct ExecJob {
+    req: Request,
+    kernel: Rc<dyn Kernel>,
+    /// RAII admission permit — rides with the job so the admission slot
+    /// is held until execution finishes, on every exit path.
+    permit: AdmissionPermit,
+    submitted: SimTime,
+}
+
+/// One enqueued dispatch: the job plus what the shard worker needs to
+/// finish the request and wake the front door's waiter. Carries a
+/// strong server handle (a bounded `Rc` cycle while queued: the job
+/// keeps the server alive, never the reverse — workers hold only the
+/// receiving half, so they exit when the server drops its senders).
+struct DispatchJob {
+    server: KaasServer,
+    job: ExecJob,
+    /// When the request reached the dispatch layer (span start).
+    t_dispatch: SimTime,
+    /// When the front door enqueued it (the `dispatch.shard_ns` origin).
+    enqueued: SimTime,
+    reply: OneshotSender<Result<(DataRef, InvocationReport), InvokeError>>,
+}
+
+/// One shard's queue: the sending half plus its depth counter (the
+/// worker task owns the receiving half).
+pub(crate) struct ShardQueue {
+    tx: channel::Sender<DispatchJob>,
+    depth: Rc<Cell<usize>>,
+}
+
+/// The server's dispatch engine, built from
+/// [`ServerConfig::dispatch`](crate::ServerConfig) at construction.
+pub(crate) enum DispatchState {
+    /// One global router lock; every invocation pays
+    /// `dispatch_overhead` inside it (the historical A/B baseline).
+    Serialized { lock: Semaphore },
+    /// Thin front door + per-shard worker queues.
+    Sharded {
+        front_lock: Semaphore,
+        config: ShardConfig,
+        shards: Vec<ShardQueue>,
+        /// Jobs currently queued across all shards; the sanitizer
+        /// checks it equals the sum of per-shard depths every step.
+        queued: Rc<Cell<usize>>,
+        /// Round-robin cursor ([`ShardPolicy::RoundRobin`]).
+        rr: Cell<usize>,
+        /// Seeded tie-break stream ([`ShardPolicy::LeastLoaded`]).
+        rng: RefCell<DetRng>,
+    },
+}
+
+impl DispatchState {
+    /// Builds the engine selected by `config.dispatch` for a fleet of
+    /// `devices` devices. Shard workers are ordinary simtime tasks,
+    /// spawned only when an executor is running (the same guard as the
+    /// sanitizer hook in [`KaasServer::new`]); outside a simulation the
+    /// queues exist but nothing drains them.
+    pub(crate) fn new(config: &ServerConfig, devices: usize) -> Self {
+        match &config.dispatch {
+            DispatchMode::Serialized => DispatchState::Serialized {
+                lock: Semaphore::new(1),
+            },
+            DispatchMode::Sharded(sc) => {
+                let n = if sc.shards == 0 {
+                    devices.max(1)
+                } else {
+                    sc.shards
+                };
+                let queued = Rc::new(Cell::new(0usize));
+                let mut shards = Vec::with_capacity(n);
+                for shard in 0..n {
+                    let (tx, rx) = channel::unbounded();
+                    let depth = Rc::new(Cell::new(0usize));
+                    if kaas_simtime::Handle::try_current().is_some() {
+                        spawn(shard_worker(
+                            shard,
+                            rx,
+                            Rc::clone(&depth),
+                            Rc::clone(&queued),
+                            config.dispatch_overhead,
+                        ));
+                    }
+                    shards.push(ShardQueue { tx, depth });
+                }
+                DispatchState::Sharded {
+                    front_lock: Semaphore::new(1),
+                    config: sc.clone(),
+                    shards,
+                    queued,
+                    rr: Cell::new(0),
+                    rng: RefCell::new(DetRng::seed_from_u64(sc.seed)),
+                }
+            }
+        }
+    }
+
+    /// Current queue depth of every shard (empty under the serialized
+    /// engine).
+    pub(crate) fn shard_depths(&self) -> Vec<usize> {
+        match self {
+            DispatchState::Serialized { .. } => Vec::new(),
+            DispatchState::Sharded { shards, .. } => shards.iter().map(|s| s.depth.get()).collect(),
+        }
+    }
+
+    /// Total dispatch jobs queued across all shards.
+    pub(crate) fn queued(&self) -> usize {
+        match self {
+            DispatchState::Serialized { .. } => 0,
+            DispatchState::Sharded { queued, .. } => queued.get(),
+        }
+    }
+
+    /// Chooses the shard for a request. Every source of choice is
+    /// deterministic: the round-robin cursor, an FNV-1a hash, or the
+    /// seeded tie-break stream — cross-shard ordering replays exactly.
+    fn pick_shard(&self, kernel: &str) -> usize {
+        match self {
+            DispatchState::Serialized { .. } => 0,
+            DispatchState::Sharded {
+                config,
+                shards,
+                rr,
+                rng,
+                ..
+            } => {
+                let n = shards.len();
+                match config.policy {
+                    ShardPolicy::RoundRobin => {
+                        let i = rr.get();
+                        rr.set((i + 1) % n);
+                        i
+                    }
+                    ShardPolicy::KernelAffinity => {
+                        // FNV-1a over the kernel name, seed-mixed into
+                        // the offset basis so deployments can re-map
+                        // kernels to shards without renaming them.
+                        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ config.seed;
+                        for b in kernel.bytes() {
+                            h ^= b as u64;
+                            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                        }
+                        (h % n as u64) as usize
+                    }
+                    ShardPolicy::LeastLoaded => {
+                        let min = shards
+                            .iter()
+                            .map(|s| s.depth.get())
+                            .min()
+                            .expect("at least one shard");
+                        let tied: Vec<usize> = shards
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.depth.get() == min)
+                            .map(|(i, _)| i)
+                            .collect();
+                        if tied.len() == 1 {
+                            tied[0]
+                        } else {
+                            tied[rng.borrow_mut().gen_range(0..tied.len())]
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One shard's drain loop: dequeue, pay the shard's serialized routing
+/// cost, then hand execution to a fresh task so long-running kernels
+/// never block the queue behind them. Exits when the server drops its
+/// sending halves.
+async fn shard_worker(
+    shard: usize,
+    mut rx: Receiver<DispatchJob>,
+    depth: Rc<Cell<usize>>,
+    queued: Rc<Cell<usize>>,
+    overhead: Duration,
+) {
+    while let Some(DispatchJob {
+        server,
+        job,
+        t_dispatch,
+        enqueued,
+        reply,
+    }) = rx.recv().await
+    {
+        // Paired decrements with no await in between keep
+        // `sum(depths) == queued` at every executor step boundary.
+        depth.set(depth.get() - 1);
+        queued.set(queued.get() - 1);
+        server
+            .inner()
+            .metrics_registry
+            .set_gauge(&format!("dispatch.shard.{shard}.depth"), depth.get() as f64);
+        // This worker is one task, so jobs on one shard pay the routing
+        // cost back to back while other shards overlap theirs.
+        sleep(overhead).await;
+        let inner = server.inner();
+        inner
+            .metrics_registry
+            .observe("dispatch.shard_ns", (now() - enqueued).as_nanos() as f64);
+        if let Some(t) = &inner.config.tracer {
+            t.record(
+                "server",
+                "dispatch",
+                t_dispatch,
+                now(),
+                job.req.span,
+                vec![],
+            );
+        }
+        spawn(async move {
+            let out = server.execute(job).await;
+            // A dropped receiver means the front-door waiter is gone;
+            // the work still completed, so the result is simply unread.
+            let _ = reply.send(out);
+        });
+    }
+}
 
 impl KaasServer {
     /// Handles one request end to end (public for in-process use and
@@ -78,18 +324,109 @@ impl KaasServer {
             }
         };
         let submitted = now();
-        let _permit = inner.admission.admit(req.tenant.as_deref()).await?;
+        let permit = inner.admission.admit(req.tenant.as_deref()).await?;
         span("admission", submitted, now());
-        let t_dispatch = now();
-        {
-            let _router = inner.dispatch_lock.acquire(1).await;
-            sleep(inner.config.dispatch_overhead).await;
-        }
-        span("dispatch", t_dispatch, now());
+        // Request parsing stays on the front door: resolve the kernel
+        // before any dispatch cost so unknown names never consume
+        // router capacity.
         let kernel = inner
             .registry
             .lookup(&req.kernel)
             .ok_or_else(|| InvokeError::UnknownKernel(req.kernel.clone()))?;
+        let job = ExecJob {
+            req,
+            kernel,
+            permit,
+            submitted,
+        };
+        let t_dispatch = now();
+        match &inner.dispatch {
+            // The A/B baseline: the router runs on one server thread,
+            // so every invocation pays the full dispatch overhead inside
+            // one global critical section (the Fig. 12b ≈35 µs cost —
+            // saturates near 1/overhead dispatches per second).
+            DispatchState::Serialized { lock } => {
+                {
+                    let _router = lock.acquire(1).await;
+                    sleep(inner.config.dispatch_overhead).await;
+                }
+                span("dispatch", t_dispatch, now());
+                self.execute(job).await
+            }
+            // Sharded: the front door only classifies + enqueues;
+            // placement, the cache step, retry, and the runner handoff
+            // all happen on the chosen shard's worker task.
+            DispatchState::Sharded {
+                front_lock,
+                config,
+                shards,
+                queued,
+                ..
+            } => {
+                {
+                    let _front = front_lock.acquire(1).await;
+                    sleep(config.front_door_overhead).await;
+                }
+                let m = &inner.metrics_registry;
+                m.observe(
+                    "dispatch.front_door_ns",
+                    (now() - t_dispatch).as_nanos() as f64,
+                );
+                let shard = inner.dispatch.pick_shard(&job.req.kernel);
+                let q = &shards[shard];
+                // Paired increments with no await in between: the
+                // sanitizer checks `sum(depths) == queued` after every
+                // executor step.
+                q.depth.set(q.depth.get() + 1);
+                queued.set(queued.get() + 1);
+                m.set_gauge(
+                    &format!("dispatch.shard.{shard}.depth"),
+                    q.depth.get() as f64,
+                );
+                let (reply_tx, reply_rx) = channel::oneshot();
+                let dj = DispatchJob {
+                    server: self.clone(),
+                    job,
+                    t_dispatch,
+                    enqueued: now(),
+                    reply: reply_tx,
+                };
+                if q.tx.send(dj).await.is_err() {
+                    // No worker drains this queue (the server was built
+                    // outside a running simulation): undo the enqueue
+                    // accounting and report the path unavailable.
+                    q.depth.set(q.depth.get() - 1);
+                    queued.set(queued.get() - 1);
+                    return Err(InvokeError::Disconnected);
+                }
+                reply_rx.await.map_err(|_| InvokeError::Disconnected)?
+            }
+        }
+    }
+
+    /// The execution pipeline one admitted job walks — input
+    /// materialization, deadline shedding, placement + cache step +
+    /// retry, report/metrics recording, and reply shaping. Runs inline
+    /// under the serialized engine and on a spawned task per job under
+    /// the sharded one.
+    pub(crate) async fn execute(
+        &self,
+        job: ExecJob,
+    ) -> Result<(DataRef, InvocationReport), InvokeError> {
+        let ExecJob {
+            req,
+            kernel,
+            permit: _permit,
+            submitted,
+        } = job;
+        let inner = self.inner();
+        let tracer = inner.config.tracer.clone();
+        let parent = req.span;
+        let span = |name: &str, start: SimTime, end: SimTime| {
+            if let Some(t) = &tracer {
+                t.record("server", name, start, end, parent, vec![]);
+            }
+        };
 
         // Materialize the input.
         let oob = matches!(req.data, DataRef::OutOfBand(_)) || req.reply_out_of_band;

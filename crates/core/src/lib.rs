@@ -89,8 +89,8 @@ pub use autoscaler::{
     AutoscalePolicy, InFlightThreshold, NoScale, ScaleCtx, ScaleDecision, TargetUtilization,
 };
 pub use baseline::{run_cpu_only, run_space_sharing, run_time_sharing, BaselineReport};
-pub use client::{Invocation, InvokeBuilder, KaasClient};
-pub use config::ServerConfig;
+pub use client::{BatchBuilder, BatchCall, Invocation, InvokeBuilder, KaasClient};
+pub use config::{DispatchMode, ServerConfig, ShardConfig, ShardPolicy};
 pub use dataplane::{
     content_hash, DataPlane, ObjectRef, ObjectStore, DATA_GET_KERNEL, DATA_KERNEL_PREFIX,
     DATA_PIN_KERNEL, DATA_PUT_KERNEL, DATA_SEAL_KERNEL, OBJECT_REF_WIRE_BYTES,
@@ -102,7 +102,10 @@ pub use metrics::histogram::{Histogram, HistogramSummary};
 pub use metrics::registry::MetricsRegistry;
 pub use metrics::{mean_ci95, percentile, InvocationReport, MeanCi, MetricsSink, RunnerId};
 pub use pool::{RunnerPool, RunnerSlot};
-pub use protocol::{DataRef, InvokeError, Request, Response, FRAME_BYTES};
+pub use protocol::{
+    DataRef, InvokeError, Request, RequestFrame, Response, ResponseFrame, BATCH_MEMBER_BYTES,
+    FRAME_BYTES,
+};
 pub use registry::{KernelRegistry, RegistryError};
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, EvictionConfig, ExponentialBackoff,
@@ -116,5 +119,7 @@ pub use server::{KaasServer, KernelStats, ServerSnapshot, DISCOVERY_KERNEL};
 pub use trace::{Span, SpanId, SpanSink};
 pub use workflow::{TransferMode, Workflow, WorkflowRun};
 
-/// The network type used between KaaS clients and servers.
-pub type KaasNetwork = kaas_net::Network<Request, Response>;
+/// The network type used between KaaS clients and servers. The wire
+/// carries framed envelopes ([`RequestFrame`] / [`ResponseFrame`]) so a
+/// client's coalesced batch rides one frame header in each direction.
+pub type KaasNetwork = kaas_net::Network<RequestFrame, ResponseFrame>;

@@ -198,6 +198,65 @@ impl Response {
     }
 }
 
+/// Per-member framing cost inside a batched frame: a correlation id and
+/// a length prefix, far smaller than a full [`FRAME_BYTES`] header.
+pub const BATCH_MEMBER_BYTES: u64 = 16;
+
+/// The request-direction wire envelope: a single invocation, or a
+/// coalesced batch of invocations from one client that share one frame
+/// header (and thus one per-message link overhead and one serialization
+/// pass — the §4.1 per-call costs are paid once per *frame*).
+#[derive(Debug)]
+pub enum RequestFrame {
+    /// One request, framed exactly as before batching existed.
+    One(Request),
+    /// Several requests riding one frame header.
+    Batch(Vec<Request>),
+}
+
+impl RequestFrame {
+    /// Total on-wire size: a batch pays one [`FRAME_BYTES`] header plus
+    /// a small [`BATCH_MEMBER_BYTES`] sub-header per member instead of a
+    /// full frame header each.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            RequestFrame::One(r) => r.wire_bytes(),
+            RequestFrame::Batch(rs) => {
+                FRAME_BYTES
+                    + rs.iter()
+                        .map(|r| r.wire_bytes() - FRAME_BYTES + BATCH_MEMBER_BYTES)
+                        .sum::<u64>()
+            }
+        }
+    }
+}
+
+/// The response-direction wire envelope, symmetric with
+/// [`RequestFrame`]: batched requests get one coalesced reply frame.
+#[derive(Debug)]
+pub enum ResponseFrame {
+    /// One response.
+    One(Response),
+    /// The coalesced replies to a [`RequestFrame::Batch`], in request
+    /// order.
+    Batch(Vec<Response>),
+}
+
+impl ResponseFrame {
+    /// Total on-wire size (same amortization as the request direction).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            ResponseFrame::One(r) => r.wire_bytes(),
+            ResponseFrame::Batch(rs) => {
+                FRAME_BYTES
+                    + rs.iter()
+                        .map(|r| r.wire_bytes() - FRAME_BYTES + BATCH_MEMBER_BYTES)
+                        .sum::<u64>()
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

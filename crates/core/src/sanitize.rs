@@ -18,6 +18,10 @@
 //!   `bytes_resident` total equals the sum of resident object sizes,
 //!   residency never exceeds capacity, LRU recency stamps are unique,
 //!   and no refcount underflow was ever observed.
+//! * **Dispatch-queue accounting** — the sharded dispatcher's global
+//!   queued-job counter equals the sum of per-shard depth counters
+//!   (front door and workers move them only in paired, await-free
+//!   updates), and no job is still queued at shutdown.
 //! * **Metric names** — every name that appears in the live
 //!   [`MetricsRegistry`](crate::MetricsRegistry) matches a pattern
 //!   declared in `metrics/INVENTORY` (the same file rule R2 of the
@@ -89,6 +93,7 @@ impl Auditor {
         };
         check_claim_balance(&inner);
         check_memory(&inner);
+        check_dispatch_queue(&inner);
         self.check_metric_names(&inner);
         if let Some(tracer) = &inner.config.tracer {
             self.check_spans(tracer);
@@ -223,6 +228,24 @@ fn check_claim_balance(inner: &ServerInner) {
     }
 }
 
+/// The sharded dispatcher's two queue views: per-shard depth counters
+/// vs the global queued-work counter (both moved only in paired,
+/// await-free updates by the front door and the shard workers).
+fn check_dispatch_queue(inner: &ServerInner) {
+    let depths = inner.dispatch.shard_depths();
+    let queued = inner.dispatch.queued();
+    let sum: usize = depths.iter().sum();
+    if sum != queued {
+        violation(
+            "dispatch-queue",
+            &format!(
+                "sum of per-shard dispatch depths ({sum}, {depths:?}) != queued dispatch \
+                 jobs ({queued})"
+            ),
+        );
+    }
+}
+
 /// Every device memory manager's internal accounting.
 fn check_memory(inner: &ServerInner) {
     for device in inner.pool.devices() {
@@ -241,6 +264,13 @@ fn check_memory(inner: &ServerInner) {
 /// Shutdown leak detection, run from `ServerInner`'s drop: nothing may
 /// still be claimed or referenced when the server's last handle goes.
 pub(crate) fn check_shutdown(inner: &ServerInner) {
+    let queued = inner.dispatch.queued();
+    if queued != 0 {
+        violation(
+            "shutdown-leak",
+            &format!("{queued} dispatch job(s) still queued at server drop"),
+        );
+    }
     for (device, ledger, counted) in inner.pool.claim_balances() {
         if ledger != 0 || counted != 0 {
             violation(

@@ -2,7 +2,9 @@
 //! modules together (§4.1 and §5.5 of the paper).
 //!
 //! Per invocation the server (1) applies [admission](crate::admission)
-//! control, (2) pays the serialized dispatch overhead, (3) asks the
+//! control, (2) passes the dispatch engine (a thin front door feeding
+//! per-shard worker queues by default, or the serialized A/B baseline
+//! — see [`DispatchMode`](crate::DispatchMode)), (3) asks the
 //! [`Scheduler`](crate::Scheduler) to place the request on a slot from
 //! the [`RunnerPool`](crate::RunnerPool), consulting the
 //! [`AutoscalePolicy`](crate::AutoscalePolicy) when the fleet is cold
@@ -15,16 +17,16 @@ use std::rc::Rc;
 
 use kaas_accel::{Device, DeviceClass, DeviceId};
 use kaas_net::{Frame, Listener, SharedMemory};
-use kaas_simtime::spawn;
-use kaas_simtime::sync::Semaphore;
+use kaas_simtime::{join_all, spawn};
 
 use crate::admission::AdmissionController;
 use crate::config::ServerConfig;
 use crate::dataplane::DataPlane;
+use crate::dispatch::DispatchState;
 use crate::metrics::registry::MetricsRegistry;
 use crate::metrics::MetricsSink;
 use crate::pool::RunnerPool;
-use crate::protocol::{InvokeError, Request, Response};
+use crate::protocol::{InvokeError, RequestFrame, ResponseFrame};
 use crate::registry::KernelRegistry;
 use crate::resilience::{BreakerBank, BreakerState};
 
@@ -40,9 +42,11 @@ pub(crate) struct ServerInner {
     pub(crate) admission: AdmissionController,
     pub(crate) metrics: MetricsSink,
     pub(crate) metrics_registry: MetricsRegistry,
-    /// The router runs on one server thread: dispatch work serializes
-    /// (the Fig. 12b weak-scaling offset of ≈35 µs per invocation).
-    pub(crate) dispatch_lock: Semaphore,
+    /// The dispatch engine: sharded front-door + worker queues by
+    /// default, or the historical serialized single-lock router (the
+    /// Fig. 12b weak-scaling offset of ≈35 µs per invocation) behind
+    /// [`DispatchMode::Serialized`](crate::DispatchMode).
+    pub(crate) dispatch: DispatchState,
     /// Per-device circuit breakers (disabled unless
     /// [`ServerConfig::breaker`] is set).
     pub(crate) breakers: BreakerBank,
@@ -103,6 +107,9 @@ impl KaasServer {
         config: ServerConfig,
     ) -> Self {
         let dataplane = Rc::new(DataPlane::new(&devices));
+        // Built before the pool consumes `devices`: shard count 0 means
+        // one dispatch shard per device.
+        let dispatch = DispatchState::new(&config, devices.len());
         let mut pool = RunnerPool::new(devices);
         if let Some(tracer) = &config.tracer {
             pool.set_tracer(tracer.clone());
@@ -125,7 +132,7 @@ impl KaasServer {
             admission: AdmissionController::new(config.admission),
             metrics: MetricsSink::new(),
             metrics_registry: MetricsRegistry::new(),
-            dispatch_lock: Semaphore::new(1),
+            dispatch,
             breakers: config
                 .breaker
                 .map(BreakerBank::new)
@@ -170,6 +177,8 @@ impl KaasServer {
             device_classes: self.inner.pool.device_classes(),
             quarantined: self.inner.pool.quarantined(),
             breakers: self.inner.breakers.states(),
+            shard_depths: self.inner.dispatch.shard_depths(),
+            dispatch_queued: self.inner.dispatch.queued(),
         }
     }
 
@@ -229,7 +238,14 @@ impl KaasServer {
     }
 
     /// Accept loop: serves every connection until the listener closes.
-    pub async fn serve(self, mut listener: Listener<Request, Response>) {
+    ///
+    /// Single requests ([`RequestFrame::One`]) walk the historical
+    /// per-frame path. Batched frames ([`RequestFrame::Batch`]) fan out
+    /// into concurrent [`handle`](KaasServer::handle) calls — so the
+    /// resilience machinery (retry, breakers, eviction) treats each
+    /// member individually — and the replies coalesce symmetrically
+    /// into one [`ResponseFrame::Batch`] in request order.
+    pub async fn serve(self, mut listener: Listener<RequestFrame, ResponseFrame>) {
         while let Some(conn) = listener.accept().await {
             let server = self.clone();
             spawn(async move {
@@ -238,22 +254,46 @@ impl KaasServer {
                     let server = server.clone();
                     let tx = tx.clone();
                     spawn(async move {
-                        let parent = frame.body.span;
-                        let resp = server.handle(frame.body).await;
-                        let bytes = resp.wire_bytes();
-                        let t0 = kaas_simtime::now();
-                        let sent = tx.send(Frame::new(resp, bytes)).await;
-                        if let (Some(tracer), Ok(())) = (&server.inner.config.tracer, sent) {
-                            // The reply transmission, parented under the
-                            // client's roundtrip span.
-                            tracer.record(
-                                "server",
-                                "net_send",
-                                t0,
-                                kaas_simtime::now(),
-                                parent,
-                                vec![("bytes".into(), bytes.to_string())],
-                            );
+                        match frame.body {
+                            RequestFrame::One(req) => {
+                                let parent = req.span;
+                                let resp = server.handle(req).await;
+                                let out = ResponseFrame::One(resp);
+                                let bytes = out.wire_bytes();
+                                let t0 = kaas_simtime::now();
+                                let sent = tx.send(Frame::new(out, bytes)).await;
+                                if let (Some(tracer), Ok(())) = (&server.inner.config.tracer, sent)
+                                {
+                                    // The reply transmission, parented under
+                                    // the client's roundtrip span.
+                                    tracer.record(
+                                        "server",
+                                        "net_send",
+                                        t0,
+                                        kaas_simtime::now(),
+                                        parent,
+                                        vec![("bytes".into(), bytes.to_string())],
+                                    );
+                                }
+                            }
+                            RequestFrame::Batch(reqs) => {
+                                {
+                                    let m = &server.inner.metrics_registry;
+                                    m.inc("dispatch.batches");
+                                    m.add("dispatch.batch_members", reqs.len() as u64);
+                                }
+                                // Members run concurrently and fail
+                                // independently; `join_all` preserves
+                                // request order for the coalesced reply.
+                                let members = reqs.into_iter().map(|req| {
+                                    let server = server.clone();
+                                    async move { server.handle(req).await }
+                                });
+                                let resps = join_all(members).await;
+                                let out = ResponseFrame::Batch(resps);
+                                let bytes = out.wire_bytes();
+                                let _ = tx.send(Frame::new(out, bytes)).await;
+                            }
                         }
                     });
                 }
@@ -300,6 +340,13 @@ pub struct ServerSnapshot {
     /// Current circuit-breaker state per device (empty when breakers are
     /// disabled or no device has been placed on yet).
     pub breakers: BTreeMap<DeviceId, BreakerState>,
+    /// Per-shard dispatch queue depths (empty under the serialized
+    /// engine). Always sums to
+    /// [`dispatch_queued`](ServerSnapshot::dispatch_queued) — an invariant the
+    /// sim-sanitizer re-checks after every executor step.
+    pub shard_depths: Vec<usize>,
+    /// Dispatch jobs queued across all shards right now.
+    pub dispatch_queued: usize,
 }
 
 impl ServerSnapshot {

@@ -1,6 +1,13 @@
 //! Bidirectional connections, listeners, and a tiny in-simulation
 //! "network" with named endpoints — the TCP analogue the KaaS prototype
 //! builds on (§4.1: client ↔ KaaS server ↔ task runners all speak TCP).
+//!
+//! The `Out`/`In` payload types are opaque here; the KaaS protocol
+//! instantiates them with framed envelopes (`RequestFrame` /
+//! `ResponseFrame` in `kaas-core`) so one [`send`](Connection::send)
+//! can carry either a single call or a coalesced batch — batching is
+//! purely an application-level choice of what constitutes a frame, and
+//! replies coalesce symmetrically on the return wire.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -5,6 +5,12 @@
 //! for the link latency, and arrive in order. Multiple messages may be "in
 //! flight" (transmitted but still propagating) simultaneously, so long
 //! fat pipes behave correctly.
+//!
+//! A [`Frame`] carries whatever the application calls one message — the
+//! KaaS protocol coalesces a whole client batch into a single frame
+//! (`RequestFrame::Batch` in `kaas-core`), so the batch pays one
+//! transmission slot and one propagation latency instead of one per
+//! call; its `bytes` field is the coalesced wire size.
 
 use std::cell::Cell;
 use std::rc::Rc;

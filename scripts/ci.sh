@@ -51,6 +51,18 @@ if [[ "$dp_a" != "$dp_b" ]]; then
     exit 1
 fi
 
+echo "==> cluster stage: sharded-dispatch tests + bench determinism"
+cargo test -q --release --test dispatch_shard
+# The dispatch A/B bench (serialized knee vs sharded+batched) must
+# replay byte-identically run to run.
+cl_a="$(cargo run -q --release -p kaas-bench --bin cluster -- --quick)"
+cl_b="$(cargo run -q --release -p kaas-bench --bin cluster -- --quick)"
+if [[ "$cl_a" != "$cl_b" ]]; then
+    echo "cluster bench diverged between two runs" >&2
+    diff <(printf '%s\n' "$cl_a") <(printf '%s\n' "$cl_b") >&2 || true
+    exit 1
+fi
+
 echo "==> cargo build --features trace --examples"
 cargo build --release --features trace --examples
 
