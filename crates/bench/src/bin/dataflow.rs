@@ -1,0 +1,11 @@
+//! Runs the server-side dataflow experiments (registered flow vs
+//! client-driven pipelines over a remote link). Pass `--quick` for a
+//! reduced sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for fig in kaas_bench::dataflow::run(quick) {
+        fig.print();
+        println!();
+    }
+}

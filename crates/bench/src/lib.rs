@@ -10,6 +10,7 @@
 pub mod ablation;
 pub mod cluster;
 pub mod common;
+pub mod dataflow;
 pub mod dataplane;
 pub mod fig02;
 pub mod fig06;

@@ -36,8 +36,10 @@ use kaas_simtime::{now, sleep, timeout, SpanId, SpanSink};
 use crate::dataplane::{
     ObjectRef, DATA_GET_KERNEL, DATA_PIN_KERNEL, DATA_PUT_KERNEL, DATA_SEAL_KERNEL,
 };
+use crate::flow::{encode_trigger, FLOW_REGISTER_KERNEL, FLOW_REPLY_REF, FLOW_RUN_KERNEL};
 use crate::metrics::InvocationReport;
 use crate::protocol::{DataRef, InvokeError, Request, RequestFrame, Response, ResponseFrame};
+use crate::workflow::{FlowError, Workflow, WorkflowHandle, WorkflowReport, WorkflowRun};
 
 /// Result of a successful invocation, as observed by the client.
 #[derive(Debug)]
@@ -105,6 +107,13 @@ impl KaasClient {
     /// request ids and the number in its `client{N}` trace track).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Requests this client has sent so far (each batch member counts
+    /// once). Useful in tests and benchmarks to demonstrate round-trip
+    /// collapse: an N-step registered flow costs 1, not N.
+    pub fn requests_sent(&self) -> u64 {
+        self.next_seq
     }
 
     /// The fault-injection handle of this client's **sending** wire
@@ -216,6 +225,51 @@ impl KaasClient {
     pub async fn pin(&mut self, r: ObjectRef) -> Result<(), InvokeError> {
         self.call(DATA_PIN_KERNEL).arg(r.to_value()).send().await?;
         Ok(())
+    }
+
+    /// Registers a workflow DAG with the server, returning the handle
+    /// that triggers it (see [`KaasClient::flow`]). Registration is a
+    /// one-time cost: the DAG definition crosses the wire once, and
+    /// every later trigger carries only the handle id plus the input.
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::UnknownKernel`] when a step names a kernel the
+    /// server does not serve; [`InvokeError::BadInput`] when the
+    /// definition does not decode; transport errors as usual.
+    pub async fn register_workflow(
+        &mut self,
+        workflow: &Workflow,
+    ) -> Result<WorkflowHandle, InvokeError> {
+        let inv = self
+            .call(FLOW_REGISTER_KERNEL)
+            .arg(workflow.to_value())
+            .send()
+            .await?;
+        match inv.output.payload() {
+            Value::U64(id) => Ok(WorkflowHandle::new(*id, workflow.name(), workflow.len())),
+            _ => Err(InvokeError::BadHandle),
+        }
+    }
+
+    /// Starts building a trigger of a registered workflow; finish with
+    /// [`FlowBuilder::send`] (or [`FlowBuilder::send_ref`] to leave the
+    /// final output server-resident). The whole DAG executes in **one**
+    /// round trip: the server walks the steps itself, chaining
+    /// intermediates device-to-device.
+    pub fn flow(&mut self, handle: &WorkflowHandle) -> FlowBuilder<'_> {
+        FlowBuilder {
+            id: handle.id(),
+            name: handle.name().to_owned(),
+            input: Value::Unit,
+            object: None,
+            tenant: None,
+            deadline: None,
+            timeout: None,
+            trace: true,
+            out_of_band: false,
+            client: self,
+        }
     }
 
     /// Opens a batch scope: calls added to it coalesce into **one**
@@ -440,6 +494,7 @@ impl<'c> InvokeBuilder<'c> {
             deadline: deadline.map(|d| now() + d),
             span: rt.as_ref().map(|s| s.id()),
             reply_out_of_band: out_of_band,
+            reply_to_store: false,
         };
         let resp = match rt_timeout {
             Some(d) => timeout(d, client.roundtrip(req))
@@ -502,6 +557,302 @@ impl<'c> InvokeBuilder<'c> {
             report: resp.report.ok_or(InvokeError::Disconnected)?,
             latency: now() - start,
         })
+    }
+}
+
+/// A pending trigger of a registered workflow; create via
+/// [`KaasClient::flow`], dispatch with [`send`](FlowBuilder::send).
+#[must_use = "a flow trigger does nothing until .send() is awaited"]
+#[derive(Debug)]
+pub struct FlowBuilder<'c> {
+    client: &'c mut KaasClient,
+    id: u64,
+    name: String,
+    input: Value,
+    object: Option<ObjectRef>,
+    tenant: Option<String>,
+    deadline: Option<Duration>,
+    timeout: Option<Duration>,
+    trace: bool,
+    out_of_band: bool,
+}
+
+impl<'c> FlowBuilder<'c> {
+    /// Sets the trigger input fed to the flow's source steps (default:
+    /// [`Value::Unit`]).
+    pub fn input(mut self, input: Value) -> Self {
+        self.input = input;
+        self.object = None;
+        self
+    }
+
+    /// Feeds the flow a stored object by content address (see
+    /// [`KaasClient::put`]): only the 24-byte ref crosses the wire, and
+    /// the source steps chain off the resident object like any
+    /// intermediate. Overrides any previous
+    /// [`input`](FlowBuilder::input).
+    pub fn input_ref(mut self, r: ObjectRef) -> Self {
+        self.object = Some(r);
+        self.input = Value::Unit;
+        self
+    }
+
+    /// Overrides the client's tenant identity for this run only.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Gives every step of the run a server-side start deadline
+    /// (relative to send time); a step still undispatched past it sheds
+    /// with [`InvokeError::DeadlineExceeded`], aborting the flow.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds the network round trip, like [`InvokeBuilder::timeout`].
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Opts this run in or out of span recording (default: on).
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Ships the trigger (and the final output) through shared memory.
+    /// Requires [`KaasClient::with_shared_memory`].
+    pub fn out_of_band(mut self) -> Self {
+        self.out_of_band = true;
+        self
+    }
+
+    /// Triggers the run and materializes the final output: one round
+    /// trip for the whole DAG.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError`] wrapping the aborting step's [`InvokeError`] (or a
+    /// transport error), with the reports of the steps that did
+    /// complete as partial results. A forged or expired handle fails
+    /// with [`InvokeError::UnknownFlow`], never a panic.
+    pub async fn send(self) -> Result<WorkflowRun, FlowError> {
+        let (data, report, start, client, tracer, track, root) = self.send_inner(0).await?;
+        // Materialize the output the way it came back.
+        let t2 = now();
+        let output = match data {
+            DataRef::InBand(v) => {
+                sleep(client.serialization.time(v.wire_bytes())).await;
+                if let (Some(t), Some(root)) = (&tracer, &root) {
+                    t.record(&track, "deserialize", t2, now(), Some(root.id()), vec![]);
+                }
+                v
+            }
+            DataRef::OutOfBand(h) => {
+                let shm = match client.shm.as_ref() {
+                    Some(shm) => shm,
+                    None => {
+                        if let Some(root) = root {
+                            root.finish();
+                        }
+                        return Err(FlowError::from(InvokeError::BadHandle));
+                    }
+                };
+                match shm.take(h).await {
+                    Some(v) => {
+                        if let (Some(t), Some(root)) = (&tracer, &root) {
+                            t.record(&track, "shm_take", t2, now(), Some(root.id()), vec![]);
+                        }
+                        v
+                    }
+                    None => {
+                        if let Some(root) = root {
+                            root.finish();
+                        }
+                        return Err(FlowError::from(InvokeError::BadHandle));
+                    }
+                }
+            }
+            // Bare content addresses only answer `send_ref` triggers.
+            DataRef::Object(_) => {
+                if let Some(root) = root {
+                    root.finish();
+                }
+                return Err(FlowError::from(InvokeError::BadHandle));
+            }
+        };
+        if let Some(root) = root {
+            root.finish();
+        }
+        Ok(WorkflowRun {
+            output,
+            report,
+            latency: now() - start,
+            round_trips: 1,
+        })
+    }
+
+    /// Triggers the run but leaves the final output server-resident,
+    /// returning its content address plus the per-step report. The next
+    /// hop — another flow via [`FlowBuilder::input_ref`], a
+    /// [`get`](KaasClient::get), a federated segment handoff — chains
+    /// off the ref without the value ever crossing this wire.
+    ///
+    /// # Errors
+    ///
+    /// As [`send`](FlowBuilder::send).
+    pub async fn send_ref(self) -> Result<(ObjectRef, WorkflowReport), FlowError> {
+        let (data, report, _, _, _, _, root) = self.send_inner(FLOW_REPLY_REF).await?;
+        if let Some(root) = root {
+            root.finish();
+        }
+        match data {
+            DataRef::Object(r) => Ok((r, report)),
+            _ => Err(FlowError::from(InvokeError::BadHandle)),
+        }
+    }
+
+    /// The shared trigger path: stages the trigger, does the round
+    /// trip, and splits the reply into payload + report. Returns the
+    /// still-open root span so the caller can hang materialization
+    /// spans under it.
+    #[allow(clippy::type_complexity)]
+    async fn send_inner(
+        self,
+        flags: u64,
+    ) -> Result<
+        (
+            DataRef,
+            WorkflowReport,
+            kaas_simtime::SimTime,
+            &'c mut KaasClient,
+            Option<SpanSink>,
+            String,
+            Option<kaas_simtime::OpenSpan>,
+        ),
+        FlowError,
+    > {
+        let FlowBuilder {
+            client,
+            id: flow_id,
+            name,
+            input,
+            object,
+            tenant,
+            deadline,
+            timeout: rt_timeout,
+            trace,
+            out_of_band,
+        } = self;
+        let tracer = if trace { client.tracer.clone() } else { None };
+        let track = format!("client{}", client.id);
+        let seq = client.next_seq;
+        client.next_seq += 1;
+        let id = (client.id << 32) | (seq & 0xffff_ffff);
+
+        let start = now();
+        let mut root = tracer.as_ref().map(|t| {
+            let mut s = t.open(&track, "flow", None);
+            s.push_arg("flow", flow_id.to_string());
+            s.push_arg("name", &name);
+            s
+        });
+
+        // Stage the trigger. A ref input travels inside the trigger
+        // envelope — the payload itself stays server-side.
+        let trigger = encode_trigger(
+            flow_id,
+            flags,
+            match object {
+                Some(r) => r.to_value(),
+                None => input,
+            },
+        );
+        let t0 = now();
+        let data = if out_of_band {
+            let shm = match client.shm.as_ref() {
+                Some(shm) => shm.clone(),
+                None => {
+                    if let Some(root) = root.take() {
+                        root.finish();
+                    }
+                    return Err(FlowError::from(InvokeError::BadHandle));
+                }
+            };
+            let bytes = trigger.wire_bytes();
+            let handle = shm.put(trigger, bytes).await;
+            if let (Some(t), Some(root)) = (&tracer, &root) {
+                t.record(&track, "shm_put", t0, now(), Some(root.id()), vec![]);
+            }
+            DataRef::OutOfBand(handle)
+        } else {
+            sleep(client.serialization.time(trigger.wire_bytes())).await;
+            if let (Some(t), Some(root)) = (&tracer, &root) {
+                t.record(&track, "serialize", t0, now(), Some(root.id()), vec![]);
+            }
+            DataRef::InBand(trigger)
+        };
+
+        // The round trip; the server hangs the whole run's span tree
+        // under this span's id.
+        let rt = tracer
+            .as_ref()
+            .zip(root.as_ref())
+            .map(|(t, root)| t.open(&track, "roundtrip", Some(root.id())));
+        let req = Request {
+            id,
+            kernel: FLOW_RUN_KERNEL.to_owned(),
+            data,
+            tenant: tenant.or_else(|| client.tenant.clone()),
+            deadline: deadline.map(|d| now() + d),
+            span: rt.as_ref().map(|s| s.id()),
+            reply_out_of_band: out_of_band,
+            reply_to_store: false,
+        };
+        let resp = match rt_timeout {
+            Some(d) => timeout(d, client.roundtrip(req))
+                .await
+                .unwrap_or(Err(InvokeError::TimedOut)),
+            None => client.roundtrip(req).await,
+        };
+        if let Some(rt) = rt {
+            rt.finish();
+        }
+        let resp = match resp {
+            Ok(resp) => resp,
+            Err(e) => {
+                if let Some(root) = root.take() {
+                    root.finish();
+                }
+                return Err(FlowError::from(e));
+            }
+        };
+        match resp.result {
+            Ok(data) => {
+                let report = match resp.flow {
+                    Some(report) => report,
+                    None => {
+                        if let Some(root) = root.take() {
+                            root.finish();
+                        }
+                        return Err(FlowError::from(InvokeError::Disconnected));
+                    }
+                };
+                Ok((data, report, start, client, tracer, track, root))
+            }
+            Err(e) => {
+                if let Some(root) = root.take() {
+                    root.finish();
+                }
+                Err(FlowError {
+                    error: e,
+                    partial: resp.flow.map(|f| f.steps).unwrap_or_default(),
+                })
+            }
+        }
     }
 }
 
@@ -666,6 +1017,7 @@ impl BatchBuilder<'_> {
                     // span tree instead.
                     span: None,
                     reply_out_of_band: false,
+                    reply_to_store: false,
                 }
             })
             .collect();

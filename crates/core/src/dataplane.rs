@@ -209,7 +209,12 @@ struct Stored {
     value: Value,
     bytes: u64,
     sealed: Cell<bool>,
-    pinned: Cell<bool>,
+    /// Pin count: client pins and flow-lifetime pins both increment it;
+    /// the object is protected from device eviction (and from
+    /// [`ObjectStore::remove`]) while it is non-zero. Client pins are
+    /// sticky (never decremented); flow pins are released when the flow
+    /// completes.
+    pins: Cell<u32>,
 }
 
 /// The host-side content-addressed object store: deduplicated by
@@ -229,15 +234,25 @@ impl ObjectStore {
     /// Stores `value`, returning its content address. Identical content
     /// deduplicates to the same ref.
     pub fn put(&self, value: Value) -> ObjectRef {
+        self.put_tracked(value).0
+    }
+
+    /// Stores `value` and reports whether this call **created** the
+    /// entry (`false` = deduplicated against existing content). Flow
+    /// executors use the flag to garbage-collect only the intermediates
+    /// they introduced.
+    pub fn put_tracked(&self, value: Value) -> (ObjectRef, bool) {
         let hash = content_hash(&value);
         let bytes = value.wire_bytes();
-        self.objects.borrow_mut().entry(hash).or_insert(Stored {
+        let mut objects = self.objects.borrow_mut();
+        let created = !objects.contains_key(&hash);
+        objects.entry(hash).or_insert(Stored {
             value,
             bytes,
             sealed: Cell::new(false),
-            pinned: Cell::new(false),
+            pins: Cell::new(0),
         });
-        ObjectRef { hash, bytes }
+        (ObjectRef { hash, bytes }, created)
     }
 
     /// The stored object for `r`, if present (and the ref's length
@@ -263,14 +278,49 @@ impl ObjectStore {
     }
 
     /// Marks the object pinned: device residency of this object is
-    /// never evicted. Returns whether the object exists.
+    /// never evicted. Client pins are sticky — there is no public
+    /// unpin. Returns whether the object exists.
     pub fn pin(&self, hash: u64) -> bool {
         match self.objects.borrow().get(&hash) {
             Some(s) => {
-                s.pinned.set(true);
+                s.pins.set(s.pins.get().saturating_add(1));
                 true
             }
             None => false,
+        }
+    }
+
+    /// Takes a flow-lifetime pin on the object (released with
+    /// [`flow_unpin`](ObjectStore::flow_unpin) when the flow
+    /// completes). Returns whether the object exists.
+    pub fn flow_pin(&self, hash: u64) -> bool {
+        self.pin(hash)
+    }
+
+    /// Releases one flow-lifetime pin, returning the remaining pin
+    /// count (0 also when the object does not exist).
+    pub fn flow_unpin(&self, hash: u64) -> u32 {
+        match self.objects.borrow().get(&hash) {
+            Some(s) => {
+                let left = s.pins.get().saturating_sub(1);
+                s.pins.set(left);
+                left
+            }
+            None => 0,
+        }
+    }
+
+    /// Drops an unpinned object from the store (flow GC of
+    /// intermediates). Refuses — returning `false` — while any pin is
+    /// outstanding or when the object does not exist.
+    pub fn remove(&self, hash: u64) -> bool {
+        let mut objects = self.objects.borrow_mut();
+        match objects.get(&hash) {
+            Some(s) if s.pins.get() == 0 => {
+                objects.remove(&hash);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -284,10 +334,12 @@ impl ObjectStore {
 
     /// Whether the object is pinned against device eviction.
     pub fn is_pinned(&self, hash: u64) -> bool {
-        self.objects
-            .borrow()
-            .get(&hash)
-            .is_some_and(|s| s.pinned.get())
+        self.pins(hash) > 0
+    }
+
+    /// The object's outstanding pin count (0 when absent).
+    pub fn pins(&self, hash: u64) -> u32 {
+        self.objects.borrow().get(&hash).map_or(0, |s| s.pins.get())
     }
 
     /// Number of stored objects.
@@ -374,6 +426,46 @@ impl DataPlane {
     /// whether the object exists.
     pub fn seal(&self, hash: u64) -> bool {
         self.store.seal(hash)
+    }
+
+    /// Takes a flow-lifetime pin: the object survives device eviction
+    /// (and store GC) until [`flow_unpin`](DataPlane::flow_unpin)
+    /// releases it. Pins every currently-resident device copy; future
+    /// admissions inherit the pin via [`admit`](DataPlane::admit).
+    pub fn flow_pin(&self, hash: u64) -> bool {
+        if !self.store.flow_pin(hash) {
+            return false;
+        }
+        for mgr in self.devices.values() {
+            mgr.pin(hash);
+        }
+        true
+    }
+
+    /// Releases one flow-lifetime pin; when the last pin drops, the
+    /// device copies become ordinary LRU-evictable residents again.
+    /// Returns the remaining pin count.
+    pub fn flow_unpin(&self, hash: u64) -> u32 {
+        let left = self.store.flow_unpin(hash);
+        if left == 0 {
+            for mgr in self.devices.values() {
+                mgr.unpin(hash);
+            }
+        }
+        left
+    }
+
+    /// Garbage-collects an unpinned object: drops it from the store and
+    /// from every device's residency. Refuses while pins are
+    /// outstanding. Returns whether the object was removed.
+    pub fn remove(&self, hash: u64) -> bool {
+        if !self.store.remove(hash) {
+            return false;
+        }
+        for mgr in self.devices.values() {
+            mgr.remove(hash);
+        }
+        true
     }
 
     /// Admits object `r` into `device`'s memory (the caller pays the
@@ -536,6 +628,44 @@ mod tests {
         assert!(dp.seal(r.hash));
         assert!(dp.store().is_sealed(r.hash));
         assert!(!dp.seal(0xbad));
+    }
+
+    #[test]
+    fn counted_pins_gate_removal() {
+        let store = ObjectStore::new();
+        let (r, created) = store.put_tracked(Value::U64(9));
+        assert!(created);
+        let (_, again) = store.put_tracked(Value::U64(9));
+        assert!(!again, "dedup is not creation");
+        assert!(store.flow_pin(r.hash));
+        assert!(store.is_pinned(r.hash));
+        assert_eq!(store.pins(r.hash), 1);
+        assert!(!store.remove(r.hash), "pinned objects cannot be removed");
+        assert_eq!(store.flow_unpin(r.hash), 0);
+        assert!(!store.is_pinned(r.hash));
+        assert!(store.remove(r.hash));
+        assert!(store.get(&r).is_none());
+        assert!(!store.remove(r.hash));
+    }
+
+    #[test]
+    fn flow_unpin_releases_device_pins() {
+        let dp = DataPlane::new(&[tiny_gpu(0, 200)]);
+        let heavy = dp.put(Value::F64s(vec![1.0; 20])); // 176 B
+        dp.admit(DeviceId(0), &heavy).unwrap();
+        assert!(dp.flow_pin(heavy.hash));
+        let rival = dp.put(Value::F64s(vec![2.0; 20]));
+        assert!(
+            dp.admit(DeviceId(0), &rival).is_err(),
+            "flow pin blocks eviction"
+        );
+        assert_eq!(dp.flow_unpin(heavy.hash), 0);
+        assert!(
+            dp.admit(DeviceId(0), &rival).is_ok(),
+            "released pin makes the resident evictable again"
+        );
+        assert!(dp.remove(heavy.hash));
+        assert!(!dp.is_resident(DeviceId(0), heavy.hash));
     }
 
     #[test]

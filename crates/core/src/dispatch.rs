@@ -281,6 +281,12 @@ impl KaasServer {
     /// Handles one request end to end (public for in-process use and
     /// tests; network callers go through [`KaasServer::serve`]).
     pub async fn handle(&self, req: Request) -> Response {
+        // Reserved flow endpoints: register a workflow DAG / trigger a
+        // server-side dataflow run. These shape their own response
+        // (they carry a per-step report alongside the result).
+        if req.kernel.starts_with(crate::flow::FLOW_KERNEL_PREFIX) {
+            return self.flow_frame(req).await;
+        }
         let id = req.id;
         let kernel = req.kernel.clone();
         match self.handle_inner(req).await {
@@ -288,6 +294,7 @@ impl KaasServer {
                 id,
                 result: Ok(data),
                 report: Some(report),
+                flow: None,
             },
             Err(e) => {
                 if kernel != DISCOVERY_KERNEL {
@@ -299,12 +306,16 @@ impl KaasServer {
                     id,
                     result: Err(e),
                     report: None,
+                    flow: None,
                 }
             }
         }
     }
 
-    async fn handle_inner(&self, req: Request) -> Result<(DataRef, InvocationReport), InvokeError> {
+    pub(crate) async fn handle_inner(
+        &self,
+        req: Request,
+    ) -> Result<(DataRef, InvocationReport), InvokeError> {
         // Reserved discovery endpoint: federated clients list the
         // kernels a site serves before routing work to it.
         if req.kernel == DISCOVERY_KERNEL {
@@ -690,6 +701,12 @@ impl KaasServer {
         } else {
             output
         };
+        // Internal flow-executor handoff: the output goes straight to
+        // the object store, so skip reply shaping — no serialization,
+        // no shm hop, nothing crosses the wire.
+        if req.reply_to_store {
+            return Ok((DataRef::InBand(output), report));
+        }
         // Return the output the same way the input came in.
         let t_reply = now();
         let data = if oob {
@@ -909,7 +926,7 @@ impl KaasServer {
 
     /// The synthetic report attached to control-kernel responses
     /// (discovery, data-plane ops): no runner or device was involved.
-    fn control_report(&self, kernel: &str) -> InvocationReport {
+    pub(crate) fn control_report(&self, kernel: &str) -> InvocationReport {
         InvocationReport {
             kernel: kernel.to_owned(),
             runner: RunnerId(u32::MAX),

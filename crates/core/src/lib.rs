@@ -70,6 +70,7 @@ pub mod dataplane;
 mod dispatch;
 pub mod fault;
 mod federation;
+mod flow;
 mod fusion;
 mod metrics;
 pub mod pool;
@@ -89,14 +90,15 @@ pub use autoscaler::{
     AutoscalePolicy, InFlightThreshold, NoScale, ScaleCtx, ScaleDecision, TargetUtilization,
 };
 pub use baseline::{run_cpu_only, run_space_sharing, run_time_sharing, BaselineReport};
-pub use client::{BatchBuilder, BatchCall, Invocation, InvokeBuilder, KaasClient};
+pub use client::{BatchBuilder, BatchCall, FlowBuilder, Invocation, InvokeBuilder, KaasClient};
 pub use config::{DispatchMode, ServerConfig, ShardConfig, ShardPolicy};
 pub use dataplane::{
     content_hash, DataPlane, ObjectRef, ObjectStore, DATA_GET_KERNEL, DATA_KERNEL_PREFIX,
     DATA_PIN_KERNEL, DATA_PUT_KERNEL, DATA_SEAL_KERNEL, OBJECT_REF_WIRE_BYTES,
 };
 pub use fault::{AppliedFault, Fault, FaultEvent, FaultInjector, FaultLog, FaultPlan, StormConfig};
-pub use federation::{FederatedClient, SiteSpec};
+pub use federation::{FederatedClient, FederatedFlow, SiteHandle, SiteSpec};
+pub use flow::{FLOW_KERNEL_PREFIX, FLOW_REGISTER_KERNEL, FLOW_RUN_KERNEL};
 pub use fusion::{fuse, FusedKernel, FusionError};
 pub use metrics::histogram::{Histogram, HistogramSummary};
 pub use metrics::registry::MetricsRegistry;
@@ -117,7 +119,10 @@ pub use scheduler::{
 };
 pub use server::{KaasServer, KernelStats, ServerSnapshot, DISCOVERY_KERNEL};
 pub use trace::{Span, SpanId, SpanSink};
-pub use workflow::{TransferMode, Workflow, WorkflowRun};
+pub use workflow::{
+    Edge, EdgeTransfer, FlowError, StepId, StepReport, Workflow, WorkflowBuilder, WorkflowError,
+    WorkflowHandle, WorkflowReport, WorkflowRun,
+};
 
 /// The network type used between KaaS clients and servers. The wire
 /// carries framed envelopes ([`RequestFrame`] / [`ResponseFrame`]) so a

@@ -8,6 +8,7 @@ use kaas_simtime::{SimTime, SpanId};
 
 use crate::dataplane::{ObjectRef, OBJECT_REF_WIRE_BYTES};
 use crate::metrics::InvocationReport;
+use crate::workflow::WorkflowReport;
 
 /// How a payload travels between client and kernel.
 #[derive(Debug)]
@@ -72,6 +73,11 @@ pub struct Request {
     /// content address but the result can be arbitrarily large.
     /// Out-of-band inputs always get out-of-band replies regardless.
     pub reply_out_of_band: bool,
+    /// Internal flow-executor handoff: the output is destined for the
+    /// server's own object store, not the wire, so reply shaping
+    /// (serialization / shared memory) is skipped entirely. Never set
+    /// by clients.
+    pub reply_to_store: bool,
 }
 
 impl Request {
@@ -113,13 +119,17 @@ pub enum InvokeError {
     /// object: its memory manager found nothing evictable (everything
     /// pinned or in flight) or the object exceeds device capacity.
     DeviceOom(String),
+    /// A flow trigger named a workflow id this server never issued (a
+    /// forged [`WorkflowHandle`](crate::WorkflowHandle), or one that
+    /// outlived the server that minted it).
+    UnknownFlow(String),
 }
 
 impl InvokeError {
     /// Every stable [`kind`](InvokeError::kind) label, in declaration
     /// order — lets tests and dashboards enumerate the error space
     /// without constructing each variant.
-    pub const KINDS: [&'static str; 11] = [
+    pub const KINDS: [&'static str; 12] = [
         "unknown-kernel",
         "bad-input",
         "no-device",
@@ -131,6 +141,7 @@ impl InvokeError {
         "circuit-open",
         "timed-out",
         "device-oom",
+        "unknown-flow",
     ];
 
     /// Short kebab-case name of the error variant (stable across
@@ -148,6 +159,7 @@ impl InvokeError {
             InvokeError::CircuitOpen(_) => "circuit-open",
             InvokeError::TimedOut => "timed-out",
             InvokeError::DeviceOom(_) => "device-oom",
+            InvokeError::UnknownFlow(_) => "unknown-flow",
         }
     }
 }
@@ -170,6 +182,7 @@ impl std::fmt::Display for InvokeError {
             }
             InvokeError::TimedOut => write!(f, "response timed out"),
             InvokeError::DeviceOom(m) => write!(f, "device out of memory: {m}"),
+            InvokeError::UnknownFlow(id) => write!(f, "unknown workflow '{id}'"),
         }
     }
 }
@@ -185,6 +198,10 @@ pub struct Response {
     pub result: Result<DataRef, InvokeError>,
     /// Timing breakdown (present even for failures where possible).
     pub report: Option<InvocationReport>,
+    /// Per-step breakdown of a flow trigger (responses to
+    /// `_kaas/flow/run` only; present even for failed flows, carrying
+    /// the partial results).
+    pub flow: Option<WorkflowReport>,
 }
 
 impl Response {
@@ -271,6 +288,7 @@ mod tests {
             deadline: None,
             span: None,
             reply_out_of_band: false,
+            reply_to_store: false,
         };
         assert!(req.wire_bytes() > 8000);
     }
@@ -304,6 +322,7 @@ mod tests {
             InvokeError::CircuitOpen(String::new()),
             InvokeError::TimedOut,
             InvokeError::DeviceOom(String::new()),
+            InvokeError::UnknownFlow(String::new()),
         ];
         assert_eq!(variants.len(), InvokeError::KINDS.len());
         for (v, label) in variants.iter().zip(InvokeError::KINDS) {

@@ -307,6 +307,22 @@ pub(crate) fn check_shutdown(inner: &ServerInner) {
             );
         }
     }
+    // Completed flows must release every intermediate: no run still
+    // active, no flow-lifetime pin outstanding.
+    let active = inner.flows.active();
+    if active != 0 {
+        violation(
+            "shutdown-leak",
+            &format!("{active} workflow run(s) still active at server drop"),
+        );
+    }
+    let pins = inner.flows.intermediates_live();
+    if pins != 0 {
+        violation(
+            "shutdown-leak",
+            &format!("{pins} flow intermediate pin(s) never released at server drop"),
+        );
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ use crate::admission::AdmissionController;
 use crate::config::ServerConfig;
 use crate::dataplane::DataPlane;
 use crate::dispatch::DispatchState;
+use crate::flow::FlowState;
 use crate::metrics::registry::MetricsRegistry;
 use crate::metrics::MetricsSink;
 use crate::pool::RunnerPool;
@@ -53,6 +54,9 @@ pub(crate) struct ServerInner {
     /// The device-resident data plane: content-addressed object store +
     /// per-device memory managers.
     pub(crate) dataplane: Rc<DataPlane>,
+    /// Registered workflow DAGs plus live-run accounting for the
+    /// server-side dataflow executor.
+    pub(crate) flows: FlowState,
 }
 
 /// The KaaS server (Fig. 3: registration target and invocation router).
@@ -137,6 +141,7 @@ impl KaasServer {
                 .breaker
                 .map(BreakerBank::new)
                 .unwrap_or_else(BreakerBank::disabled),
+            flows: FlowState::new(),
             config,
         });
         // Under the sanitizer, re-check this server's cross-module

@@ -76,13 +76,23 @@ fn main() {
             let pixels: Vec<u8> = (0..w * h * 3).map(|i| ((i * 13) % 251) as u8).collect();
             Value::image(pixels, w, h, 3)
         };
-        let wf = Workflow::new("edge-to-dc")
-            .step("preprocess")
-            .step("bitmap");
-        let run = fed.run_workflow(&wf, frame).await.expect("workflow runs");
-        for (step, report) in wf.steps().iter().zip(&run.reports) {
+        let wf = Workflow::linear("edge-to-dc", ["preprocess", "bitmap"]).expect("non-empty");
+        // Registration splits the chain into one server-side segment
+        // per site; a run pays one round trip per segment and ships the
+        // boundary intermediate site-to-site, not through per-step
+        // client hops.
+        let flow = fed.register_workflow(&wf).await.expect("registration");
+        let run = fed.run_flow(&flow, frame).await.expect("flow runs");
+        println!(
+            "  {} segments, {} round trips",
+            flow.segments(),
+            run.round_trips()
+        );
+        for step in &run.report.steps {
+            let report = step.report.as_ref().expect("completed step");
             println!(
-                "  {step:<10} on {} ({}) — kernel {:.1} ms{}",
+                "  {:<10} on {} ({}) — kernel {:.1} ms{}",
+                step.kernel,
                 report.device,
                 report.runner,
                 report.kernel_time().as_secs_f64() * 1e3,

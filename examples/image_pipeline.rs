@@ -12,7 +12,7 @@ use std::rc::Rc;
 use kaas::accel::{
     CpuDevice, CpuProfile, Device, DeviceId, FpgaDevice, FpgaProfile, GpuDevice, GpuProfile,
 };
-use kaas::core::{KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig};
+use kaas::core::{KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig, Workflow};
 use kaas::kernels::{BitmapConversion, Kernel, Preprocess, ResNet50, Value};
 use kaas::net::{LinkProfile, SerializationProfile, SharedMemory};
 use kaas::simtime::{now, spawn, Simulation};
@@ -58,40 +58,42 @@ fn main() {
             frame.wire_bytes() / 1_000_000
         );
 
-        let t0 = now();
-        // Stage 1: CPU preprocessing (resize to 224²).
-        let pre = client
-            .call("preprocess")
-            .arg(frame)
-            .out_of_band()
-            .send()
-            .await
-            .expect("preprocess");
-        let resized = pre.output;
-        println!(
-            "preprocess  → {:>7.1} ms on {} ({} bytes out)",
-            pre.latency.as_secs_f64() * 1e3,
-            pre.report.device,
-            resized.wire_bytes()
-        );
+        // Stages 1+2 as a registered flow: preprocess (CPU) → bitmap
+        // (FPGA) in a single round trip, the resized frame handed
+        // device-to-device on the server instead of through the client.
+        let wf = Workflow::linear("frame-to-bitmap", ["preprocess", "bitmap"]).expect("non-empty");
+        let handle = client.register_workflow(&wf).await.expect("registration");
 
-        // Stage 2: FPGA bitmap conversion of the resized frame.
-        let bm = client
-            .call("bitmap")
-            .arg(resized)
+        let t0 = now();
+        let run = client
+            .flow(&handle)
+            .input(frame)
             .out_of_band()
             .send()
             .await
-            .expect("bitmap");
-        let bitmap = bm.output;
-        if let Value::Image { pixels, .. } = &bitmap {
+            .expect("flow runs");
+        for step in &run.report.steps {
+            let report = step.report.as_ref().expect("completed step");
+            println!(
+                "{:<11} → {:>7.1} ms on {}{}",
+                step.kernel,
+                report.kernel_time().as_secs_f64() * 1e3,
+                report.device,
+                if step.chained {
+                    " (chained device-resident)"
+                } else {
+                    ""
+                },
+            );
+        }
+        if let Value::Image { pixels, .. } = &run.output {
             let whites = pixels.iter().filter(|&&p| p == 1).count();
             println!(
-                "bitmap      → {:>7.1} ms on {} ({} of {} pixels white)",
-                bm.latency.as_secs_f64() * 1e3,
-                bm.report.device,
+                "bitmap out  → {} of {} pixels white (flow latency {:.1} ms, {} round trip)",
                 whites,
-                pixels.len()
+                pixels.len(),
+                run.latency.as_secs_f64() * 1e3,
+                run.round_trips(),
             );
         }
 

@@ -37,37 +37,44 @@ fn main() {
         server.prewarm("ga", 1).await.expect("prewarm");
         server.prewarm("ga-x5", 1).await.expect("prewarm");
 
-        // A *remote* client: every workflow step ships the population
-        // over the 1 Gbps link, so fusing steps visibly saves round
-        // trips (§6 "Data Movement").
+        // A *remote* client: the trigger and final population cross the
+        // 1 Gbps link once, intermediates chain device-resident on the
+        // server; fusion then removes per-step dispatch on top
+        // (§6 "Data Movement").
         let _ = shm;
         let mut client = KaasClient::connect(&net, "kaas", LinkProfile::lan_1gbps())
             .await
             .expect("listening")
             .with_serialization(SerializationProfile::numpy());
-        use kaas::core::TransferMode;
-
-        // Ten generations as a 10-step workflow of single generations...
-        let unfused: Workflow = (0..10)
-            .fold(Workflow::new("evolve-10x1"), |wf, _| wf.step("ga"))
-            .with_transfer(TransferMode::InBand);
+        // Ten generations as a 10-step registered flow of single
+        // generations: one round trip, intermediates device-resident...
+        let unfused = Workflow::linear("evolve-10x1", vec!["ga"; 10]).expect("non-empty");
+        let h1 = client
+            .register_workflow(&unfused)
+            .await
+            .expect("registration");
         let t0 = now();
         let run1 = client
-            .run_workflow(&unfused, Value::U64(128))
+            .flow(&h1)
+            .input(Value::U64(128))
+            .send()
             .await
-            .expect("workflow runs");
+            .expect("flow runs");
         let unfused_time = (now() - t0).as_secs_f64();
 
-        // ...and as a 2-step workflow of fused five-generation kernels.
-        let fused_wf = Workflow::new("evolve-2x5")
-            .step("ga-x5")
-            .step("ga-x5")
-            .with_transfer(TransferMode::InBand);
+        // ...and as a 2-step flow of fused five-generation kernels.
+        let fused_wf = Workflow::linear("evolve-2x5", ["ga-x5", "ga-x5"]).expect("non-empty");
+        let h2 = client
+            .register_workflow(&fused_wf)
+            .await
+            .expect("registration");
         let t1 = now();
         let run2 = client
-            .run_workflow(&fused_wf, Value::U64(128))
+            .flow(&h2)
+            .input(Value::U64(128))
+            .send()
             .await
-            .expect("workflow runs");
+            .expect("flow runs");
         let fused_time = (now() - t1).as_secs_f64();
 
         let fit1 = match &run1.output {
@@ -80,16 +87,18 @@ fn main() {
         };
         println!("ten GA generations over a 128-individual population (remote client):");
         println!(
-            "  10 x 1 (unfused): {unfused_time:.3} s, {} steps, mean fitness {fit1:.1}",
-            run1.reports.len()
+            "  10 x 1 (unfused): {unfused_time:.3} s, {} steps ({} chained), mean fitness {fit1:.1}",
+            run1.report.steps.len(),
+            run1.chained_hits(),
         );
         println!(
-            "   2 x 5 (fused)  : {fused_time:.3} s, {} steps, mean fitness {fit2:.1}",
-            run2.reports.len()
+            "   2 x 5 (fused)  : {fused_time:.3} s, {} steps ({} chained), mean fitness {fit2:.1}",
+            run2.report.steps.len(),
+            run2.chained_hits(),
         );
         println!(
-            "  fusion saved {:.1}% by keeping intermediate populations on \
-             the device instead of shipping them through the client",
+            "  fusion saved {:.1}% on top of server-side chaining by removing \
+             per-step dispatch entirely",
             100.0 * (unfused_time - fused_time) / unfused_time
         );
         assert!(fused_time < unfused_time);

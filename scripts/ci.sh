@@ -51,6 +51,17 @@ if [[ "$dp_a" != "$dp_b" ]]; then
     exit 1
 fi
 
+echo "==> dataflow stage: workflow DAG tests + bench determinism"
+cargo test -q --release --test workflow_dataflow
+# The registered-flow bench must replay byte-identically run to run.
+df_a="$(cargo run -q --release -p kaas-bench --bin dataflow -- --quick)"
+df_b="$(cargo run -q --release -p kaas-bench --bin dataflow -- --quick)"
+if [[ "$df_a" != "$df_b" ]]; then
+    echo "dataflow bench diverged between two runs" >&2
+    diff <(printf '%s\n' "$df_a") <(printf '%s\n' "$df_b") >&2 || true
+    exit 1
+fi
+
 echo "==> cluster stage: sharded-dispatch tests + bench determinism"
 cargo test -q --release --test dispatch_shard
 # The dispatch A/B bench (serialized knee vs sharded+batched) must

@@ -8,7 +8,7 @@ use std::time::Duration;
 use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
 use kaas::core::{
     fuse, FillFirst, KaasClient, KaasNetwork, KaasServer, KernelRegistry, RoundRobin, Scheduler,
-    ServerConfig, TransferMode, Workflow,
+    ServerConfig, Workflow,
 };
 use kaas::kernels::{GaGeneration, Kernel, MatMul, Value, GENERATIONS};
 use kaas::net::{LinkProfile, SharedMemory};
@@ -51,15 +51,21 @@ fn workflows_thread_outputs_through_steps() {
             ServerConfig::default(),
         );
         let mut c = client(&net, shm).await;
-        // Three GA generations as a workflow.
-        let wf = Workflow::new("evolve")
-            .step("ga")
-            .step("ga")
-            .step("ga")
-            .with_transfer(TransferMode::OutOfBand);
-        let run = c.run_workflow(&wf, Value::U64(64)).await.unwrap();
-        assert_eq!(run.reports.len(), 3);
+        // Three GA generations registered once, triggered with one
+        // request: the server threads outputs device-to-device.
+        let wf = Workflow::linear("evolve", ["ga", "ga", "ga"]).unwrap();
+        let handle = c.register_workflow(&wf).await.unwrap();
+        let sent_before = c.requests_sent();
+        let run = c.flow(&handle).input(Value::U64(64)).send().await.unwrap();
+        assert_eq!(c.requests_sent() - sent_before, 1, "one trigger round trip");
+        assert_eq!(run.round_trips(), 1);
+        assert_eq!(run.report.steps.len(), 3);
         assert_eq!(run.cold_starts(), 1, "only the first step cold-starts");
+        assert_eq!(
+            run.chained_hits(),
+            2,
+            "both downstream steps consume device-resident intermediates"
+        );
         match &run.output {
             Value::F64s(pop) => assert_eq!(pop.len(), 64 * 100),
             other => panic!("expected a population, got {other:?}"),

@@ -7,7 +7,7 @@ use std::time::Duration;
 use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
 use kaas::core::{
     BreakerConfig, DataRef, InvokeError, KaasClient, KaasNetwork, KaasServer, KernelRegistry,
-    Request, RetryConfig, ServerConfig,
+    Request, RetryConfig, ServerConfig, WorkflowHandle,
 };
 use kaas::kernels::{Kernel, MatMul, MonteCarlo, Value};
 use kaas::net::{LinkProfile, SharedMemory};
@@ -350,6 +350,7 @@ fn every_error_kind_is_inducible_and_counted() {
                 deadline: None,
                 span: None,
                 reply_out_of_band: false,
+                reply_to_store: false,
             })
             .await;
         let err = resp.result.unwrap_err();
@@ -493,6 +494,25 @@ fn every_error_kind_is_inducible_and_counted() {
         assert!(matches!(err, InvokeError::DeviceOom(_)), "got {err:?}");
         induced.insert(err.kind());
         assert!(_e.metrics_registry().counter("errors.device-oom") >= 1);
+
+        // Server F: triggering a forged (never-registered) workflow
+        // handle fails with a stable error kind, not a panic.
+        let (_f, net_f, shm_f) = boot(
+            vec![GpuDevice::new(DeviceId(0), GpuProfile::p100()).into()],
+            vec![Rc::new(MatMul::new())],
+        );
+        let mut client_f = connect(&net_f, shm_f).await;
+        let forged = WorkflowHandle::new(999, "ghost", 1);
+        let err = client_f
+            .flow(&forged)
+            .input(Value::U64(8))
+            .send()
+            .await
+            .unwrap_err();
+        assert_eq!(err.error, InvokeError::UnknownFlow("999".into()));
+        assert!(err.partial.is_empty(), "no step ever ran");
+        induced.insert(err.error.kind());
+        assert!(_f.metrics_registry().counter("errors.unknown-flow") >= 1);
 
         // Exhaustiveness: every variant in the stable KINDS table was
         // induced somewhere above.

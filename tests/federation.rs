@@ -7,8 +7,8 @@ use kaas::accel::{
     Device, DeviceId, FpgaDevice, FpgaProfile, GpuDevice, GpuProfile, QpuDevice, QpuProfile,
 };
 use kaas::core::{
-    FederatedClient, InvokeError, KaasNetwork, KaasServer, KernelRegistry, ServerConfig, SiteSpec,
-    Workflow,
+    FederatedClient, InvokeError, KaasNetwork, KaasServer, KernelRegistry, ServerConfig,
+    SiteHandle, SiteSpec, Workflow,
 };
 use kaas::kernels::{BitmapConversion, Kernel, MatMul, Preprocess, Value, VqeEstimator};
 use kaas::net::SharedMemory;
@@ -58,10 +58,17 @@ fn discovery_finds_each_sites_kernels() {
             fed.kernels(),
             vec!["bitmap".to_owned(), "matmul".to_owned()]
         );
-        assert_eq!(fed.route("matmul"), Some(0));
-        assert_eq!(fed.route("bitmap"), Some(1));
+        let site_a = fed.site("site-a").unwrap();
+        let site_b = fed.site("site-b").unwrap();
+        assert_eq!(fed.route("matmul"), Some(site_a.clone()));
+        assert_eq!(fed.route("bitmap"), Some(site_b));
         assert_eq!(fed.route("nope"), None);
-        assert_eq!(fed.site_kernels(0), ["matmul".to_owned()]);
+        assert_eq!(fed.site("nope"), None);
+        assert_eq!(fed.site_kernels(&site_a), ["matmul".to_owned()]);
+        assert_eq!(
+            fed.sites().iter().map(SiteHandle::name).collect::<Vec<_>>(),
+            ["site-a", "site-b"]
+        );
     });
 }
 
@@ -135,12 +142,17 @@ fn workflows_hop_between_sites() {
         .unwrap();
 
         let frame = Value::image(vec![210u8; 96 * 96 * 3], 96, 96, 3);
-        let wf = Workflow::new("edge-to-dc")
-            .step("preprocess")
-            .step("bitmap");
-        let run = fed.run_workflow(&wf, frame).await.unwrap();
-        assert_eq!(run.reports.len(), 2);
-        assert_ne!(run.reports[0].device, run.reports[1].device);
+        let wf = Workflow::linear("edge-to-dc", ["preprocess", "bitmap"]).unwrap();
+        // The chain hops sites, so registration splits it into one
+        // server-side segment per site.
+        let flow = fed.register_workflow(&wf).await.unwrap();
+        assert_eq!(flow.segments(), 2);
+        let run = fed.run_flow(&flow, frame).await.unwrap();
+        assert_eq!(run.round_trips, 2);
+        assert_eq!(run.report.steps.len(), 2);
+        let dev = |i: usize| run.report.steps[i].report.as_ref().unwrap().device;
+        assert_ne!(dev(0), dev(1));
+        assert_eq!(run.report.steps[1].step, 1);
         match &run.output {
             Value::Image {
                 pixels, channels, ..
