@@ -1,0 +1,25 @@
+//! Metastable-failure chaos bench: a seeded 10× burst against a
+//! near-knee dispatcher, A/B-ing the overload controls (adaptive
+//! admission, bounded/ejecting queues, retry budgets, `retry_after`).
+//! Pass `--quick` for the reduced timeline (used by CI's determinism
+//! diff) and `--seed=N` to pick the seed. Full runs archive the A/B to
+//! `results/overload.json`.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = std::env::args()
+        .find_map(|a| a.strip_prefix("--seed=").map(str::to_owned))
+        .map(|s| s.parse().expect("--seed must be an integer"))
+        .unwrap_or(7);
+    let report = kaas_bench::overload::run(seed, quick);
+    print!("{}", kaas_bench::overload::render(&report));
+    if !quick {
+        std::fs::create_dir_all("results").ok();
+        std::fs::write(
+            "results/overload.json",
+            kaas_bench::overload::to_json(&report),
+        )
+        .expect("write results/overload.json");
+        eprintln!("wrote results/overload.json");
+    }
+}

@@ -191,15 +191,22 @@ pub struct Deployment {
     pub shm: SharedMemory,
 }
 
+/// Connects a same-host client (loopback + shared memory + fast array
+/// serialization) to a deployment's network. The free-function form
+/// suits spawned tasks that only captured the network and region.
+pub async fn connect_local(net: &KaasNetwork, shm: SharedMemory) -> KaasClient {
+    KaasClient::connect(net, KAAS_ADDR, LinkProfile::loopback())
+        .await
+        .expect("deployment is listening")
+        .with_shared_memory(shm)
+        .with_serialization(SerializationProfile::numpy())
+}
+
 impl Deployment {
     /// Connects a same-host client (loopback + shared memory + fast
     /// array serialization).
     pub async fn local_client(&self) -> KaasClient {
-        KaasClient::connect(&self.net, KAAS_ADDR, LinkProfile::loopback())
-            .await
-            .expect("deployment is listening")
-            .with_shared_memory(self.shm.clone())
-            .with_serialization(SerializationProfile::numpy())
+        connect_local(&self.net, self.shm.clone()).await
     }
 
     /// Connects a remote client over the paper's 1 Gbps LAN (in-band

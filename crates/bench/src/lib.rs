@@ -25,5 +25,6 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod overload;
 pub mod sharing;
 pub mod trace_replay;

@@ -25,6 +25,7 @@
 //! # }
 //! ```
 
+use std::rc::Rc;
 use std::time::Duration;
 
 use kaas_kernels::Value;
@@ -37,8 +38,10 @@ use crate::dataplane::{
     ObjectRef, DATA_GET_KERNEL, DATA_PIN_KERNEL, DATA_PUT_KERNEL, DATA_SEAL_KERNEL,
 };
 use crate::flow::{encode_trigger, FLOW_REGISTER_KERNEL, FLOW_REPLY_REF, FLOW_RUN_KERNEL};
+use crate::metrics::registry::MetricsRegistry;
 use crate::metrics::InvocationReport;
 use crate::protocol::{DataRef, InvokeError, Request, RequestFrame, Response, ResponseFrame};
+use crate::resilience::{NoBackoff, RetryBudget, RetryPolicy};
 use crate::workflow::{FlowError, Workflow, WorkflowHandle, WorkflowReport, WorkflowRun};
 
 /// Result of a successful invocation, as observed by the client.
@@ -53,6 +56,64 @@ pub struct Invocation {
     pub latency: Duration,
 }
 
+/// Client-side retry behaviour for [`InvokeBuilder::send`].
+///
+/// Without a config the client is fire-once: every error surfaces to
+/// the caller immediately. With one, transient overload-shaped errors
+/// ([`InvokeError::Overloaded`], [`InvokeError::TimedOut`],
+/// [`InvokeError::DeadlineExceeded`]) are retried up to `max_attempts`
+/// total attempts. Each retry waits the [`RetryPolicy`] backoff or the
+/// server's `retry_after` hint, **whichever is longer** — cooperative
+/// backpressure: an overloaded server names its price and compliant
+/// clients pay it.
+///
+/// Attach a shared [`RetryBudget`] to cap the retry-to-fresh ratio
+/// across every call (and every client holding the same [`Rc`]): when
+/// the bucket is dry the retry is abandoned instead, counted under the
+/// client's `retries.budget_exhausted` metric. This is the client-side
+/// half of the metastability defence — without it, synchronized retries
+/// can hold effective load above capacity long after the trigger
+/// clears.
+#[derive(Debug, Clone)]
+pub struct ClientRetryConfig {
+    max_attempts: u32,
+    backoff: Box<dyn RetryPolicy>,
+    budget: Option<Rc<RetryBudget>>,
+}
+
+impl ClientRetryConfig {
+    /// Creates a policy with `max_attempts` total attempts (clamped to
+    /// at least 1), no backoff beyond server hints, and no budget.
+    pub fn new(max_attempts: u32) -> Self {
+        ClientRetryConfig {
+            max_attempts: max_attempts.max(1),
+            backoff: Box::new(NoBackoff),
+            budget: None,
+        }
+    }
+
+    /// Sets the wait policy between attempts (the server's `retry_after`
+    /// hint still wins when it is longer).
+    pub fn with_backoff(mut self, policy: impl RetryPolicy + 'static) -> Self {
+        self.backoff = Box::new(policy);
+        self
+    }
+
+    /// Gates every retry on `budget`; share one [`Rc`] across clients to
+    /// cap a whole fleet's retry amplification.
+    pub fn with_budget(mut self, budget: Rc<RetryBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    fn retryable(err: &InvokeError) -> bool {
+        matches!(
+            err,
+            InvokeError::Overloaded { .. } | InvokeError::TimedOut | InvokeError::DeadlineExceeded
+        )
+    }
+}
+
 /// A connected KaaS client.
 pub struct KaasClient {
     conn: Connection<RequestFrame, ResponseFrame>,
@@ -62,6 +123,8 @@ pub struct KaasClient {
     id: u64,
     next_seq: u64,
     tracer: Option<SpanSink>,
+    retry: Option<ClientRetryConfig>,
+    metrics: MetricsRegistry,
 }
 
 impl std::fmt::Debug for KaasClient {
@@ -100,6 +163,8 @@ impl KaasClient {
             id,
             next_seq: 0,
             tracer: None,
+            retry: None,
+            metrics: MetricsRegistry::new(),
         })
     }
 
@@ -155,6 +220,21 @@ impl KaasClient {
         self
     }
 
+    /// Retries transient failures of every [`call`](KaasClient::call)
+    /// under `retry` (see [`ClientRetryConfig`] for the semantics:
+    /// `retry_after` hints honored, optional shared [`RetryBudget`]).
+    pub fn with_retry(mut self, retry: ClientRetryConfig) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Client-local metrics: `retries.budget_exhausted` (a retry was
+    /// abandoned because the [`RetryBudget`] ran dry), `hedges.sent`
+    /// and `hedges.won` (see [`InvokeBuilder::hedge`]).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Starts building an invocation of `kernel`; finish with
     /// [`InvokeBuilder::send`].
     pub fn call(&mut self, kernel: &str) -> InvokeBuilder<'_> {
@@ -167,6 +247,7 @@ impl KaasClient {
             timeout: None,
             trace: true,
             out_of_band: false,
+            hedge: None,
             client: self,
         }
     }
@@ -306,6 +387,61 @@ impl KaasClient {
         }
     }
 
+    /// The hedged round trip: sends `req`, and if no response arrives
+    /// within `delay`, sends the pre-built duplicate `hedge` too. The
+    /// first response matching **either** id wins; the loser's reply is
+    /// dropped by the stale-response filter like any abandoned request.
+    async fn roundtrip_hedged(
+        &mut self,
+        req: Request,
+        hedge: Request,
+        delay: Duration,
+    ) -> Result<Response, InvokeError> {
+        let primary = req.id;
+        let span = req.span;
+        let frame = RequestFrame::One(req);
+        let bytes = frame.wire_bytes();
+        self.conn
+            .send_traced(frame, bytes, span)
+            .await
+            .map_err(|_| InvokeError::Disconnected)?;
+        let fire_at = now() + delay;
+        let mut hedge = Some(hedge);
+        let mut hedge_id = None;
+        loop {
+            let frame = match &hedge {
+                // Armed: wait for the primary, but only until the hedge
+                // fires. The deadline is absolute so stale frames
+                // draining through the loop cannot push it out.
+                Some(_) => match timeout(fire_at.saturating_since(now()), self.conn.recv()).await {
+                    Ok(frame) => frame,
+                    Err(_) => {
+                        let h = hedge.take().expect("armed branch requires a pending hedge");
+                        hedge_id = Some(h.id);
+                        self.metrics.inc("hedges.sent");
+                        let frame = RequestFrame::One(h);
+                        let bytes = frame.wire_bytes();
+                        self.conn
+                            .send_traced(frame, bytes, None)
+                            .await
+                            .map_err(|_| InvokeError::Disconnected)?;
+                        continue;
+                    }
+                },
+                None => self.conn.recv().await,
+            };
+            let frame = frame.ok_or(InvokeError::Disconnected)?;
+            match frame.body {
+                ResponseFrame::One(resp) if resp.id == primary => return Ok(resp),
+                ResponseFrame::One(resp) if Some(resp.id) == hedge_id => {
+                    self.metrics.inc("hedges.won");
+                    return Ok(resp);
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Sends a coalesced batch frame and waits for its coalesced reply,
     /// correlated by the first member's id.
     async fn batch_roundtrip(
@@ -347,6 +483,21 @@ pub struct InvokeBuilder<'c> {
     timeout: Option<Duration>,
     trace: bool,
     out_of_band: bool,
+    hedge: Option<Duration>,
+}
+
+/// The per-attempt parameters of one invocation, split from
+/// [`InvokeBuilder`] so the client-side retry loop can replay an
+/// attempt with a fresh request id and a cloned input.
+struct CallParams {
+    kernel: String,
+    object: Option<ObjectRef>,
+    tenant: Option<String>,
+    deadline: Option<Duration>,
+    rt_timeout: Option<Duration>,
+    trace: bool,
+    out_of_band: bool,
+    hedge: Option<Duration>,
 }
 
 impl<'c> InvokeBuilder<'c> {
@@ -411,8 +562,23 @@ impl<'c> InvokeBuilder<'c> {
         self
     }
 
+    /// Hedges this call against tail latency: if no response arrives
+    /// within `delay`, a duplicate request (its own id) is sent and the
+    /// **first** response — original or hedge — wins. The loser keeps
+    /// running server-side and its reply is discarded; `hedges.sent` /
+    /// `hedges.won` on [`KaasClient::metrics_registry`] account for
+    /// both halves. Ignored in [`out_of_band`](InvokeBuilder::out_of_band)
+    /// mode, where the shm input handle is consume-once and cannot be
+    /// duplicated.
+    pub fn hedge(mut self, delay: Duration) -> Self {
+        self.hedge = Some(delay);
+        self
+    }
+
     /// Runs the invocation: serializes (or shm-puts) the input, does the
-    /// round trip, and materializes the output.
+    /// round trip, and materializes the output. Under
+    /// [`KaasClient::with_retry`], transient failures replay the whole
+    /// sequence (honoring `retry_after` hints and the retry budget).
     ///
     /// # Errors
     ///
@@ -431,7 +597,86 @@ impl<'c> InvokeBuilder<'c> {
             timeout: rt_timeout,
             trace,
             out_of_band,
+            hedge,
         } = self;
+        let params = CallParams {
+            kernel,
+            object,
+            tenant,
+            deadline,
+            rt_timeout,
+            trace,
+            out_of_band,
+            hedge,
+        };
+        let retry = client.retry.clone();
+        if let Some(budget) = retry.as_ref().and_then(|r| r.budget.as_ref()) {
+            budget.note_fresh();
+        }
+        let max_attempts = retry.as_ref().map_or(1, |r| r.max_attempts);
+        // Deterministic jitter key: the id this call's first attempt
+        // will draw. Stable across attempts so backoff policies see one
+        // request, not N.
+        let retry_key = (client.id << 32) | (client.next_seq & 0xffff_ffff);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let err = match params.attempt(client, input.clone()).await {
+                Ok(inv) => return Ok(inv),
+                Err(e) if attempt < max_attempts && ClientRetryConfig::retryable(&e) => e,
+                Err(e) => return Err(e),
+            };
+            let cfg = retry
+                .as_ref()
+                .expect("max_attempts > 1 only with a retry config");
+            if let Some(budget) = &cfg.budget {
+                if !budget.try_spend() {
+                    client.metrics.inc("retries.budget_exhausted");
+                    return Err(err);
+                }
+            }
+            // Cooperative backpressure: wait at least what the server
+            // asked for, even when our own backoff would retry sooner.
+            let mut wait = cfg.backoff.backoff(attempt, retry_key);
+            if let InvokeError::Overloaded {
+                retry_after: Some(hint),
+            } = &err
+            {
+                wait = wait.max(*hint);
+            }
+            if !wait.is_zero() {
+                sleep(wait).await;
+            }
+        }
+    }
+}
+
+impl CallParams {
+    /// One full attempt: stage the input, round-trip (hedged if asked),
+    /// materialize the output.
+    async fn attempt(
+        &self,
+        client: &mut KaasClient,
+        input: Value,
+    ) -> Result<Invocation, InvokeError> {
+        let CallParams {
+            kernel,
+            object,
+            tenant,
+            deadline,
+            rt_timeout,
+            trace,
+            out_of_band,
+            hedge,
+        } = self;
+        let (object, deadline, rt_timeout, trace, out_of_band, hedge) = (
+            *object,
+            *deadline,
+            *rt_timeout,
+            *trace,
+            *out_of_band,
+            *hedge,
+        );
         let tracer = if trace { client.tracer.clone() } else { None };
         let track = format!("client{}", client.id);
         let seq = client.next_seq;
@@ -441,7 +686,7 @@ impl<'c> InvokeBuilder<'c> {
         let start = now();
         let mut root = tracer.as_ref().map(|t| {
             let mut s = t.open(&track, "invoke", None);
-            s.push_arg("kernel", &kernel);
+            s.push_arg("kernel", kernel);
             s.push_arg("request", id.to_string());
             s
         });
@@ -488,19 +733,59 @@ impl<'c> InvokeBuilder<'c> {
             .map(|(t, root)| t.open(&track, "roundtrip", Some(root.id())));
         let req = Request {
             id,
-            kernel,
+            kernel: kernel.clone(),
             data,
-            tenant: tenant.or_else(|| client.tenant.clone()),
+            tenant: tenant.clone().or_else(|| client.tenant.clone()),
             deadline: deadline.map(|d| now() + d),
             span: rt.as_ref().map(|s| s.id()),
             reply_out_of_band: out_of_band,
             reply_to_store: false,
         };
-        let resp = match rt_timeout {
-            Some(d) => timeout(d, client.roundtrip(req))
+        // A hedge (when armed and the input is duplicable) is a second,
+        // identical request under its own id. Out-of-band inputs are
+        // consume-once shm handles, so they never hedge; object refs
+        // are plain content addresses and duplicate safely.
+        let hedge_req = match hedge {
+            Some(_) if !out_of_band => {
+                let data = match (&req.data, object) {
+                    (_, Some(r)) => Some(DataRef::Object(r)),
+                    (DataRef::InBand(v), None) => Some(DataRef::InBand(v.clone())),
+                    _ => None,
+                };
+                data.map(|data| {
+                    let seq = client.next_seq;
+                    client.next_seq += 1;
+                    Request {
+                        id: (client.id << 32) | (seq & 0xffff_ffff),
+                        kernel: kernel.clone(),
+                        data,
+                        tenant: req.tenant.clone(),
+                        deadline: req.deadline,
+                        // The duplicate is untraced: two server span
+                        // trees under one roundtrip span would overlap.
+                        span: None,
+                        reply_out_of_band: false,
+                        reply_to_store: false,
+                    }
+                })
+            }
+            _ => None,
+        };
+        let resp = match (rt_timeout, hedge_req) {
+            (Some(d), Some(h)) => {
+                let delay = hedge.expect("hedge_req implies a delay");
+                timeout(d, client.roundtrip_hedged(req, h, delay))
+                    .await
+                    .unwrap_or(Err(InvokeError::TimedOut))
+            }
+            (None, Some(h)) => {
+                let delay = hedge.expect("hedge_req implies a delay");
+                client.roundtrip_hedged(req, h, delay).await
+            }
+            (Some(d), None) => timeout(d, client.roundtrip(req))
                 .await
                 .unwrap_or(Err(InvokeError::TimedOut)),
-            None => client.roundtrip(req).await,
+            (None, None) => client.roundtrip(req).await,
         };
         let resp = match resp {
             Ok(resp) => resp,

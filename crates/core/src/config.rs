@@ -20,9 +20,11 @@ use std::time::Duration;
 use kaas_net::SerializationProfile;
 use kaas_simtime::SpanSink;
 
-use crate::admission::AdmissionConfig;
+use crate::admission::{AdmissionConfig, AdmissionPolicy, AimdConfig};
 use crate::autoscaler::{AutoscalePolicy, InFlightThreshold, NoScale};
-use crate::resilience::{BreakerConfig, EvictionConfig, FallbackConfig, RetryConfig};
+use crate::resilience::{
+    BreakerConfig, EvictionConfig, FallbackConfig, RetryBudgetConfig, RetryConfig,
+};
 use crate::runner::RunnerConfig;
 use crate::scheduler::Scheduler;
 
@@ -82,6 +84,12 @@ pub struct ShardConfig {
     /// and hash mixing ([`ShardPolicy::KernelAffinity`]); part of the
     /// deterministic-replay contract.
     pub seed: u64,
+    /// Bound on each shard queue's depth. A full queue sheds new work
+    /// at enqueue with [`InvokeError::Overloaded`][crate::InvokeError]
+    /// (carrying a drain-time `retry_after` hint), and expired work is
+    /// ejected lazily at dequeue — dead requests never reach placement.
+    /// `None` (the default) keeps the historic unbounded queues.
+    pub queue_cap: Option<usize>,
 }
 
 impl Default for ShardConfig {
@@ -91,7 +99,16 @@ impl Default for ShardConfig {
             policy: ShardPolicy::RoundRobin,
             front_door_overhead: Duration::from_micros(2),
             seed: 0,
+            queue_cap: None,
         }
+    }
+}
+
+impl ShardConfig {
+    /// Sets (or clears, with `None`) the per-shard queue-depth bound.
+    pub fn with_queue_cap(mut self, cap: impl Into<Option<usize>>) -> Self {
+        self.queue_cap = cap.into();
+        self
     }
 }
 
@@ -165,6 +182,10 @@ pub struct ServerConfig {
     /// Degraded fallback routing between device classes (default: no
     /// routes; placement failures surface as errors).
     pub fallback: FallbackConfig,
+    /// Retry budget governing the *server's own* retry amplification —
+    /// today the flow executor's step retries. `None` (the default)
+    /// keeps the historic unmetered behaviour.
+    pub retry_budget: Option<RetryBudgetConfig>,
 }
 
 impl Default for ServerConfig {
@@ -183,6 +204,7 @@ impl Default for ServerConfig {
             breaker: None,
             eviction: EvictionConfig::default(),
             fallback: FallbackConfig::none(),
+            retry_budget: None,
         }
     }
 }
@@ -246,11 +268,35 @@ impl ServerConfig {
         self
     }
 
-    /// Sets (or clears, with `None`) the server-wide admitted-request
-    /// ceiling; excess requests fail with
+    /// Sets (or clears, with `None`) a *static* server-wide
+    /// admitted-request ceiling ([`AdmissionPolicy::FixedCap`]); excess
+    /// requests fail with
     /// [`InvokeError::Overloaded`][crate::InvokeError::Overloaded].
+    /// Prefer [`with_adaptive_admission`](Self::with_adaptive_admission)
+    /// unless you are A/B-ing against the historic fixed cap.
     pub fn with_max_in_flight(mut self, max: impl Into<Option<usize>>) -> Self {
-        self.admission.max_in_flight = max.into();
+        self.admission.limiter = max.into().map(AdmissionPolicy::FixedCap);
+        self
+    }
+
+    /// Enables the adaptive (AIMD-on-queue-wait) admission limiter —
+    /// the default [`AdmissionPolicy`] — with the given tuning.
+    pub fn with_adaptive_admission(mut self, aimd: AimdConfig) -> Self {
+        self.admission.limiter = Some(AdmissionPolicy::Adaptive(aimd));
+        self
+    }
+
+    /// Sets (or clears, with `None`) the admission limiter policy
+    /// directly.
+    pub fn with_admission_policy(mut self, policy: impl Into<Option<AdmissionPolicy>>) -> Self {
+        self.admission.limiter = policy.into();
+        self
+    }
+
+    /// Enables a retry budget for server-side retry loops (the flow
+    /// executor's step retries).
+    pub fn with_retry_budget(mut self, budget: RetryBudgetConfig) -> Self {
+        self.retry_budget = Some(budget);
         self
     }
 
@@ -336,8 +382,23 @@ mod tests {
         assert_eq!(c.scheduler.name(), "round-robin");
         assert_eq!(c.autoscaler.name(), "no-scale");
         assert_eq!(c.admission.tenant_quota, Some(3));
-        assert_eq!(c.admission.max_in_flight, Some(64));
+        assert_eq!(
+            c.admission.limiter,
+            Some(AdmissionPolicy::FixedCap(64)),
+            "with_max_in_flight keeps the historic static-cap semantics"
+        );
         assert_eq!(c.idle_timeout, Some(Duration::from_secs(60)));
+
+        let c = c.with_adaptive_admission(AimdConfig::default());
+        assert_eq!(
+            c.admission.limiter,
+            Some(AdmissionPolicy::Adaptive(AimdConfig::default()))
+        );
+        assert_eq!(
+            AdmissionPolicy::default(),
+            AdmissionPolicy::Adaptive(AimdConfig::default()),
+            "adaptive is the default limiter policy"
+        );
     }
 
     #[test]

@@ -84,6 +84,11 @@ struct DispatchJob {
 pub(crate) struct ShardQueue {
     tx: channel::Sender<DispatchJob>,
     depth: Rc<Cell<usize>>,
+    /// Requests this shard shed (over-cap at enqueue) or ejected
+    /// (deadline passed while queued). Shared with the worker task; the
+    /// sanitizer checks the per-shard sum equals the global tally and
+    /// the `dispatch.ejected` counter — shedding is never silent.
+    ejected: Rc<Cell<u64>>,
 }
 
 /// The server's dispatch engine, built from
@@ -104,6 +109,8 @@ pub(crate) enum DispatchState {
         rr: Cell<usize>,
         /// Seeded tie-break stream ([`ShardPolicy::LeastLoaded`]).
         rng: RefCell<DetRng>,
+        /// Total requests shed or ejected across all shards.
+        ejected_total: Rc<Cell<u64>>,
     },
 }
 
@@ -125,20 +132,25 @@ impl DispatchState {
                     sc.shards
                 };
                 let queued = Rc::new(Cell::new(0usize));
+                let ejected_total = Rc::new(Cell::new(0u64));
                 let mut shards = Vec::with_capacity(n);
                 for shard in 0..n {
                     let (tx, rx) = channel::unbounded();
                     let depth = Rc::new(Cell::new(0usize));
+                    let ejected = Rc::new(Cell::new(0u64));
                     if kaas_simtime::Handle::try_current().is_some() {
                         spawn(shard_worker(
                             shard,
                             rx,
                             Rc::clone(&depth),
                             Rc::clone(&queued),
+                            Rc::clone(&ejected),
+                            Rc::clone(&ejected_total),
                             config.dispatch_overhead,
+                            sc.queue_cap.is_some(),
                         ));
                     }
-                    shards.push(ShardQueue { tx, depth });
+                    shards.push(ShardQueue { tx, depth, ejected });
                 }
                 DispatchState::Sharded {
                     front_lock: Semaphore::new(1),
@@ -147,6 +159,7 @@ impl DispatchState {
                     queued,
                     rr: Cell::new(0),
                     rng: RefCell::new(DetRng::seed_from_u64(sc.seed)),
+                    ejected_total,
                 }
             }
         }
@@ -166,6 +179,33 @@ impl DispatchState {
         match self {
             DispatchState::Serialized { .. } => 0,
             DispatchState::Sharded { queued, .. } => queued.get(),
+        }
+    }
+
+    /// Requests each shard has shed or ejected (empty under the
+    /// serialized engine).
+    pub(crate) fn shard_ejected(&self) -> Vec<u64> {
+        match self {
+            DispatchState::Serialized { .. } => Vec::new(),
+            DispatchState::Sharded { shards, .. } => {
+                shards.iter().map(|s| s.ejected.get()).collect()
+            }
+        }
+    }
+
+    /// Total requests shed or ejected across all shards.
+    pub(crate) fn ejected(&self) -> u64 {
+        match self {
+            DispatchState::Serialized { .. } => 0,
+            DispatchState::Sharded { ejected_total, .. } => ejected_total.get(),
+        }
+    }
+
+    /// Number of shard queues (1 under the serialized engine).
+    pub(crate) fn shard_count(&self) -> usize {
+        match self {
+            DispatchState::Serialized { .. } => 1,
+            DispatchState::Sharded { shards, .. } => shards.len(),
         }
     }
 
@@ -228,12 +268,16 @@ impl DispatchState {
 /// cost, then hand execution to a fresh task so long-running kernels
 /// never block the queue behind them. Exits when the server drops its
 /// sending halves.
+#[allow(clippy::too_many_arguments)]
 async fn shard_worker(
     shard: usize,
     mut rx: Receiver<DispatchJob>,
     depth: Rc<Cell<usize>>,
     queued: Rc<Cell<usize>>,
+    ejected: Rc<Cell<u64>>,
+    ejected_total: Rc<Cell<u64>>,
     overhead: Duration,
+    eject_expired: bool,
 ) {
     while let Some(DispatchJob {
         server,
@@ -251,6 +295,31 @@ async fn shard_worker(
             .inner()
             .metrics_registry
             .set_gauge(&format!("dispatch.shard.{shard}.depth"), depth.get() as f64);
+        {
+            let inner = server.inner();
+            let m = &inner.metrics_registry;
+            // Lazy deadline ejection (bounded-queue mode only): the
+            // deadline passed while the job sat in the queue, so it is
+            // dead on arrival — reply now and never pay the routing
+            // cost (or reach placement) for it. Unbounded queues keep
+            // the historic behaviour: dead work still burns a full
+            // dispatch slot before `execute` sheds it, which is exactly
+            // the waste that sustains a metastable failure.
+            if eject_expired && job.req.deadline.is_some_and(|d| now() > d) {
+                ejected.set(ejected.get() + 1);
+                ejected_total.set(ejected_total.get() + 1);
+                m.inc("dispatch.ejected");
+                m.inc(&format!("dispatch.shard.{shard}.ejected"));
+                let _ = reply.send(Err(InvokeError::DeadlineExceeded));
+                continue;
+            }
+            // The observed queue wait is the adaptive admission
+            // limiter's control signal.
+            inner.admission.observe_queue_wait(now() - enqueued);
+            if let Some(limit) = inner.admission.current_limit() {
+                m.set_gauge("admission.limit", limit as f64);
+            }
+        }
         // This worker is one task, so jobs on one shard pay the routing
         // cost back to back while other shards overlap theirs.
         sleep(overhead).await;
@@ -335,7 +404,25 @@ impl KaasServer {
             }
         };
         let submitted = now();
-        let permit = inner.admission.admit(req.tenant.as_deref()).await?;
+        let permit = match inner.admission.admit(req.tenant.as_deref()).await {
+            Ok(permit) => permit,
+            Err(InvokeError::Overloaded { retry_after: None }) => {
+                // Cooperative backpressure: attach a deterministic
+                // estimate of when the backlog will have drained, so
+                // well-behaved clients retry after it instead of
+                // hammering a saturated server.
+                let backlog = inner.dispatch.queued() / inner.dispatch.shard_count().max(1);
+                return Err(InvokeError::Overloaded {
+                    retry_after: Some(self.retry_after_hint(backlog)),
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        if let Some(limit) = inner.admission.current_limit() {
+            inner
+                .metrics_registry
+                .set_gauge("admission.limit", limit as f64);
+        }
         span("admission", submitted, now());
         // Request parsing stays on the front door: resolve the kernel
         // before any dispatch cost so unknown names never consume
@@ -372,6 +459,7 @@ impl KaasServer {
                 config,
                 shards,
                 queued,
+                ejected_total,
                 ..
             } => {
                 {
@@ -385,6 +473,26 @@ impl KaasServer {
                 );
                 let shard = inner.dispatch.pick_shard(&job.req.kernel);
                 let q = &shards[shard];
+                // Enqueue-time shedding: dead or over-cap work never
+                // enters the queue, so it cannot crowd out live
+                // requests or consume a worker's routing cost. Every
+                // shed is counted — never silent.
+                let eject = |err: InvokeError| {
+                    q.ejected.set(q.ejected.get() + 1);
+                    ejected_total.set(ejected_total.get() + 1);
+                    m.inc("dispatch.ejected");
+                    m.inc(&format!("dispatch.shard.{shard}.ejected"));
+                    err
+                };
+                if job.req.deadline.is_some_and(|d| now() > d) {
+                    return Err(eject(InvokeError::DeadlineExceeded));
+                }
+                if config.queue_cap.is_some_and(|cap| q.depth.get() >= cap) {
+                    let hint = self.retry_after_hint(q.depth.get());
+                    return Err(eject(InvokeError::Overloaded {
+                        retry_after: Some(hint),
+                    }));
+                }
                 // Paired increments with no await in between: the
                 // sanitizer checks `sum(depths) == queued` after every
                 // executor step.
@@ -413,6 +521,18 @@ impl KaasServer {
                 reply_rx.await.map_err(|_| InvokeError::Disconnected)?
             }
         }
+    }
+
+    /// The deterministic drain-time estimate attached to `Overloaded`
+    /// sheds: how long a backlog of `backlog` jobs ahead of the caller
+    /// takes one shard worker to route, capped at one second. A pure
+    /// function of observable queue state, so same-seed replays emit
+    /// identical hints.
+    pub(crate) fn retry_after_hint(&self, backlog: usize) -> Duration {
+        let overhead = self.inner().config.dispatch_overhead;
+        overhead
+            .saturating_mul(backlog.min(1_000_000) as u32 + 1)
+            .min(Duration::from_secs(1))
     }
 
     /// The execution pipeline one admitted job walks — input

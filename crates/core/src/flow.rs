@@ -624,6 +624,11 @@ impl KaasServer {
                 s
             });
             let span_id = span.as_ref().map(|s| s.id());
+            // Each step launch is one fresh request accruing retry
+            // tokens; the retries below spend them.
+            if let Some(b) = &server.inner().retry_budget {
+                b.note_fresh();
+            }
             let mut attempts = 0u32;
             let outcome = loop {
                 attempts += 1;
@@ -651,13 +656,35 @@ impl KaasServer {
                         let transient = matches!(
                             e,
                             InvokeError::RunnerFailed(_)
-                                | InvokeError::Overloaded
+                                | InvokeError::Overloaded { .. }
                                 | InvokeError::CircuitOpen(_)
                         );
                         if transient && attempts < budget {
+                            // Step retries are server-generated load:
+                            // under overload they amplify the very
+                            // congestion that failed them. The shared
+                            // retry budget caps that amplification.
+                            if let Some(b) = &server.inner().retry_budget {
+                                if !b.try_spend() {
+                                    server
+                                        .inner()
+                                        .metrics_registry
+                                        .inc("retries.budget_exhausted");
+                                    break Err(e);
+                                }
+                            }
                             // Deterministic linear backoff between
-                            // flow-level attempts.
-                            sleep(Duration::from_millis(attempts as u64)).await;
+                            // flow-level attempts — raised to the
+                            // server's own drain estimate when the
+                            // failure carried one.
+                            let mut wait = Duration::from_millis(attempts as u64);
+                            if let InvokeError::Overloaded {
+                                retry_after: Some(hint),
+                            } = &e
+                            {
+                                wait = wait.max(*hint);
+                            }
+                            sleep(wait).await;
                             continue;
                         }
                         break Err(e);

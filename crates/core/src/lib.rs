@@ -85,12 +85,14 @@ mod server;
 pub mod trace;
 mod workflow;
 
-pub use admission::AdmissionConfig;
+pub use admission::{AdmissionConfig, AdmissionPolicy, AimdConfig};
 pub use autoscaler::{
     AutoscalePolicy, InFlightThreshold, NoScale, ScaleCtx, ScaleDecision, TargetUtilization,
 };
 pub use baseline::{run_cpu_only, run_space_sharing, run_time_sharing, BaselineReport};
-pub use client::{BatchBuilder, BatchCall, FlowBuilder, Invocation, InvokeBuilder, KaasClient};
+pub use client::{
+    BatchBuilder, BatchCall, ClientRetryConfig, FlowBuilder, Invocation, InvokeBuilder, KaasClient,
+};
 pub use config::{DispatchMode, ServerConfig, ShardConfig, ShardPolicy};
 pub use dataplane::{
     content_hash, DataPlane, ObjectRef, ObjectStore, DATA_GET_KERNEL, DATA_KERNEL_PREFIX,
@@ -111,7 +113,8 @@ pub use protocol::{
 pub use registry::{KernelRegistry, RegistryError};
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, EvictionConfig, ExponentialBackoff,
-    FallbackConfig, FixedBackoff, NoBackoff, RetryConfig, RetryPolicy,
+    FallbackConfig, FixedBackoff, NoBackoff, RetryBudget, RetryBudgetConfig, RetryConfig,
+    RetryPolicy,
 };
 pub use runner::{RunnerConfig, RunnerTimings, TaskRunner};
 pub use scheduler::{

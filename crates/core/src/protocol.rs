@@ -2,6 +2,8 @@
 //! request/response with in-band (serialized) or out-of-band
 //! (shared-memory) data transfer.
 
+use std::time::Duration;
+
 use kaas_kernels::Value;
 use kaas_net::{ShmHandle, HANDLE_WIRE_BYTES};
 use kaas_simtime::{SimTime, SpanId};
@@ -102,9 +104,17 @@ pub enum InvokeError {
     Disconnected,
     /// An out-of-band handle did not resolve.
     BadHandle,
-    /// The server shed the request: its admitted-request ceiling
-    /// (`AdmissionConfig::max_in_flight`) was already reached.
-    Overloaded,
+    /// The server shed the request: the admission limiter (adaptive or
+    /// fixed-cap) or a bounded shard queue was already at its ceiling.
+    /// `retry_after` is the server's deterministic estimate of when the
+    /// backlog will have drained — cooperative backpressure that retry
+    /// policies must honor (wait *at least* this long before retrying).
+    Overloaded {
+        /// Suggested minimum wait before a retry, when the server can
+        /// estimate its own drain time. `None` preserves the historic
+        /// uninformative shed.
+        retry_after: Option<Duration>,
+    },
     /// The server shed the request: its [`Request::deadline`] passed
     /// before device work could start.
     DeadlineExceeded,
@@ -154,7 +164,7 @@ impl InvokeError {
             InvokeError::RunnerFailed(_) => "runner-failed",
             InvokeError::Disconnected => "disconnected",
             InvokeError::BadHandle => "bad-handle",
-            InvokeError::Overloaded => "overloaded",
+            InvokeError::Overloaded { .. } => "overloaded",
             InvokeError::DeadlineExceeded => "deadline-exceeded",
             InvokeError::CircuitOpen(_) => "circuit-open",
             InvokeError::TimedOut => "timed-out",
@@ -173,7 +183,10 @@ impl std::fmt::Display for InvokeError {
             InvokeError::RunnerFailed(m) => write!(f, "task runner failed: {m}"),
             InvokeError::Disconnected => write!(f, "server disconnected"),
             InvokeError::BadHandle => write!(f, "shared-memory handle did not resolve"),
-            InvokeError::Overloaded => write!(f, "server overloaded; request shed"),
+            InvokeError::Overloaded { retry_after } => match retry_after {
+                Some(d) => write!(f, "server overloaded; request shed (retry after {d:?})"),
+                None => write!(f, "server overloaded; request shed"),
+            },
             InvokeError::DeadlineExceeded => {
                 write!(f, "deadline passed before dispatch; request shed")
             }
@@ -295,7 +308,18 @@ mod tests {
 
     #[test]
     fn error_kinds_are_stable_labels() {
-        assert_eq!(InvokeError::Overloaded.kind(), "overloaded");
+        assert_eq!(
+            InvokeError::Overloaded { retry_after: None }.kind(),
+            "overloaded"
+        );
+        assert_eq!(
+            InvokeError::Overloaded {
+                retry_after: Some(Duration::from_millis(3))
+            }
+            .kind(),
+            "overloaded",
+            "the retry hint must not change the stable label"
+        );
         assert_eq!(InvokeError::DeadlineExceeded.kind(), "deadline-exceeded");
         assert_eq!(
             InvokeError::UnknownKernel("x".into()).kind(),
@@ -317,7 +341,7 @@ mod tests {
             InvokeError::RunnerFailed(String::new()),
             InvokeError::Disconnected,
             InvokeError::BadHandle,
-            InvokeError::Overloaded,
+            InvokeError::Overloaded { retry_after: None },
             InvokeError::DeadlineExceeded,
             InvokeError::CircuitOpen(String::new()),
             InvokeError::TimedOut,

@@ -219,6 +219,116 @@ impl RetryConfig {
     }
 }
 
+/// Tuning for a [`RetryBudget`] token bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudgetConfig {
+    /// Tokens earned per fresh (non-retry) request, as a percentage of
+    /// a whole retry: `10` means retries may be at most ~10% of fresh
+    /// traffic in steady state.
+    pub ratio_pct: u32,
+    /// Bucket capacity in whole retries — the retry burst allowed after
+    /// a quiet period (and the budget available before any fresh
+    /// traffic has accrued tokens).
+    pub burst: u32,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            ratio_pct: 10,
+            burst: 10,
+        }
+    }
+}
+
+impl RetryBudgetConfig {
+    /// Sets the retry-to-fresh percentage (clamped to at least 1).
+    pub fn with_ratio_pct(mut self, pct: u32) -> Self {
+        self.ratio_pct = pct.max(1);
+        self
+    }
+
+    /// Sets the bucket capacity in whole retries (at least 1).
+    pub fn with_burst(mut self, burst: u32) -> Self {
+        self.burst = burst.max(1);
+        self
+    }
+}
+
+/// A token bucket that caps the retry-to-fresh request ratio, making
+/// retry storms structurally impossible: under sustained overload the
+/// extra load from retries converges to `ratio_pct`% of fresh traffic
+/// instead of multiplying it by the attempt count.
+///
+/// Each fresh request deposits `ratio_pct`% of a token (tracked in
+/// integral millitokens — no floats, so replays are exact); each retry
+/// withdraws a whole token or is denied. The bucket starts full
+/// (`burst` tokens) and is capped there.
+///
+/// Shared via [`Rc`] so one budget can govern every retry loop of a
+/// client — or a server's flow executor — at once.
+#[derive(Debug)]
+pub struct RetryBudget {
+    config: RetryBudgetConfig,
+    /// Millitokens; one retry costs 1 000.
+    tokens: Cell<u64>,
+    fresh: Cell<u64>,
+    spent: Cell<u64>,
+    exhausted: Cell<u64>,
+}
+
+impl RetryBudget {
+    /// Creates a full bucket.
+    pub fn new(config: RetryBudgetConfig) -> Self {
+        RetryBudget {
+            config,
+            tokens: Cell::new(u64::from(config.burst) * 1000),
+            fresh: Cell::new(0),
+            spent: Cell::new(0),
+            exhausted: Cell::new(0),
+        }
+    }
+
+    /// Records a fresh (non-retry) request, accruing `ratio_pct`% of a
+    /// retry token, capped at `burst` whole tokens.
+    pub fn note_fresh(&self) {
+        self.fresh.set(self.fresh.get() + 1);
+        let cap = u64::from(self.config.burst) * 1000;
+        let next = self.tokens.get() + u64::from(self.config.ratio_pct) * 10;
+        self.tokens.set(next.min(cap));
+    }
+
+    /// Attempts to spend one retry token. Returns `false` — and counts
+    /// the denial — when the bucket holds less than a whole token: the
+    /// caller must give up instead of retrying.
+    pub fn try_spend(&self) -> bool {
+        let t = self.tokens.get();
+        if t >= 1000 {
+            self.tokens.set(t - 1000);
+            self.spent.set(self.spent.get() + 1);
+            true
+        } else {
+            self.exhausted.set(self.exhausted.get() + 1);
+            false
+        }
+    }
+
+    /// Fresh requests recorded.
+    pub fn fresh(&self) -> u64 {
+        self.fresh.get()
+    }
+
+    /// Retries granted.
+    pub fn spent(&self) -> u64 {
+        self.spent.get()
+    }
+
+    /// Retries denied for an empty bucket.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.get()
+    }
+}
+
 /// The three circuit-breaker states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum BreakerState {
@@ -544,6 +654,47 @@ mod tests {
         let q = p.clone();
         assert_eq!(p.backoff(3, 9), q.backoff(3, 9));
         assert_eq!(p.name(), "exponential");
+    }
+
+    #[test]
+    fn retry_budget_caps_the_retry_to_fresh_ratio() {
+        let b = RetryBudget::new(
+            RetryBudgetConfig::default()
+                .with_ratio_pct(10)
+                .with_burst(5),
+        );
+        // The initial burst drains...
+        for _ in 0..5 {
+            assert!(b.try_spend());
+        }
+        // ...then an empty bucket denies.
+        assert!(!b.try_spend());
+        assert_eq!(b.exhausted(), 1);
+        // 10 fresh requests earn exactly one retry.
+        for _ in 0..10 {
+            b.note_fresh();
+        }
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        assert_eq!((b.fresh(), b.spent(), b.exhausted()), (10, 6, 2));
+    }
+
+    #[test]
+    fn retry_budget_refill_caps_at_burst() {
+        let b = RetryBudget::new(
+            RetryBudgetConfig::default()
+                .with_ratio_pct(100)
+                .with_burst(2),
+        );
+        for _ in 0..50 {
+            b.note_fresh();
+        }
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(
+            !b.try_spend(),
+            "quiet periods must not bank unbounded retries"
+        );
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //!   queued-job counter equals the sum of per-shard depth counters
 //!   (front door and workers move them only in paired, await-free
 //!   updates), and no job is still queued at shutdown.
+//! * **Ejection accounting** — every request the overloaded dispatcher
+//!   sheds or ejects is counted identically in three independent views
+//!   (per-shard cells, the global total, the `dispatch.ejected`
+//!   counter): no silent shedding.
+//! * **Admission control** — the adaptive concurrency limit never
+//!   escapes its configured `[min, max]` band, and the permit ledger
+//!   conserves (`issued - released == admitted`, and zero at
+//!   shutdown).
 //! * **Metric names** — every name that appears in the live
 //!   [`MetricsRegistry`](crate::MetricsRegistry) matches a pattern
 //!   declared in `metrics/INVENTORY` (the same file rule R2 of the
@@ -94,6 +102,8 @@ impl Auditor {
         check_claim_balance(&inner);
         check_memory(&inner);
         check_dispatch_queue(&inner);
+        check_ejection_accounting(&inner);
+        check_admission(&inner);
         self.check_metric_names(&inner);
         if let Some(tracer) = &inner.config.tracer {
             self.check_spans(tracer);
@@ -246,6 +256,60 @@ fn check_dispatch_queue(inner: &ServerInner) {
     }
 }
 
+/// Honest shedding: every ejected request is counted three ways —
+/// per-shard cells, the global total, and the `dispatch.ejected`
+/// metric — and all three views must agree at every step. A shed that
+/// bumps one view but not the others is a silent drop.
+fn check_ejection_accounting(inner: &ServerInner) {
+    let per_shard: u64 = inner.dispatch.shard_ejected().iter().sum();
+    let total = inner.dispatch.ejected();
+    let counter = inner.metrics_registry.counter("dispatch.ejected");
+    if per_shard != total || total != counter {
+        violation(
+            "ejection-accounting",
+            &format!(
+                "ejection views diverge: per-shard sum {per_shard}, global total {total}, \
+                 `dispatch.ejected` counter {counter}"
+            ),
+        );
+    }
+}
+
+/// Admission-control sanity: the adaptive limit stays inside its
+/// configured `[min, max]` band, and the permit ledger conserves —
+/// permits issued minus permits released equals the in-flight count.
+fn check_admission(inner: &ServerInner) {
+    use crate::admission::AdmissionPolicy;
+    if let Some(AdmissionPolicy::Adaptive(aimd)) = inner.admission.policy() {
+        let limit = inner
+            .admission
+            .current_limit()
+            .expect("an adaptive policy always has a limit");
+        if limit < aimd.min_limit || limit > aimd.max_limit {
+            violation(
+                "admission-limit",
+                &format!(
+                    "adaptive admission limit {limit} escaped its configured band \
+                     [{}, {}]",
+                    aimd.min_limit, aimd.max_limit
+                ),
+            );
+        }
+    }
+    let issued = inner.admission.issued();
+    let released = inner.admission.released();
+    let admitted = inner.admission.admitted() as u64;
+    if issued - released != admitted {
+        violation(
+            "admission-conservation",
+            &format!(
+                "admission permit ledger diverged: issued {issued} - released {released} \
+                 != admitted {admitted}"
+            ),
+        );
+    }
+}
+
 /// Every device memory manager's internal accounting.
 fn check_memory(inner: &ServerInner) {
     for device in inner.pool.devices() {
@@ -281,6 +345,13 @@ pub(crate) fn check_shutdown(inner: &ServerInner) {
                 ),
             );
         }
+    }
+    let admitted = inner.admission.admitted();
+    if admitted != 0 {
+        violation(
+            "shutdown-leak",
+            &format!("{admitted} admission permit(s) never released at server drop"),
+        );
     }
     for device in inner.pool.devices() {
         let Some(mgr) = inner.dataplane.manager(device.id()) else {

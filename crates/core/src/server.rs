@@ -29,7 +29,7 @@ use crate::metrics::MetricsSink;
 use crate::pool::RunnerPool;
 use crate::protocol::{InvokeError, RequestFrame, ResponseFrame};
 use crate::registry::KernelRegistry;
-use crate::resilience::{BreakerBank, BreakerState};
+use crate::resilience::{BreakerBank, BreakerState, RetryBudget};
 
 /// Reserved kernel name answering with the site's registered kernel
 /// list (used by federated clients for discovery).
@@ -57,6 +57,9 @@ pub(crate) struct ServerInner {
     /// Registered workflow DAGs plus live-run accounting for the
     /// server-side dataflow executor.
     pub(crate) flows: FlowState,
+    /// Token bucket metering the server's own retry loops (the flow
+    /// executor's step retries); `None` keeps them unmetered.
+    pub(crate) retry_budget: Option<Rc<RetryBudget>>,
 }
 
 /// The KaaS server (Fig. 3: registration target and invocation router).
@@ -142,6 +145,7 @@ impl KaasServer {
                 .map(BreakerBank::new)
                 .unwrap_or_else(BreakerBank::disabled),
             flows: FlowState::new(),
+            retry_budget: config.retry_budget.map(|c| Rc::new(RetryBudget::new(c))),
             config,
         });
         // Under the sanitizer, re-check this server's cross-module
@@ -184,6 +188,9 @@ impl KaasServer {
             breakers: self.inner.breakers.states(),
             shard_depths: self.inner.dispatch.shard_depths(),
             dispatch_queued: self.inner.dispatch.queued(),
+            shard_ejected: self.inner.dispatch.shard_ejected(),
+            dispatch_ejected: self.inner.dispatch.ejected(),
+            admission_limit: self.inner.admission.current_limit(),
         }
     }
 
@@ -352,6 +359,17 @@ pub struct ServerSnapshot {
     pub shard_depths: Vec<usize>,
     /// Dispatch jobs queued across all shards right now.
     pub dispatch_queued: usize,
+    /// Requests each shard has shed (over-cap at enqueue) or ejected
+    /// (deadline passed while queued) so far — honest accounting for
+    /// the bounded queues; always sums to
+    /// [`dispatch_ejected`](ServerSnapshot::dispatch_ejected).
+    pub shard_ejected: Vec<u64>,
+    /// Requests shed or ejected across all shards so far.
+    pub dispatch_ejected: u64,
+    /// The admission limiter's current concurrency ceiling (`None`
+    /// when no limiter is configured; moves over time under
+    /// [`AdmissionPolicy::Adaptive`](crate::AdmissionPolicy)).
+    pub admission_limit: Option<usize>,
 }
 
 impl ServerSnapshot {

@@ -74,6 +74,18 @@ if [[ "$cl_a" != "$cl_b" ]]; then
     exit 1
 fi
 
+echo "==> overload stage: overload-control tests + bench determinism"
+cargo test -q --release --test overload
+# The metastable-failure A/B bench must replay byte-identically run to
+# run (burst timing, sheds, ejections, budget denials included).
+ov_a="$(cargo run -q --release -p kaas-bench --bin overload -- --quick)"
+ov_b="$(cargo run -q --release -p kaas-bench --bin overload -- --quick)"
+if [[ "$ov_a" != "$ov_b" ]]; then
+    echo "overload bench diverged between two runs" >&2
+    diff <(printf '%s\n' "$ov_a") <(printf '%s\n' "$ov_b") >&2 || true
+    exit 1
+fi
+
 echo "==> cargo build --features trace --examples"
 cargo build --release --features trace --examples
 

@@ -6,13 +6,15 @@
 //! replay byte-identically from the same seed.
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 use std::time::Duration;
 
 use kaas::accel::{CpuDevice, CpuProfile, Device, DeviceId, GpuDevice, GpuProfile};
 use kaas::core::{
-    BreakerConfig, BreakerState, EvictionConfig, ExponentialBackoff, FallbackConfig, Fault,
-    FaultInjector, FaultPlan, InvokeError, KaasClient, KaasNetwork, KaasServer, KernelRegistry,
-    RetryConfig, ServerConfig, StormConfig,
+    AimdConfig, BreakerConfig, BreakerState, ClientRetryConfig, DispatchMode, EvictionConfig,
+    ExponentialBackoff, FallbackConfig, Fault, FaultInjector, FaultPlan, InvokeError, KaasClient,
+    KaasNetwork, KaasServer, KernelRegistry, RetryBudget, RetryBudgetConfig, RetryConfig,
+    ServerConfig, ShardConfig, StormConfig,
 };
 use kaas::kernels::{MonteCarlo, Value};
 use kaas::net::{LinkProfile, SharedMemory};
@@ -322,6 +324,247 @@ fn crashes_invalidate_residency_so_retries_reupload() {
         assert!(dp.is_resident(dev, r.hash));
         assert_eq!(m.counter("dataplane.hits"), 0, "no stale hit anywhere");
     });
+}
+
+/// One overload-storm run: a 5× client burst against a near-saturated
+/// dispatcher with every overload control armed, optionally overlaid
+/// with a runner-crash/delay-spike fault storm.
+#[derive(Debug, PartialEq)]
+struct OverloadStormSummary {
+    ok: usize,
+    errors: BTreeMap<&'static str, usize>,
+    faults_applied: usize,
+    shed: u64,
+    ejected: u64,
+    admission_limit: Option<usize>,
+    breakers: BTreeMap<DeviceId, BreakerState>,
+    in_flight: usize,
+    registry: String,
+    trace: String,
+}
+
+const STORM_BASE_CLIENTS: usize = 8;
+const STORM_BASE_CALLS: usize = 40;
+const STORM_BURST_CLIENTS: usize = 40;
+const STORM_BURST_CALLS: usize = 10;
+
+fn run_overload_storm(seed: u64, with_faults: bool) -> OverloadStormSummary {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let tracer = SpanSink::new();
+        let devices: Vec<Device> = vec![
+            GpuDevice::new(DeviceId(0), GpuProfile::p100()).into(),
+            GpuDevice::new(DeviceId(1), GpuProfile::p100()).into(),
+            CpuDevice::new(DeviceId(2), CpuProfile::xeon_e5_2698v4_dual()).into(),
+        ];
+        let registry = KernelRegistry::new();
+        registry.register(MonteCarlo::default()).unwrap();
+        let shm = SharedMemory::host();
+        // The resilient baseline plus every overload control: bounded
+        // ejecting shard queues, AIMD admission, an inflated dispatch
+        // overhead so the burst actually saturates the router.
+        let config = resilient_config(seed, tracer.clone())
+            .with_dispatch(DispatchMode::Sharded(ShardConfig {
+                shards: 2,
+                queue_cap: Some(16),
+                ..ShardConfig::default()
+            }))
+            .with_dispatch_overhead(Duration::from_micros(200))
+            .with_adaptive_admission(
+                AimdConfig::default()
+                    .with_target_queue_wait(Duration::from_millis(1))
+                    .with_limit_range(4, 32)
+                    .with_initial_limit(16)
+                    .with_cooldown(Duration::from_millis(5)),
+            );
+        let server = KaasServer::new(devices, registry, shm, config);
+        let net: KaasNetwork = KaasNetwork::new();
+        spawn(server.clone().serve(net.listen("kaas").unwrap()));
+
+        // Well-behaved clients: budgeted, jittered, hint-honoring
+        // retries. The budget is shared so the whole fleet's
+        // retry-to-fresh ratio stays capped.
+        let budget = Rc::new(RetryBudget::new(
+            RetryBudgetConfig::default()
+                .with_ratio_pct(20)
+                .with_burst(20),
+        ));
+        let retry = |stream: u64| {
+            ClientRetryConfig::new(3)
+                .with_backoff(
+                    ExponentialBackoff::new(Duration::from_millis(1))
+                        .with_jitter(0.5, seed ^ stream),
+                )
+                .with_budget(Rc::clone(&budget))
+        };
+
+        let mut clients = Vec::new();
+        for i in 0..STORM_BASE_CLIENTS + STORM_BURST_CLIENTS {
+            clients.push(
+                KaasClient::connect(&net, "kaas", LinkProfile::loopback())
+                    .await
+                    .unwrap()
+                    .with_retry(retry(i as u64)),
+            );
+        }
+
+        let storm_done = if with_faults {
+            let storm = StormConfig {
+                devices: vec![DeviceId(0), DeviceId(1)],
+                horizon: Duration::from_secs(3),
+                ..StormConfig::default()
+            };
+            let mut injector = FaultInjector::new(&server, FaultPlan::storm(seed, &storm));
+            for client in &clients {
+                injector = injector.with_link(client.link_fault());
+            }
+            let log = injector.log();
+            Some((injector.run(), log))
+        } else {
+            None
+        };
+
+        let mut workers = Vec::new();
+        for (idx, mut client) in clients.into_iter().enumerate() {
+            let burst = idx >= STORM_BASE_CLIENTS;
+            workers.push(spawn(async move {
+                let mut ok = 0usize;
+                let mut errors: BTreeMap<&'static str, usize> = BTreeMap::new();
+                // Base clients trickle from the start; the burst fleet
+                // slams in together at t = 500 ms with tight deadlines
+                // and no think time.
+                let (calls, think, start) = if burst {
+                    (
+                        STORM_BURST_CALLS,
+                        Duration::ZERO,
+                        Duration::from_millis(500),
+                    )
+                } else {
+                    (
+                        STORM_BASE_CALLS,
+                        Duration::from_millis(10),
+                        Duration::from_millis(idx as u64 * 3),
+                    )
+                };
+                sleep(start).await;
+                for _ in 0..calls {
+                    let mut call = client
+                        .call("mci")
+                        .arg(Value::U64(5_000))
+                        .timeout(Duration::from_secs(3));
+                    if burst {
+                        call = call.deadline(Duration::from_millis(50));
+                    }
+                    match call.send().await {
+                        Ok(_) => ok += 1,
+                        Err(e) => *errors.entry(e.kind()).or_default() += 1,
+                    }
+                    if !think.is_zero() {
+                        sleep(think).await;
+                    }
+                }
+                (ok, errors)
+            }));
+        }
+
+        let mut ok = 0usize;
+        let mut errors: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for w in workers {
+            let (o, errs) = w.await;
+            ok += o;
+            for (k, n) in errs {
+                *errors.entry(k).or_default() += n;
+            }
+        }
+        let faults_applied = match storm_done {
+            Some((done, log)) => {
+                done.await;
+                log.len()
+            }
+            None => 0,
+        };
+        // Drain: restorations land, breaker cooldowns elapse, the
+        // backlog empties.
+        sleep(Duration::from_secs(1)).await;
+
+        let snapshot = server.snapshot();
+        let m = server.metrics_registry();
+        OverloadStormSummary {
+            ok,
+            errors,
+            faults_applied,
+            shed: m.counter("errors.overloaded"),
+            ejected: snapshot.dispatch_ejected,
+            admission_limit: snapshot.admission_limit,
+            breakers: snapshot.breakers.clone(),
+            in_flight: snapshot.total_in_flight(),
+            registry: m.render(),
+            trace: tracer.to_chrome_json(),
+        }
+    })
+}
+
+/// A 5× burst landing in the middle of a runner-crash/delay-spike storm:
+/// every request still resolves (Ok or typed), the control plane ends
+/// clean, and no breaker is left stuck open.
+#[test]
+fn overload_during_fault_storm_loses_zero_requests() {
+    let s = run_overload_storm(SEED, true);
+    let total = STORM_BASE_CLIENTS * STORM_BASE_CALLS + STORM_BURST_CLIENTS * STORM_BURST_CALLS;
+    let resolved = s.ok + s.errors.values().sum::<usize>();
+    assert_eq!(
+        resolved, total,
+        "every invocation must resolve Ok or with a typed error: {s:?}"
+    );
+    assert!(s.ok > 0, "a healthy majority should still succeed: {s:?}");
+    assert!(s.faults_applied > 0, "the storm must actually fire");
+    assert!(
+        s.shed + s.ejected > 0,
+        "the burst must actually trip the overload controls: {s:?}"
+    );
+    assert_eq!(s.in_flight, 0, "leaked in-flight claims: {s:?}");
+    assert!(
+        s.breakers.values().all(|b| *b != BreakerState::Open),
+        "breakers must recover to closed/half-open: {:?}",
+        s.breakers
+    );
+    let limit = s.admission_limit.expect("adaptive admission is armed");
+    assert!(
+        (4..=32).contains(&limit),
+        "limit escaped its range: {limit}"
+    );
+}
+
+/// Pure overload — the same burst with no faults at all — must never
+/// trip a circuit breaker: queue pressure is shed at admission and at
+/// the queues, and only real runner failures may feed the breakers.
+#[test]
+fn pure_overload_never_trips_breakers() {
+    let s = run_overload_storm(SEED, false);
+    assert!(
+        s.shed + s.ejected > 0,
+        "the burst must overload the server for this test to mean anything: {s:?}"
+    );
+    assert!(
+        s.breakers.values().all(|b| *b == BreakerState::Closed),
+        "queue-wait pressure must never feed the breakers: {:?}",
+        s.breakers
+    );
+    assert_eq!(s.in_flight, 0);
+}
+
+/// The overload storm — bursty arrivals, AIMD admission, ejections,
+/// budgeted retries, crashes, delay spikes — replays byte-identically
+/// from its seed.
+#[test]
+fn overload_storm_replays_byte_identically() {
+    let a = run_overload_storm(SEED, true);
+    let b = run_overload_storm(SEED, true);
+    assert_eq!(
+        a.trace, b.trace,
+        "same seed must produce a byte-identical trace"
+    );
+    assert_eq!(a, b, "same seed must replay the whole run identically");
 }
 
 #[test]

@@ -424,7 +424,17 @@ fn every_error_kind_is_inducible_and_counted() {
             .send()
             .await
             .unwrap_err();
-        assert_eq!(err, InvokeError::Overloaded);
+        let InvokeError::Overloaded { retry_after } = &err else {
+            panic!("expected Overloaded, got {err:?}");
+        };
+        // Cooperative backpressure: a shed always names its price. The
+        // hint is a pure function of backlog, so an idle server's shed
+        // quotes exactly one dispatch overhead.
+        assert_eq!(
+            *retry_after,
+            Some(ServerConfig::default().dispatch_overhead),
+            "server-side sheds must carry a deterministic retry_after hint"
+        );
         induced.insert(err.kind());
         assert!(_b.metrics_registry().counter("errors.overloaded") >= 1);
 
