@@ -32,8 +32,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// The crates whose sources must obey the determinism rules.
-pub const DETERMINISTIC_CRATES: [&str; 7] = [
-    "simtime", "net", "accel", "core", "kernels", "quantum", "bench",
+pub const DETERMINISTIC_CRATES: [&str; 8] = [
+    "simtime", "net", "accel", "core", "kernels", "quantum", "bench", "guest",
 ];
 
 /// A lint rule identity.

@@ -1,0 +1,23 @@
+//! Guest-kernel cold-start benchmark: full instantiate vs snapshot
+//! restore across init-table sizes, with forced cold starts. Pass
+//! `--quick` for the reduced CI sweep (whose output must be
+//! byte-identical run to run) and `--seed=N` to stamp the report.
+//! Full runs also archive the rows to `results/coldstart.json`.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = std::env::args()
+        .find_map(|a| a.strip_prefix("--seed=").and_then(|s| s.parse().ok()))
+        .unwrap_or(2026);
+    let report = kaas_bench::coldstart::run(quick, seed);
+    print!("{}", kaas_bench::coldstart::to_table(&report));
+    if !quick {
+        std::fs::create_dir_all("results").ok();
+        std::fs::write(
+            "results/coldstart.json",
+            kaas_bench::coldstart::to_json(&report),
+        )
+        .expect("write results/coldstart.json");
+        eprintln!("wrote results/coldstart.json");
+    }
+}

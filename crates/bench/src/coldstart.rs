@@ -1,0 +1,220 @@
+//! Guest-kernel cold-start benchmark: full instantiate vs snapshot
+//! restore.
+//!
+//! A guest kernel that builds a lookup table at init time pays that
+//! work on every fresh runner — unless it opted into the
+//! Proto-Faaslet-style snapshot path, where the post-init image is
+//! captured once at registration and each cold start merely maps it
+//! back in. This bench sweeps the init-table size, forces repeated
+//! cold starts on both paths (by crashing the runner between
+//! invocations), and reports the mean warm-init cost of each path from
+//! the server's `guest.cold_start.{full,restore}` histograms.
+
+use kaas_accel::{DeviceClass, GpuDevice, GpuProfile};
+use kaas_core::KaasServer;
+use kaas_guest::{GuestProgram, Op};
+use kaas_kernels::Value;
+use kaas_simtime::Simulation;
+
+use crate::common::{deploy, experiment_server_config, Deployment};
+
+/// One swept init-table size, both cold-start paths measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColdStartRun {
+    /// Init-time lookup-table entries (f64s built by `VecFill`).
+    pub table: u64,
+    /// Cold starts forced per path.
+    pub cold_starts: u64,
+    /// Mean full-instantiate warm-init cost, microseconds.
+    pub full_us: f64,
+    /// Mean snapshot-restore warm-init cost, microseconds.
+    pub restore_us: f64,
+}
+
+impl ColdStartRun {
+    /// How many times cheaper the restore path is.
+    pub fn speedup(&self) -> f64 {
+        self.full_us / self.restore_us
+    }
+}
+
+/// The whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColdStartReport {
+    /// Seed recorded for provenance (the sweep itself is deterministic).
+    pub seed: u64,
+    /// One row per swept table size.
+    pub runs: Vec<ColdStartRun>,
+}
+
+fn table_program(table: u64, snapshot: bool) -> GuestProgram {
+    let p = GuestProgram::new("lut", DeviceClass::Gpu)
+        .with_init(
+            1,
+            vec![
+                Op::PushU(table),
+                Op::PushF(1.0),
+                Op::VecFill,
+                Op::SetGlobal(0),
+            ],
+        )
+        .with_body(vec![Op::Global(0), Op::VecSum, Op::Return]);
+    if snapshot {
+        p.with_snapshot()
+    } else {
+        p
+    }
+}
+
+async fn force_cold_starts(dep: &Deployment, full_name: &str, colds: u64) {
+    let mut client = dep.local_client().await;
+    for i in 0..colds {
+        let out = client
+            .call(full_name)
+            .arg(Value::Unit)
+            .send()
+            .await
+            .expect("guest invocation succeeds");
+        assert!(
+            matches!(out.output.payload(), Value::F64(_)),
+            "table sum expected"
+        );
+        if i + 1 < colds {
+            // Kill the warm runner so the next invocation cold-starts.
+            dep.server
+                .pool()
+                .crash_runner(full_name)
+                .expect("a warm runner to crash");
+        }
+    }
+}
+
+fn mean_us(server: &KaasServer, path: &str, expect_count: u64) -> f64 {
+    let s = server
+        .metrics_registry()
+        .summary(&format!("guest.cold_start.{path}"))
+        .expect("cold-start histogram populated");
+    assert_eq!(s.count, expect_count, "one observation per cold start");
+    s.sum / s.count as f64 * 1e6
+}
+
+fn measure(table: u64, snapshot: bool, colds: u64) -> f64 {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let dep = deploy(
+            vec![GpuDevice::new(kaas_accel::DeviceId(0), GpuProfile::p100()).into()],
+            vec![],
+            experiment_server_config(),
+        );
+        let mut client = dep.local_client().await;
+        let full_name = client
+            .register_kernel("bench", &table_program(table, snapshot))
+            .await
+            .expect("registration succeeds");
+        force_cold_starts(&dep, &full_name, colds).await;
+        let path = if snapshot { "restore" } else { "full" };
+        mean_us(&dep.server, path, colds)
+    })
+}
+
+/// Runs the sweep. `quick` trims the grid for CI.
+pub fn run(quick: bool, seed: u64) -> ColdStartReport {
+    let (tables, colds): (&[u64], u64) = if quick {
+        (&[256, 4096], 2)
+    } else {
+        (&[256, 1024, 4096, 16384], 5)
+    };
+    let runs = tables
+        .iter()
+        .map(|&table| ColdStartRun {
+            table,
+            cold_starts: colds,
+            full_us: measure(table, false, colds),
+            restore_us: measure(table, true, colds),
+        })
+        .collect();
+    ColdStartReport { seed, runs }
+}
+
+/// Renders the report as a fixed-width table (deterministic — CI diffs
+/// two same-seed runs byte for byte).
+pub fn to_table(report: &ColdStartReport) -> String {
+    let mut out = String::new();
+    out.push_str("# coldstart — guest warm-init: full instantiate vs snapshot restore\n");
+    out.push_str(&format!("# seed: {}\n", report.seed));
+    out.push_str("table_entries,cold_starts,full_us,restore_us,speedup\n");
+    for r in &report.runs {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.2}\n",
+            r.table,
+            r.cold_starts,
+            r.full_us,
+            r.restore_us,
+            r.speedup()
+        ));
+    }
+    out
+}
+
+/// Renders the report as a small JSON document for
+/// `results/coldstart.json` (hand-rolled — no JSON dependency).
+pub fn to_json(report: &ColdStartReport) -> String {
+    let rows: Vec<String> = report
+        .runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"table_entries\": {}, \"cold_starts\": {}, \"full_us\": {:.3}, \
+                 \"restore_us\": {:.3}, \"speedup\": {:.4}}}",
+                r.table,
+                r.cold_starts,
+                r.full_us,
+                r.restore_us,
+                r.speedup()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"coldstart\",\n  \"seed\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        report.seed,
+        rows.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restore_is_at_least_three_times_cheaper_at_every_size() {
+        let report = run(true, 7);
+        assert_eq!(report.runs.len(), 2);
+        for r in &report.runs {
+            assert!(
+                r.speedup() >= 3.0,
+                "table {} only sped up {:.2}×",
+                r.table,
+                r.speedup()
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_init_tables_widen_the_absolute_gap() {
+        let report = run(true, 7);
+        let (small, large) = (&report.runs[0], &report.runs[1]);
+        assert!(large.table > small.table);
+        assert!(
+            large.full_us - large.restore_us > small.full_us - small.restore_us,
+            "the snapshot path must save more as init work grows: {report:?}"
+        );
+    }
+
+    #[test]
+    fn report_rendering_is_deterministic() {
+        let a = run(true, 7);
+        let b = run(true, 7);
+        assert_eq!(to_table(&a), to_table(&b));
+        assert_eq!(to_json(&a), to_json(&b));
+    }
+}

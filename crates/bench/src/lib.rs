@@ -9,6 +9,7 @@
 
 pub mod ablation;
 pub mod cluster;
+pub mod coldstart;
 pub mod common;
 pub mod dataflow;
 pub mod dataplane;

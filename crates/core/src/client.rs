@@ -28,6 +28,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
+use kaas_guest::GuestProgram;
 use kaas_kernels::Value;
 use kaas_net::{
     Connection, LinkFault, LinkProfile, NetError, Network, SerializationProfile, SharedMemory,
@@ -38,6 +39,7 @@ use crate::dataplane::{
     ObjectRef, DATA_GET_KERNEL, DATA_PIN_KERNEL, DATA_PUT_KERNEL, DATA_SEAL_KERNEL,
 };
 use crate::flow::{encode_trigger, FLOW_REGISTER_KERNEL, FLOW_REPLY_REF, FLOW_RUN_KERNEL};
+use crate::guest::{CODE_LIST_KERNEL, CODE_REGISTER_KERNEL, CODE_REMOVE_KERNEL};
 use crate::metrics::registry::MetricsRegistry;
 use crate::metrics::InvocationReport;
 use crate::protocol::{DataRef, InvokeError, Request, RequestFrame, Response, ResponseFrame};
@@ -306,6 +308,81 @@ impl KaasClient {
     pub async fn pin(&mut self, r: ObjectRef) -> Result<(), InvokeError> {
         self.call(DATA_PIN_KERNEL).arg(r.to_value()).send().await?;
         Ok(())
+    }
+
+    /// Registers a guest kernel program under `tenant`, returning its
+    /// versioned `tenant/name@vN` identity. Registration instantiates
+    /// the program once server-side (running its init, taking the
+    /// snapshot image when the program opted in) — every re-register of
+    /// the same name mints a fresh version; existing versions are never
+    /// mutated, so in-flight work keeps the code it resolved.
+    ///
+    /// Invoke it like any kernel: `client.call("tenant/name")` runs the
+    /// latest live version, `client.call(&full_name)` pins one.
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::BadInput`] when the tenant identity or program
+    /// fails validation; [`InvokeError::GuestTrap`] /
+    /// [`InvokeError::FuelExhausted`] when the init program faults;
+    /// transport errors as usual.
+    pub async fn register_kernel(
+        &mut self,
+        tenant: &str,
+        program: &GuestProgram,
+    ) -> Result<String, InvokeError> {
+        let inv = self
+            .call(CODE_REGISTER_KERNEL)
+            .arg(crate::guest::encode_register(tenant, program))
+            .send()
+            .await?;
+        match inv.output.payload() {
+            Value::Text(full) => Ok(full.clone()),
+            _ => Err(InvokeError::BadHandle),
+        }
+    }
+
+    /// Lists `tenant`'s live guest kernel versions (`tenant/name@vN`).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as usual.
+    pub async fn list_guest_kernels(&mut self, tenant: &str) -> Result<Vec<String>, InvokeError> {
+        let inv = self
+            .call(CODE_LIST_KERNEL)
+            .arg(Value::Text(tenant.to_owned()))
+            .send()
+            .await?;
+        match inv.output.payload() {
+            Value::List(items) => Ok(items
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Text(t) => Some(t.clone()),
+                    _ => None,
+                })
+                .collect()),
+            _ => Err(InvokeError::BadHandle),
+        }
+    }
+
+    /// Tombstones a guest kernel: `tenant/name@vN` removes one version,
+    /// a bare `tenant/name` removes every live version. Returns how many
+    /// versions were removed. Version ids are never reused.
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::UnknownGuestKernel`] when nothing was live under
+    /// that name; transport errors as usual.
+    pub async fn remove_kernel(&mut self, name: &str) -> Result<u64, InvokeError> {
+        let inv = self
+            .call(CODE_REMOVE_KERNEL)
+            .arg(Value::Text(name.to_owned()))
+            .send()
+            .await?;
+        match inv.output.payload() {
+            Value::U64(n) => Ok(*n),
+            _ => Err(InvokeError::BadHandle),
+        }
     }
 
     /// Registers a workflow DAG with the server, returning the handle

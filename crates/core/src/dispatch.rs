@@ -45,6 +45,7 @@ use crate::admission::AdmissionPermit;
 use crate::autoscaler::{ScaleCtx, ScaleDecision};
 use crate::config::{DispatchMode, ServerConfig, ShardConfig, ShardPolicy};
 use crate::dataplane::{ObjectRef, DATA_KERNEL_PREFIX};
+use crate::guest::CODE_KERNEL_PREFIX;
 use crate::metrics::{InvocationReport, RunnerId};
 use crate::pool::{InFlightGuard, RunnerPool, RunnerSlot};
 use crate::protocol::{DataRef, InvokeError, Request, Response};
@@ -395,6 +396,11 @@ impl KaasServer {
         if req.kernel.starts_with(DATA_KERNEL_PREFIX) {
             return self.dataplane_op(req).await;
         }
+        // Reserved guest-code endpoints: register/list/remove against
+        // the tenant kernel registry.
+        if req.kernel.starts_with(CODE_KERNEL_PREFIX) {
+            return self.code_op(req).await;
+        }
         let inner = self.inner();
         let tracer = inner.config.tracer.clone();
         let parent = req.span;
@@ -427,10 +433,18 @@ impl KaasServer {
         // Request parsing stays on the front door: resolve the kernel
         // before any dispatch cost so unknown names never consume
         // router capacity.
-        let kernel = inner
-            .registry
-            .lookup(&req.kernel)
-            .ok_or_else(|| InvokeError::UnknownKernel(req.kernel.clone()))?;
+        let kernel = match inner.registry.lookup(&req.kernel) {
+            Some(k) => k,
+            // Guest kernels resolve alongside compiled-in ones: a bare
+            // `tenant/name` means latest live version, `@vN` pins one.
+            None => match inner.guests.resolve(&req.kernel) {
+                Some(g) => g as Rc<dyn Kernel>,
+                None if crate::guest::is_guest_name(&req.kernel) => {
+                    return Err(InvokeError::UnknownGuestKernel(req.kernel.clone()));
+                }
+                None => return Err(InvokeError::UnknownKernel(req.kernel.clone())),
+            },
+        };
         let job = ExecJob {
             req,
             kernel,
@@ -612,7 +626,11 @@ impl KaasServer {
                 m.inc("retries.attempted");
             }
             let t_wait = now();
-            let (slot, degraded) = self.place(&req.kernel, &kernel, cacheable.as_ref())?;
+            // Runners are keyed by the *resolved* kernel identity, not
+            // the requested name: a guest bare name re-resolves over
+            // time, and a warm runner must never serve a superseded
+            // version.
+            let (slot, degraded) = self.place(kernel.name(), &kernel, cacheable.as_ref())?;
             // Data-plane cache step: a sealed operand either already
             // sits in the chosen device's memory (hit — the host→device
             // copy is skipped) or is admitted now (miss — this
@@ -799,6 +817,13 @@ impl KaasServer {
         };
         inner.metrics.record(report.clone());
         self.record_registry(&report);
+        // Guest usage accounting: bill whatever this kernel metered
+        // since the last bill into the per-tenant `guest.*` counters.
+        // The resolved name (`tenant/name@vN`) is the billing key even
+        // when the request used a bare latest-version name.
+        if crate::guest::is_guest_name(kernel.name()) {
+            inner.guests.account(kernel.name(), m);
+        }
         if object.is_some() {
             m.set_gauge(
                 "dataplane.bytes_resident",

@@ -72,6 +72,7 @@ pub mod fault;
 mod federation;
 mod flow;
 mod fusion;
+mod guest;
 mod metrics;
 pub mod pool;
 mod protocol;
@@ -102,6 +103,7 @@ pub use fault::{AppliedFault, Fault, FaultEvent, FaultInjector, FaultLog, FaultP
 pub use federation::{FederatedClient, FederatedFlow, SiteHandle, SiteSpec};
 pub use flow::{FLOW_KERNEL_PREFIX, FLOW_REGISTER_KERNEL, FLOW_RUN_KERNEL};
 pub use fusion::{fuse, FusedKernel, FusionError};
+pub use guest::{CODE_KERNEL_PREFIX, CODE_LIST_KERNEL, CODE_REGISTER_KERNEL, CODE_REMOVE_KERNEL};
 pub use metrics::histogram::{Histogram, HistogramSummary};
 pub use metrics::registry::MetricsRegistry;
 pub use metrics::{mean_ci95, percentile, InvocationReport, MeanCi, MetricsSink, RunnerId};

@@ -20,6 +20,7 @@ use kaas_simtime::{now, sleep, spawn, SimTime, SpanSink};
 
 use crate::server::KernelStats;
 
+use crate::metrics::registry::MetricsRegistry;
 use crate::metrics::RunnerId;
 use crate::protocol::InvokeError;
 use crate::runner::{RunnerConfig, TaskRunner};
@@ -191,6 +192,9 @@ pub struct RunnerPool {
     quarantined: Cell<usize>,
     slow_start: Cell<Duration>,
     tracer: Option<SpanSink>,
+    /// Bills guest warm-init phases (`guest.cold_start.{full,restore}`
+    /// histograms) at cold-start time.
+    metrics: Option<MetricsRegistry>,
     /// Called whenever a device's runner process dies (crash, kill,
     /// reap): device memory allocations die with the process, so the
     /// data plane must drop its residency for that device.
@@ -222,6 +226,7 @@ impl RunnerPool {
             quarantined: Cell::new(0),
             slow_start: Cell::new(Duration::ZERO),
             tracer: None,
+            metrics: None,
             residency_invalidator: RefCell::new(None),
             #[cfg(feature = "sim-sanitizer")]
             claim_ledgers: RefCell::new(BTreeMap::new()),
@@ -277,6 +282,13 @@ impl RunnerPool {
     /// span on its runner's `runner{N}` track.
     pub fn set_tracer(&mut self, tracer: SpanSink) {
         self.tracer = Some(tracer);
+    }
+
+    /// Attaches a metrics registry: cold starts of guest kernels record
+    /// their warm-init cost into the `guest.cold_start.{path}` histogram
+    /// (`full` for a full instantiate, `restore` for a snapshot restore).
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = Some(metrics);
     }
 
     /// The managed devices.
@@ -508,10 +520,30 @@ impl RunnerPool {
         let kernel = Rc::clone(kernel);
         let slot2 = Rc::clone(&slot);
         let tracer = self.tracer.clone();
+        let metrics = self.metrics.clone();
+        let warmup = kernel.warmup().cost();
         let kernel_name = name.to_owned();
         spawn(async move {
             let t0 = now();
             let runner = TaskRunner::cold_start(id, kernel, device, chip, config).await;
+            // Warm-init is the runner's final cold-start phase, so its
+            // interval is exactly the trailing `cost` of the whole span.
+            if let Some((path, cost)) = warmup {
+                if let Some(m) = &metrics {
+                    m.observe(&format!("guest.cold_start.{path}"), cost.as_secs_f64());
+                }
+                if let Some(tracer) = &tracer {
+                    let end = now();
+                    tracer.record(
+                        id.to_string(),
+                        "warm_init",
+                        end.saturating_sub(cost),
+                        end,
+                        None,
+                        vec![("path".into(), path.into())],
+                    );
+                }
+            }
             if let Some(tracer) = &tracer {
                 tracer.record(
                     id.to_string(),

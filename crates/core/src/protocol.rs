@@ -133,13 +133,25 @@ pub enum InvokeError {
     /// forged [`WorkflowHandle`](crate::WorkflowHandle), or one that
     /// outlived the server that minted it).
     UnknownFlow(String),
+    /// A `tenant/name` invocation named a guest kernel (or version) that
+    /// is not registered — distinct from [`UnknownKernel`] so clients
+    /// can tell a typo'd built-in from a missing registration.
+    ///
+    /// [`UnknownKernel`]: InvokeError::UnknownKernel
+    UnknownGuestKernel(String),
+    /// A guest kernel trapped (division by zero, out-of-bounds access,
+    /// type confusion). Deterministic: the same input traps identically,
+    /// so retries are pointless and the error is returned immediately.
+    GuestTrap(String),
+    /// A guest kernel exhausted its registered fuel budget mid-run.
+    FuelExhausted(String),
 }
 
 impl InvokeError {
     /// Every stable [`kind`](InvokeError::kind) label, in declaration
     /// order — lets tests and dashboards enumerate the error space
     /// without constructing each variant.
-    pub const KINDS: [&'static str; 12] = [
+    pub const KINDS: [&'static str; 15] = [
         "unknown-kernel",
         "bad-input",
         "no-device",
@@ -152,6 +164,9 @@ impl InvokeError {
         "timed-out",
         "device-oom",
         "unknown-flow",
+        "unknown-guest-kernel",
+        "guest-trap",
+        "fuel-exhausted",
     ];
 
     /// Short kebab-case name of the error variant (stable across
@@ -170,6 +185,9 @@ impl InvokeError {
             InvokeError::TimedOut => "timed-out",
             InvokeError::DeviceOom(_) => "device-oom",
             InvokeError::UnknownFlow(_) => "unknown-flow",
+            InvokeError::UnknownGuestKernel(_) => "unknown-guest-kernel",
+            InvokeError::GuestTrap(_) => "guest-trap",
+            InvokeError::FuelExhausted(_) => "fuel-exhausted",
         }
     }
 }
@@ -196,6 +214,13 @@ impl std::fmt::Display for InvokeError {
             InvokeError::TimedOut => write!(f, "response timed out"),
             InvokeError::DeviceOom(m) => write!(f, "device out of memory: {m}"),
             InvokeError::UnknownFlow(id) => write!(f, "unknown workflow '{id}'"),
+            InvokeError::UnknownGuestKernel(k) => {
+                write!(f, "unknown guest kernel '{k}'")
+            }
+            InvokeError::GuestTrap(m) => write!(f, "guest kernel trapped: {m}"),
+            InvokeError::FuelExhausted(m) => {
+                write!(f, "guest kernel out of fuel: {m}")
+            }
         }
     }
 }
@@ -347,6 +372,9 @@ mod tests {
             InvokeError::TimedOut,
             InvokeError::DeviceOom(String::new()),
             InvokeError::UnknownFlow(String::new()),
+            InvokeError::UnknownGuestKernel(String::new()),
+            InvokeError::GuestTrap(String::new()),
+            InvokeError::FuelExhausted(String::new()),
         ];
         assert_eq!(variants.len(), InvokeError::KINDS.len());
         for (v, label) in variants.iter().zip(InvokeError::KINDS) {

@@ -11,7 +11,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use kaas_accel::{Device, DeviceId};
-use kaas_kernels::{Kernel, Value};
+use kaas_kernels::{Kernel, KernelError, Value};
 use kaas_simtime::sleep;
 use kaas_simtime::sync::Semaphore;
 
@@ -100,6 +100,12 @@ impl TaskRunner {
             Device::Qpu(qpu) => qpu.transpile().await,
             Device::Cpu(_) | Device::Fpga(_) => {}
         }
+        // Warm-init is the last phase: compiled-in kernels are resident
+        // in the runner binary (free), while guest kernels pay either a
+        // full instantiate or a snapshot restore here.
+        if let Some((_, cost)) = kernel.warmup().cost() {
+            sleep(cost).await;
+        }
         TaskRunner {
             id,
             kernel,
@@ -177,10 +183,7 @@ impl TaskRunner {
         self.check_healthy()?;
         // Transport envelopes are a framing concern; kernels see content.
         let input = input.payload();
-        let mut work = self
-            .kernel
-            .work(input)
-            .map_err(|e| InvokeError::BadInput(e.to_string()))?;
+        let mut work = self.kernel.work(input).map_err(kernel_error)?;
         if input_resident {
             // The operand never crosses the host↔device boundary.
             work.bytes_in = 0;
@@ -237,10 +240,7 @@ impl TaskRunner {
 
         // The real computation (costless in virtual time — its cost is
         // the device model above).
-        let output = self
-            .kernel
-            .execute(input)
-            .map_err(|e| InvokeError::BadInput(e.to_string()))?;
+        let output = self.kernel.execute(input).map_err(kernel_error)?;
         Ok((output, timings))
     }
 
@@ -259,6 +259,20 @@ impl TaskRunner {
             )));
         }
         Ok(())
+    }
+}
+
+/// Maps kernel faults onto the wire error space, preserving the guest
+/// trap/fuel kinds so clients can tell "my code is wrong" from "my
+/// budget is too small" from "my input is malformed".
+fn kernel_error(e: KernelError) -> InvokeError {
+    // Pass the inner message through: each `InvokeError` variant's
+    // Display adds its own prefix, so keeping `e.to_string()` here
+    // would double it ("guest kernel trapped: guest kernel trapped:").
+    match e {
+        KernelError::BadInput(m) => InvokeError::BadInput(m),
+        KernelError::Trap(m) => InvokeError::GuestTrap(m),
+        KernelError::FuelExhausted(m) => InvokeError::FuelExhausted(m),
     }
 }
 

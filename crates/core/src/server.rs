@@ -24,6 +24,7 @@ use crate::config::ServerConfig;
 use crate::dataplane::DataPlane;
 use crate::dispatch::DispatchState;
 use crate::flow::FlowState;
+use crate::guest::GuestState;
 use crate::metrics::registry::MetricsRegistry;
 use crate::metrics::MetricsSink;
 use crate::pool::RunnerPool;
@@ -57,6 +58,9 @@ pub(crate) struct ServerInner {
     /// Registered workflow DAGs plus live-run accounting for the
     /// server-side dataflow executor.
     pub(crate) flows: FlowState,
+    /// Tenant-registered guest kernels (versioned bytecode programs
+    /// behind the `_kaas/code/*` control plane) with usage accounting.
+    pub(crate) guests: GuestState,
     /// Token bucket metering the server's own retry loops (the flow
     /// executor's step retries); `None` keeps them unmetered.
     pub(crate) retry_budget: Option<Rc<RetryBudget>>,
@@ -117,10 +121,14 @@ impl KaasServer {
         // Built before the pool consumes `devices`: shard count 0 means
         // one dispatch shard per device.
         let dispatch = DispatchState::new(&config, devices.len());
+        let metrics_registry = MetricsRegistry::new();
         let mut pool = RunnerPool::new(devices);
         if let Some(tracer) = &config.tracer {
             pool.set_tracer(tracer.clone());
         }
+        // The pool bills guest warm-init phases (full instantiate vs
+        // snapshot restore) into the shared registry at cold-start time.
+        pool.set_metrics(metrics_registry.clone());
         // Device memory dies with the runner process that owns it: any
         // runner death (crash, kill, idle reap) drops that device's
         // residency so retries re-upload instead of reading stale
@@ -138,13 +146,14 @@ impl KaasServer {
             dataplane,
             admission: AdmissionController::new(config.admission),
             metrics: MetricsSink::new(),
-            metrics_registry: MetricsRegistry::new(),
+            metrics_registry,
             dispatch,
             breakers: config
                 .breaker
                 .map(BreakerBank::new)
                 .unwrap_or_else(BreakerBank::disabled),
             flows: FlowState::new(),
+            guests: GuestState::new(),
             retry_budget: config.retry_budget.map(|c| Rc::new(RetryBudget::new(c))),
             config,
         });

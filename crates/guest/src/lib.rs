@@ -1,0 +1,43 @@
+//! # kaas-guest — deterministic guest kernel runtime
+//!
+//! The paper's tenants *bring* their kernels; this crate is the runtime
+//! that makes that possible without compiling them in. A guest kernel is
+//! a small stack-machine program ([`GuestProgram`]) over the existing
+//! [`Value`](kaas_kernels::Value) type: fuel-metered, sandboxed (no host
+//! calls, no ambient time or randomness), and statically validated at
+//! registration. A warm [`Instance`] pairs the program with its
+//! post-init globals; [`GuestKernel`] adapts it to the ordinary
+//! [`Kernel`](kaas_kernels::Kernel) trait so dispatch, placement, and
+//! device models treat tenant code exactly like compiled-in kernels.
+//!
+//! Cold start is a two-path artifact (Faasm's Proto-Faaslets, applied to
+//! the KaaS runner model): a fresh runner either pays **full
+//! instantiate** (parse + validate + replay the init program) or
+//! **restores** a pre-initialized snapshot image serialized at register
+//! time — [`full_instantiate_cost`] vs [`restore_cost`] in virtual time,
+//! with [`Instance::snapshot`]/[`Instance::restore`] carrying the bytes.
+//!
+//! ```
+//! use std::rc::Rc;
+//! use kaas_accel::DeviceClass;
+//! use kaas_guest::{GuestKernel, GuestProgram, Op};
+//! use kaas_kernels::{Kernel, Value};
+//!
+//! let program = GuestProgram::new("double", DeviceClass::Cpu)
+//!     .with_fuel(100)
+//!     .with_body(vec![Op::Input, Op::PushU(2), Op::Mul, Op::Return]);
+//! program.validate().unwrap();
+//! let kernel = GuestKernel::instantiate("acme/double@v1", Rc::new(program)).unwrap();
+//! assert_eq!(kernel.execute(&Value::U64(21)).unwrap(), Value::U64(42));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod interp;
+mod kernel;
+mod program;
+
+pub use interp::{full_instantiate_cost, restore_cost, Instance, RestoreError, Trap};
+pub use kernel::{GuestKernel, GuestMeter};
+pub use program::{GuestProgram, Op, ProgramError, MAX_VEC_LEN, PROGRAM_TAG};

@@ -7,6 +7,8 @@
 //! truth-preserving reduced instance while `work` still describes the
 //! full-scale cost — the timing experiments depend only on `work`.
 
+use std::time::Duration;
+
 use kaas_accel::{DeviceClass, WorkUnits};
 
 use crate::value::Value;
@@ -16,12 +18,51 @@ use crate::value::Value;
 pub enum KernelError {
     /// The input value has the wrong shape or type for this kernel.
     BadInput(String),
+    /// A guest kernel trapped (division by zero, out-of-bounds access,
+    /// type confusion, …). The computation is deterministic, so retrying
+    /// the same input traps the same way.
+    Trap(String),
+    /// A guest kernel ran out of fuel before returning.
+    FuelExhausted(String),
 }
 
 impl std::fmt::Display for KernelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KernelError::BadInput(msg) => write!(f, "bad kernel input: {msg}"),
+            KernelError::Trap(msg) => write!(f, "guest kernel trapped: {msg}"),
+            KernelError::FuelExhausted(msg) => write!(f, "guest kernel out of fuel: {msg}"),
+        }
+    }
+}
+
+/// How a kernel comes up on a fresh runner (the last cold-start phase).
+///
+/// Compiled-in kernels are [`Warmup::Resident`]: their code is part of
+/// the runner binary, so bringing one up costs nothing beyond the
+/// process/context phases the runner already pays. Guest kernels pay an
+/// extra warm-init phase whose cost depends on the path the tenant
+/// registered them with: a full instantiate (parse + validate + run the
+/// init program) or a Proto-Faaslet-style restore of a pre-initialized
+/// interpreter image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Warmup {
+    /// Compiled into the runner; no warm-init cost.
+    Resident,
+    /// Full instantiate: parse + validate + run the init program.
+    Instantiate(Duration),
+    /// Restore a pre-initialized snapshot image.
+    Restore(Duration),
+}
+
+impl Warmup {
+    /// The warm-init cost, if any, with its cold-start path label
+    /// (`"full"` or `"restore"` — the `guest.cold_start.{path}` hole).
+    pub fn cost(&self) -> Option<(&'static str, Duration)> {
+        match self {
+            Warmup::Resident => None,
+            Warmup::Instantiate(d) => Some(("full", *d)),
+            Warmup::Restore(d) => Some(("restore", *d)),
         }
     }
 }
@@ -42,6 +83,13 @@ pub trait Kernel {
     /// `GpuProfile::demand_scale`.
     fn demand(&self) -> f64 {
         0.25
+    }
+
+    /// How this kernel comes up on a fresh runner. Compiled-in kernels
+    /// are resident in the runner binary; guest kernels override this
+    /// with their instantiate/restore cost.
+    fn warmup(&self) -> Warmup {
+        Warmup::Resident
     }
 
     /// The work profile for `input` (FLOPs, transfer volumes, efficiency,
@@ -109,5 +157,19 @@ mod tests {
     fn error_display() {
         let e = KernelError::BadInput("nope".into());
         assert!(e.to_string().contains("nope"));
+        assert!(KernelError::Trap("div".into()).to_string().contains("div"));
+        assert!(KernelError::FuelExhausted("f".into())
+            .to_string()
+            .contains("fuel"));
+    }
+
+    #[test]
+    fn warmup_defaults_and_costs() {
+        let k: Box<dyn Kernel> = Box::new(Echo);
+        assert_eq!(k.warmup(), Warmup::Resident);
+        assert_eq!(Warmup::Resident.cost(), None);
+        let d = Duration::from_micros(5);
+        assert_eq!(Warmup::Instantiate(d).cost(), Some(("full", d)));
+        assert_eq!(Warmup::Restore(d).cost(), Some(("restore", d)));
     }
 }

@@ -52,7 +52,7 @@ pub use fpga::{
 pub use ga::{evolve_generation, mean_fitness, rastrigin, GaGeneration, GENERATIONS, GENES};
 pub use gnn::{GcnModel, GnnTraining, Graph};
 pub use image::{box_resize, Preprocess, TARGET};
-pub use kernel::{Kernel, KernelError};
+pub use kernel::{Kernel, KernelError, Warmup};
 pub use matmul::{matmul, MatMul};
 pub use mci::{estimate_integral, MonteCarlo};
 pub use qc::{QcSimulation, VqeEstimator};

@@ -1,0 +1,136 @@
+//! Guest kernels: register tenant bytecode at runtime, watch both
+//! cold-start paths, trip the fuel meter, and walk the version
+//! lifecycle.
+//!
+//! Run with: `cargo run --example guest_kernel`
+//!
+//! The walkthrough:
+//!   1. register a fuel-metered bytecode kernel (`sum(x·2.5) + bias`)
+//!      twice — once plain, once `with_snapshot()` — and compare the
+//!      full-instantiate vs snapshot-restore cold starts;
+//!   2. show bare-name vs `@vN`-pinned resolution across an upgrade;
+//!   3. let a hostile infinite loop die at its fuel limit;
+//!   4. read the per-tenant meters back out of the server registry.
+
+use kaas::accel::{Device, DeviceClass, DeviceId, GpuDevice, GpuProfile};
+use kaas::core::{KaasClient, KaasNetwork, KaasServer, KernelRegistry, ServerConfig};
+use kaas::guest::{GuestProgram, Op};
+use kaas::kernels::Value;
+use kaas::net::{LinkProfile, SharedMemory};
+use kaas::simtime::{spawn, Simulation};
+
+/// `sum(x · 2.5) + bias`, with the bias table built at init time so
+/// the snapshot path has real work to skip.
+fn scaled_sum(bias: f64) -> GuestProgram {
+    GuestProgram::new("scaledsum", DeviceClass::Gpu)
+        .with_init(1, vec![Op::PushF(bias), Op::SetGlobal(0)])
+        .with_body(vec![
+            Op::Input,
+            Op::PushF(2.5),
+            Op::VecScale,
+            Op::VecSum,
+            Op::Global(0),
+            Op::Add,
+            Op::Return,
+        ])
+}
+
+fn main() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let devices: Vec<Device> = (0..2)
+            .map(|i| GpuDevice::new(DeviceId(i), GpuProfile::p100()).into())
+            .collect();
+        let shm = SharedMemory::host();
+        let server = KaasServer::new(
+            devices,
+            KernelRegistry::new(),
+            shm.clone(),
+            ServerConfig::default(),
+        );
+        let net: KaasNetwork = KaasNetwork::new();
+        spawn(
+            server
+                .clone()
+                .serve(net.listen("kaas:7000").expect("fresh network")),
+        );
+        let mut client = KaasClient::connect(&net, "kaas:7000", LinkProfile::loopback())
+            .await
+            .expect("server is listening")
+            .with_shared_memory(shm);
+
+        // 1. Two registrations of the same math: the second opts into
+        // the Proto-Faaslet-style snapshot/restore cold start.
+        let plain = client
+            .register_kernel("acme", &scaled_sum(7.0))
+            .await
+            .expect("valid program");
+        let snappy = client
+            .register_kernel("acme", &scaled_sum(7.0).with_snapshot())
+            .await
+            .expect("valid program");
+        println!("registered {plain} (full instantiate) and {snappy} (snapshot)");
+
+        let xs = Value::F64s(vec![1.0, 2.0, 3.0, 4.0]);
+        let a = client.call(&plain).arg(xs.clone()).send().await.unwrap();
+        let b = client.call(&snappy).arg(xs.clone()).send().await.unwrap();
+        assert_eq!(a.output.payload(), b.output.payload());
+        println!(
+            "both versions agree: {:?} (expected 2.5·(1+2+3+4) + 7 = 32)",
+            a.output.payload()
+        );
+        let m = server.metrics_registry();
+        let cold = |path: &str| {
+            m.summary(&format!("guest.cold_start.{path}"))
+                .map(|s| s.sum / s.count as f64 * 1e6)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "cold start: full instantiate {:.1} µs vs snapshot restore {:.1} µs",
+            cold("full"),
+            cold("restore")
+        );
+
+        // 2. Bare names run the latest version; `@vN` pins. In-flight
+        // work and retries always stay on the version they resolved.
+        let bare = client
+            .call("acme/scaledsum")
+            .arg(xs.clone())
+            .send()
+            .await
+            .unwrap();
+        let pinned = client.call(&plain).arg(xs).send().await.unwrap();
+        assert_eq!(bare.output.payload(), pinned.output.payload());
+        println!(
+            "live versions for acme: {:?}",
+            client.list_guest_kernels("acme").await.unwrap()
+        );
+
+        // 3. Sandboxing: an infinite loop burns its fuel budget and
+        // dies with a typed error — the runner survives.
+        let spinner = GuestProgram::new("spinner", DeviceClass::Gpu)
+            .with_fuel(1_000)
+            .with_body(vec![Op::Jump(0)]);
+        let name = client.register_kernel("acme", &spinner).await.unwrap();
+        let err = client
+            .call(&name)
+            .arg(Value::U64(1))
+            .send()
+            .await
+            .expect_err("the loop must not return");
+        println!("hostile loop: kind = {} ({err})", err.kind());
+
+        // 4. Per-tenant metering, billed exactly once per invocation.
+        println!(
+            "tenant meters: {} invocations, {} fuel, {} wire bytes",
+            m.counter("guest.invocations"),
+            m.counter("guest.tenant.acme.fuel"),
+            m.counter("guest.bytes"),
+        );
+
+        // Tombstone everything; ids are never reused.
+        let removed = client.remove_kernel("acme/scaledsum").await.unwrap();
+        println!("removed {removed} scaledsum versions");
+    });
+    println!("simulated time elapsed: {}", sim.now());
+}

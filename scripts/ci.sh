@@ -86,6 +86,18 @@ if [[ "$ov_a" != "$ov_b" ]]; then
     exit 1
 fi
 
+echo "==> guest stage: guest runtime tests + coldstart bench determinism"
+cargo test -q --release -p kaas-guest
+cargo test -q --release --test guest_runtime
+# The two-path cold-start sweep must replay byte-identically run to run.
+gk_a="$(cargo run -q --release -p kaas-bench --bin coldstart -- --quick)"
+gk_b="$(cargo run -q --release -p kaas-bench --bin coldstart -- --quick)"
+if [[ "$gk_a" != "$gk_b" ]]; then
+    echo "coldstart bench diverged between two runs" >&2
+    diff <(printf '%s\n' "$gk_a") <(printf '%s\n' "$gk_b") >&2 || true
+    exit 1
+fi
+
 echo "==> cargo build --features trace --examples"
 cargo build --release --features trace --examples
 

@@ -15,12 +15,14 @@
 //! * [`accel`] — accelerator device models and power metering.
 //! * [`quantum`] — state-vector quantum circuit simulator and VQE.
 //! * [`kernels`] — real kernel implementations with work profiles.
+//! * [`guest`] — deterministic bytecode interpreter for tenant kernels.
 //! * [`core`] — the KaaS runtime itself.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use kaas_accel as accel;
 pub use kaas_core as core;
+pub use kaas_guest as guest;
 pub use kaas_kernels as kernels;
 pub use kaas_net as net;
 pub use kaas_quantum as quantum;

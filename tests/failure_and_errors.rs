@@ -4,11 +4,12 @@ use std::collections::BTreeSet;
 use std::rc::Rc;
 use std::time::Duration;
 
-use kaas::accel::{Device, DeviceId, GpuDevice, GpuProfile};
+use kaas::accel::{Device, DeviceClass, DeviceId, GpuDevice, GpuProfile};
 use kaas::core::{
     BreakerConfig, DataRef, InvokeError, KaasClient, KaasNetwork, KaasServer, KernelRegistry,
     Request, RetryConfig, ServerConfig, WorkflowHandle,
 };
+use kaas::guest::{GuestProgram, Op};
 use kaas::kernels::{Kernel, MatMul, MonteCarlo, Value};
 use kaas::net::{LinkProfile, SharedMemory};
 use kaas::simtime::{sleep, spawn, timeout, Simulation};
@@ -523,6 +524,56 @@ fn every_error_kind_is_inducible_and_counted() {
         assert!(err.partial.is_empty(), "no step ever ran");
         induced.insert(err.error.kind());
         assert!(_f.metrics_registry().counter("errors.unknown-flow") >= 1);
+
+        // Server G: guest kernel error kinds. An unregistered
+        // `tenant/name` is UnknownGuestKernel (distinct from
+        // UnknownKernel), a div-by-zero body is GuestTrap, and a
+        // too-small fuel budget on a loop is FuelExhausted.
+        let (_g, net_g, shm_g) = boot(gpus(1), vec![Rc::new(MatMul::new())]);
+        let mut client_g = connect(&net_g, shm_g).await;
+        let err = client_g
+            .call("ghost/tenant-code")
+            .arg(Value::U64(1))
+            .send()
+            .await
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InvokeError::UnknownGuestKernel("ghost/tenant-code".into())
+        );
+        induced.insert(err.kind());
+        let trapping = GuestProgram::new("halver", DeviceClass::Gpu)
+            .with_fuel(100)
+            .with_body(vec![Op::Input, Op::PushU(0), Op::Div, Op::Return]);
+        let name = client_g.register_kernel("acme", &trapping).await.unwrap();
+        let err = client_g
+            .call(&name)
+            .arg(Value::U64(8))
+            .send()
+            .await
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::GuestTrap(_)), "got {err:?}");
+        induced.insert(err.kind());
+        let spinner = GuestProgram::new("spinner", DeviceClass::Gpu)
+            .with_fuel(16)
+            .with_body(vec![Op::Jump(0)]);
+        let name = client_g.register_kernel("acme", &spinner).await.unwrap();
+        let err = client_g
+            .call(&name)
+            .arg(Value::U64(8))
+            .send()
+            .await
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::FuelExhausted(_)), "got {err:?}");
+        induced.insert(err.kind());
+        let m_g = _g.metrics_registry();
+        for kind in ["unknown-guest-kernel", "guest-trap", "fuel-exhausted"] {
+            assert!(
+                m_g.counter(&format!("errors.{kind}")) >= 1,
+                "errors.{kind} missing from registry:\n{}",
+                m_g.render()
+            );
+        }
 
         // Exhaustiveness: every variant in the stable KINDS table was
         // induced somewhere above.

@@ -1,0 +1,388 @@
+//! Integration: the guest kernel runtime end to end.
+//!
+//! Covers the PR-9 guarantees: a guest bytecode kernel dispatched
+//! through the sharded engine produces results identical to an
+//! equivalent compiled-in kernel, the register → invoke → remove
+//! lifecycle is versioned and tombstoning, the snapshot/restore
+//! cold-start path is measurably cheaper than a full instantiate,
+//! per-tenant fuel/byte metering bills exactly once, and a seeded run
+//! with a runner crash mid-guest-invoke replays byte-identically while
+//! retries keep resolving the version the request started with.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use kaas::accel::{Device, DeviceClass, DeviceId, GpuDevice, GpuProfile, WorkUnits};
+use kaas::core::{
+    DispatchMode, InvokeError, KaasClient, KaasNetwork, KaasServer, KernelRegistry, RetryConfig,
+    ServerConfig, ShardConfig,
+};
+use kaas::guest::{GuestProgram, Op};
+use kaas::kernels::{Kernel, KernelError, Value};
+use kaas::net::{LinkProfile, SharedMemory};
+use kaas::simtime::{sleep, spawn, Simulation, SpanSink};
+
+const SEED: u64 = 2026;
+
+fn gpus(n: u32) -> Vec<Device> {
+    (0..n)
+        .map(|i| GpuDevice::new(DeviceId(i), GpuProfile::p100()).into())
+        .collect()
+}
+
+fn boot(
+    devices: Vec<Device>,
+    kernels: Vec<Rc<dyn Kernel>>,
+    config: ServerConfig,
+) -> (KaasServer, KaasNetwork, SharedMemory) {
+    let registry = KernelRegistry::new();
+    for k in kernels {
+        registry.register_rc(k).unwrap();
+    }
+    let shm = SharedMemory::host();
+    let server = KaasServer::new(devices, registry, shm.clone(), config);
+    let net: KaasNetwork = KaasNetwork::new();
+    spawn(server.clone().serve(net.listen("kaas").unwrap()));
+    (server, net, shm)
+}
+
+async fn connect(net: &KaasNetwork, shm: SharedMemory) -> KaasClient {
+    KaasClient::connect(net, "kaas", LinkProfile::loopback())
+        .await
+        .expect("listening")
+        .with_shared_memory(shm)
+}
+
+/// The compiled-in twin of [`scaled_sum_program`]: `sum(x · 2.5) + 7`.
+#[derive(Debug)]
+struct ScaledSum;
+
+impl Kernel for ScaledSum {
+    fn name(&self) -> &str {
+        "scaledsum"
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Gpu
+    }
+
+    fn work(&self, input: &Value) -> Result<WorkUnits, KernelError> {
+        Ok(WorkUnits::new(2.0 * input.wire_bytes() as f64).with_bytes(input.wire_bytes(), 16))
+    }
+
+    fn execute(&self, input: &Value) -> Result<Value, KernelError> {
+        match input {
+            Value::F64s(xs) => Ok(Value::F64(xs.iter().map(|x| x * 2.5).sum::<f64>() + 7.0)),
+            other => Err(KernelError::BadInput(format!(
+                "expected F64s, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The guest twin of [`ScaledSum`], with the bias in an init-time
+/// global so the test also exercises instantiate state.
+fn scaled_sum_program() -> GuestProgram {
+    GuestProgram::new("scaledsum", DeviceClass::Gpu)
+        .with_work(2.0, 0.0, 16)
+        .with_init(1, vec![Op::PushF(7.0), Op::SetGlobal(0)])
+        .with_body(vec![
+            Op::Input,
+            Op::PushF(2.5),
+            Op::VecScale,
+            Op::VecSum,
+            Op::Global(0),
+            Op::Add,
+            Op::Return,
+        ])
+}
+
+/// The acceptance bar for the whole subsystem: the same math registered
+/// as tenant bytecode and compiled into the server binary must agree
+/// bit for bit, through the sharded dispatch engine, and every guest
+/// invocation must land in the per-tenant meters exactly once.
+#[test]
+fn guest_matches_compiled_in_through_sharded_dispatch() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let config = ServerConfig::default().with_dispatch(DispatchMode::Sharded(ShardConfig {
+            shards: 2,
+            ..ShardConfig::default()
+        }));
+        let (server, net, shm) = boot(gpus(2), vec![Rc::new(ScaledSum)], config);
+        let mut client = connect(&net, shm).await;
+
+        let full = client
+            .register_kernel("acme", &scaled_sum_program())
+            .await
+            .unwrap();
+        assert_eq!(full, "acme/scaledsum@v1");
+
+        for n in [1usize, 3, 64, 1000] {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.25 - 3.0).collect();
+            let native = client
+                .call("scaledsum")
+                .arg(Value::F64s(xs.clone()))
+                .send()
+                .await
+                .unwrap();
+            let guest = client
+                .call("acme/scaledsum")
+                .arg(Value::F64s(xs))
+                .send()
+                .await
+                .unwrap();
+            assert_eq!(
+                native.output.payload(),
+                guest.output.payload(),
+                "guest and compiled-in results diverged at n = {n}"
+            );
+        }
+
+        let m = server.metrics_registry();
+        assert_eq!(m.counter("guest.invocations"), 4);
+        assert!(m.counter("guest.fuel_used") > 0);
+        assert!(m.counter("guest.bytes") > 0);
+        assert_eq!(
+            m.counter("guest.tenant.acme.fuel"),
+            m.counter("guest.fuel_used"),
+            "a single tenant owns all the fuel"
+        );
+    });
+}
+
+#[test]
+fn register_invoke_remove_lifecycle_is_versioned() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let (server, net, shm) = boot(gpus(1), vec![], ServerConfig::default());
+        let mut client = connect(&net, shm).await;
+        let adder = |k: u64| {
+            GuestProgram::new("adder", DeviceClass::Gpu).with_body(vec![
+                Op::Input,
+                Op::PushU(k),
+                Op::Add,
+                Op::Return,
+            ])
+        };
+
+        // Registration is append-only: each upload gets the next id.
+        assert_eq!(
+            client.register_kernel("acme", &adder(1)).await.unwrap(),
+            "acme/adder@v1"
+        );
+        assert_eq!(
+            client.register_kernel("acme", &adder(2)).await.unwrap(),
+            "acme/adder@v2"
+        );
+        assert_eq!(
+            client.list_guest_kernels("acme").await.unwrap(),
+            vec!["acme/adder@v1", "acme/adder@v2"]
+        );
+
+        // A bare name runs the latest version; `@vN` pins one.
+        let ten = client
+            .call("acme/adder")
+            .arg(Value::U64(10))
+            .send()
+            .await
+            .unwrap();
+        assert_eq!(ten.output.payload(), &Value::U64(12));
+        let pinned = client
+            .call("acme/adder@v1")
+            .arg(Value::U64(10))
+            .send()
+            .await
+            .unwrap();
+        assert_eq!(pinned.output.payload(), &Value::U64(11));
+
+        // Tombstoning v2 falls the bare name back to v1 …
+        assert_eq!(client.remove_kernel("acme/adder@v2").await.unwrap(), 1);
+        let back = client
+            .call("acme/adder")
+            .arg(Value::U64(10))
+            .send()
+            .await
+            .unwrap();
+        assert_eq!(back.output.payload(), &Value::U64(11));
+        // … and a tombstoned version is gone for good.
+        assert_eq!(
+            client.remove_kernel("acme/adder@v2").await.unwrap_err(),
+            InvokeError::UnknownGuestKernel("acme/adder@v2".into())
+        );
+
+        // Removing the bare name sweeps every remaining live version.
+        assert_eq!(client.remove_kernel("acme/adder").await.unwrap(), 1);
+        assert!(client.list_guest_kernels("acme").await.unwrap().is_empty());
+        let gone = client
+            .call("acme/adder")
+            .arg(Value::U64(10))
+            .send()
+            .await
+            .unwrap_err();
+        assert_eq!(gone, InvokeError::UnknownGuestKernel("acme/adder".into()));
+
+        // Ids are never reused: the next upload is v3, not v1.
+        assert_eq!(
+            client.register_kernel("acme", &adder(3)).await.unwrap(),
+            "acme/adder@v3"
+        );
+
+        let m = server.metrics_registry();
+        assert_eq!(m.counter("guest.registered"), 3);
+        assert_eq!(m.counter("guest.removed"), 2);
+    });
+}
+
+/// Two equivalent programs with an expensive init table, one opted into
+/// the snapshot path: both compute the same answer, but the restored
+/// runner's warm-init lands in `guest.cold_start.restore` at least 3×
+/// cheaper than the full instantiate.
+#[test]
+fn snapshot_restore_cold_start_beats_full_instantiate() {
+    let mut sim = Simulation::new();
+    sim.block_on(async {
+        let (server, net, shm) = boot(gpus(2), vec![], ServerConfig::default());
+        let mut client = connect(&net, shm).await;
+        let table = |name: &str| {
+            GuestProgram::new(name, DeviceClass::Gpu)
+                .with_init(
+                    1,
+                    vec![
+                        Op::PushU(4096),
+                        Op::PushF(0.5),
+                        Op::VecFill,
+                        Op::SetGlobal(0),
+                    ],
+                )
+                .with_body(vec![Op::Global(0), Op::VecSum, Op::Return])
+        };
+        let full = client
+            .register_kernel("acme", &table("coldfull"))
+            .await
+            .unwrap();
+        let snap = client
+            .register_kernel("acme", &table("coldsnap").with_snapshot())
+            .await
+            .unwrap();
+
+        let a = client.call(&full).arg(Value::Unit).send().await.unwrap();
+        let b = client.call(&snap).arg(Value::Unit).send().await.unwrap();
+        assert_eq!(a.output.payload(), &Value::F64(2048.0));
+        assert_eq!(a.output.payload(), b.output.payload());
+
+        let m = server.metrics_registry();
+        let full_h = m
+            .summary("guest.cold_start.full")
+            .expect("full instantiate was observed");
+        let restore_h = m
+            .summary("guest.cold_start.restore")
+            .expect("snapshot restore was observed");
+        assert_eq!((full_h.count, restore_h.count), (1, 1));
+        assert!(
+            full_h.sum >= 3.0 * restore_h.sum,
+            "restore must be ≥3× cheaper: full {} vs restore {}",
+            full_h.sum,
+            restore_h.sum
+        );
+
+        // Warm invocations pay neither path again.
+        client.call(&snap).arg(Value::Unit).send().await.unwrap();
+        assert_eq!(m.summary("guest.cold_start.restore").unwrap().count, 1);
+    });
+}
+
+/// One seeded crash run: a slow guest invocation is in flight when its
+/// runner dies and a newer version of the same bare name is registered.
+#[derive(Debug, PartialEq)]
+struct GuestCrashSummary {
+    inflight: Value,
+    fresh: Value,
+    restores: u64,
+    registry: String,
+    trace: String,
+}
+
+fn run_guest_crash(_seed: u64) -> GuestCrashSummary {
+    let mut sim = Simulation::new();
+    sim.block_on(async move {
+        let tracer = SpanSink::new();
+        let config = ServerConfig::default()
+            .with_tracer(tracer.clone())
+            .with_retry(RetryConfig::default().with_max_attempts(3));
+        let (server, net, shm) = boot(gpus(1), vec![], config);
+        let mut admin = connect(&net, shm.clone()).await;
+        let mut worker = connect(&net, shm).await;
+
+        // ~2 s of modeled device time per run, so the crash below lands
+        // squarely mid-kernel-exec on the first attempt.
+        let slow = GuestProgram::new("slow", DeviceClass::Gpu)
+            .with_work(2.0e13, 0.0, 16)
+            .with_snapshot()
+            .with_body(vec![Op::Input, Op::PushU(1), Op::Add, Op::Return]);
+        let v1 = admin.register_kernel("acme", &slow).await.unwrap();
+
+        let inflight = spawn(async move {
+            worker
+                .call("acme/slow")
+                .arg(Value::U64(10))
+                .timeout(Duration::from_secs(30))
+                .send()
+                .await
+        });
+
+        // Crash the runner mid-invoke, then slide a v2 with different
+        // semantics under the same bare name before the retry runs.
+        sleep(Duration::from_millis(1_500)).await;
+        assert!(server.pool().crash_runner(&v1).is_some());
+        let fast = GuestProgram::new("slow", DeviceClass::Gpu).with_body(vec![
+            Op::Input,
+            Op::PushU(2),
+            Op::Add,
+            Op::Return,
+        ]);
+        assert_eq!(
+            admin.register_kernel("acme", &fast).await.unwrap(),
+            "acme/slow@v2"
+        );
+
+        // The retried attempt re-resolves the version the request
+        // started with — v1 — even though v2 is now the latest …
+        let inflight = inflight.await.unwrap().output.payload().clone();
+        // … while a fresh bare-name call picks up v2.
+        let fresh = admin
+            .call("acme/slow")
+            .arg(Value::U64(10))
+            .send()
+            .await
+            .unwrap()
+            .output
+            .payload()
+            .clone();
+
+        let m = server.metrics_registry();
+        GuestCrashSummary {
+            inflight,
+            fresh,
+            restores: m
+                .summary("guest.cold_start.restore")
+                .map(|s| s.count)
+                .unwrap_or(0),
+            registry: m.render(),
+            trace: tracer.to_chrome_json(),
+        }
+    })
+}
+
+#[test]
+fn crash_mid_guest_invoke_retries_same_version_and_replays() {
+    let a = run_guest_crash(SEED);
+    assert_eq!(a.inflight, Value::U64(11), "retry must stay on v1: {a:?}");
+    assert_eq!(a.fresh, Value::U64(12), "fresh calls resolve v2: {a:?}");
+    assert!(
+        a.restores >= 2,
+        "the crashed snapshot runner must restore again on retry: {a:?}"
+    );
+    let b = run_guest_crash(SEED);
+    assert_eq!(a, b, "same seed must replay the whole run identically");
+}
