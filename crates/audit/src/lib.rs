@@ -109,6 +109,48 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+impl Diagnostic {
+    /// One-line JSON object for this finding, with stable field names
+    /// (`file`, `line`, `rule`, `slug`, `message`) — the CLI's
+    /// `--format=json` output that CI turns into annotations. `slug` is
+    /// `null` for rules without an `audit:allow` slug.
+    pub fn to_json(&self) -> String {
+        let slug = match self.rule.slug() {
+            Some(s) => format!("\"{s}\""),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"file\":{},\"line\":{},\"rule\":\"{}\",\"slug\":{},\"message\":{}}}",
+            json_string(&self.file.display().to_string()),
+            self.line,
+            self.rule.code(),
+            slug,
+            json_string(&self.message),
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// The outcome of a full audit: findings plus scan statistics.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -1401,6 +1443,28 @@ pub fn pattern_matches(pattern: &str, name: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn diagnostic_json_is_stable_and_escaped() {
+        let d = Diagnostic {
+            file: PathBuf::from("crates/core/src/x.rs"),
+            line: 7,
+            rule: Rule::D1Unordered,
+            message: "a \"quoted\"\nthing".to_string(),
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"file\":\"crates/core/src/x.rs\",\"line\":7,\"rule\":\"D1\",\
+             \"slug\":\"unordered\",\"message\":\"a \\\"quoted\\\"\\nthing\"}"
+        );
+        let r = Diagnostic {
+            file: PathBuf::from("f.rs"),
+            line: 1,
+            rule: Rule::R1ErrorKinds,
+            message: String::new(),
+        };
+        assert!(r.to_json().contains("\"slug\":null"));
+    }
 
     fn scan(src: &str) -> Vec<Diagnostic> {
         scan_determinism(

@@ -9,16 +9,27 @@
 //! ```
 //!
 //! Diagnostics print as `path:line: [RULE] message`; the last line is a
-//! machine-readable JSON summary.
+//! machine-readable JSON summary. With `--format=json` (any position)
+//! each finding prints as one JSON object instead — stable field names
+//! `file`, `line`, `rule`, `slug`, `message` — for CI annotation.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use kaas_audit::{audit_files, audit_workspace, check_error_kinds, check_metric_inventory, Report};
 
-fn finish(report: Report) -> ExitCode {
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn finish(report: Report, format: Format) -> ExitCode {
     for d in &report.diagnostics {
-        println!("{d}");
+        match format {
+            Format::Text => println!("{d}"),
+            Format::Json => println!("{}", d.to_json()),
+        }
     }
     println!("kaas-audit: {}", report.summary_json());
     if report.diagnostics.is_empty() {
@@ -56,7 +67,16 @@ fn find_root(explicit: Option<&str>) -> Option<PathBuf> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = Format::Text;
+    args.retain(|a| {
+        if a == "--format=json" {
+            format = Format::Json;
+            false
+        } else {
+            true
+        }
+    });
     match args.first().map(String::as_str) {
         Some("--files") => {
             let paths: Vec<PathBuf> = args[1..].iter().map(PathBuf::from).collect();
@@ -64,7 +84,7 @@ fn main() -> ExitCode {
                 return fail("--files requires at least one path");
             }
             match audit_files(&paths) {
-                Ok(r) => finish(r),
+                Ok(r) => finish(r, format),
                 Err(e) => fail(&format!("io error: {e}")),
             }
         }
@@ -78,10 +98,13 @@ fn main() -> ExitCode {
             ) else {
                 return fail("could not read --r1 inputs");
             };
-            finish(Report {
-                diagnostics: check_error_kinds(Path::new(proto), &ps, Path::new(test), &ts),
-                files_scanned: 2,
-            })
+            finish(
+                Report {
+                    diagnostics: check_error_kinds(Path::new(proto), &ps, Path::new(test), &ts),
+                    files_scanned: 2,
+                },
+                format,
+            )
         }
         Some("--r2") => {
             let Some((inv, files)) = args[1..].split_first() else {
@@ -97,10 +120,13 @@ fn main() -> ExitCode {
                     Err(e) => return fail(&format!("could not read {f}: {e}")),
                 }
             }
-            finish(Report {
-                diagnostics: check_metric_inventory(Path::new(inv), &inv_src, &sources),
-                files_scanned: sources.len(),
-            })
+            finish(
+                Report {
+                    diagnostics: check_metric_inventory(Path::new(inv), &inv_src, &sources),
+                    files_scanned: sources.len(),
+                },
+                format,
+            )
         }
         Some(flag) if flag.starts_with("--") => fail(&format!("unknown flag {flag}")),
         root => {
@@ -108,7 +134,7 @@ fn main() -> ExitCode {
                 return fail("could not locate the workspace root");
             };
             match audit_workspace(&root) {
-                Ok(r) => finish(r),
+                Ok(r) => finish(r, format),
                 Err(e) => fail(&format!("io error: {e}")),
             }
         }

@@ -1,0 +1,21 @@
+//! Verifier fast-path benchmark: checking interpreter vs the
+//! certificate-backed fast path, with costs modeled from the
+//! interpreter's own instruction/check counters. Pass `--quick` for the
+//! reduced CI sweep (whose output must be byte-identical run to run)
+//! and `--seed=N` to reseed the input streams. Full runs also archive
+//! the rows to `results/verify.json`.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = std::env::args()
+        .find_map(|a| a.strip_prefix("--seed=").and_then(|s| s.parse().ok()))
+        .unwrap_or(2026);
+    let report = kaas_bench::verify::run(quick, seed);
+    print!("{}", kaas_bench::verify::to_table(&report));
+    if !quick {
+        std::fs::create_dir_all("results").ok();
+        std::fs::write("results/verify.json", kaas_bench::verify::to_json(&report))
+            .expect("write results/verify.json");
+        eprintln!("wrote results/verify.json");
+    }
+}

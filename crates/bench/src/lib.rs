@@ -29,3 +29,4 @@ pub mod fig17;
 pub mod overload;
 pub mod sharing;
 pub mod trace_replay;
+pub mod verify;

@@ -311,11 +311,13 @@ impl KaasClient {
     }
 
     /// Registers a guest kernel program under `tenant`, returning its
-    /// versioned `tenant/name@vN` identity. Registration instantiates
-    /// the program once server-side (running its init, taking the
-    /// snapshot image when the program opted in) — every re-register of
-    /// the same name mints a fresh version; existing versions are never
-    /// mutated, so in-flight work keeps the code it resolved.
+    /// versioned `tenant/name@vN` identity. Registration verifies the
+    /// bytecode (abstract typing, stack depths, worst-case fuel bound)
+    /// and instantiates the program once server-side (running its init,
+    /// taking the snapshot image when the program opted in) — every
+    /// re-register of the same name mints a fresh version; existing
+    /// versions are never mutated, so in-flight work keeps the code it
+    /// resolved.
     ///
     /// Invoke it like any kernel: `client.call("tenant/name")` runs the
     /// latest live version, `client.call(&full_name)` pins one.
@@ -323,7 +325,10 @@ impl KaasClient {
     /// # Errors
     ///
     /// [`InvokeError::BadInput`] when the tenant identity or program
-    /// fails validation; [`InvokeError::GuestTrap`] /
+    /// fails validation; [`InvokeError::VerifyRejected`] when the
+    /// verifier proves the program traps (type mismatch, stack
+    /// underflow, no-return path), with the `seq@pc: [rule] …`
+    /// diagnostics in the payload; [`InvokeError::GuestTrap`] /
     /// [`InvokeError::FuelExhausted`] when the init program faults;
     /// transport errors as usual.
     pub async fn register_kernel(

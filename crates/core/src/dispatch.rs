@@ -438,7 +438,17 @@ impl KaasServer {
             // Guest kernels resolve alongside compiled-in ones: a bare
             // `tenant/name` means latest live version, `@vN` pins one.
             None => match inner.guests.resolve(&req.kernel) {
-                Some(g) => g as Rc<dyn Kernel>,
+                Some(g) => {
+                    // The verifier's worst-case fuel bound is the
+                    // predicted cost of this invocation — recorded so
+                    // admission policy can be tuned against it.
+                    if let Some(fuel) = g.predicted_fuel() {
+                        inner
+                            .metrics_registry
+                            .observe("guest.predicted_fuel", fuel as f64);
+                    }
+                    g as Rc<dyn Kernel>
+                }
                 None if crate::guest::is_guest_name(&req.kernel) => {
                     return Err(InvokeError::UnknownGuestKernel(req.kernel.clone()));
                 }

@@ -120,14 +120,22 @@ impl GuestState {
         program
             .validate()
             .map_err(|e| InvokeError::BadInput(e.to_string()))?;
+        // The abstract interpreter rejects programs that provably trap
+        // (type mismatch, underflow, fall-off-the-end) before they ever
+        // reach a runner; its certificate enables the fast-path
+        // interpreter and carries the worst-case fuel bound.
+        let cert =
+            kaas_guest::verify(&program).map_err(|e| InvokeError::VerifyRejected(e.to_string()))?;
         let key = format!("{tenant}/{}", program.name);
         let mut map = self.kernels.borrow_mut();
         let versions = map.entry(key.clone()).or_default();
         let full = format!("{key}@v{}", versions.len() + 1);
-        let kernel = GuestKernel::instantiate(&full, Rc::new(program)).map_err(|e| match e {
-            Trap::FuelExhausted { .. } => InvokeError::FuelExhausted(format!("{full}: {e}")),
-            _ => InvokeError::GuestTrap(format!("{full} failed init: {e}")),
-        })?;
+        let kernel = GuestKernel::instantiate_verified(&full, Rc::new(program), cert).map_err(
+            |e| match e {
+                Trap::FuelExhausted { .. } => InvokeError::FuelExhausted(format!("{full}: {e}")),
+                _ => InvokeError::GuestTrap(format!("{full} failed init: {e}")),
+            },
+        )?;
         versions.push(Some(GuestEntry {
             kernel: Rc::new(kernel),
             billed: Cell::new(GuestMeter::default()),
@@ -235,6 +243,17 @@ impl GuestState {
 }
 
 impl KaasServer {
+    /// The verifier's worst-case fuel bound for a registered guest
+    /// kernel (`tenant/name` or `tenant/name@vN`) — the predicted
+    /// per-invocation cost admission and placement can consult before
+    /// running anything.
+    pub fn guest_fuel_bound(&self, name: &str) -> Option<u64> {
+        self.inner()
+            .guests
+            .resolve(name)
+            .and_then(|k| k.predicted_fuel())
+    }
+
     /// Serves one `_kaas/code/*` control operation (register/list/
     /// remove) against the guest registry. Like the data plane, control
     /// operations bypass placement but pay ordinary transport costs.
@@ -377,6 +396,25 @@ mod tests {
             state.register("acme", trapping),
             Err(InvokeError::GuestTrap(_))
         ));
+    }
+
+    #[test]
+    fn register_runs_the_verifier() {
+        let state = GuestState::new();
+        // A provable stack underflow is rejected before instantiation,
+        // with the verifier's structured diagnostics in the payload.
+        let mut bad = program("under");
+        bad.body = vec![Op::Pop, Op::Return];
+        let err = state.register("acme", bad).unwrap_err();
+        assert!(matches!(err, InvokeError::VerifyRejected(_)));
+        assert_eq!(err.kind(), "verify-rejected");
+        assert!(err.to_string().contains("body@0: [underflow]"));
+        // Accepted programs carry the static fuel bound into the
+        // registry entry.
+        let full = state.register("acme", program("echo")).unwrap();
+        let k = state.resolve(&full).unwrap();
+        assert_eq!(k.predicted_fuel(), Some(2));
+        assert!(k.certificate().is_some());
     }
 
     #[test]

@@ -145,13 +145,19 @@ pub enum InvokeError {
     GuestTrap(String),
     /// A guest kernel exhausted its registered fuel budget mid-run.
     FuelExhausted(String),
+    /// The registration-time verifier rejected a guest program: a
+    /// reachable instruction provably traps (type mismatch, stack
+    /// underflow, or a path that falls off the end without `return`).
+    /// The payload carries the verifier's file-free diagnostics
+    /// (`seq@pc: [rule] message`, `;`-joined).
+    VerifyRejected(String),
 }
 
 impl InvokeError {
     /// Every stable [`kind`](InvokeError::kind) label, in declaration
     /// order — lets tests and dashboards enumerate the error space
     /// without constructing each variant.
-    pub const KINDS: [&'static str; 15] = [
+    pub const KINDS: [&'static str; 16] = [
         "unknown-kernel",
         "bad-input",
         "no-device",
@@ -167,6 +173,7 @@ impl InvokeError {
         "unknown-guest-kernel",
         "guest-trap",
         "fuel-exhausted",
+        "verify-rejected",
     ];
 
     /// Short kebab-case name of the error variant (stable across
@@ -188,6 +195,7 @@ impl InvokeError {
             InvokeError::UnknownGuestKernel(_) => "unknown-guest-kernel",
             InvokeError::GuestTrap(_) => "guest-trap",
             InvokeError::FuelExhausted(_) => "fuel-exhausted",
+            InvokeError::VerifyRejected(_) => "verify-rejected",
         }
     }
 }
@@ -220,6 +228,9 @@ impl std::fmt::Display for InvokeError {
             InvokeError::GuestTrap(m) => write!(f, "guest kernel trapped: {m}"),
             InvokeError::FuelExhausted(m) => {
                 write!(f, "guest kernel out of fuel: {m}")
+            }
+            InvokeError::VerifyRejected(m) => {
+                write!(f, "guest program rejected by verifier: {m}")
             }
         }
     }
@@ -375,6 +386,7 @@ mod tests {
             InvokeError::UnknownGuestKernel(String::new()),
             InvokeError::GuestTrap(String::new()),
             InvokeError::FuelExhausted(String::new()),
+            InvokeError::VerifyRejected(String::new()),
         ];
         assert_eq!(variants.len(), InvokeError::KINDS.len());
         for (v, label) in variants.iter().zip(InvokeError::KINDS) {

@@ -7,6 +7,7 @@ use std::time::Duration;
 use kaas_kernels::Value;
 
 use crate::program::{GuestProgram, Op, MAX_VEC_LEN};
+use crate::verify::{ClassVerdict, InputClass, Verified};
 
 /// A runtime fault inside a guest program. Traps are deterministic:
 /// the same program and input trap identically on every run.
@@ -23,6 +24,15 @@ pub enum Trap {
     },
     /// An operand had the wrong type for the instruction.
     TypeMismatch(&'static str),
+    /// `set_global` executed outside the init program.
+    InitOnly,
+    /// A binary vector op over vectors of different lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: u64,
+        /// Length of the right operand.
+        right: u64,
+    },
     /// An instruction popped an empty stack.
     StackUnderflow,
     /// The body ran off the end without executing `Return`.
@@ -44,6 +54,10 @@ impl std::fmt::Display for Trap {
                 write!(f, "index {index} out of bounds for length {len}")
             }
             Trap::TypeMismatch(what) => write!(f, "type mismatch: {what}"),
+            Trap::InitOnly => write!(f, "set_global outside init"),
+            Trap::LengthMismatch { left, right } => {
+                write!(f, "vector length mismatch: {left} vs {right}")
+            }
             Trap::StackUnderflow => write!(f, "stack underflow"),
             Trap::NoReturn => write!(f, "body ended without return"),
             Trap::Domain(what) => write!(f, "domain fault: {what}"),
@@ -53,6 +67,71 @@ impl std::fmt::Display for Trap {
 }
 
 impl std::error::Error for Trap {}
+
+/// Per-run execution counters: retired instructions plus the dynamic
+/// type/underflow checks the interpreter performed. The verified fast
+/// path discharges those checks statically, so its `checks` stays 0 —
+/// the delta is what the `verify` bench turns into modeled time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions retired.
+    pub ops: u64,
+    /// Dynamic type and underflow checks performed.
+    pub checks: u64,
+}
+
+/// Execution metering, monomorphized away on the uncounted paths.
+trait Meter {
+    fn op(&mut self);
+    fn checks(&mut self, n: u64);
+}
+
+struct NoMeter;
+
+impl Meter for NoMeter {
+    #[inline(always)]
+    fn op(&mut self) {}
+    #[inline(always)]
+    fn checks(&mut self, _: u64) {}
+}
+
+impl Meter for RunStats {
+    #[inline(always)]
+    fn op(&mut self) {
+        self.ops += 1;
+    }
+    #[inline(always)]
+    fn checks(&mut self, n: u64) {
+        self.checks += n;
+    }
+}
+
+/// The global table as one execution phase sees it: init may write,
+/// invocations share the post-init table read-only (so `run` never
+/// clones it).
+enum Globals<'a> {
+    Init(&'a mut [Value]),
+    Frozen(&'a [Value]),
+}
+
+impl Globals<'_> {
+    fn get(&self, g: u8) -> &Value {
+        match self {
+            Globals::Init(xs) => &xs[g as usize],
+            Globals::Frozen(xs) => &xs[g as usize],
+        }
+    }
+
+    fn set(&mut self, g: u8, v: Value) -> Result<(), Trap> {
+        match self {
+            Globals::Init(xs) => {
+                xs[g as usize] = v;
+                Ok(())
+            }
+            Globals::Frozen(_) => Err(Trap::InitOnly),
+        }
+    }
+}
 
 /// Why a snapshot image failed to restore.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,10 +182,10 @@ impl Instance {
         let mut globals = vec![Value::Unit; program.globals as usize];
         let (_, init_fuel) = exec(
             &program.init,
-            &mut globals,
+            Globals::Init(&mut globals),
             &Value::Unit,
             program.fuel_limit,
-            true,
+            &mut NoMeter,
         )?;
         Ok(Instance {
             program,
@@ -131,17 +210,93 @@ impl Instance {
     ///
     /// Returns the [`Trap`] the body raised, if any.
     pub fn run(&self, input: &Value) -> Result<(Value, u64), Trap> {
-        let mut globals = self.globals.clone();
+        let (v, fuel, _) = self.run_metered(input, &mut NoMeter)?;
+        Ok((v, fuel))
+    }
+
+    /// [`run`](Instance::run) plus the [`RunStats`] the checking
+    /// interpreter accumulated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] the body raised, if any.
+    pub fn run_counted(&self, input: &Value) -> Result<(Value, u64, RunStats), Trap> {
+        let mut stats = RunStats::default();
+        self.run_metered(input, &mut stats)
+            .map(|(v, fuel, _)| (v, fuel, stats))
+    }
+
+    /// Runs the body under a verification certificate: inputs whose
+    /// class verdict is [`ClassVerdict::Clean`] take the fast path,
+    /// which skips every per-op type and underflow check the verifier
+    /// discharged; every other class falls back to the checking
+    /// interpreter. Results and traps are identical on both paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] the body raised, if any.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the certificate covers this program
+    /// (content hash) — a stale certificate is a caller bug.
+    pub fn run_verified(&self, cert: &Verified, input: &Value) -> Result<(Value, u64), Trap> {
+        let (v, fuel, _) = self.run_verified_metered(cert, input, &mut NoMeter)?;
+        Ok((v, fuel))
+    }
+
+    /// [`run_verified`](Instance::run_verified) plus [`RunStats`] and
+    /// whether the fast path was taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] the body raised, if any.
+    pub fn run_verified_counted(
+        &self,
+        cert: &Verified,
+        input: &Value,
+    ) -> Result<(Value, u64, RunStats, bool), Trap> {
+        let mut stats = RunStats::default();
+        self.run_verified_metered(cert, input, &mut stats)
+            .map(|(v, fuel, fast)| (v, fuel, stats, fast))
+    }
+
+    fn run_metered<M: Meter>(&self, input: &Value, m: &mut M) -> Result<(Value, u64, bool), Trap> {
         let (out, fuel) = exec(
             &self.program.body,
-            &mut globals,
+            Globals::Frozen(&self.globals),
             input,
             self.program.fuel_limit,
-            false,
+            m,
         )?;
         match out {
-            Some(v) => Ok((v, fuel)),
+            Some(v) => Ok((v, fuel, false)),
             None => Err(Trap::NoReturn),
+        }
+    }
+
+    fn run_verified_metered<M: Meter>(
+        &self,
+        cert: &Verified,
+        input: &Value,
+        m: &mut M,
+    ) -> Result<(Value, u64, bool), Trap> {
+        debug_assert!(
+            cert.covers(&self.program),
+            "certificate is for a different program"
+        );
+        if cert.verdict_for(InputClass::of(input)) == ClassVerdict::Clean {
+            let (v, fuel) = exec_fast(
+                &self.program.body,
+                &self.globals,
+                input,
+                self.program.fuel_limit,
+                cert.max_stack(),
+                m,
+            )?;
+            Ok((v, fuel, true))
+        } else {
+            self.run_metered(input, m)
         }
     }
 
@@ -278,14 +433,40 @@ fn decode_value(cur: &mut Cursor<'_>) -> Result<Value, RestoreError> {
     })
 }
 
+/// Dynamic type and underflow checks the checking interpreter performs
+/// for one instruction — exactly the checks the verifier discharges, so
+/// exactly what [`RunStats::checks`] counts. Value guards (div-by-zero,
+/// bounds, domain, length, fuel) run on both paths and are not counted.
+fn discharged_checks(op: Op) -> u64 {
+    match op {
+        Op::PushU(_) | Op::PushF(_) | Op::Input | Op::Global(_) | Op::Jump(_) => 0,
+        Op::SetGlobal(_) | Op::Dup | Op::Pop | Op::Return => 1,
+        Op::Neg | Op::Sqrt | Op::Len | Op::VecSum | Op::JumpIfZero(_) | Op::Swap => 2,
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Rem
+        | Op::Min
+        | Op::Max
+        | Op::Lt
+        | Op::Eq
+        | Op::Get
+        | Op::VecFill
+        | Op::VecScale
+        | Op::VecAdd
+        | Op::VecDot => 4,
+    }
+}
+
 /// Runs one instruction sequence. Returns the value passed to `Return`
 /// (or `None` if the sequence ran off the end) and the fuel consumed.
-fn exec(
+fn exec<M: Meter>(
     ops: &[Op],
-    globals: &mut [Value],
+    mut globals: Globals<'_>,
     input: &Value,
     fuel_limit: u64,
-    allow_set: bool,
+    m: &mut M,
 ) -> Result<(Option<Value>, u64), Trap> {
     let mut stack: Vec<Value> = Vec::new();
     let mut pc: usize = 0;
@@ -301,16 +482,16 @@ fn exec(
         let op = ops[pc];
         pc += 1;
         spend(&mut fuel, 1)?;
+        m.op();
+        m.checks(discharged_checks(op));
         match op {
             Op::PushU(n) => stack.push(Value::U64(n)),
             Op::PushF(x) => stack.push(Value::F64(x)),
             Op::Input => stack.push(input.clone()),
-            Op::Global(g) => stack.push(globals[g as usize].clone()),
+            Op::Global(g) => stack.push(globals.get(g).clone()),
             Op::SetGlobal(g) => {
-                if !allow_set {
-                    return Err(Trap::TypeMismatch("set_global outside init"));
-                }
-                globals[g as usize] = pop(&mut stack)?;
+                let v = pop(&mut stack)?;
+                globals.set(g, v)?;
             }
             Op::Dup => {
                 let top = stack.last().ok_or(Trap::StackUnderflow)?.clone();
@@ -401,7 +582,10 @@ fn exec(
                 let b = pop_vec(&mut stack)?;
                 let mut a = pop_vec(&mut stack)?;
                 if a.len() != b.len() {
-                    return Err(Trap::TypeMismatch("vec.add length mismatch"));
+                    return Err(Trap::LengthMismatch {
+                        left: a.len() as u64,
+                        right: b.len() as u64,
+                    });
                 }
                 spend(&mut fuel, a.len() as u64 / 16)?;
                 for (x, y) in a.iter_mut().zip(&b) {
@@ -418,7 +602,10 @@ fn exec(
                 let b = pop_vec(&mut stack)?;
                 let a = pop_vec(&mut stack)?;
                 if a.len() != b.len() {
-                    return Err(Trap::TypeMismatch("vec.dot length mismatch"));
+                    return Err(Trap::LengthMismatch {
+                        left: a.len() as u64,
+                        right: b.len() as u64,
+                    });
                 }
                 spend(&mut fuel, a.len() as u64 / 16)?;
                 let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
@@ -501,6 +688,231 @@ fn arith(op: Op, a: &Value, b: &Value) -> Result<Value, Trap> {
         _ => unreachable!("arith called with non-arith op"),
     };
     Ok(Value::F64(out))
+}
+
+/// The fast path hit a state the verifier proved impossible. Kept as a
+/// cold panic (not UB) so a verifier bug can never corrupt the host;
+/// release builds pay one never-taken branch per discharged check.
+#[cold]
+#[inline(never)]
+fn unsound(what: &'static str) -> ! {
+    panic!("verifier fast-path invariant violated: {what}");
+}
+
+fn take(stack: &mut Vec<Value>) -> Value {
+    debug_assert!(!stack.is_empty(), "fast path: stack underflow");
+    stack.pop().unwrap_or_else(|| unsound("stack underflow"))
+}
+
+fn take_num(stack: &mut Vec<Value>) -> f64 {
+    match take(stack) {
+        Value::U64(n) => n as f64,
+        Value::F64(x) => x,
+        _ => unsound("scalar operand"),
+    }
+}
+
+fn take_u64(stack: &mut Vec<Value>) -> u64 {
+    match take(stack) {
+        Value::U64(n) => n,
+        _ => unsound("u64 operand"),
+    }
+}
+
+fn take_vec(stack: &mut Vec<Value>) -> Vec<f64> {
+    match take(stack) {
+        Value::F64s(xs) => xs,
+        _ => unsound("vector operand"),
+    }
+}
+
+fn arith_fast(op: Op, a: Value, b: Value) -> Result<Value, Trap> {
+    if let (Value::U64(x), Value::U64(y)) = (&a, &b) {
+        let out = match op {
+            Op::Add => x.wrapping_add(*y),
+            Op::Sub => x.wrapping_sub(*y),
+            Op::Mul => x.wrapping_mul(*y),
+            Op::Div => x.checked_div(*y).ok_or(Trap::DivByZero)?,
+            Op::Rem => x.checked_rem(*y).ok_or(Trap::DivByZero)?,
+            Op::Min => *x.min(y),
+            Op::Max => *x.max(y),
+            _ => unreachable!("arith called with non-arith op"),
+        };
+        return Ok(Value::U64(out));
+    }
+    let num = |v: Value| match v {
+        Value::U64(n) => n as f64,
+        Value::F64(x) => x,
+        _ => unsound("scalar operand"),
+    };
+    let (x, y) = (num(a), num(b));
+    let out = match op {
+        Op::Add => x + y,
+        Op::Sub => x - y,
+        Op::Mul => x * y,
+        Op::Div | Op::Rem => {
+            if y == 0.0 {
+                return Err(Trap::DivByZero);
+            }
+            if matches!(op, Op::Div) {
+                x / y
+            } else {
+                x % y
+            }
+        }
+        Op::Min => x.min(y),
+        Op::Max => x.max(y),
+        _ => unreachable!("arith called with non-arith op"),
+    };
+    Ok(Value::F64(out))
+}
+
+/// The verified fast path: runs a body whose class verdict is `Clean`,
+/// skipping every type and underflow check the verifier discharged
+/// (each survives only as a debug assert backed by a cold panic). Value
+/// guards — division by zero, bounds, domain, vector length, fuel —
+/// stay, so traps and results are identical to the checking path.
+fn exec_fast<M: Meter>(
+    ops: &[Op],
+    globals: &[Value],
+    input: &Value,
+    fuel_limit: u64,
+    max_stack: usize,
+    m: &mut M,
+) -> Result<(Value, u64), Trap> {
+    let mut stack: Vec<Value> = Vec::with_capacity(max_stack);
+    let mut pc: usize = 0;
+    let mut fuel: u64 = 0;
+    let spend = |fuel: &mut u64, cost: u64| -> Result<(), Trap> {
+        *fuel = fuel.saturating_add(cost);
+        if *fuel > fuel_limit {
+            return Err(Trap::FuelExhausted { limit: fuel_limit });
+        }
+        Ok(())
+    };
+    while pc < ops.len() {
+        let op = ops[pc];
+        pc += 1;
+        spend(&mut fuel, 1)?;
+        m.op();
+        match op {
+            Op::PushU(n) => stack.push(Value::U64(n)),
+            Op::PushF(x) => stack.push(Value::F64(x)),
+            Op::Input => stack.push(input.clone()),
+            Op::Global(g) => stack.push(globals[g as usize].clone()),
+            Op::SetGlobal(_) => unsound("set_global in body"),
+            Op::Dup => {
+                let top = stack
+                    .last()
+                    .cloned()
+                    .unwrap_or_else(|| unsound("dup on empty stack"));
+                stack.push(top);
+            }
+            Op::Pop => {
+                take(&mut stack);
+            }
+            Op::Swap => {
+                let b = take(&mut stack);
+                let a = take(&mut stack);
+                stack.push(b);
+                stack.push(a);
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::Min | Op::Max => {
+                let b = take(&mut stack);
+                let a = take(&mut stack);
+                stack.push(arith_fast(op, a, b)?);
+            }
+            Op::Neg => {
+                let x = take_num(&mut stack);
+                stack.push(Value::F64(-x));
+            }
+            Op::Sqrt => {
+                let x = take_num(&mut stack);
+                if x < 0.0 {
+                    return Err(Trap::Domain("sqrt of negative"));
+                }
+                stack.push(Value::F64(x.sqrt()));
+            }
+            Op::Lt | Op::Eq => {
+                let b = take_num(&mut stack);
+                let a = take_num(&mut stack);
+                let hit = if matches!(op, Op::Lt) { a < b } else { a == b };
+                stack.push(Value::U64(hit as u64));
+            }
+            Op::Len => {
+                let xs = take_vec(&mut stack);
+                stack.push(Value::U64(xs.len() as u64));
+            }
+            Op::Get => {
+                let index = take_u64(&mut stack);
+                let xs = take_vec(&mut stack);
+                let x = *xs.get(index as usize).ok_or(Trap::OobIndex {
+                    index,
+                    len: xs.len() as u64,
+                })?;
+                stack.push(Value::F64(x));
+            }
+            Op::VecFill => {
+                let fill = take_num(&mut stack);
+                let n = take_u64(&mut stack);
+                if n > MAX_VEC_LEN {
+                    return Err(Trap::Domain("vector too large"));
+                }
+                spend(&mut fuel, n / 16)?;
+                stack.push(Value::F64s(vec![fill; n as usize]));
+            }
+            Op::VecScale => {
+                let s = take_num(&mut stack);
+                let mut xs = take_vec(&mut stack);
+                spend(&mut fuel, xs.len() as u64 / 16)?;
+                for x in &mut xs {
+                    *x *= s;
+                }
+                stack.push(Value::F64s(xs));
+            }
+            Op::VecAdd => {
+                let b = take_vec(&mut stack);
+                let mut a = take_vec(&mut stack);
+                if a.len() != b.len() {
+                    return Err(Trap::LengthMismatch {
+                        left: a.len() as u64,
+                        right: b.len() as u64,
+                    });
+                }
+                spend(&mut fuel, a.len() as u64 / 16)?;
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += *y;
+                }
+                stack.push(Value::F64s(a));
+            }
+            Op::VecSum => {
+                let xs = take_vec(&mut stack);
+                spend(&mut fuel, xs.len() as u64 / 16)?;
+                stack.push(Value::F64(xs.iter().sum()));
+            }
+            Op::VecDot => {
+                let b = take_vec(&mut stack);
+                let a = take_vec(&mut stack);
+                if a.len() != b.len() {
+                    return Err(Trap::LengthMismatch {
+                        left: a.len() as u64,
+                        right: b.len() as u64,
+                    });
+                }
+                spend(&mut fuel, a.len() as u64 / 16)?;
+                let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+                stack.push(Value::F64(dot));
+            }
+            Op::Jump(target) => pc = target as usize,
+            Op::JumpIfZero(target) => {
+                if take_u64(&mut stack) == 0 {
+                    pc = target as usize;
+                }
+            }
+            Op::Return => return Ok((take(&mut stack), fuel)),
+        }
+    }
+    unsound("fell off the end")
 }
 
 #[cfg(test)]
@@ -682,6 +1094,80 @@ mod tests {
         assert_eq!(
             Instance::restore(p, &image[..image.len() - 1]).err(),
             Some(RestoreError::Truncated)
+        );
+    }
+
+    #[test]
+    fn init_only_and_length_traps_are_named_honestly() {
+        // An unvalidated program (built by hand) that writes a global
+        // from the body traps with the dedicated InitOnly kind.
+        let p = Rc::new(GuestProgram {
+            body: vec![Op::PushU(1), Op::SetGlobal(0), Op::Return],
+            globals: 1,
+            ..GuestProgram::new("raw", DeviceClass::Cpu)
+        });
+        let inst = Instance::instantiate(p).unwrap();
+        assert_eq!(inst.run(&Value::Unit), Err(Trap::InitOnly));
+        assert_eq!(Trap::InitOnly.to_string(), "set_global outside init");
+        // Mismatched vector lengths carry both lengths.
+        let err = run(
+            vec![
+                Op::Input,
+                Op::PushU(2),
+                Op::PushF(0.0),
+                Op::VecFill,
+                Op::VecAdd,
+                Op::Return,
+            ],
+            Value::F64s(vec![1.0, 2.0, 3.0]),
+        )
+        .unwrap_err();
+        assert_eq!(err, Trap::LengthMismatch { left: 3, right: 2 });
+    }
+
+    #[test]
+    fn fast_path_matches_checking_path() {
+        let body = vec![
+            Op::Input,         // 0
+            Op::Dup,           // 1
+            Op::JumpIfZero(6), // 2
+            Op::PushU(1),      // 3
+            Op::Sub,           // 4
+            Op::Jump(1),       // 5
+            Op::PushU(7),      // 6
+            Op::Add,           // 7
+            Op::Return,        // 8
+        ];
+        let p = program(body);
+        let cert = crate::verify::verify(&p).unwrap();
+        let inst = Instance::instantiate(p).unwrap();
+        for n in [0u64, 1, 5, 100] {
+            let input = Value::U64(n);
+            let slow = inst.run_counted(&input).unwrap();
+            let (v, fuel, stats, fast) = inst.run_verified_counted(&cert, &input).unwrap();
+            assert!(fast, "u64 inputs verify clean");
+            assert_eq!((v, fuel), (slow.0, slow.1));
+            assert_eq!(stats.ops, slow.2.ops);
+            assert_eq!(stats.checks, 0);
+            assert!(slow.2.checks > 0);
+        }
+        // A non-clean class falls back to the checking interpreter and
+        // traps exactly as `run` does.
+        assert_eq!(
+            inst.run_verified(&cert, &Value::F64s(vec![1.0])),
+            inst.run(&Value::F64s(vec![1.0]))
+        );
+        // Fuel exhaustion still fires on the fast path.
+        let spin = Rc::new(
+            GuestProgram::new("spin", DeviceClass::Cpu)
+                .with_fuel(64)
+                .with_body(vec![Op::PushU(1), Op::Pop, Op::Jump(0)]),
+        );
+        let cert = crate::verify::verify(&spin).unwrap();
+        let inst = Instance::instantiate(spin).unwrap();
+        assert_eq!(
+            inst.run_verified(&cert, &Value::Unit),
+            Err(Trap::FuelExhausted { limit: 64 })
         );
     }
 

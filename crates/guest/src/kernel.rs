@@ -10,6 +10,7 @@ use kaas_kernels::{Kernel, KernelError, Value, Warmup};
 
 use crate::interp::{full_instantiate_cost, restore_cost, Instance, Trap};
 use crate::program::GuestProgram;
+use crate::verify::Verified;
 
 /// Cumulative usage counters for one registered guest kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +35,7 @@ pub struct GuestMeter {
 pub struct GuestKernel {
     full_name: String,
     instance: Instance,
+    cert: Option<Verified>,
     warmup: Warmup,
     image: Option<Vec<u8>>,
     invocations: Cell<u64>,
@@ -50,6 +52,35 @@ impl GuestKernel {
     ///
     /// Propagates a [`Trap`] from the init program.
     pub fn instantiate(full_name: &str, program: Rc<GuestProgram>) -> Result<GuestKernel, Trap> {
+        Self::build(full_name, program, None)
+    }
+
+    /// [`instantiate`](GuestKernel::instantiate), carrying a verifier
+    /// certificate: invocations whose input class verified `Clean` run
+    /// the fast-path interpreter, and [`predicted_fuel`] exposes the
+    /// static worst-case bound to the registry. A certificate that does
+    /// not cover `program` (content hash) is discarded — execution then
+    /// stays on the checking path.
+    ///
+    /// [`predicted_fuel`]: GuestKernel::predicted_fuel
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`Trap`] from the init program.
+    pub fn instantiate_verified(
+        full_name: &str,
+        program: Rc<GuestProgram>,
+        cert: Verified,
+    ) -> Result<GuestKernel, Trap> {
+        let cert = cert.covers(&program).then_some(cert);
+        Self::build(full_name, program, cert)
+    }
+
+    fn build(
+        full_name: &str,
+        program: Rc<GuestProgram>,
+        cert: Option<Verified>,
+    ) -> Result<GuestKernel, Trap> {
         let instance = Instance::instantiate(program.clone())?;
         let (warmup, image) = if program.snapshot {
             let image = instance.snapshot();
@@ -63,6 +94,7 @@ impl GuestKernel {
         Ok(GuestKernel {
             full_name: full_name.to_string(),
             instance,
+            cert,
             warmup,
             image,
             invocations: Cell::new(0),
@@ -79,6 +111,18 @@ impl GuestKernel {
     /// The snapshot image, when registered on the restore path.
     pub fn image(&self) -> Option<&[u8]> {
         self.image.as_deref()
+    }
+
+    /// The verification certificate, when registered through
+    /// [`instantiate_verified`](GuestKernel::instantiate_verified).
+    pub fn certificate(&self) -> Option<&Verified> {
+        self.cert.as_ref()
+    }
+
+    /// The static worst-case fuel for one invocation, when verified —
+    /// the registry's predicted-cost hint.
+    pub fn predicted_fuel(&self) -> Option<u64> {
+        self.cert.as_ref().map(Verified::predicted_fuel)
     }
 
     /// Cumulative usage since registration.
@@ -108,7 +152,11 @@ impl Kernel for GuestKernel {
     }
 
     fn execute(&self, input: &Value) -> Result<Value, KernelError> {
-        match self.instance.run(input) {
+        let run = match &self.cert {
+            Some(cert) => self.instance.run_verified(cert, input),
+            None => self.instance.run(input),
+        };
+        match run {
             Ok((output, fuel)) => {
                 self.invocations.set(self.invocations.get() + 1);
                 self.fuel.set(self.fuel.get() + fuel);
@@ -181,6 +229,35 @@ mod tests {
         let image = k.image().unwrap().to_vec();
         let restored = Instance::restore(k.instance().program().clone(), &image).unwrap();
         assert_eq!(restored.image_bytes(), image);
+    }
+
+    #[test]
+    fn verified_registration_runs_fast_and_predicts_fuel() {
+        let p = GuestProgram::new("double", DeviceClass::Cpu)
+            .with_fuel(1000)
+            .with_body(vec![Op::Input, Op::PushU(2), Op::Mul, Op::Return]);
+        let cert = crate::verify::verify(&p).unwrap();
+        let k = GuestKernel::instantiate_verified("t/double@v1", Rc::new(p), cert).unwrap();
+        assert_eq!(k.predicted_fuel(), Some(4));
+        assert!(k.certificate().is_some());
+        assert_eq!(k.execute(&Value::U64(21)).unwrap(), Value::U64(42));
+        // Non-clean inputs fall back to the checking path and still
+        // trap honestly.
+        assert!(matches!(
+            k.execute(&Value::F64s(vec![1.0])),
+            Err(KernelError::Trap(_))
+        ));
+        // A certificate for a different program is discarded.
+        let other = GuestProgram::new("other", DeviceClass::Cpu)
+            .with_fuel(1000)
+            .with_body(vec![Op::Input, Op::Return]);
+        let stale = crate::verify::verify(&other).unwrap();
+        let p2 = GuestProgram::new("double", DeviceClass::Cpu)
+            .with_fuel(1000)
+            .with_body(vec![Op::Input, Op::PushU(2), Op::Mul, Op::Return]);
+        let k = GuestKernel::instantiate_verified("t/double@v2", Rc::new(p2), stale).unwrap();
+        assert!(k.certificate().is_none());
+        assert_eq!(k.predicted_fuel(), None);
     }
 
     #[test]

@@ -17,17 +17,27 @@
 //! time — [`full_instantiate_cost`] vs [`restore_cost`] in virtual time,
 //! with [`Instance::snapshot`]/[`Instance::restore`] carrying the bytes.
 //!
+//! Registration also runs [`verify`]: an abstract interpreter that
+//! types every reachable instruction, proves stack depths, bounds
+//! worst-case fuel, and rejects programs that provably trap. The
+//! resulting [`Verified`] certificate lets clean input classes run a
+//! fast-path interpreter with every type and underflow check
+//! discharged statically.
+//!
 //! ```
 //! use std::rc::Rc;
 //! use kaas_accel::DeviceClass;
-//! use kaas_guest::{GuestKernel, GuestProgram, Op};
+//! use kaas_guest::{verify, FuelBound, GuestKernel, GuestProgram, Op};
 //! use kaas_kernels::{Kernel, Value};
 //!
 //! let program = GuestProgram::new("double", DeviceClass::Cpu)
 //!     .with_fuel(100)
 //!     .with_body(vec![Op::Input, Op::PushU(2), Op::Mul, Op::Return]);
-//! program.validate().unwrap();
-//! let kernel = GuestKernel::instantiate("acme/double@v1", Rc::new(program)).unwrap();
+//! let cert = verify(&program).unwrap();
+//! assert_eq!(cert.fuel_bound, FuelBound::Bounded(4));
+//! let kernel = GuestKernel::instantiate_verified("acme/double@v1", Rc::new(program), cert)
+//!     .unwrap();
+//! assert_eq!(kernel.predicted_fuel(), Some(4));
 //! assert_eq!(kernel.execute(&Value::U64(21)).unwrap(), Value::U64(42));
 //! ```
 
@@ -37,7 +47,12 @@
 mod interp;
 mod kernel;
 mod program;
+mod verify;
 
-pub use interp::{full_instantiate_cost, restore_cost, Instance, RestoreError, Trap};
+pub use interp::{full_instantiate_cost, restore_cost, Instance, RestoreError, RunStats, Trap};
 pub use kernel::{GuestKernel, GuestMeter};
 pub use program::{GuestProgram, Op, ProgramError, MAX_VEC_LEN, PROGRAM_TAG};
+pub use verify::{
+    verify, AbsTy, ClassVerdict, FuelBound, InputClass, SeqFacts, SeqName, Verified, VerifyDiag,
+    VerifyError,
+};

@@ -82,6 +82,44 @@ pub enum Op {
     Return,
 }
 
+impl Op {
+    /// Wire mnemonic (the name used in encodings and in verifier
+    /// diagnostics).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::PushU(_) => "push.u",
+            Op::PushF(_) => "push.f",
+            Op::Input => "input",
+            Op::Global(_) => "global",
+            Op::SetGlobal(_) => "set_global",
+            Op::Dup => "dup",
+            Op::Pop => "pop",
+            Op::Swap => "swap",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Rem => "rem",
+            Op::Neg => "neg",
+            Op::Sqrt => "sqrt",
+            Op::Min => "min",
+            Op::Max => "max",
+            Op::Lt => "lt",
+            Op::Eq => "eq",
+            Op::Len => "len",
+            Op::Get => "get",
+            Op::VecFill => "vec.fill",
+            Op::VecScale => "vec.scale",
+            Op::VecAdd => "vec.add",
+            Op::VecSum => "vec.sum",
+            Op::VecDot => "vec.dot",
+            Op::Jump(_) => "jump",
+            Op::JumpIfZero(_) => "jump.ez",
+            Op::Return => "return",
+        }
+    }
+}
+
 /// A validated-on-registration guest kernel program.
 ///
 /// `init` runs once per instance (at register time, and conceptually on
@@ -393,38 +431,15 @@ impl GuestProgram {
 }
 
 fn encode_op(op: &Op) -> Vec<Value> {
-    let t = |s: &str| Value::Text(s.to_string());
+    let mut parts = vec![Value::Text(op.mnemonic().to_string())];
     match *op {
-        Op::PushU(n) => vec![t("push.u"), Value::U64(n)],
-        Op::PushF(x) => vec![t("push.f"), Value::F64(x)],
-        Op::Input => vec![t("input")],
-        Op::Global(g) => vec![t("global"), Value::U64(g as u64)],
-        Op::SetGlobal(g) => vec![t("set_global"), Value::U64(g as u64)],
-        Op::Dup => vec![t("dup")],
-        Op::Pop => vec![t("pop")],
-        Op::Swap => vec![t("swap")],
-        Op::Add => vec![t("add")],
-        Op::Sub => vec![t("sub")],
-        Op::Mul => vec![t("mul")],
-        Op::Div => vec![t("div")],
-        Op::Rem => vec![t("rem")],
-        Op::Neg => vec![t("neg")],
-        Op::Sqrt => vec![t("sqrt")],
-        Op::Min => vec![t("min")],
-        Op::Max => vec![t("max")],
-        Op::Lt => vec![t("lt")],
-        Op::Eq => vec![t("eq")],
-        Op::Len => vec![t("len")],
-        Op::Get => vec![t("get")],
-        Op::VecFill => vec![t("vec.fill")],
-        Op::VecScale => vec![t("vec.scale")],
-        Op::VecAdd => vec![t("vec.add")],
-        Op::VecSum => vec![t("vec.sum")],
-        Op::VecDot => vec![t("vec.dot")],
-        Op::Jump(target) => vec![t("jump"), Value::U64(target as u64)],
-        Op::JumpIfZero(target) => vec![t("jump.ez"), Value::U64(target as u64)],
-        Op::Return => vec![t("return")],
+        Op::PushU(n) => parts.push(Value::U64(n)),
+        Op::PushF(x) => parts.push(Value::F64(x)),
+        Op::Global(g) | Op::SetGlobal(g) => parts.push(Value::U64(g as u64)),
+        Op::Jump(target) | Op::JumpIfZero(target) => parts.push(Value::U64(target as u64)),
+        _ => {}
     }
+    parts
 }
 
 fn decode_op(parts: &[Value]) -> Result<Op, ProgramError> {

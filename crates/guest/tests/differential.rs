@@ -1,0 +1,286 @@
+//! Seeded differential property test for the bytecode verifier.
+//!
+//! Generates a corpus of random guest programs (structured stack-aware
+//! bodies, injected loops, and fully random chaos) from
+//! `kaas_simtime`'s deterministic RNG, then checks the verifier's
+//! soundness contract on every accepted program:
+//!
+//! * the checking interpreter and the certificate fast path agree on
+//!   every input — same output, same fuel, same trap;
+//! * no input ever hits `StackUnderflow`, `NoReturn`, or `InitOnly`
+//!   (depth and placement analysis is input-independent);
+//! * inputs whose class verdict is `Clean` never hit `TypeMismatch`;
+//! * every successful run's fuel is within the static worst-case bound.
+
+use std::rc::Rc;
+
+use kaas_accel::DeviceClass;
+use kaas_guest::{verify, ClassVerdict, GuestProgram, InputClass, Instance, Op, Trap};
+use kaas_kernels::Value;
+use kaas_simtime::rng::DetRng;
+
+const FUEL: u64 = 10_000;
+
+/// Ops that push one value from nothing (any stack depth).
+fn gen_source(rng: &mut DetRng, globals: u8) -> Op {
+    match rng.gen_range(0..if globals > 0 { 4u32 } else { 3 }) {
+        0 => Op::Input,
+        1 => Op::PushU(rng.gen_range(0u64..64)),
+        2 => Op::PushF(rng.gen_range(-8.0..8.0)),
+        _ => Op::Global(rng.gen_range(0..globals as u32) as u8),
+    }
+}
+
+/// Ops legal at the given tracked stack depth (type-blind — the
+/// verifier is the one deciding whether the types work out).
+fn gen_op(rng: &mut DetRng, depth: usize, globals: u8) -> Op {
+    if depth == 0 {
+        return gen_source(rng, globals);
+    }
+    if depth == 1 || rng.gen_bool(0.4) {
+        return match rng.gen_range(0..8u32) {
+            0 => gen_source(rng, globals),
+            1 => Op::Dup,
+            2 => Op::Pop,
+            3 => Op::Neg,
+            4 => Op::Sqrt,
+            5 => Op::VecSum,
+            6 => Op::Len,
+            _ => gen_source(rng, globals),
+        };
+    }
+    match rng.gen_range(0..14u32) {
+        0 => Op::Add,
+        1 => Op::Sub,
+        2 => Op::Mul,
+        3 => Op::Div,
+        4 => Op::Rem,
+        5 => Op::Min,
+        6 => Op::Max,
+        7 => Op::Lt,
+        8 => Op::Eq,
+        9 => Op::Swap,
+        10 => Op::Get,
+        11 => Op::VecFill,
+        12 => Op::VecScale,
+        _ => Op::VecDot,
+    }
+}
+
+fn stack_effect(op: Op) -> (usize, usize) {
+    match op {
+        Op::Input | Op::PushU(_) | Op::PushF(_) | Op::Global(_) => (0, 1),
+        Op::Dup => (1, 2),
+        Op::Pop => (1, 0),
+        Op::Neg | Op::Sqrt | Op::VecSum | Op::Len => (1, 1),
+        Op::Swap => (2, 2),
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Rem
+        | Op::Min
+        | Op::Max
+        | Op::Lt
+        | Op::Eq
+        | Op::Get
+        | Op::VecFill
+        | Op::VecScale
+        | Op::VecAdd
+        | Op::VecDot => (2, 1),
+        Op::SetGlobal(_) | Op::JumpIfZero(_) | Op::Return => (1, 0),
+        Op::Jump(_) => (0, 0),
+    }
+}
+
+/// A structured body: depth-tracked random ops, optionally prefixed
+/// with a countdown loop over the input, always ending in `Return`.
+fn gen_structured_body(rng: &mut DetRng, globals: u8) -> Vec<Op> {
+    let mut body = Vec::new();
+    let mut depth = 0usize;
+    if rng.gen_bool(0.25) {
+        // Countdown loop skeleton; leaves the exhausted counter (0) on
+        // the stack at the exit.
+        body.extend([
+            Op::Input,
+            Op::Dup,
+            Op::JumpIfZero(6),
+            Op::PushU(1),
+            Op::Sub,
+            Op::Jump(1),
+        ]);
+        depth = 1;
+    }
+    for _ in 0..rng.gen_range(2usize..14) {
+        let op = gen_op(rng, depth, globals);
+        let (pops, pushes) = stack_effect(op);
+        assert!(depth >= pops, "generator tracks depth");
+        depth = depth - pops + pushes;
+        body.push(op);
+    }
+    if depth == 0 {
+        body.push(gen_source(rng, globals));
+    }
+    body.push(Op::Return);
+    body
+}
+
+/// Pure chaos: random ops with random (in-range) jump targets. Almost
+/// always rejected — exercises the verifier's rejection paths and the
+/// property that it never panics or accepts an unsound program.
+fn gen_chaos_body(rng: &mut DetRng, globals: u8) -> Vec<Op> {
+    let len = rng.gen_range(1usize..12);
+    (0..len)
+        .map(|_| match rng.gen_range(0..10u32) {
+            0..=3 => gen_source(rng, globals),
+            4 => Op::Jump(rng.gen_range(0..len as u32 + 1) as u16),
+            5 => Op::JumpIfZero(rng.gen_range(0..len as u32 + 1) as u16),
+            6 => Op::Return,
+            7 => Op::Pop,
+            8 => Op::Add,
+            _ => Op::VecDot,
+        })
+        .collect()
+}
+
+fn gen_program(rng: &mut DetRng, i: u64) -> GuestProgram {
+    let globals = rng.gen_range(0u8..3);
+    let mut init = Vec::new();
+    for g in 0..globals {
+        match rng.gen_range(0..3u32) {
+            0 => init.push(Op::PushF(rng.gen_range(-2.0..2.0))),
+            1 => init.push(Op::PushU(rng.gen_range(0u64..32))),
+            _ => init.extend([
+                Op::PushU(rng.gen_range(1u64..24)),
+                Op::PushF(rng.gen_range(-1.0..1.0)),
+                Op::VecFill,
+            ]),
+        }
+        init.push(Op::SetGlobal(g));
+    }
+    let body = if rng.gen_bool(0.3) {
+        gen_chaos_body(rng, globals)
+    } else {
+        gen_structured_body(rng, globals)
+    };
+    let mut p = GuestProgram::new(&format!("p{i}"), DeviceClass::Cpu)
+        .with_fuel(FUEL)
+        .with_init(globals, init)
+        .with_body(body);
+    p.globals = globals;
+    p
+}
+
+fn gen_inputs(rng: &mut DetRng) -> Vec<Value> {
+    let vec_len = rng.gen_range(0usize..9);
+    vec![
+        Value::Unit,
+        Value::U64(0),
+        Value::U64(rng.gen_range(1u64..24)),
+        Value::F64(rng.gen_range(-4.0..4.0)),
+        Value::F64s((0..vec_len).map(|_| rng.gen_range(-2.0..2.0)).collect()),
+        Value::F64s(vec![1.0, -2.0, 3.0]),
+        Value::Bytes(vec![3, 1, 4]),
+        Value::Text("abc".to_string()),
+    ]
+}
+
+/// Traps the verifier promises can never escape an accepted program,
+/// regardless of input class.
+fn statically_impossible(trap: &Trap) -> bool {
+    matches!(trap, Trap::StackUnderflow | Trap::NoReturn | Trap::InitOnly)
+}
+
+#[test]
+fn accepted_programs_never_break_the_static_contract() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_2026);
+    let (mut accepted, mut clean_classes, mut rejected) = (0u64, 0u64, 0u64);
+    for i in 0..400 {
+        let program = gen_program(&mut rng, i);
+        if program.validate().is_err() {
+            // Shape-invalid programs must be rejected, never accepted.
+            assert!(verify(&program).is_err(), "program {i} validates nowhere");
+            rejected += 1;
+            continue;
+        }
+        let cert = match verify(&program) {
+            Ok(cert) => cert,
+            Err(_) => {
+                rejected += 1;
+                continue;
+            }
+        };
+        accepted += 1;
+        let inst = match Instance::instantiate(Rc::new(program)) {
+            Ok(inst) => inst,
+            Err(trap) => {
+                // Init may still fault on values (div by zero, fuel, …)
+                // but never on anything the verifier discharged.
+                assert!(
+                    !statically_impossible(&trap) && !matches!(trap, Trap::TypeMismatch(_)),
+                    "program {i}: init hit verifier-discharged trap {trap:?}"
+                );
+                continue;
+            }
+        };
+        for input in gen_inputs(&mut rng) {
+            let class = InputClass::of(&input);
+            let verdict = cert.verdict_for(class);
+            if verdict == ClassVerdict::Clean {
+                clean_classes += 1;
+            }
+            let slow = inst.run(&input);
+            let fast = inst.run_verified(&cert, &input);
+            assert_eq!(
+                slow, fast,
+                "program {i}: paths diverge on {input:?} (verdict {verdict:?})"
+            );
+            match &slow {
+                Ok((_, fuel)) => assert!(
+                    *fuel <= cert.fuel_bound.worst_case(),
+                    "program {i}: fuel {fuel} exceeds static bound {:?}",
+                    cert.fuel_bound
+                ),
+                Err(trap) => {
+                    assert!(
+                        !statically_impossible(trap),
+                        "program {i}: accepted but trapped {trap:?} on {input:?}"
+                    );
+                    if verdict == ClassVerdict::Clean {
+                        assert!(
+                            !matches!(trap, Trap::TypeMismatch(_)),
+                            "program {i}: Clean class hit {trap:?} on {input:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // The corpus must actually exercise both outcomes and the fast path.
+    assert!(
+        accepted >= 100,
+        "only {accepted} accepted — generator too hostile"
+    );
+    assert!(
+        rejected >= 50,
+        "only {rejected} rejected — generator too tame"
+    );
+    assert!(
+        clean_classes >= 100,
+        "fast path rarely exercised: {clean_classes}"
+    );
+}
+
+#[test]
+fn corpus_is_seed_deterministic() {
+    let gen_all = |seed: u64| {
+        let mut rng = DetRng::seed_from_u64(seed);
+        (0..40)
+            .map(|i| gen_program(&mut rng, i))
+            .collect::<Vec<_>>()
+    };
+    let (a, b) = (gen_all(7), gen_all(7));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.hash(), y.hash(), "same seed, same corpus");
+    }
+}

@@ -11,8 +11,14 @@ quick=0
 [[ "${1:-}" == "--quick" ]] && quick=1
 
 echo "==> audit stage: kaas-audit static pass + sim-sanitizer test run"
-# Static determinism/resource-safety lint over the whole workspace.
-cargo run -q --release -p kaas-audit
+# Static determinism/resource-safety lint over the whole workspace, in
+# machine-readable mode: each finding is one JSON object which we turn
+# into a CI error annotation before failing the gate.
+if ! audit_out="$(cargo run -q --release -p kaas-audit -- --format=json)"; then
+    printf '%s\n' "$audit_out" | sed -n 's/^{.*}$/::error ::&/p' >&2
+    printf '%s\n' "$audit_out" | tail -n 1 >&2
+    exit 1
+fi
 # The full suite again with the runtime invariant auditor attached to
 # every server (chaos + dataplane included): zero violations expected.
 cargo test -q --release --workspace --features sim-sanitizer
@@ -95,6 +101,18 @@ gk_b="$(cargo run -q --release -p kaas-bench --bin coldstart -- --quick)"
 if [[ "$gk_a" != "$gk_b" ]]; then
     echo "coldstart bench diverged between two runs" >&2
     diff <(printf '%s\n' "$gk_a") <(printf '%s\n' "$gk_b") >&2 || true
+    exit 1
+fi
+
+echo "==> verify stage: bytecode verifier differential test + bench determinism"
+cargo test -q --release -p kaas-guest --test differential
+# The checking-vs-fast-path sweep is modeled from instruction/check
+# counters, so it must replay byte-identically run to run.
+vf_a="$(cargo run -q --release -p kaas-bench --bin verify -- --quick)"
+vf_b="$(cargo run -q --release -p kaas-bench --bin verify -- --quick)"
+if [[ "$vf_a" != "$vf_b" ]]; then
+    echo "verify bench diverged between two runs" >&2
+    diff <(printf '%s\n' "$vf_a") <(printf '%s\n' "$vf_b") >&2 || true
     exit 1
 fi
 

@@ -566,8 +566,29 @@ fn every_error_kind_is_inducible_and_counted() {
             .unwrap_err();
         assert!(matches!(err, InvokeError::FuelExhausted(_)), "got {err:?}");
         induced.insert(err.kind());
+        // A provably-trapping program (stack underflow on the only
+        // path) is rejected by the verifier at register time, with the
+        // structured diagnostics in the payload.
+        let underflow = GuestProgram::new("underflow", DeviceClass::Gpu)
+            .with_fuel(100)
+            .with_body(vec![Op::Pop, Op::Return]);
+        let err = client_g
+            .register_kernel("acme", &underflow)
+            .await
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::VerifyRejected(_)), "got {err:?}");
+        assert!(
+            err.to_string().contains("body@0: [underflow]"),
+            "diagnostics missing from {err}"
+        );
+        induced.insert(err.kind());
         let m_g = _g.metrics_registry();
-        for kind in ["unknown-guest-kernel", "guest-trap", "fuel-exhausted"] {
+        for kind in [
+            "unknown-guest-kernel",
+            "guest-trap",
+            "fuel-exhausted",
+            "verify-rejected",
+        ] {
             assert!(
                 m_g.counter(&format!("errors.{kind}")) >= 1,
                 "errors.{kind} missing from registry:\n{}",
